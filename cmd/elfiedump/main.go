@@ -1,0 +1,95 @@
+// elfiedump inspects PVM ELF files — headers, program headers, sections,
+// symbols, and disassembly — in the spirit of readelf/objdump. It is the
+// tool for peeking inside ELFies (Fig. 2/3 structures).
+//
+// Usage:
+//
+//	elfiedump file.elfie            # headers + sections + symbols
+//	elfiedump -d .text file.elfie   # disassemble one section
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"elfie/internal/cli"
+	"elfie/internal/elfobj"
+	"elfie/internal/isa"
+)
+
+func main() {
+	disasm := flag.String("d", "", "disassemble the named section")
+	maxIns := flag.Int("n", 200, "max instructions to disassemble")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		cli.Die(fmt.Errorf("usage: elfiedump [flags] file.elf"))
+	}
+	f, err := cli.LoadELF(flag.Arg(0))
+	if err != nil {
+		cli.Die(err)
+	}
+
+	if *disasm != "" {
+		sec := f.Section(*disasm)
+		if sec == nil {
+			cli.Die(fmt.Errorf("no section %q", *disasm))
+		}
+		for _, line := range isa.Disasm(sec.Data, sec.Addr, *maxIns) {
+			fmt.Println(line)
+		}
+		return
+	}
+
+	typ := "EXEC"
+	if f.Type == elfobj.ETRel {
+		typ = "REL"
+	}
+	fmt.Printf("ELF64 %s machine=%#x entry=%#x\n", typ, f.Machine, f.Entry)
+
+	fmt.Printf("\nSections (%d):\n", len(f.Sections))
+	fmt.Printf("  %-20s %-10s %6s %16s %10s\n", "name", "type", "flags", "addr", "size")
+	for _, s := range f.Sections {
+		flags := ""
+		if s.Flags&elfobj.SHFAlloc != 0 {
+			flags += "A"
+		}
+		if s.Flags&elfobj.SHFWrite != 0 {
+			flags += "W"
+		}
+		if s.Flags&elfobj.SHFExecinstr != 0 {
+			flags += "X"
+		}
+		st := "PROGBITS"
+		if s.Type == elfobj.SHTNobits {
+			st = "NOBITS"
+		}
+		fmt.Printf("  %-20s %-10s %6s %#16x %10d\n", s.Name, st, flags, s.Addr, s.DataSize())
+	}
+
+	fmt.Printf("\nSegments (%d):\n", len(f.Segments))
+	for i, seg := range f.Segments {
+		fmt.Printf("  [%2d] LOAD vaddr=%#x filesz=%d memsz=%d flags=%#x\n",
+			i, seg.Vaddr, seg.Filesz, seg.Memsz, seg.Flags)
+	}
+
+	if len(f.Symbols) > 0 {
+		fmt.Printf("\nSymbols (%d):\n", len(f.Symbols))
+		syms := append([]elfobj.Symbol(nil), f.Symbols...)
+		sort.Slice(syms, func(i, j int) bool { return syms[i].Value < syms[j].Value })
+		for _, s := range syms {
+			bind := "LOCAL"
+			if s.Binding == elfobj.STBGlobal {
+				bind = "GLOBAL"
+			}
+			fmt.Printf("  %#16x %-7s %-24s %s\n", s.Value, bind, s.Name, s.Section)
+		}
+	}
+
+	for name, relocs := range f.Relocs {
+		fmt.Printf("\nRelocations for %s (%d):\n", name, len(relocs))
+		for _, r := range relocs {
+			fmt.Printf("  %#8x %-14s %s%+d\n", r.Offset, elfobj.RelocName(r.Type), r.Symbol, r.Addend)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// elfierun executes a PVM ELF binary — typically an ELFie — natively on the
+// virtual machine, the equivalent of simply running the ELFie on a Linux
+// host in the paper.
+//
+// Usage:
+//
+//	elfierun -in /input.dat=./input.dat -seed 3 prog.elf [args...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"elfie/internal/cli"
+	"elfie/internal/kernel"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "machine seed (stack randomization, clock jitter)")
+	jitter := flag.Int("jitter", 20, "scheduler quantum jitter (0 = deterministic)")
+	budget := flag.Uint64("max", 10_000_000_000, "instruction budget")
+	var fsFlag cli.FSFlag
+	flag.Var(&fsFlag, "in", "guestpath=hostpath file mapping (repeatable)")
+	sysstateDir := flag.String("sysstate-host", "", "host directory with sysstate files to install at /sysstate")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		cli.Die(fmt.Errorf("usage: elfierun [flags] prog.elf [args...]"))
+	}
+
+	exe, err := cli.LoadELF(flag.Arg(0))
+	if err != nil {
+		cli.Die(err)
+	}
+	fs := kernel.NewFS()
+	if err := fsFlag.Populate(fs); err != nil {
+		cli.Die(err)
+	}
+	if *sysstateDir != "" {
+		if err := installSysstate(fs, *sysstateDir); err != nil {
+			cli.Die(err)
+		}
+	}
+	m, err := cli.NewMachine(exe, fs, *seed, *jitter, *budget, flag.Args())
+	if err != nil {
+		cli.Die(err)
+	}
+	if err := m.Run(); err != nil {
+		cli.Die(err)
+	}
+	cli.PrintRunSummary(m)
+	if m.FatalFault != nil {
+		os.Exit(139)
+	}
+	os.Exit(m.ExitStatus)
+}
+
+func installSysstate(fs *kernel.FS, dir string) error {
+	st, err := loadSysstate(dir)
+	if err != nil {
+		return err
+	}
+	st.Install(fs, "/sysstate")
+	return nil
+}

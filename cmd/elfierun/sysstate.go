@@ -1,0 +1,7 @@
+package main
+
+import "elfie/internal/sysstate"
+
+func loadSysstate(dir string) (*sysstate.State, error) {
+	return sysstate.LoadDir(dir)
+}

@@ -1,0 +1,67 @@
+// logger records a region of a program's execution as a pinball, the
+// PinPlay logger of the tool-chain.
+//
+// Usage:
+//
+//	logger -name gcc.r1 -start 800000 -length 1000000 -fat -out pinballs/ prog.elf
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"elfie/internal/cli"
+	"elfie/internal/kernel"
+	"elfie/internal/pinplay"
+)
+
+func main() {
+	name := flag.String("name", "pinball", "pinball name")
+	start := flag.Uint64("start", 0, "region start (global instruction count)")
+	length := flag.Uint64("length", 1_000_000, "region length (instructions)")
+	warmup := flag.Uint64("warmup", 0, "warm-up prefix recorded in metadata")
+	fat := flag.Bool("log:fat", true, "record a fat pinball (-log:whole_image -log:pages_early)")
+	wholeImage := flag.Bool("log:whole_image", false, "record all loaded image pages")
+	pagesEarly := flag.Bool("log:pages_early", false, "record all mapped pages eagerly")
+	out := flag.String("out", ".", "output directory")
+	seed := flag.Int64("seed", 1, "machine seed")
+	budget := flag.Uint64("max", 10_000_000_000, "instruction budget")
+	var fsFlag cli.FSFlag
+	flag.Var(&fsFlag, "in", "guestpath=hostpath file mapping (repeatable)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		cli.Die(fmt.Errorf("usage: logger [flags] prog.elf [args...]"))
+	}
+
+	exe, err := cli.LoadELF(flag.Arg(0))
+	if err != nil {
+		cli.Die(err)
+	}
+	fs := kernel.NewFS()
+	if err := fsFlag.Populate(fs); err != nil {
+		cli.Die(err)
+	}
+	m, err := cli.NewMachine(exe, fs, *seed, 0, *budget, flag.Args())
+	if err != nil {
+		cli.Die(err)
+	}
+
+	opts := pinplay.LogOptions{
+		Name: *name, RegionStart: *start, RegionLength: *length,
+		WarmupLength: *warmup,
+		WholeImage:   *wholeImage, PagesEarly: *pagesEarly,
+	}
+	if *fat {
+		opts = opts.Fat()
+	}
+	pb, err := pinplay.Log(m, opts)
+	if err != nil {
+		cli.Die(err)
+	}
+	if err := pb.Save(*out); err != nil {
+		cli.Die(err)
+	}
+	fmt.Printf("pinball %s: %d threads, %d instructions, %d pages (%d KiB image), %d syscalls\n",
+		pb.Name, pb.Meta.NumThreads, pb.Meta.TotalInstructions,
+		len(pb.Pages), pb.ImageBytes()>>10, len(pb.Syscalls))
+}

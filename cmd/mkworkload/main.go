@@ -1,0 +1,55 @@
+// mkworkload materializes a synthetic benchmark as a PVM executable (and
+// optionally its assembly source and input file), for use with the logger,
+// elfierun and simrun tools.
+//
+// Usage:
+//
+//	mkworkload -bench 602.gcc_t -o gcc.elf -asm gcc.s -input input.dat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"elfie/internal/cli"
+	"elfie/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "", "workload name (see pinpoints -list)")
+	out := flag.String("o", "", "output executable (default <bench>.elf)")
+	asmOut := flag.String("asm", "", "also write the generated assembly source")
+	inputOut := flag.String("input", "", "also write the /input.dat content")
+	flag.Parse()
+	if *bench == "" {
+		cli.Die(fmt.Errorf("-bench required"))
+	}
+	r, ok := workloads.ByName(*bench)
+	if !ok {
+		cli.Die(fmt.Errorf("unknown workload %q", *bench))
+	}
+	exe, err := workloads.Build(r)
+	if err != nil {
+		cli.Die(err)
+	}
+	outPath := *out
+	if outPath == "" {
+		outPath = r.Name + ".elf"
+	}
+	if err := cli.WriteELF(outPath, exe); err != nil {
+		cli.Die(err)
+	}
+	if *asmOut != "" {
+		if err := os.WriteFile(*asmOut, []byte(workloads.Generate(r)), 0o644); err != nil {
+			cli.Die(err)
+		}
+	}
+	if *inputOut != "" {
+		if err := os.WriteFile(*inputOut, workloads.InputFile(), 0o644); err != nil {
+			cli.Die(err)
+		}
+	}
+	fmt.Printf("%s: threads=%d ~%dM instructions -> %s\n",
+		r.Name, r.Threads, r.ApproxInstructions()/1_000_000, outPath)
+}

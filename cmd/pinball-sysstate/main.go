@@ -1,0 +1,49 @@
+// pinball-sysstate analyzes a pinball's system calls by constrained replay
+// and writes a sysstate directory: proxy files for every file the region
+// touches (FD_n for descriptors opened before the region), a FILES.json
+// manifest, and BRK.log (paper §II.C.2, Fig. 8).
+//
+// Usage:
+//
+//	pinball-sysstate -pinball pinballs/gcc.r1 [-out pinballs/gcc.r1.sysstate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"path/filepath"
+
+	"elfie/internal/cli"
+	"elfie/internal/pinball"
+	"elfie/internal/sysstate"
+)
+
+func main() {
+	pbPath := flag.String("pinball", "", "pinball path (directory/name)")
+	out := flag.String("out", "", "output directory (default <pinball>.sysstate)")
+	flag.Parse()
+	if *pbPath == "" {
+		cli.Die(fmt.Errorf("-pinball required"))
+	}
+	dir, name := filepath.Split(*pbPath)
+	if dir == "" {
+		dir = "."
+	}
+	pb, err := pinball.Load(dir, name)
+	if err != nil {
+		cli.Die(err)
+	}
+	st, err := sysstate.Analyze(pb)
+	if err != nil {
+		cli.Die(err)
+	}
+	outDir := *out
+	if outDir == "" {
+		outDir = *pbPath + ".sysstate"
+	}
+	if err := st.SaveDir(outDir); err != nil {
+		cli.Die(err)
+	}
+	fmt.Print(st.Report())
+	fmt.Printf("sysstate written to %s\n", outDir)
+}

@@ -1,0 +1,127 @@
+// pinball2elf converts a pinball into a stand-alone ELFie executable — the
+// paper's primary tool.
+//
+// Usage:
+//
+//	pinball2elf -pinball pinballs/gcc.r1 -o gcc.r1.elfie -perf-exit \
+//	            --roi-start ssc:0x1010 -sysstate pinballs/gcc.r1.sysstate
+//
+// Alongside the executable it writes <out>.ldscript (the memory-layout
+// linker script), <out>.startup.s (the generated startup code) and
+// <out>.ctx.s (the thread-context listing) for inspection and re-linking.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"elfie/internal/cli"
+	"elfie/internal/core"
+	"elfie/internal/pinball"
+	"elfie/internal/sysstate"
+)
+
+func main() {
+	pbPath := flag.String("pinball", "", "pinball path (directory/name)")
+	out := flag.String("o", "", "output ELFie path (default <pinball>.elfie)")
+	perfExit := flag.Bool("perf-exit", true, "graceful exit via hardware performance counters")
+	slack := flag.Uint64("slack", 0, "extra instructions before graceful exit")
+	roi := flag.String("roi-start", "", "ROI marker TYPE:TAG (types: sniper, ssc, simics)")
+	ssDir := flag.String("sysstate", "", "sysstate directory (from pinball-sysstate)")
+	userSrc := flag.String("user", "", "extra assembly source with elfie_on_* callbacks")
+	onStart := flag.Bool("p", false, "call elfie_on_start()")
+	onThread := flag.Bool("t", false, "call elfie_on_thread_start()")
+	onExit := flag.Bool("e", false, "call elfie_on_exit() via a monitor thread")
+	allowNonFat := flag.Bool("allow-non-fat", false, "convert a non-fat pinball (likely to fail)")
+	flag.Parse()
+	if *pbPath == "" {
+		cli.Die(fmt.Errorf("-pinball required"))
+	}
+
+	dir, name := filepath.Split(*pbPath)
+	if dir == "" {
+		dir = "."
+	}
+	pb, err := pinball.Load(dir, name)
+	if err != nil {
+		cli.Die(err)
+	}
+
+	opts := core.Options{
+		GracefulExit:  *perfExit,
+		ExtraSlack:    *slack,
+		OnStart:       *onStart,
+		OnThreadStart: *onThread,
+		OnExit:        *onExit,
+		AllowNonFat:   *allowNonFat,
+	}
+	if *roi != "" {
+		mt, tag, err := parseROI(*roi)
+		if err != nil {
+			cli.Die(err)
+		}
+		opts.Marker, opts.MarkerTag = mt, tag
+	}
+	if *userSrc != "" {
+		src, err := os.ReadFile(*userSrc)
+		if err != nil {
+			cli.Die(err)
+		}
+		opts.UserSource = string(src)
+	}
+	if *ssDir != "" {
+		st, err := sysstate.LoadDir(*ssDir)
+		if err != nil {
+			cli.Die(err)
+		}
+		opts.SysState = st.Ref("/sysstate")
+	}
+
+	res, err := core.Convert(pb, opts)
+	if err != nil {
+		cli.Die(err)
+	}
+	outPath := *out
+	if outPath == "" {
+		outPath = *pbPath + ".elfie"
+	}
+	if err := cli.WriteELF(outPath, res.Exe); err != nil {
+		cli.Die(err)
+	}
+	aux := map[string]string{
+		".ldscript":  res.Script.Format(),
+		".startup.s": res.StartupSource,
+		".ctx.s":     res.ContextsAsm,
+	}
+	for suffix, content := range aux {
+		if err := os.WriteFile(outPath+suffix, []byte(content), 0o644); err != nil {
+			cli.Die(err)
+		}
+	}
+	fmt.Printf("ELFie %s: %d threads, entry %#x, graceful-exit budgets %v\n",
+		outPath, pb.Meta.NumThreads, res.Exe.Entry, res.PerfPeriods)
+}
+
+func parseROI(s string) (core.MarkerType, uint32, error) {
+	typ, tagStr := s, "0"
+	if i := strings.Index(s, ":"); i >= 0 {
+		typ, tagStr = s[:i], s[i+1:]
+	}
+	tag, err := strconv.ParseUint(tagStr, 0, 32)
+	if err != nil {
+		return core.MarkerNone, 0, fmt.Errorf("bad marker tag %q", tagStr)
+	}
+	switch typ {
+	case "sniper":
+		return core.MarkerSniper, uint32(tag), nil
+	case "ssc":
+		return core.MarkerSSC, uint32(tag), nil
+	case "simics":
+		return core.MarkerSimics, uint32(tag), nil
+	}
+	return core.MarkerNone, 0, fmt.Errorf("unknown marker type %q", typ)
+}

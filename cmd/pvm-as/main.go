@@ -1,0 +1,85 @@
+// pvm-as assembles PVM-64 assembly sources into a relocatable ELF object or
+// a statically linked executable.
+//
+// Usage:
+//
+//	pvm-as -o prog.elf main.s lib.s          # assemble + link executable
+//	pvm-as -c -o main.o main.s               # object only
+//	pvm-as -script layout.ld -o elfie out.o  # link with a linker script
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"elfie/internal/asm"
+	"elfie/internal/cli"
+	"elfie/internal/elfobj"
+)
+
+func main() {
+	out := flag.String("o", "a.out", "output file")
+	objOnly := flag.Bool("c", false, "produce a relocatable object (no link)")
+	entry := flag.String("entry", "_start", "entry symbol")
+	base := flag.Uint64("base", 0x400000, "base virtual address")
+	scriptPath := flag.String("script", "", "linker script file")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		cli.Die(fmt.Errorf("no input files"))
+	}
+
+	var objs []*elfobj.File
+	for _, path := range flag.Args() {
+		if strings.HasSuffix(path, ".o") || strings.HasSuffix(path, ".elf") {
+			obj, err := cli.LoadELF(path)
+			if err != nil {
+				cli.Die(err)
+			}
+			objs = append(objs, obj)
+			continue
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			cli.Die(err)
+		}
+		obj, err := asm.Assemble(string(src), path)
+		if err != nil {
+			cli.Die(err)
+		}
+		objs = append(objs, obj)
+	}
+
+	if *objOnly {
+		if len(objs) != 1 {
+			cli.Die(fmt.Errorf("-c wants exactly one input"))
+		}
+		if err := cli.WriteELF(*out, objs[0]); err != nil {
+			cli.Die(err)
+		}
+		return
+	}
+
+	opts := asm.LinkOptions{Entry: *entry, Base: *base}
+	if *scriptPath != "" {
+		text, err := os.ReadFile(*scriptPath)
+		if err != nil {
+			cli.Die(err)
+		}
+		opts.Script, err = asm.ParseScript(string(text))
+		if err != nil {
+			cli.Die(err)
+		}
+		if opts.Script.Entry != "" {
+			opts.Entry = opts.Script.Entry
+		}
+	}
+	exe, err := asm.Link(objs, opts)
+	if err != nil {
+		cli.Die(err)
+	}
+	if err := cli.WriteELF(*out, exe); err != nil {
+		cli.Die(err)
+	}
+}

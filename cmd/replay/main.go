@@ -1,0 +1,64 @@
+// replay performs constrained replay of a pinball, injecting recorded
+// system-call side effects and enforcing the recorded thread order.
+// With -replay:injection=0, the pinball re-executes against live kernel
+// state instead — the paper's aid for debugging ELFie failures.
+//
+// Usage:
+//
+//	replay -pinball pinballs/gcc.r1
+//	replay -pinball pinballs/gcc.r1 -replay:injection=0 -in /input.dat=./input.dat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"path/filepath"
+
+	"elfie/internal/cli"
+	"elfie/internal/kernel"
+	"elfie/internal/pinball"
+	"elfie/internal/pinplay"
+)
+
+func main() {
+	pbPath := flag.String("pinball", "", "pinball path (directory/name)")
+	injection := flag.Bool("replay:injection", true, "inject logged side effects and thread order")
+	seed := flag.Int64("seed", 1, "machine seed (injection-less mode)")
+	jitter := flag.Int("jitter", 0, "scheduler jitter (injection-less mode)")
+	var fsFlag cli.FSFlag
+	flag.Var(&fsFlag, "in", "guestpath=hostpath file mapping (repeatable)")
+	flag.Parse()
+	if *pbPath == "" {
+		cli.Die(fmt.Errorf("-pinball required"))
+	}
+
+	dir, name := filepath.Split(*pbPath)
+	if dir == "" {
+		dir = "."
+	}
+	pb, err := pinball.Load(dir, name)
+	if err != nil {
+		cli.Die(err)
+	}
+	fs := kernel.NewFS()
+	if err := fsFlag.Populate(fs); err != nil {
+		cli.Die(err)
+	}
+	res, err := pinplay.Replay(pb, kernel.New(fs, *seed), pinplay.ReplayOptions{
+		Injection: *injection, SchedSeed: *seed, SchedJitter: *jitter,
+	})
+	if err != nil {
+		cli.Die(err)
+	}
+	fmt.Printf("replay of %s: completed=%v injected=%d\n", name, res.Completed, res.InjectedSyscalls)
+	for tid, n := range res.PerThread {
+		want := uint64(0)
+		if tid < len(pb.Meta.RegionLength) {
+			want = pb.Meta.RegionLength[tid]
+		}
+		fmt.Printf("  thread %d: %d / %d instructions\n", tid, n, want)
+	}
+	if res.Diverged {
+		fmt.Printf("  DIVERGED: %s\n", res.DivergeReason)
+	}
+}

@@ -1,0 +1,93 @@
+// Fullsystem: the §IV.C case study in miniature — simulate one ELFie on the
+// detailed CoreSim model twice: with the user-level (SDE) front-end and
+// with the full-system (Simics) front-end, and compare instruction counts,
+// runtime, and data footprint (Table IV).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elfie/internal/core"
+	"elfie/internal/coresim"
+	"elfie/internal/elfobj"
+	"elfie/internal/kernel"
+	"elfie/internal/pinplay"
+	"elfie/internal/sysstate"
+	"elfie/internal/vm"
+	"elfie/internal/workloads"
+)
+
+func main() {
+	r, _ := workloads.ByName("625.x264_t")
+	r.FileInput = true // some system-call activity inside the region
+	exe, err := workloads.Build(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs := kernel.NewFS()
+	fs.WriteFile("/input.dat", workloads.InputFile())
+	m, err := vm.NewLoaded(kernel.New(fs, 1), exe, []string{r.Name}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.MaxInstructions = 2_000_000_000
+
+	fmt.Println("capturing a 1M-instruction x264-like region...")
+	pb, err := pinplay.Log(m, pinplay.LogOptions{
+		Name: "x264.region", RegionStart: 50_000, RegionLength: 1_000_000,
+	}.Fat())
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := sysstate.Analyze(pb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conv, err := core.Convert(pb, core.Options{
+		GracefulExit: true, Marker: core.MarkerSimics, MarkerTag: 0x99,
+		SysState: st.Ref("/sysstate"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(fe coresim.Frontend) *coresim.Result {
+		bin, _ := conv.Exe.Write()
+		elfie, _ := elfobj.Read(bin)
+		fs := kernel.NewFS()
+		fs.WriteFile("/input.dat", workloads.InputFile())
+		st.Install(fs, "/sysstate")
+		m, err := vm.NewLoaded(kernel.New(fs, 9), elfie, []string{"elfie"}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m.MaxInstructions = 100_000_000
+		cfg := coresim.Skylake1(fe)
+		cfg.StartMarker = 0x99
+		cfg.TimerIntervalInstr = 50_000
+		res, err := coresim.Simulate(m, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	user := run(coresim.FrontendSDE)
+	full := run(coresim.FrontendSimics)
+
+	fmt.Printf("%-28s %15s %15s\n", "metric", "user-level(SDE)", "full-sys(Simics)")
+	fmt.Printf("%-28s %15d %15d\n", "ring-3 instructions", user.Ring3Instr, full.Ring3Instr)
+	fmt.Printf("%-28s %15d %15d\n", "ring-0 instructions", user.Ring0Instr, full.Ring0Instr)
+	fmt.Printf("%-28s %15d %15d\n", "cycles", user.Cycles, full.Cycles)
+	fmt.Printf("%-28s %15.4f %15.4f\n", "CPI", user.CPI(), full.CPI())
+	fmt.Printf("%-28s %15d %15d\n", "data footprint (KiB)", user.FootprintBytes>>10, full.FootprintBytes>>10)
+	fmt.Printf("%-28s %15.4f %15.4f\n", "DTLB miss rate (%)", 100*user.DTLBMissRate, 100*full.DTLBMissRate)
+
+	extraI := 100 * float64(full.Ring0Instr) / float64(full.Ring3Instr)
+	extraT := 100 * (float64(full.Cycles)/float64(user.Cycles) - 1)
+	extraF := 100 * (float64(full.FootprintBytes)/float64(user.FootprintBytes) - 1)
+	fmt.Printf("\nOS interference: +%.1f%% instructions -> +%.1f%% runtime, +%.1f%% footprint\n",
+		extraI, extraT, extraF)
+	fmt.Println("(the few kernel instructions have a disproportionate effect — Table IV)")
+}

@@ -1,0 +1,118 @@
+// Quickstart: capture a region of a running program as a pinball, convert
+// it to a stand-alone ELFie, and run the ELFie natively — the tool-chain of
+// Fig. 1 in five steps.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elfie/internal/asm"
+	"elfie/internal/core"
+	"elfie/internal/elfobj"
+	"elfie/internal/kernel"
+	"elfie/internal/pinplay"
+	"elfie/internal/vm"
+)
+
+const program = `
+	# A program with two behaviours: a multiply-heavy warm-up and a
+	# memory-walking main loop. We will checkpoint the main loop only.
+	.text
+	.global _start
+_start:
+	movi r9, 42
+	movi r8, 0
+warm:
+	muli r9, r9, 1103515245
+	addi r9, r9, 12345
+	addi r8, r8, 1
+	cmpi r8, 50000
+	jnz  warm
+
+	limm r13, table
+	movi r8, 0
+main:
+	andi r4, r9, 65528
+	lea1 r4, r13, r4, 0
+	ld.q r5, [r4]
+	add  r5, r5, r9
+	st.q r5, [r4]
+	muli r9, r9, 25
+	addi r9, r9, 13
+	addi r8, r8, 1
+	cmpi r8, 200000
+	jnz  main
+
+	movi r0, 231
+	movi r1, 0
+	syscall
+	.bss
+	.align 4096
+table:	.space 65536
+`
+
+func main() {
+	// 1. Build and load the test program.
+	exe, err := asm.Program(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := kernel.New(kernel.NewFS(), 1)
+	m, err := vm.NewLoaded(k, exe, []string{"demo"}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.MaxInstructions = 100_000_000
+
+	// 2. Record a fat pinball for 500k instructions of the main loop
+	//    (the warm-up loop retires ~250k instructions first).
+	pb, err := pinplay.Log(m, pinplay.LogOptions{
+		Name:         "demo.main",
+		RegionStart:  300_000,
+		RegionLength: 500_000,
+	}.Fat())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pinball: %d instructions, %d KiB memory image, %d pages\n",
+		pb.Meta.TotalInstructions, pb.ImageBytes()>>10, len(pb.Pages))
+
+	// 3. Convert it to an ELFie with perf-counter graceful exit.
+	res, err := core.Convert(pb, core.Options{GracefulExit: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ELFie: entry %#x, graceful-exit budget %d instructions\n",
+		res.Exe.Entry, res.PerfPeriods[0])
+	fmt.Printf("linker script:\n%s", res.Script.Format())
+
+	// 4. Serialize to the ELF64 binary form and load it back — the ELFie
+	//    is an ordinary executable file.
+	bin, err := res.Exe.Write()
+	if err != nil {
+		log.Fatal(err)
+	}
+	elfie, err := elfobj.Read(bin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ELFie file: %d bytes, %d sections, %d segments\n",
+		len(bin), len(elfie.Sections), len(elfie.Segments))
+
+	// 5. Run it natively on a fresh machine: it starts exactly at the
+	//    captured state and exits after exactly the captured region.
+	k2 := kernel.New(kernel.NewFS(), 77) // different seed: different stack layout
+	m2, err := vm.NewLoaded(k2, elfie, []string{"demo.main.elfie"}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m2.MaxInstructions = 100_000_000
+	if err := m2.Run(); err != nil {
+		log.Fatal(err)
+	}
+	t0 := m2.Threads[0]
+	counter := t0.PerfCounters()[0]
+	fmt.Printf("native ELFie run: retired %d total, region counter %d (fired=%v), fault=%v\n",
+		t0.Retired, counter.Count(t0), counter.Fired, m2.FatalFault)
+}

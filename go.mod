@@ -1,0 +1,3 @@
+module elfie
+
+go 1.22

@@ -1,0 +1,239 @@
+// Package asm implements the PVM-64 assembler and static linker.
+//
+// The assembler translates text assembly into ELF64 relocatable objects
+// (package elfobj); the linker combines objects into statically-linked
+// executables. pinball2elf drives the linker with a generated linker script
+// that pins every checkpointed memory region at its original virtual
+// address, exactly as the paper's tool does.
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"elfie/internal/elfobj"
+)
+
+// section is an in-progress output section during assembly.
+type section struct {
+	name   string
+	typ    uint32
+	flags  uint64
+	data   []byte
+	relocs []elfobj.Reloc
+	align  uint64
+	size   uint64 // for nobits
+}
+
+type symbol struct {
+	section string // "" if undefined, "*ABS*" for .equ
+	value   uint64
+	global  bool
+	isFunc  bool
+}
+
+// Assembler assembles one or more source files into a single object.
+type Assembler struct {
+	sections map[string]*section
+	order    []string
+	cur      *section
+	symbols  map[string]*symbol
+	symOrder []string
+	globals  map[string]bool
+	errs     []string
+	file     string
+	line     int
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{
+		sections: make(map[string]*section),
+		symbols:  make(map[string]*symbol),
+		globals:  make(map[string]bool),
+	}
+}
+
+// Assemble is a convenience wrapper assembling a single source string.
+func Assemble(src, filename string) (*elfobj.File, error) {
+	a := NewAssembler()
+	if err := a.Add(src, filename); err != nil {
+		return nil, err
+	}
+	return a.Object()
+}
+
+func (a *Assembler) errorf(format string, args ...interface{}) {
+	a.errs = append(a.errs, fmt.Sprintf("%s:%d: %s", a.file, a.line, fmt.Sprintf(format, args...)))
+}
+
+func (a *Assembler) enter(name string) *section {
+	if s, ok := a.sections[name]; ok {
+		a.cur = s
+		return s
+	}
+	s := &section{name: name, typ: elfobj.SHTProgbits, align: 8}
+	switch {
+	case name == ".text" || strings.HasPrefix(name, ".text."):
+		s.flags = elfobj.SHFAlloc | elfobj.SHFExecinstr
+		s.align = 16
+	case name == ".rodata" || strings.HasPrefix(name, ".rodata."):
+		s.flags = elfobj.SHFAlloc
+	case name == ".bss" || strings.HasPrefix(name, ".bss."):
+		s.flags = elfobj.SHFAlloc | elfobj.SHFWrite
+		s.typ = elfobj.SHTNobits
+	default:
+		s.flags = elfobj.SHFAlloc | elfobj.SHFWrite
+	}
+	a.sections[name] = s
+	a.order = append(a.order, name)
+	a.cur = s
+	return s
+}
+
+func (s *section) pos() uint64 {
+	if s.typ == elfobj.SHTNobits {
+		return s.size
+	}
+	return uint64(len(s.data))
+}
+
+// Add assembles one source file into the object being built.
+func (a *Assembler) Add(src, filename string) error {
+	a.file = filename
+	if a.cur == nil {
+		a.enter(".text")
+	}
+	for i, raw := range strings.Split(src, "\n") {
+		a.line = i + 1
+		a.doLine(raw)
+	}
+	if len(a.errs) > 0 {
+		return fmt.Errorf("asm: %s", strings.Join(a.errs, "\n"))
+	}
+	return nil
+}
+
+func (a *Assembler) doLine(raw string) {
+	line := stripComment(raw)
+	// Peel off labels (there may be several on one line).
+	for {
+		line = strings.TrimSpace(line)
+		j := labelEnd(line)
+		if j < 0 {
+			break
+		}
+		a.defineLabel(line[:j])
+		line = line[j+1:]
+	}
+	if line == "" {
+		return
+	}
+	if strings.HasPrefix(line, ".") {
+		a.doDirective(line)
+		return
+	}
+	a.doInstruction(line)
+}
+
+// stripComment removes '#' and ';' comments, respecting string literals.
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '"' && (i == 0 || s[i-1] != '\\'):
+			inStr = !inStr
+		case !inStr && (s[i] == '#' || s[i] == ';'):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// labelEnd returns the index of the ':' ending a leading label, or -1.
+func labelEnd(s string) int {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ':' {
+			if i == 0 {
+				return -1
+			}
+			return i
+		}
+		if !isSymChar(c) {
+			return -1
+		}
+	}
+	return -1
+}
+
+func isSymChar(c byte) bool {
+	return c == '_' || c == '.' || c == '$' ||
+		c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func (a *Assembler) defineLabel(name string) {
+	if sym, ok := a.symbols[name]; ok && sym.section != "" {
+		a.errorf("label %q redefined", name)
+		return
+	}
+	a.setSymbol(name, a.cur.name, a.cur.pos())
+}
+
+func (a *Assembler) setSymbol(name, sec string, val uint64) {
+	sym, ok := a.symbols[name]
+	if !ok {
+		sym = &symbol{}
+		a.symbols[name] = sym
+		a.symOrder = append(a.symOrder, name)
+	}
+	sym.section = sec
+	sym.value = val
+	sym.isFunc = sec != "" && strings.HasPrefix(sec, ".text")
+}
+
+// Object finalizes assembly and returns the relocatable object.
+func (a *Assembler) Object() (*elfobj.File, error) {
+	if len(a.errs) > 0 {
+		return nil, fmt.Errorf("asm: %s", strings.Join(a.errs, "\n"))
+	}
+	f := elfobj.NewObject()
+	for _, name := range a.order {
+		s := a.sections[name]
+		sec := &elfobj.Section{
+			Name: s.name, Type: s.typ, Flags: s.flags,
+			Addralign: s.align, Data: s.data, Size: s.size,
+		}
+		f.AddSection(sec)
+		if len(s.relocs) > 0 {
+			f.Relocs[s.name] = s.relocs
+		}
+	}
+	for _, name := range a.symOrder {
+		sym := a.symbols[name]
+		binding := uint8(elfobj.STBLocal)
+		if sym.global || a.globals[name] {
+			binding = elfobj.STBGlobal
+		}
+		typ := uint8(elfobj.STTObject)
+		if sym.isFunc {
+			typ = elfobj.STTFunc
+		}
+		if sym.section == "*ABS*" {
+			typ = elfobj.STTNotype
+		}
+		f.Symbols = append(f.Symbols, elfobj.Symbol{
+			Name: name, Value: sym.value, Binding: binding, Type: typ, Section: sym.section,
+		})
+	}
+	// Globals requested but never defined become undefined global symbols
+	// so the linker can resolve them across objects.
+	for name := range a.globals {
+		if _, ok := a.symbols[name]; !ok {
+			f.Symbols = append(f.Symbols, elfobj.Symbol{
+				Name: name, Binding: elfobj.STBGlobal, Section: "",
+			})
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,393 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"elfie/internal/elfobj"
+	"elfie/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *elfobj.File {
+	t.Helper()
+	obj, err := Assemble(src, "test.s")
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return obj
+}
+
+func decodeAll(t *testing.T, code []byte) []isa.Inst {
+	t.Helper()
+	var out []isa.Inst
+	for off := uint64(0); off < uint64(len(code)); {
+		ins, n, err := isa.Decode(code[off:])
+		if err != nil {
+			t.Fatalf("decode at %d: %v", off, err)
+		}
+		out = append(out, ins)
+		off += n
+	}
+	return out
+}
+
+func TestAssembleBasic(t *testing.T) {
+	obj := mustAssemble(t, `
+		.text
+		.global _start
+_start:
+		movi r1, 42
+		limm r2, 0x123456789abcdef0
+		add  r3, r1, r2
+		addi r3, r3, -1
+		ld.q r4, [r3+16]
+		st.b r4, [r3-4]
+		cmp  r3, r4
+		jnz  _start
+		syscall
+		ret
+	`)
+	text := obj.Section(".text")
+	if text == nil {
+		t.Fatal("no .text")
+	}
+	ins := decodeAll(t, text.Data)
+	if len(ins) != 10 {
+		t.Fatalf("got %d instructions", len(ins))
+	}
+	if ins[0].Op != isa.MOVI || ins[0].A != 1 || ins[0].Imm != 42 {
+		t.Errorf("movi: %+v", ins[0])
+	}
+	if ins[1].Op != isa.LIMM || ins[1].Imm64 != 0x123456789abcdef0 {
+		t.Errorf("limm: %+v", ins[1])
+	}
+	if ins[2].Op != isa.ADD || ins[2].A != 3 || ins[2].B != 1 || ins[2].C != 2 {
+		t.Errorf("add: %+v", ins[2])
+	}
+	if ins[3].Imm != -1 {
+		t.Errorf("addi imm: %+v", ins[3])
+	}
+	if ins[4].Op != isa.LDQ || ins[4].Imm != 16 {
+		t.Errorf("ld.q: %+v", ins[4])
+	}
+	if ins[5].Op != isa.STB || ins[5].Imm != -4 {
+		t.Errorf("st.b: %+v", ins[5])
+	}
+	// jnz _start resolves through a PC32 reloc.
+	relocs := obj.Relocs[".text"]
+	found := false
+	for _, r := range relocs {
+		if r.Type == elfobj.RPVMPC32 && r.Symbol == "_start" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing PC32 reloc: %+v", relocs)
+	}
+	sym, ok := obj.Symbol("_start")
+	if !ok || sym.Binding != elfobj.STBGlobal || sym.Type != elfobj.STTFunc {
+		t.Errorf("_start symbol: %+v ok=%v", sym, ok)
+	}
+}
+
+func TestAssembleData(t *testing.T) {
+	obj := mustAssemble(t, `
+		.data
+greeting:
+		.asciz "hi\n"
+		.align 8
+values:
+		.quad 1, 2, greeting, greeting+8
+		.long 7
+		.byte 1, 2, 3
+		.space 5, 0xff
+		.equ answer, 42
+		.bss
+buf:
+		.space 4096
+	`)
+	data := obj.Section(".data")
+	if data == nil {
+		t.Fatal("no .data")
+	}
+	if string(data.Data[:4]) != "hi\n\x00" {
+		t.Errorf("asciz: %q", data.Data[:4])
+	}
+	if len(obj.Relocs[".data"]) != 2 {
+		t.Errorf("quad relocs: %+v", obj.Relocs[".data"])
+	}
+	if obj.Relocs[".data"][1].Addend != 8 {
+		t.Errorf("addend: %+v", obj.Relocs[".data"][1])
+	}
+	bss := obj.Section(".bss")
+	if bss == nil || bss.Type != elfobj.SHTNobits || bss.Size != 4096 {
+		t.Errorf("bss: %+v", bss)
+	}
+	ans, ok := obj.Symbol("answer")
+	if !ok || ans.Section != "*ABS*" || ans.Value != 42 {
+		t.Errorf("equ: %+v ok=%v", ans, ok)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"unknown mnemonic", "frob r1, r2", "unknown mnemonic"},
+		{"bad register", "mov r1, r99", "bad register"},
+		{"wrong arity", "add r1, r2", "want 3 operands"},
+		{"redefined label", "a:\na:\n", "redefined"},
+		{"imm too big", "movi r1, 0x100000000", "does not fit"},
+		{"data in text", ".data\nmov r1, r2", "outside an executable"},
+		{"unknown directive", ".frobnicate 3", "unknown directive"},
+		{"bad align", ".align 3", "power of two"},
+		{"bad mem operand", "ld.q r1, r2", "bad memory operand"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(c.src, "t.s")
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	obj := mustAssemble(t, `
+		vld v0, [r1+32]
+		vaddq v2, v0, v1
+		vmovq v3, r4
+		movqv r5, v3
+		vst v2, [r1]
+		xsave r2
+		xrstor r2
+	`)
+	ins := decodeAll(t, obj.Section(".text").Data)
+	if ins[0].Op != isa.VLD || ins[0].A != 0 || ins[0].Imm != 32 {
+		t.Errorf("vld: %+v", ins[0])
+	}
+	if ins[1].Op != isa.VADDQ || ins[1].A != 2 || ins[1].B != 0 || ins[1].C != 1 {
+		t.Errorf("vaddq: %+v", ins[1])
+	}
+	if ins[5].Op != isa.XSAVE || ins[5].A != 2 {
+		t.Errorf("xsave: %+v", ins[5])
+	}
+}
+
+func TestMarkersAndSystem(t *testing.T) {
+	obj := mustAssemble(t, `
+		sscmark 0x111
+		magic 42
+		cpuid r0, 7
+		pause
+		fence
+		rdtsc r3
+		wrfsbase r2
+		rdgsbase r4
+	`)
+	ins := decodeAll(t, obj.Section(".text").Data)
+	if ins[0].Op != isa.SSCMARK || uint32(ins[0].Imm) != 0x111 {
+		t.Errorf("sscmark: %+v", ins[0])
+	}
+	if ins[2].Op != isa.CPUID || ins[2].A != 0 || ins[2].Imm != 7 {
+		t.Errorf("cpuid: %+v", ins[2])
+	}
+}
+
+func TestLink(t *testing.T) {
+	exe, err := AssembleAndLink(map[string]string{
+		"main.s": `
+			.text
+			.global _start, helper
+_start:
+			limm r1, message
+			call helper
+			movi r0, 60
+			syscall
+			.data
+message:	.asciz "hello"
+		`,
+		"lib.s": `
+			.text
+			.global helper
+helper:
+			limm r2, message2
+			ret
+			.data
+message2:	.asciz "world"
+		`,
+	}, LinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exe.Type != elfobj.ETExec {
+		t.Fatalf("not an executable")
+	}
+	start, ok := exe.Symbol("_start")
+	if !ok {
+		t.Fatal("_start missing")
+	}
+	if exe.Entry != start.Value {
+		t.Errorf("entry %#x != _start %#x", exe.Entry, start.Value)
+	}
+	text := exe.Section(".text")
+	data := exe.Section(".data")
+	if text == nil || data == nil {
+		t.Fatal("sections missing")
+	}
+	// Decode main's code starting at _start (objects merge in sorted input
+	// order, so lib.s code may precede it).
+	ins := decodeAll(t, text.Data[start.Value-text.Addr:])
+	if ins[0].Op != isa.LIMM {
+		t.Fatalf("first instruction at _start: %+v", ins[0])
+	}
+	// limm r1, &message. "hello" lives somewhere inside merged .data.
+	msgOff := strings.Index(string(data.Data), "hello")
+	if msgOff < 0 {
+		t.Fatal("hello missing from .data")
+	}
+	if ins[0].Imm64 != data.Addr+uint64(msgOff) {
+		t.Errorf("limm patched to %#x, want %#x", ins[0].Imm64, data.Addr+uint64(msgOff))
+	}
+	// call helper: displacement from after the call to helper.
+	helper, _ := exe.Symbol("helper")
+	callPC := start.Value + 16 // after the 16-byte limm
+	want := int64(helper.Value) - int64(callPC+8)
+	if int64(ins[1].Imm) != want {
+		t.Errorf("call disp %d, want %d", ins[1].Imm, want)
+	}
+	// .data of lib.s concatenated after main.s's.
+	if !strings.Contains(string(data.Data), "hello") || !strings.Contains(string(data.Data), "world") {
+		t.Errorf("merged data: %q", data.Data)
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	if _, err := AssembleAndLink(map[string]string{
+		"a.s": "jmp nosuchsym\n.global _start\n_start: nop",
+	}, LinkOptions{}); err == nil || !strings.Contains(err.Error(), "undefined symbol") {
+		t.Errorf("undefined symbol: %v", err)
+	}
+	if _, err := AssembleAndLink(map[string]string{
+		"a.s": "nop",
+	}, LinkOptions{}); err == nil || !strings.Contains(err.Error(), "entry symbol") {
+		t.Errorf("missing entry: %v", err)
+	}
+	if _, err := AssembleAndLink(map[string]string{
+		"a.s": ".global dup\ndup: nop",
+		"b.s": ".global dup\ndup: nop\n.global _start\n_start: nop",
+	}, LinkOptions{}); err == nil || !strings.Contains(err.Error(), "duplicate global") {
+		t.Errorf("duplicate global: %v", err)
+	}
+}
+
+func TestLinkWithScript(t *testing.T) {
+	script := &Script{Entry: "_start"}
+	script.Add(".text.p0", 0x7f0000401000, false)
+	script.Add(".stack.p0", 0x7ffe00000000, true)
+	exe, err := AssembleAndLink(map[string]string{
+		"a.s": `
+			.section .text.p0, "ax"
+			.global _start
+_start:		nop
+			.section .stack.p0, "aw"
+			.quad 1, 2, 3
+		`,
+	}, LinkOptions{Script: script})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := exe.Section(".text.p0")
+	if tp.Addr != 0x7f0000401000 {
+		t.Errorf("pinned addr %#x", tp.Addr)
+	}
+	sp := exe.Section(".stack.p0")
+	if sp.Addr != 0x7ffe00000000 || sp.Flags&elfobj.SHFAlloc != 0 {
+		t.Errorf("stack placement: addr=%#x flags=%#x", sp.Addr, sp.Flags)
+	}
+	if exe.Entry != 0x7f0000401000 {
+		t.Errorf("entry %#x", exe.Entry)
+	}
+}
+
+func TestLinkOverlapDetected(t *testing.T) {
+	script := &Script{}
+	script.Add(".text.a", 0x400000, false)
+	script.Add(".text.b", 0x400008, false) // overlaps .text.a (16+ bytes)
+	_, err := AssembleAndLink(map[string]string{
+		"a.s": `
+			.section .text.a, "ax"
+			.global _start
+_start:		nop
+			nop
+			nop
+			.section .text.b, "ax"
+			nop
+		`,
+	}, LinkOptions{Script: script})
+	if err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Errorf("overlap: %v", err)
+	}
+}
+
+func TestScriptRoundTrip(t *testing.T) {
+	s := &Script{Entry: "_start"}
+	s.Add(".text.p0", 0x401000, false)
+	s.Add(".data.p1", 0x601000, false)
+	s.Add(".stack.p2", 0x7ffe00001000, true)
+	text := s.Format()
+	got, err := ParseScript(text)
+	if err != nil {
+		t.Fatalf("ParseScript:\n%s\n%v", text, err)
+	}
+	if got.Entry != "_start" || len(got.Placements) != 3 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	p, ok := got.Placement(".stack.p2")
+	if !ok || !p.NoLoad || p.Addr != 0x7ffe00001000 {
+		t.Errorf("stack placement: %+v", p)
+	}
+}
+
+func TestScriptParseErrors(t *testing.T) {
+	if _, err := ParseScript("SECTIONS {\nbogus\n}"); err == nil {
+		t.Error("malformed placement accepted")
+	}
+	if _, err := ParseScript("WHAT"); err == nil {
+		t.Error("junk accepted")
+	}
+	if _, err := ParseScript("SECTIONS {\n.x zzz : { *(.x) }\n}"); err == nil {
+		t.Error("bad address accepted")
+	}
+}
+
+func TestRoundTripThroughELF(t *testing.T) {
+	// Object files written to disk and read back still link correctly.
+	obj := mustAssemble(t, `
+		.text
+		.global _start
+_start:	limm r1, msg
+		jmp _start
+		.data
+msg:	.asciz "x"
+	`)
+	buf, err := obj.Write()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj2, err := elfobj.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := Link([]*elfobj.File{obj2}, LinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := exe.Section(".data")
+	ins := decodeAll(t, exe.Section(".text").Data)
+	if ins[0].Imm64 != data.Addr {
+		t.Errorf("limm %#x want %#x", ins[0].Imm64, data.Addr)
+	}
+	if ins[1].Imm != -24 { // jmp back over the 16-byte limm + 8
+		t.Errorf("jmp disp %d", ins[1].Imm)
+	}
+}

@@ -1,0 +1,264 @@
+package asm
+
+import (
+	"encoding/binary"
+	"strconv"
+	"strings"
+
+	"elfie/internal/elfobj"
+)
+
+func (a *Assembler) doDirective(line string) {
+	name, rest := splitWord(line)
+	switch name {
+	case ".text", ".data", ".bss", ".rodata":
+		a.enter(name)
+	case ".section":
+		args := splitArgs(rest)
+		if len(args) == 0 {
+			a.errorf(".section needs a name")
+			return
+		}
+		s := a.enter(args[0])
+		if len(args) >= 2 {
+			s.flags = parseSectionFlags(strings.Trim(args[1], `"`))
+		}
+		if len(args) >= 3 && args[2] == "@nobits" {
+			s.typ = elfobj.SHTNobits
+		}
+	case ".global", ".globl":
+		for _, sym := range splitArgs(rest) {
+			a.globals[sym] = true
+			if s, ok := a.symbols[sym]; ok {
+				s.global = true
+			}
+		}
+	case ".align":
+		n, err := strconv.ParseUint(strings.TrimSpace(rest), 0, 32)
+		if err != nil || n == 0 || n&(n-1) != 0 {
+			a.errorf(".align wants a power of two, got %q", rest)
+			return
+		}
+		if a.cur.align < n {
+			a.cur.align = n
+		}
+		for a.cur.pos()%n != 0 {
+			a.emitByte(0)
+		}
+	case ".byte":
+		a.emitInts(rest, 1)
+	case ".half", ".short":
+		a.emitInts(rest, 2)
+	case ".long", ".word":
+		a.emitInts(rest, 4)
+	case ".quad":
+		for _, arg := range splitArgs(rest) {
+			if v, err := parseInt(arg); err == nil {
+				a.emitLE(uint64(v), 8)
+				continue
+			}
+			sym, add, err := parseSymExpr(arg)
+			if err != nil {
+				a.errorf(".quad: %v", err)
+				continue
+			}
+			a.addReloc(elfobj.RPVM64, sym, add)
+			a.emitLE(0, 8)
+		}
+	case ".ascii", ".asciz", ".string":
+		s, err := parseString(strings.TrimSpace(rest))
+		if err != nil {
+			a.errorf("%s: %v", name, err)
+			return
+		}
+		for i := 0; i < len(s); i++ {
+			a.emitByte(s[i])
+		}
+		if name != ".ascii" {
+			a.emitByte(0)
+		}
+	case ".space", ".skip", ".zero":
+		args := splitArgs(rest)
+		if len(args) == 0 {
+			a.errorf("%s wants a size", name)
+			return
+		}
+		n, err := parseInt(args[0])
+		if err != nil || n < 0 {
+			a.errorf("%s: bad size %q", name, args[0])
+			return
+		}
+		fill := byte(0)
+		if len(args) > 1 {
+			v, err := parseInt(args[1])
+			if err != nil {
+				a.errorf("%s: bad fill %q", name, args[1])
+				return
+			}
+			fill = byte(v)
+		}
+		if a.cur.typ == elfobj.SHTNobits {
+			a.cur.size += uint64(n)
+		} else {
+			for i := int64(0); i < n; i++ {
+				a.emitByte(fill)
+			}
+		}
+	case ".equ", ".set":
+		args := splitArgs(rest)
+		if len(args) != 2 {
+			a.errorf("%s wants name, value", name)
+			return
+		}
+		v, err := parseInt(args[1])
+		if err != nil {
+			a.errorf("%s: bad value %q", name, args[1])
+			return
+		}
+		a.setSymbol(args[0], "*ABS*", uint64(v))
+	default:
+		a.errorf("unknown directive %q", name)
+	}
+}
+
+func parseSectionFlags(s string) uint64 {
+	var f uint64
+	for _, c := range s {
+		switch c {
+		case 'a':
+			f |= elfobj.SHFAlloc
+		case 'w':
+			f |= elfobj.SHFWrite
+		case 'x':
+			f |= elfobj.SHFExecinstr
+		}
+	}
+	return f
+}
+
+func (a *Assembler) emitByte(b byte) {
+	if a.cur.typ == elfobj.SHTNobits {
+		a.cur.size++
+		return
+	}
+	a.cur.data = append(a.cur.data, b)
+}
+
+func (a *Assembler) emitLE(v uint64, n int) {
+	if a.cur.typ == elfobj.SHTNobits {
+		a.errorf("data in nobits section %s", a.cur.name)
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	a.cur.data = append(a.cur.data, buf[:n]...)
+}
+
+func (a *Assembler) emitInts(rest string, size int) {
+	for _, arg := range splitArgs(rest) {
+		v, err := parseInt(arg)
+		if err != nil {
+			a.errorf("bad integer %q", arg)
+			continue
+		}
+		a.emitLE(uint64(v), size)
+	}
+}
+
+func (a *Assembler) addReloc(typ uint32, sym string, addend int64) {
+	a.cur.relocs = append(a.cur.relocs, elfobj.Reloc{
+		Offset: a.cur.pos(), Type: typ, Symbol: sym, Addend: addend,
+	})
+}
+
+// splitWord splits the first whitespace-delimited word from the rest.
+func splitWord(s string) (string, string) {
+	s = strings.TrimSpace(s)
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\t' {
+			return s[:i], s[i+1:]
+		}
+	}
+	return s, ""
+}
+
+// splitArgs splits a comma-separated operand list, respecting brackets and
+// string literals.
+func splitArgs(s string) []string {
+	var args []string
+	depth, start := 0, 0
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"' && (i == 0 || s[i-1] != '\\'):
+			inStr = !inStr
+		case inStr:
+		case c == '[' || c == '(':
+			depth++
+		case c == ']' || c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			if t := strings.TrimSpace(s[start:i]); t != "" {
+				args = append(args, t)
+			}
+			start = i + 1
+		}
+	}
+	if t := strings.TrimSpace(s[start:]); t != "" {
+		args = append(args, t)
+	}
+	return args
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) == 3 && s[0] == '\'' && s[2] == '\'' {
+		return int64(s[1]), nil
+	}
+	neg := false
+	switch {
+	case strings.HasPrefix(s, "-"):
+		neg = true
+		s = strings.TrimSpace(s[1:])
+	case strings.HasPrefix(s, "+"):
+		s = strings.TrimSpace(s[1:])
+	}
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+// parseSymExpr parses "sym", "sym+N" or "sym-N".
+func parseSymExpr(s string) (string, int64, error) {
+	s = strings.TrimSpace(s)
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			off, err := parseInt(s[i:])
+			if err != nil {
+				return "", 0, err
+			}
+			return s[:i], off, nil
+		}
+	}
+	if s == "" || !isSymStart(s[0]) {
+		return "", 0, strconvErr(s)
+	}
+	return s, 0, nil
+}
+
+func isSymStart(c byte) bool {
+	return c == '_' || c == '.' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func strconvErr(s string) error {
+	return &strconv.NumError{Func: "parseSymExpr", Num: s, Err: strconv.ErrSyntax}
+}
+
+func parseString(s string) (string, error) {
+	return strconv.Unquote(s)
+}

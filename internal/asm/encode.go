@@ -1,0 +1,393 @@
+package asm
+
+import (
+	"strings"
+
+	"elfie/internal/elfobj"
+	"elfie/internal/isa"
+)
+
+// mnemonics maps assembly mnemonics to opcodes.
+var mnemonics = func() map[string]isa.Op {
+	m := make(map[string]isa.Op, isa.NumOps)
+	for op := isa.Op(0); op.Valid(); op++ {
+		m[op.Name()] = op
+	}
+	return m
+}()
+
+func (a *Assembler) doInstruction(line string) {
+	mn, rest := splitWord(line)
+	op, ok := mnemonics[strings.ToLower(mn)]
+	if !ok {
+		a.errorf("unknown mnemonic %q", mn)
+		return
+	}
+	if a.cur.flags&elfobj.SHFExecinstr == 0 {
+		a.errorf("instruction %q outside an executable section", mn)
+		return
+	}
+	args := splitArgs(rest)
+	ins, ok := a.encodeOperands(op, args)
+	if !ok {
+		return
+	}
+	a.cur.data = ins.Encode(a.cur.data)
+}
+
+// reg parses a required GPR operand.
+func (a *Assembler) reg(args []string, i int) (isa.Reg, bool) {
+	if i >= len(args) {
+		a.errorf("missing register operand %d", i+1)
+		return 0, false
+	}
+	r, ok := isa.ParseReg(args[i])
+	if !ok {
+		a.errorf("bad register %q", args[i])
+	}
+	return r, ok
+}
+
+func (a *Assembler) vreg(args []string, i int) (isa.VReg, bool) {
+	if i >= len(args) {
+		a.errorf("missing vector register operand %d", i+1)
+		return 0, false
+	}
+	v, ok := isa.ParseVReg(args[i])
+	if !ok {
+		a.errorf("bad vector register %q", args[i])
+	}
+	return v, ok
+}
+
+// imm32 parses an integer or symbol operand into the Imm field, emitting an
+// RPVMImm32 relocation for symbols.
+func (a *Assembler) imm32(args []string, i int) (int32, bool) {
+	if i >= len(args) {
+		a.errorf("missing immediate operand %d", i+1)
+		return 0, false
+	}
+	if v, err := parseInt(args[i]); err == nil {
+		if v > 1<<31-1 || v < -(1<<31) {
+			a.errorf("immediate %d does not fit in 32 bits (use limm)", v)
+			return 0, false
+		}
+		return int32(v), true
+	}
+	sym, add, err := parseSymExpr(args[i])
+	if err != nil {
+		a.errorf("bad immediate %q", args[i])
+		return 0, false
+	}
+	a.addReloc(elfobj.RPVMImm32, sym, add)
+	return 0, true
+}
+
+// mem parses a memory operand "[reg]", "[reg+off]" or "[reg-off]".
+func (a *Assembler) mem(args []string, i int) (isa.Reg, int32, bool) {
+	if i >= len(args) {
+		a.errorf("missing memory operand %d", i+1)
+		return 0, 0, false
+	}
+	s := args[i]
+	if len(s) < 3 || s[0] != '[' || s[len(s)-1] != ']' {
+		a.errorf("bad memory operand %q", s)
+		return 0, 0, false
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	regPart, off := inner, int64(0)
+	for j := 1; j < len(inner); j++ {
+		if inner[j] == '+' || inner[j] == '-' {
+			v, err := parseInt(inner[j:])
+			if err != nil {
+				a.errorf("bad displacement in %q", s)
+				return 0, 0, false
+			}
+			regPart, off = strings.TrimSpace(inner[:j]), v
+			break
+		}
+	}
+	r, ok := isa.ParseReg(regPart)
+	if !ok {
+		a.errorf("bad base register in %q", s)
+		return 0, 0, false
+	}
+	if off > 1<<31-1 || off < -(1<<31) {
+		a.errorf("displacement %d does not fit in 32 bits", off)
+		return 0, 0, false
+	}
+	return r, int32(off), true
+}
+
+// branchImm parses a branch target: a numeric displacement or a symbol
+// (which produces an RPVMPC32 relocation at the instruction start).
+func (a *Assembler) branchImm(args []string, i int) (int32, bool) {
+	if i >= len(args) {
+		a.errorf("missing branch target")
+		return 0, false
+	}
+	if v, err := parseInt(args[i]); err == nil {
+		return int32(v), true
+	}
+	sym, add, err := parseSymExpr(args[i])
+	if err != nil {
+		a.errorf("bad branch target %q", args[i])
+		return 0, false
+	}
+	a.addReloc(elfobj.RPVMPC32, sym, add)
+	return 0, true
+}
+
+func (a *Assembler) wantArgs(args []string, n int) bool {
+	if len(args) != n {
+		a.errorf("want %d operands, got %d", n, len(args))
+		return false
+	}
+	return true
+}
+
+func (a *Assembler) encodeOperands(op isa.Op, args []string) (isa.Inst, bool) {
+	ins := isa.Inst{Op: op}
+	ok := true
+	switch op {
+	case isa.NOP, isa.HLT, isa.RET, isa.SYSCALL, isa.PAUSE, isa.FENCE,
+		isa.PUSHF, isa.POPF:
+		ok = a.wantArgs(args, 0)
+
+	case isa.SSCMARK, isa.MAGIC:
+		if ok = a.wantArgs(args, 1); ok {
+			ins.Imm, ok = a.imm32(args, 0)
+		}
+
+	case isa.CPUID:
+		if ok = a.wantArgs(args, 2); ok {
+			var r isa.Reg
+			r, ok = a.reg(args, 0)
+			ins.A = uint8(r)
+			if ok {
+				ins.Imm, ok = a.imm32(args, 1)
+			}
+		}
+
+	case isa.MOV, isa.NOT, isa.NEG:
+		if ok = a.wantArgs(args, 2); ok {
+			var d, s isa.Reg
+			if d, ok = a.reg(args, 0); ok {
+				if s, ok = a.reg(args, 1); ok {
+					ins.A, ins.B = uint8(d), uint8(s)
+				}
+			}
+		}
+
+	case isa.JMPR, isa.CALLR:
+		if ok = a.wantArgs(args, 1); ok {
+			var s isa.Reg
+			if s, ok = a.reg(args, 0); ok {
+				ins.B = uint8(s)
+			}
+		}
+
+	case isa.MOVI:
+		if ok = a.wantArgs(args, 2); ok {
+			var d isa.Reg
+			if d, ok = a.reg(args, 0); ok {
+				ins.A = uint8(d)
+				ins.Imm, ok = a.imm32(args, 1)
+			}
+		}
+
+	case isa.LIMM:
+		if ok = a.wantArgs(args, 2); ok {
+			var d isa.Reg
+			if d, ok = a.reg(args, 0); !ok {
+				break
+			}
+			ins.A = uint8(d)
+			if v, err := parseInt(args[1]); err == nil {
+				ins.Imm64 = uint64(v)
+			} else {
+				sym, add, err := parseSymExpr(args[1])
+				if err != nil {
+					a.errorf("bad limm operand %q", args[1])
+					ok = false
+					break
+				}
+				a.addReloc(elfobj.RPVMLimm64, sym, add)
+			}
+		}
+
+	case isa.ADD, isa.SUB, isa.MUL, isa.UDIV, isa.SDIV, isa.UREM,
+		isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.SAR:
+		if ok = a.wantArgs(args, 3); ok {
+			var d, s1, s2 isa.Reg
+			if d, ok = a.reg(args, 0); !ok {
+				break
+			}
+			if s1, ok = a.reg(args, 1); !ok {
+				break
+			}
+			if s2, ok = a.reg(args, 2); !ok {
+				break
+			}
+			ins.A, ins.B, ins.C = uint8(d), uint8(s1), uint8(s2)
+		}
+
+	case isa.ADDI, isa.MULI, isa.ANDI, isa.ORI, isa.XORI,
+		isa.SHLI, isa.SHRI, isa.SARI:
+		if ok = a.wantArgs(args, 3); ok {
+			var d, s isa.Reg
+			if d, ok = a.reg(args, 0); !ok {
+				break
+			}
+			if s, ok = a.reg(args, 1); !ok {
+				break
+			}
+			ins.A, ins.B = uint8(d), uint8(s)
+			ins.Imm, ok = a.imm32(args, 2)
+		}
+
+	case isa.LEA1, isa.LEA8:
+		if ok = a.wantArgs(args, 4); ok {
+			var d, b, i isa.Reg
+			if d, ok = a.reg(args, 0); !ok {
+				break
+			}
+			if b, ok = a.reg(args, 1); !ok {
+				break
+			}
+			if i, ok = a.reg(args, 2); !ok {
+				break
+			}
+			ins.A, ins.B, ins.C = uint8(d), uint8(b), uint8(i)
+			ins.Imm, ok = a.imm32(args, 3)
+		}
+
+	case isa.LDB, isa.LDH, isa.LDW, isa.LDQ, isa.LDSB, isa.LDSH, isa.LDSW:
+		if ok = a.wantArgs(args, 2); ok {
+			var d isa.Reg
+			if d, ok = a.reg(args, 0); !ok {
+				break
+			}
+			var b isa.Reg
+			var off int32
+			if b, off, ok = a.mem(args, 1); !ok {
+				break
+			}
+			ins.A, ins.B, ins.Imm = uint8(d), uint8(b), off
+		}
+
+	case isa.STB, isa.STH, isa.STW, isa.STQ, isa.XCHG, isa.XADD, isa.CMPXCHG:
+		if ok = a.wantArgs(args, 2); ok {
+			var v isa.Reg
+			if v, ok = a.reg(args, 0); !ok {
+				break
+			}
+			var b isa.Reg
+			var off int32
+			if b, off, ok = a.mem(args, 1); !ok {
+				break
+			}
+			ins.A, ins.B, ins.Imm = uint8(v), uint8(b), off
+		}
+
+	case isa.CMP, isa.TEST:
+		if ok = a.wantArgs(args, 2); ok {
+			var s1, s2 isa.Reg
+			if s1, ok = a.reg(args, 0); !ok {
+				break
+			}
+			if s2, ok = a.reg(args, 1); !ok {
+				break
+			}
+			ins.B, ins.C = uint8(s1), uint8(s2)
+		}
+
+	case isa.CMPI, isa.TESTI:
+		if ok = a.wantArgs(args, 2); ok {
+			var s isa.Reg
+			if s, ok = a.reg(args, 0); !ok {
+				break
+			}
+			ins.B = uint8(s)
+			ins.Imm, ok = a.imm32(args, 1)
+		}
+
+	case isa.JMP, isa.JZ, isa.JNZ, isa.JL, isa.JLE, isa.JG, isa.JGE,
+		isa.JB, isa.JBE, isa.JA, isa.JAE, isa.JS, isa.JNS, isa.CALL, isa.JMPM:
+		if ok = a.wantArgs(args, 1); ok {
+			ins.Imm, ok = a.branchImm(args, 0)
+		}
+
+	case isa.PUSH, isa.POP, isa.RDTSC, isa.RDFSBASE, isa.RDGSBASE,
+		isa.WRFSBASE, isa.WRGSBASE, isa.XSAVE, isa.XRSTOR:
+		if ok = a.wantArgs(args, 1); ok {
+			var r isa.Reg
+			if r, ok = a.reg(args, 0); ok {
+				ins.A = uint8(r)
+			}
+		}
+
+	case isa.VLD, isa.VST:
+		if ok = a.wantArgs(args, 2); ok {
+			var v isa.VReg
+			if v, ok = a.vreg(args, 0); !ok {
+				break
+			}
+			var b isa.Reg
+			var off int32
+			if b, off, ok = a.mem(args, 1); !ok {
+				break
+			}
+			ins.A, ins.B, ins.Imm = uint8(v), uint8(b), off
+		}
+
+	case isa.VADDQ, isa.VMULQ, isa.VXOR:
+		if ok = a.wantArgs(args, 3); ok {
+			var d, s1, s2 isa.VReg
+			if d, ok = a.vreg(args, 0); !ok {
+				break
+			}
+			if s1, ok = a.vreg(args, 1); !ok {
+				break
+			}
+			if s2, ok = a.vreg(args, 2); !ok {
+				break
+			}
+			ins.A, ins.B, ins.C = uint8(d), uint8(s1), uint8(s2)
+		}
+
+	case isa.VMOVQ:
+		if ok = a.wantArgs(args, 2); ok {
+			var v isa.VReg
+			if v, ok = a.vreg(args, 0); !ok {
+				break
+			}
+			var r isa.Reg
+			if r, ok = a.reg(args, 1); !ok {
+				break
+			}
+			ins.A, ins.B = uint8(v), uint8(r)
+		}
+
+	case isa.MOVQV:
+		if ok = a.wantArgs(args, 2); ok {
+			var r isa.Reg
+			if r, ok = a.reg(args, 0); !ok {
+				break
+			}
+			var v isa.VReg
+			if v, ok = a.vreg(args, 1); !ok {
+				break
+			}
+			ins.A, ins.B = uint8(r), uint8(v)
+		}
+
+	default:
+		a.errorf("mnemonic %q not encodable", op.Name())
+		ok = false
+	}
+	if !ok {
+		return isa.Inst{}, false
+	}
+	return ins, true
+}

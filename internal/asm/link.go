@@ -1,0 +1,326 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"elfie/internal/elfobj"
+	"elfie/internal/isa"
+)
+
+// LinkOptions controls static linking.
+type LinkOptions struct {
+	// Base is the virtual address of the first section; default 0x400000.
+	Base uint64
+	// Entry is the entry-point symbol; default "_start".
+	Entry string
+	// Script, when non-nil, pins named sections at explicit virtual
+	// addresses (pinball2elf uses this to preserve the checkpointed memory
+	// layout). Sections without a placement are laid out after Base as
+	// usual. Script placements may also mark sections non-allocatable.
+	Script *Script
+}
+
+// Link combines relocatable objects into a statically-linked executable.
+// Same-named sections from different objects are concatenated in input
+// order; global symbols are resolved across objects; local symbols resolve
+// within their own object only.
+func Link(objs []*elfobj.File, opts LinkOptions) (*elfobj.File, error) {
+	if opts.Base == 0 {
+		opts.Base = 0x400000
+	}
+	if opts.Entry == "" {
+		opts.Entry = "_start"
+	}
+
+	// Merge sections. offsets[obj][section] = offset of that object's
+	// contribution within the merged section.
+	merged := make(map[string]*elfobj.Section)
+	var order []string
+	offsets := make([]map[string]uint64, len(objs))
+	for oi, obj := range objs {
+		if obj.Type != elfobj.ETRel {
+			return nil, fmt.Errorf("link: input %d is not a relocatable object", oi)
+		}
+		offsets[oi] = make(map[string]uint64)
+		for _, s := range obj.Sections {
+			m, ok := merged[s.Name]
+			if !ok {
+				m = &elfobj.Section{
+					Name: s.Name, Type: s.Type, Flags: s.Flags, Addralign: s.Addralign,
+				}
+				merged[s.Name] = m
+				order = append(order, s.Name)
+			}
+			if m.Type != s.Type || m.Flags != s.Flags {
+				return nil, fmt.Errorf("link: section %q type/flags mismatch between objects", s.Name)
+			}
+			a := s.Addralign
+			if a == 0 {
+				a = 1
+			}
+			if m.Addralign < a {
+				m.Addralign = a
+			}
+			if s.Type == elfobj.SHTNobits {
+				m.Size = alignUp(m.Size, a)
+				offsets[oi][s.Name] = m.Size
+				m.Size += s.Size
+			} else {
+				for uint64(len(m.Data))%a != 0 {
+					m.Data = append(m.Data, 0)
+				}
+				offsets[oi][s.Name] = uint64(len(m.Data))
+				m.Data = append(m.Data, s.Data...)
+			}
+		}
+	}
+
+	// Assign virtual addresses: scripted sections at their pinned address,
+	// the rest packed from Base in input order (text, then rodata, data,
+	// bss by flag class to keep permissions page-separable).
+	var fixed, float []string
+	for _, name := range order {
+		if opts.Script != nil {
+			if _, ok := opts.Script.Placement(name); ok {
+				fixed = append(fixed, name)
+				continue
+			}
+		}
+		float = append(float, name)
+	}
+	sort.SliceStable(float, func(i, j int) bool {
+		return sectionRank(merged[float[i]]) < sectionRank(merged[float[j]])
+	})
+
+	addr := opts.Base
+	for _, name := range float {
+		m := merged[name]
+		addr = alignUp(addr, 0x1000)
+		m.Addr = addr
+		addr += m.DataSize()
+	}
+	for _, name := range fixed {
+		m := merged[name]
+		p, _ := opts.Script.Placement(name)
+		m.Addr = p.Addr
+		if p.NoLoad {
+			m.Flags &^= elfobj.SHFAlloc
+		}
+	}
+
+	// Overlap check for allocatable sections.
+	type span struct {
+		lo, hi uint64
+		name   string
+	}
+	var spans []span
+	for _, name := range order {
+		m := merged[name]
+		if m.Flags&elfobj.SHFAlloc == 0 || m.DataSize() == 0 {
+			continue
+		}
+		spans = append(spans, span{m.Addr, m.Addr + m.DataSize(), name})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].lo < spans[i-1].hi {
+			return nil, fmt.Errorf("link: sections %q and %q overlap at %#x",
+				spans[i-1].name, spans[i].name, spans[i].lo)
+		}
+	}
+
+	// Build the global symbol table; detect duplicate strong globals.
+	globals := make(map[string]uint64)
+	var symList []elfobj.Symbol
+	for oi, obj := range objs {
+		for _, s := range obj.Symbols {
+			if s.Section == "" {
+				continue // undefined reference
+			}
+			v := s.Value
+			if s.Section != "*ABS*" {
+				m := merged[s.Section]
+				if m == nil {
+					return nil, fmt.Errorf("link: symbol %q in unknown section %q", s.Name, s.Section)
+				}
+				v += m.Addr + offsets[oi][s.Section]
+			}
+			if s.Binding == elfobj.STBGlobal {
+				if _, dup := globals[s.Name]; dup {
+					return nil, fmt.Errorf("link: duplicate global symbol %q", s.Name)
+				}
+				globals[s.Name] = v
+				symList = append(symList, elfobj.Symbol{
+					Name: s.Name, Value: v, Size: s.Size,
+					Binding: s.Binding, Type: s.Type, Section: s.Section,
+				})
+			} else {
+				// Keep local symbols for debugging, prefixed on collision.
+				symList = append(symList, elfobj.Symbol{
+					Name: uniqueLocal(symList, s.Name), Value: v, Size: s.Size,
+					Binding: s.Binding, Type: s.Type, Section: s.Section,
+				})
+			}
+		}
+	}
+
+	// Apply relocations.
+	for oi, obj := range objs {
+		// Local symbol values for this object.
+		locals := make(map[string]uint64)
+		for _, s := range obj.Symbols {
+			if s.Section == "" || s.Binding == elfobj.STBGlobal {
+				continue
+			}
+			v := s.Value
+			if s.Section != "*ABS*" {
+				v += merged[s.Section].Addr + offsets[oi][s.Section]
+			}
+			locals[s.Name] = v
+		}
+		resolve := func(name string) (uint64, bool) {
+			if v, ok := locals[name]; ok {
+				return v, true
+			}
+			v, ok := globals[name]
+			return v, ok
+		}
+		for secName, relocs := range obj.Relocs {
+			m := merged[secName]
+			if m == nil {
+				return nil, fmt.Errorf("link: relocations for unknown section %q", secName)
+			}
+			base := offsets[oi][secName]
+			for _, r := range relocs {
+				sv, ok := resolve(r.Symbol)
+				if !ok {
+					return nil, fmt.Errorf("link: undefined symbol %q (referenced from %s)", r.Symbol, secName)
+				}
+				if err := applyReloc(m, base+r.Offset, r.Type, sv, r.Addend); err != nil {
+					return nil, fmt.Errorf("link: %s+%#x: %v", secName, base+r.Offset, err)
+				}
+			}
+		}
+	}
+
+	entry, ok := globals[opts.Entry]
+	if !ok {
+		return nil, fmt.Errorf("link: entry symbol %q undefined", opts.Entry)
+	}
+	out := elfobj.NewExec(entry)
+	for _, name := range order {
+		m := merged[name]
+		if m.DataSize() == 0 {
+			continue
+		}
+		out.AddSection(m)
+	}
+	sort.SliceStable(symList, func(i, j int) bool {
+		return symList[i].Binding < symList[j].Binding // locals first
+	})
+	out.Symbols = symList
+	return out, nil
+}
+
+func uniqueLocal(have []elfobj.Symbol, name string) string {
+	for _, s := range have {
+		if s.Name == name {
+			return name + "." + fmt.Sprint(len(have))
+		}
+	}
+	return name
+}
+
+func sectionRank(s *elfobj.Section) int {
+	switch {
+	case s.Flags&elfobj.SHFExecinstr != 0:
+		return 0
+	case s.Type == elfobj.SHTNobits:
+		return 3
+	case s.Flags&elfobj.SHFWrite == 0:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func alignUp(x, a uint64) uint64 {
+	if a <= 1 {
+		return x
+	}
+	return (x + a - 1) &^ (a - 1)
+}
+
+// applyReloc patches one relocation into a merged section.
+func applyReloc(sec *elfobj.Section, off uint64, typ uint32, sym uint64, addend int64) error {
+	if sec.Type == elfobj.SHTNobits {
+		return fmt.Errorf("relocation in nobits section")
+	}
+	val := sym + uint64(addend)
+	switch typ {
+	case elfobj.RPVM64:
+		if off+8 > uint64(len(sec.Data)) {
+			return fmt.Errorf("R_PVM_64 out of range")
+		}
+		binary.LittleEndian.PutUint64(sec.Data[off:], val)
+	case elfobj.RPVMImm32:
+		if off+8 > uint64(len(sec.Data)) {
+			return fmt.Errorf("R_PVM_IMM32 out of range")
+		}
+		if int64(val) > 1<<31-1 || int64(val) < -(1<<31) {
+			return fmt.Errorf("R_PVM_IMM32 value %#x does not fit", val)
+		}
+		binary.LittleEndian.PutUint32(sec.Data[off+4:], uint32(val))
+	case elfobj.RPVMPC32:
+		if off+8 > uint64(len(sec.Data)) {
+			return fmt.Errorf("R_PVM_PC32 out of range")
+		}
+		p := sec.Addr + off
+		l := uint64(isa.InstLen)
+		if isa.Op(sec.Data[off]) == isa.LIMM {
+			l = isa.LimmLen
+		}
+		disp := int64(val) - int64(p+l)
+		if disp > 1<<31-1 || disp < -(1<<31) {
+			return fmt.Errorf("R_PVM_PC32 displacement %d does not fit", disp)
+		}
+		binary.LittleEndian.PutUint32(sec.Data[off+4:], uint32(int32(disp)))
+	case elfobj.RPVMLimm64:
+		if off+16 > uint64(len(sec.Data)) {
+			return fmt.Errorf("R_PVM_LIMM64 out of range")
+		}
+		if isa.Op(sec.Data[off]) != isa.LIMM {
+			return fmt.Errorf("R_PVM_LIMM64 against non-limm instruction")
+		}
+		binary.LittleEndian.PutUint64(sec.Data[off+8:], val)
+	default:
+		return fmt.Errorf("unknown relocation type %d", typ)
+	}
+	return nil
+}
+
+// AssembleAndLink is a convenience helper: assemble each source and link.
+func AssembleAndLink(sources map[string]string, opts LinkOptions) (*elfobj.File, error) {
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var objs []*elfobj.File
+	for _, n := range names {
+		obj, err := Assemble(sources[n], n)
+		if err != nil {
+			return nil, err
+		}
+		objs = append(objs, obj)
+	}
+	return Link(objs, opts)
+}
+
+// Program assembles and links a single source into an executable with
+// default options. It is the front door for tests and workload generation.
+func Program(src string) (*elfobj.File, error) {
+	return AssembleAndLink(map[string]string{"prog.s": src}, LinkOptions{})
+}

@@ -1,0 +1,111 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Placement pins one output section at a fixed virtual address. NoLoad marks
+// the section non-allocatable: it is kept in the file but excluded from the
+// loadable image (pinball2elf uses this for checkpointed stack pages, which
+// would otherwise collide with the stack the loader creates).
+type Placement struct {
+	Section string
+	Addr    uint64
+	NoLoad  bool
+}
+
+// Script is a minimal linker script: an entry symbol and a list of section
+// placements. pinball2elf emits one per ELFie so users can re-link the ELFie
+// object with their own callback code while preserving the parent pinball's
+// memory layout (paper §II.B.5).
+type Script struct {
+	Entry      string
+	Placements []Placement
+}
+
+// Placement returns the placement for a section name, if any.
+func (s *Script) Placement(name string) (Placement, bool) {
+	for _, p := range s.Placements {
+		if p.Section == name {
+			return p, true
+		}
+	}
+	return Placement{}, false
+}
+
+// Add appends a placement.
+func (s *Script) Add(section string, addr uint64, noload bool) {
+	s.Placements = append(s.Placements, Placement{Section: section, Addr: addr, NoLoad: noload})
+}
+
+// Format renders the script in its textual form:
+//
+//	/* ELFie linker script */
+//	ENTRY(_start)
+//	SECTIONS {
+//	  .text.p0 0x401000 : { *(.text.p0) }
+//	  .stack.p0 0x7ffe00000000 (NOLOAD) : { *(.stack.p0) }
+//	}
+func (s *Script) Format() string {
+	var b strings.Builder
+	b.WriteString("/* ELFie linker script */\n")
+	if s.Entry != "" {
+		fmt.Fprintf(&b, "ENTRY(%s)\n", s.Entry)
+	}
+	b.WriteString("SECTIONS {\n")
+	ps := make([]Placement, len(s.Placements))
+	copy(ps, s.Placements)
+	sort.SliceStable(ps, func(i, j int) bool { return ps[i].Addr < ps[j].Addr })
+	for _, p := range ps {
+		noload := ""
+		if p.NoLoad {
+			noload = " (NOLOAD)"
+		}
+		fmt.Fprintf(&b, "  %s %#x%s : { *(%s) }\n", p.Section, p.Addr, noload, p.Section)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ParseScript parses the textual form produced by Format.
+func ParseScript(text string) (*Script, error) {
+	s := &Script{}
+	inSections := false
+	for ln, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		// Strip block comments that open and close on one line.
+		if i := strings.Index(line, "/*"); i >= 0 {
+			if j := strings.Index(line, "*/"); j > i {
+				line = strings.TrimSpace(line[:i] + line[j+2:])
+			}
+		}
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "ENTRY(") && strings.HasSuffix(line, ")"):
+			s.Entry = line[len("ENTRY(") : len(line)-1]
+		case line == "SECTIONS {":
+			inSections = true
+		case line == "}":
+			inSections = false
+		case inSections:
+			// "<name> <addr> [(NOLOAD)] : { *(<name>) }"
+			fields := strings.Fields(line)
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("script:%d: malformed placement %q", ln+1, line)
+			}
+			addr, err := strconv.ParseUint(fields[1], 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("script:%d: bad address %q", ln+1, fields[1])
+			}
+			s.Add(fields[0], addr, fields[2] == "(NOLOAD)")
+		default:
+			return nil, fmt.Errorf("script:%d: unexpected line %q", ln+1, line)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,102 @@
+// Package cli holds helpers shared by the command-line tools: loading PVM
+// executables, populating guest filesystems from host paths, and printing
+// run summaries.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"elfie/internal/elfobj"
+	"elfie/internal/kernel"
+	"elfie/internal/vm"
+)
+
+// LoadELF reads a PVM ELF file from disk.
+func LoadELF(path string) (*elfobj.File, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return elfobj.Read(buf)
+}
+
+// WriteELF writes a PVM ELF file to disk.
+func WriteELF(path string, f *elfobj.File) error {
+	buf, err := f.Write()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf, 0o755)
+}
+
+// FSFlag collects repeated -in guestpath=hostpath mappings.
+type FSFlag struct {
+	Mappings []string
+}
+
+// String implements flag.Value.
+func (f *FSFlag) String() string { return strings.Join(f.Mappings, ",") }
+
+// Set implements flag.Value.
+func (f *FSFlag) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want guestpath=hostpath, got %q", v)
+	}
+	f.Mappings = append(f.Mappings, v)
+	return nil
+}
+
+// Populate copies the mapped host files into a guest filesystem.
+func (f *FSFlag) Populate(fs *kernel.FS) error {
+	for _, m := range f.Mappings {
+		i := strings.Index(m, "=")
+		guest, host := m[:i], m[i+1:]
+		data, err := os.ReadFile(host)
+		if err != nil {
+			return fmt.Errorf("-in %s: %v", m, err)
+		}
+		fs.WriteFile(guest, data)
+	}
+	return nil
+}
+
+// NewMachine builds a machine for an executable with the given filesystem
+// and scheduler parameters.
+func NewMachine(exe *elfobj.File, fs *kernel.FS, seed int64, jitter int, budget uint64, argv []string) (*vm.Machine, error) {
+	k := kernel.New(fs, seed)
+	m, err := vm.NewLoaded(k, exe, argv, nil)
+	if err != nil {
+		return nil, err
+	}
+	if jitter > 0 {
+		m.Sched = vm.NewRoundRobin(100, jitter, seed)
+	}
+	m.MaxInstructions = budget
+	return m, nil
+}
+
+// PrintRunSummary reports a finished machine run on stderr and forwards the
+// guest's stdout/stderr.
+func PrintRunSummary(m *vm.Machine) {
+	os.Stdout.Write(m.Stdout())
+	os.Stderr.Write(m.Stderr())
+	fmt.Fprintf(os.Stderr, "[exit=%d retired=%d threads=%d", m.ExitStatus, m.GlobalRetired, len(m.Threads))
+	for _, t := range m.Threads {
+		fmt.Fprintf(os.Stderr, " t%d=%d", t.TID, t.Retired)
+		for _, pc := range t.PerfCounters() {
+			fmt.Fprintf(os.Stderr, "(perf=%d,fired=%v)", pc.Count(t), pc.Fired)
+		}
+	}
+	if m.FatalFault != nil {
+		fmt.Fprintf(os.Stderr, " FAULT: %v", m.FatalFault)
+	}
+	fmt.Fprintln(os.Stderr, "]")
+}
+
+// Die prints an error and exits.
+func Die(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

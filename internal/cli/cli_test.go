@@ -1,0 +1,81 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"elfie/internal/asm"
+	"elfie/internal/kernel"
+)
+
+func TestLoadWriteELF(t *testing.T) {
+	exe, err := asm.Program(".global _start\n_start: nop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "a.elf")
+	if err := WriteELF(path, exe); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadELF(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entry != exe.Entry {
+		t.Errorf("entry %#x != %#x", got.Entry, exe.Entry)
+	}
+	if _, err := LoadELF(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestFSFlag(t *testing.T) {
+	var f FSFlag
+	if err := f.Set("noequals"); err == nil {
+		t.Error("bad mapping accepted")
+	}
+	host := filepath.Join(t.TempDir(), "data")
+	os.WriteFile(host, []byte("payload"), 0o644)
+	if err := f.Set("/guest.dat=" + host); err != nil {
+		t.Fatal(err)
+	}
+	if f.String() == "" {
+		t.Error("empty String()")
+	}
+	fs := kernel.NewFS()
+	if err := f.Populate(fs); err != nil {
+		t.Fatal(err)
+	}
+	data, ok := fs.ReadFile("/guest.dat")
+	if !ok || string(data) != "payload" {
+		t.Errorf("populate: %q ok=%v", data, ok)
+	}
+	f.Set("/nope=/does/not/exist")
+	if err := f.Populate(kernel.NewFS()); err == nil {
+		t.Error("missing host file accepted")
+	}
+}
+
+func TestNewMachineRuns(t *testing.T) {
+	exe, err := asm.Program(`
+	.global _start
+_start:	movi r0, 231
+	movi r1, 5
+	syscall
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(exe, kernel.NewFS(), 1, 10, 1000, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ExitStatus != 5 {
+		t.Errorf("exit = %d", m.ExitStatus)
+	}
+	PrintRunSummary(m) // smoke: must not panic
+}

@@ -1,0 +1,167 @@
+package coresim
+
+import (
+	"testing"
+
+	"elfie/internal/core"
+	"elfie/internal/elfobj"
+	"elfie/internal/kernel"
+	"elfie/internal/pinplay"
+	"elfie/internal/sysstate"
+	"elfie/internal/vm"
+	"elfie/internal/workloads"
+)
+
+// makeELFie prepares an x264-like single-region ELFie with some system-call
+// activity (file reads), as in the Table IV case study.
+func makeELFie(t *testing.T) (*elfobj.File, *sysstate.State, uint64) {
+	t.Helper()
+	r, ok := workloads.ByName("625.x264_t")
+	if !ok {
+		t.Fatal("x264 recipe missing")
+	}
+	r.FileInput = true
+	exe, err := workloads.Build(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := kernel.NewFS()
+	fs.WriteFile("/input.dat", workloads.InputFile())
+	k := kernel.New(fs, 1)
+	m, err := vm.NewLoaded(k, exe, []string{r.Name}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxInstructions = 1_000_000_000
+	const regionLen = 1_000_000
+	pb, err := pinplay.Log(m, pinplay.LogOptions{
+		Name: "x264", RegionStart: 50_000, RegionLength: regionLen,
+	}.Fat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sysstate.Analyze(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Convert(pb, core.Options{
+		GracefulExit: true,
+		Marker:       core.MarkerSimics,
+		MarkerTag:    0x99,
+		SysState:     st.Ref("/sysstate"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Exe, st, regionLen
+}
+
+func runELFie(t *testing.T, exe *elfobj.File, st *sysstate.State, cfg Config) *Result {
+	t.Helper()
+	fs := kernel.NewFS()
+	fs.WriteFile("/input.dat", workloads.InputFile())
+	if st != nil {
+		st.Install(fs, "/sysstate")
+	}
+	k := kernel.New(fs, 7)
+	m, err := vm.NewLoaded(k, exe, []string{"elfie"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxInstructions = 50_000_000
+	res, err := Simulate(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FatalFault != nil {
+		t.Fatalf("elfie faulted: %v", m.FatalFault)
+	}
+	return res
+}
+
+// TestUserVsFullSystem reproduces the Table IV comparison on one ELFie.
+func TestUserVsFullSystem(t *testing.T) {
+	exe, st, regionLen := makeELFie(t)
+
+	sde := Skylake1(FrontendSDE)
+	sde.StartMarker = 0x99
+	user := runELFie(t, exe, st, sde)
+
+	sim := Skylake1(FrontendSimics)
+	sim.StartMarker = 0x99
+	sim.TimerIntervalInstr = 50_000
+	full := runELFie(t, exe, st, sim)
+
+	// User-space-only: no ring-0 instructions, count ~= region length.
+	if user.Ring0Instr != 0 {
+		t.Errorf("SDE front-end simulated %d kernel instructions", user.Ring0Instr)
+	}
+	if user.Ring3Instr < regionLen || user.Ring3Instr > regionLen+regionLen/10 {
+		t.Errorf("user-mode instructions = %d, region = %d", user.Ring3Instr, regionLen)
+	}
+
+	// Full-system: same ring-3 work plus a few percent of ring-0.
+	if full.Ring0Instr == 0 {
+		t.Fatal("full-system mode injected no kernel instructions")
+	}
+	ratio := float64(full.Ring0Instr) / float64(full.Ring3Instr)
+	if ratio < 0.002 || ratio > 0.2 {
+		t.Errorf("kernel share = %.2f%%, expected a few percent", 100*ratio)
+	}
+	if d := int64(full.Ring3Instr) - int64(user.Ring3Instr); d < -1000 || d > 1000 {
+		t.Errorf("ring-3 instructions differ: %d vs %d", full.Ring3Instr, user.Ring3Instr)
+	}
+
+	// Kernel interference costs more than its instruction share, and the
+	// data footprint grows.
+	if full.Cycles <= user.Cycles {
+		t.Errorf("full-system not slower: %d vs %d cycles", full.Cycles, user.Cycles)
+	}
+	slowdown := float64(full.Cycles)/float64(user.Cycles) - 1
+	if slowdown <= ratio/2 {
+		t.Errorf("runtime inflation %.2f%% not disproportionate to instr share %.2f%%",
+			100*slowdown, 100*ratio)
+	}
+	if full.FootprintBytes <= user.FootprintBytes {
+		t.Errorf("footprint did not grow: %d vs %d", full.FootprintBytes, user.FootprintBytes)
+	}
+	t.Logf("user: %d instr, %d cycles, %d KiB footprint", user.Ring3Instr, user.Cycles, user.FootprintBytes>>10)
+	t.Logf("full: %d+%d instr (+%.1f%%), %d cycles (+%.1f%%), %d KiB footprint (+%.1f%%)",
+		full.Ring3Instr, full.Ring0Instr, 100*ratio,
+		full.Cycles, 100*slowdown,
+		full.FootprintBytes>>10,
+		100*(float64(full.FootprintBytes)/float64(user.FootprintBytes)-1))
+}
+
+func TestMarkerGating(t *testing.T) {
+	exe, st, _ := makeELFie(t)
+	cfg := Skylake1(FrontendSDE)
+	cfg.StartMarker = 0x99
+	res := runELFie(t, exe, st, cfg)
+	// Startup code (remap loops etc.) must not be simulated: the count
+	// starts only at the marker.
+	gated := res.Ring3Instr
+
+	cfg2 := Skylake1(FrontendSDE)
+	cfg2.StartMarker = 0 // simulate everything
+	res2 := runELFie(t, exe, st, cfg2)
+	if res2.Ring3Instr <= gated {
+		t.Errorf("ungated %d <= gated %d", res2.Ring3Instr, gated)
+	}
+}
+
+func TestCPIAndStats(t *testing.T) {
+	exe, st, _ := makeELFie(t)
+	cfg := Skylake1(FrontendSDE)
+	cfg.StartMarker = 0x99
+	res := runELFie(t, exe, st, cfg)
+	if cpi := res.CPI(); cpi < 0.1 || cpi > 30 {
+		t.Errorf("CPI = %v", cpi)
+	}
+	if res.RuntimeNs <= 0 {
+		t.Error("no runtime")
+	}
+	if res.DTLBMissRate < 0 || res.DTLBMissRate > 1 {
+		t.Errorf("DTLB miss rate = %v", res.DTLBMissRate)
+	}
+}

@@ -1,0 +1,213 @@
+// Package elfobj implements reading and writing of ELF64 object and
+// executable files (Tool Interface Standard ELF, version 1.2), the container
+// format for programs, relocatable objects, and the ELFies that
+// pinball2elf produces.
+//
+// The package implements the real ELF64 binary layout — ELF header, program
+// header table, section header table, string and symbol tables, and RELA
+// relocation sections — with a PVM-specific machine number and relocation
+// types. Files written here are structurally valid ELF and can be inspected
+// with standard tooling conventions (cmd/elfiedump mirrors readelf).
+package elfobj
+
+import "fmt"
+
+// ELF identification and header constants (per the ELF64 specification).
+const (
+	EINident = 16
+
+	ELFClass64   = 2
+	ELFData2LSB  = 1 // little-endian
+	EVCurrent    = 1
+	ELFOSABINone = 0
+
+	// File types.
+	ETNone = 0
+	ETRel  = 1 // relocatable object
+	ETExec = 2 // executable
+
+	// EMPVM is the machine number for PVM-64 ("PV" little-endian).
+	EMPVM = 0x5650
+
+	// Section header types.
+	SHTNull     = 0
+	SHTProgbits = 1
+	SHTSymtab   = 2
+	SHTStrtab   = 3
+	SHTRela     = 4
+	SHTNobits   = 8
+
+	// Section flags.
+	SHFWrite     = 0x1
+	SHFAlloc     = 0x2
+	SHFExecinstr = 0x4
+
+	// Program header types and flags.
+	PTNull = 0
+	PTLoad = 1
+	PFX    = 0x1
+	PFW    = 0x2
+	PFR    = 0x4
+
+	// Symbol bindings and types.
+	STBLocal  = 0
+	STBGlobal = 1
+	STTNotype = 0
+	STTObject = 1
+	STTFunc   = 2
+
+	// SHNUndef / SHNAbs special section indexes.
+	SHNUndef = 0
+	SHNAbs   = 0xfff1
+
+	// Structure sizes on disk.
+	EhdrSize = 64
+	PhdrSize = 56
+	ShdrSize = 64
+	SymSize  = 24
+	RelaSize = 24
+)
+
+// PVM relocation types, stored in the type field of RELA entries.
+const (
+	// RPVM64 patches 8 bytes at the relocation offset with S + A.
+	RPVM64 = 1
+	// RPVMImm32 patches the 4-byte Imm field of the instruction at the
+	// relocation offset with the low 32 bits of S + A (must fit signed 32).
+	RPVMImm32 = 2
+	// RPVMPC32 patches the Imm field with S + A - (P + L) where P is the
+	// instruction address and L its length (branch displacement).
+	RPVMPC32 = 3
+	// RPVMLimm64 patches the second 8-byte word of a LIMM instruction
+	// at the relocation offset with S + A.
+	RPVMLimm64 = 4
+)
+
+// RelocName returns a printable name for a PVM relocation type.
+func RelocName(t uint32) string {
+	switch t {
+	case RPVM64:
+		return "R_PVM_64"
+	case RPVMImm32:
+		return "R_PVM_IMM32"
+	case RPVMPC32:
+		return "R_PVM_PC32"
+	case RPVMLimm64:
+		return "R_PVM_LIMM64"
+	}
+	return fmt.Sprintf("R_PVM_%d", t)
+}
+
+// Section is one ELF section with its header fields and contents.
+type Section struct {
+	Name      string
+	Type      uint32
+	Flags     uint64
+	Addr      uint64
+	Addralign uint64
+	Entsize   uint64
+	Link      uint32 // interpreted per section type
+	Info      uint32
+	Data      []byte // nil for SHT_NOBITS
+	Size      uint64 // explicit size for SHT_NOBITS; otherwise len(Data)
+}
+
+// DataSize returns the section's size in bytes as recorded in its header.
+func (s *Section) DataSize() uint64 {
+	if s.Type == SHTNobits {
+		return s.Size
+	}
+	return uint64(len(s.Data))
+}
+
+// Segment is one program header (loadable segment) of an executable.
+type Segment struct {
+	Type   uint32
+	Flags  uint32
+	Vaddr  uint64
+	Offset uint64 // assigned by the writer
+	Filesz uint64
+	Memsz  uint64
+	Align  uint64
+	Data   []byte
+}
+
+// Symbol is one symbol table entry.
+type Symbol struct {
+	Name    string
+	Value   uint64
+	Size    uint64
+	Binding uint8
+	Type    uint8
+	Section string // "" = undefined, "*ABS*" = absolute
+}
+
+// Reloc is one RELA relocation entry, held by the section it applies to.
+type Reloc struct {
+	Offset uint64 // within the target section
+	Type   uint32
+	Symbol string
+	Addend int64
+}
+
+// File is an in-memory representation of an ELF object or executable.
+type File struct {
+	Type     uint16 // ETRel or ETExec
+	Machine  uint16
+	Entry    uint64
+	Sections []*Section
+	Segments []*Segment
+	Symbols  []Symbol
+	// Relocs maps a progbits section name to its relocations (objects only).
+	Relocs map[string][]Reloc
+}
+
+// NewObject returns an empty relocatable object file.
+func NewObject() *File {
+	return &File{Type: ETRel, Machine: EMPVM, Relocs: make(map[string][]Reloc)}
+}
+
+// NewExec returns an empty executable file with the given entry point.
+func NewExec(entry uint64) *File {
+	return &File{Type: ETExec, Machine: EMPVM, Entry: entry, Relocs: make(map[string][]Reloc)}
+}
+
+// Section returns the section with the given name, or nil.
+func (f *File) Section(name string) *Section {
+	for _, s := range f.Sections {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// AddSection appends a section and returns it.
+func (f *File) AddSection(s *Section) *Section {
+	f.Sections = append(f.Sections, s)
+	return s
+}
+
+// Symbol returns the symbol with the given name and true, or false.
+func (f *File) Symbol(name string) (Symbol, bool) {
+	for _, s := range f.Symbols {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Symbol{}, false
+}
+
+// sectionIndex returns the header-table index of the named section, where
+// index 0 is the null section. Returns SHNUndef if absent.
+func (f *File) sectionIndex(name string) uint16 {
+	if name == "*ABS*" {
+		return SHNAbs
+	}
+	for i, s := range f.Sections {
+		if s.Name == name {
+			return uint16(i + 1)
+		}
+	}
+	return SHNUndef
+}

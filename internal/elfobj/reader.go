@@ -1,0 +1,203 @@
+package elfobj
+
+import (
+	"fmt"
+)
+
+// Read parses an ELF64 file produced by Write (or any little-endian ELF64
+// file using PVM conventions) back into a File.
+func Read(buf []byte) (*File, error) {
+	if len(buf) < EhdrSize {
+		return nil, fmt.Errorf("elfobj: file too short: %d bytes", len(buf))
+	}
+	if buf[0] != 0x7f || buf[1] != 'E' || buf[2] != 'L' || buf[3] != 'F' {
+		return nil, fmt.Errorf("elfobj: bad magic %x", buf[:4])
+	}
+	if buf[4] != ELFClass64 || buf[5] != ELFData2LSB {
+		return nil, fmt.Errorf("elfobj: unsupported class/encoding %d/%d", buf[4], buf[5])
+	}
+	f := &File{
+		Type:    le.Uint16(buf[16:]),
+		Machine: le.Uint16(buf[18:]),
+		Entry:   le.Uint64(buf[24:]),
+		Relocs:  make(map[string][]Reloc),
+	}
+	phoff := le.Uint64(buf[32:])
+	shoff := le.Uint64(buf[40:])
+	phnum := int(le.Uint16(buf[56:]))
+	shnum := int(le.Uint16(buf[60:]))
+	shstrndx := int(le.Uint16(buf[62:]))
+
+	// Raw section headers.
+	type shdr struct {
+		nameOff            uint32
+		typ                uint32
+		flags              uint64
+		addr, off, size    uint64
+		link, info         uint32
+		addralign, entsize uint64
+	}
+	if shoff+uint64(shnum)*ShdrSize > uint64(len(buf)) {
+		return nil, fmt.Errorf("elfobj: section header table out of bounds")
+	}
+	hdrs := make([]shdr, shnum)
+	for i := 0; i < shnum; i++ {
+		h := buf[shoff+uint64(i)*ShdrSize:]
+		hdrs[i] = shdr{
+			nameOff: le.Uint32(h[0:]), typ: le.Uint32(h[4:]), flags: le.Uint64(h[8:]),
+			addr: le.Uint64(h[16:]), off: le.Uint64(h[24:]), size: le.Uint64(h[32:]),
+			link: le.Uint32(h[40:]), info: le.Uint32(h[44:]),
+			addralign: le.Uint64(h[48:]), entsize: le.Uint64(h[56:]),
+		}
+	}
+	secData := func(i int) ([]byte, error) {
+		h := hdrs[i]
+		if h.typ == SHTNobits || h.size == 0 {
+			return nil, nil
+		}
+		if h.off+h.size > uint64(len(buf)) {
+			return nil, fmt.Errorf("elfobj: section %d data out of bounds", i)
+		}
+		return buf[h.off : h.off+h.size], nil
+	}
+	getStr := func(table []byte, off uint32) string {
+		if int(off) >= len(table) {
+			return ""
+		}
+		end := int(off)
+		for end < len(table) && table[end] != 0 {
+			end++
+		}
+		return string(table[int(off):end])
+	}
+
+	var shstr []byte
+	if shstrndx > 0 && shstrndx < shnum {
+		d, err := secData(shstrndx)
+		if err != nil {
+			return nil, err
+		}
+		shstr = d
+	}
+	names := make([]string, shnum)
+	for i := 1; i < shnum; i++ {
+		names[i] = getStr(shstr, hdrs[i].nameOff)
+	}
+
+	// First pass: materialize user-visible sections (everything except the
+	// generated symtab/strtab/rela sections, which are re-parsed below).
+	generated := func(i int) bool {
+		switch hdrs[i].typ {
+		case SHTSymtab, SHTStrtab, SHTRela:
+			return true
+		}
+		return false
+	}
+	for i := 1; i < shnum; i++ {
+		if generated(i) {
+			continue
+		}
+		d, err := secData(i)
+		if err != nil {
+			return nil, err
+		}
+		s := &Section{
+			Name: names[i], Type: hdrs[i].typ, Flags: hdrs[i].flags,
+			Addr: hdrs[i].addr, Addralign: hdrs[i].addralign,
+			Entsize: hdrs[i].entsize, Link: hdrs[i].link, Info: hdrs[i].info,
+		}
+		if hdrs[i].typ == SHTNobits {
+			s.Size = hdrs[i].size
+		} else if d != nil {
+			s.Data = make([]byte, len(d))
+			copy(s.Data, d)
+		}
+		f.Sections = append(f.Sections, s)
+	}
+
+	// Symbol table.
+	symNameAt := make(map[uint32]string) // symtab index -> name
+	for i := 1; i < shnum; i++ {
+		if hdrs[i].typ != SHTSymtab {
+			continue
+		}
+		d, err := secData(i)
+		if err != nil {
+			return nil, err
+		}
+		var strs []byte
+		if int(hdrs[i].link) < shnum {
+			strs, err = secData(int(hdrs[i].link))
+			if err != nil {
+				return nil, err
+			}
+		}
+		n := len(d) / SymSize
+		for j := 1; j < n; j++ {
+			e := d[j*SymSize:]
+			name := getStr(strs, le.Uint32(e[0:]))
+			shndx := le.Uint16(e[6:])
+			sec := ""
+			switch {
+			case shndx == SHNAbs:
+				sec = "*ABS*"
+			case shndx != SHNUndef && int(shndx) < shnum:
+				sec = names[shndx]
+			}
+			symNameAt[uint32(j)] = name
+			f.Symbols = append(f.Symbols, Symbol{
+				Name: name, Value: le.Uint64(e[8:]), Size: le.Uint64(e[16:]),
+				Binding: e[4] >> 4, Type: e[4] & 0xf, Section: sec,
+			})
+		}
+	}
+
+	// Relocation sections.
+	for i := 1; i < shnum; i++ {
+		if hdrs[i].typ != SHTRela {
+			continue
+		}
+		d, err := secData(i)
+		if err != nil {
+			return nil, err
+		}
+		target := ""
+		if int(hdrs[i].info) < shnum {
+			target = names[hdrs[i].info]
+		}
+		n := len(d) / RelaSize
+		for j := 0; j < n; j++ {
+			e := d[j*RelaSize:]
+			info := le.Uint64(e[8:])
+			f.Relocs[target] = append(f.Relocs[target], Reloc{
+				Offset: le.Uint64(e[0:]),
+				Type:   uint32(info),
+				Symbol: symNameAt[uint32(info>>32)],
+				Addend: int64(le.Uint64(e[16:])),
+			})
+		}
+	}
+
+	// Program headers.
+	for i := 0; i < phnum; i++ {
+		p := buf[phoff+uint64(i)*PhdrSize:]
+		seg := &Segment{
+			Type:   le.Uint32(p[0:]),
+			Flags:  le.Uint32(p[4:]),
+			Offset: le.Uint64(p[8:]),
+			Vaddr:  le.Uint64(p[16:]),
+			Filesz: le.Uint64(p[32:]),
+			Memsz:  le.Uint64(p[40:]),
+			Align:  le.Uint64(p[48:]),
+		}
+		if seg.Offset+seg.Filesz > uint64(len(buf)) {
+			return nil, fmt.Errorf("elfobj: segment %d data out of bounds", i)
+		}
+		if seg.Filesz > 0 {
+			seg.Data = make([]byte, seg.Filesz)
+			copy(seg.Data, buf[seg.Offset:seg.Offset+seg.Filesz])
+		}
+		f.Segments = append(f.Segments, seg)
+	}
+	return f, nil
+}

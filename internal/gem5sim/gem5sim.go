@@ -1,0 +1,113 @@
+// Package gem5sim implements the gem5-style binary-driven simulator of the
+// paper's §IV.D case study: Syscall-Emulation (SE) mode over the detailed
+// out-of-order core model, with selectable processor configurations
+// (Nehalem-like and Haswell-like) to study resource-size sensitivity.
+//
+// Mirroring gem5's x86 ISA-extension limits (SSE/SSE2 only, driven by
+// profiling with SDE -pentium), SE mode rejects binaries whose dynamic
+// stream contains vector instructions unless AllowVector is set.
+package gem5sim
+
+import (
+	"fmt"
+
+	"elfie/internal/elfobj"
+	"elfie/internal/isa"
+	"elfie/internal/kernel"
+	"elfie/internal/uarch"
+	"elfie/internal/vm"
+)
+
+// Config selects the simulated processor.
+type Config struct {
+	Core uarch.CoreCfg
+	Hier uarch.HierarchyCfg
+	// AllowVector permits vector instructions in the stream.
+	AllowVector bool
+	// StartMarker skips everything before the given marker tag (ELFie
+	// startup code).
+	StartMarker uint32
+	// MaxInstructions bounds the simulation (0 = unbounded).
+	MaxInstructions uint64
+}
+
+// NehalemSE returns the Table V small configuration.
+func NehalemSE() Config {
+	return Config{Core: uarch.NehalemCore(), Hier: uarch.DesktopHierarchy(1)}
+}
+
+// HaswellSE returns the Table V large configuration.
+func HaswellSE() Config {
+	return Config{Core: uarch.HaswellCore(), Hier: uarch.DesktopHierarchy(1)}
+}
+
+// Result is an SE-mode simulation outcome.
+type Result struct {
+	Instructions uint64
+	Cycles       uint64
+	VectorOps    uint64
+}
+
+// IPC returns instructions per cycle — the Table V metric.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// Simulate loads the binary (typically an ELFie) into a fresh SE-mode
+// machine and simulates it on the configured core.
+func Simulate(exe *elfobj.File, cfg Config, seed int64) (*Result, error) {
+	k := kernel.New(kernel.NewFS(), seed)
+	m, err := vm.NewLoaded(k, exe, []string{"gem5-se"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	m.MaxInstructions = cfg.MaxInstructions
+	return SimulateMachine(m, cfg)
+}
+
+// SimulateMachine simulates an already-prepared machine.
+func SimulateMachine(m *vm.Machine, cfg Config) (*Result, error) {
+	hier := uarch.NewHierarchy(cfg.Hier, 1)
+	core := uarch.NewOOOCore(cfg.Core, hier, 0)
+	res := &Result{}
+	measuring := cfg.StartMarker == 0
+	var isaErr error
+
+	prevMarker := m.Hooks.OnMarker
+	m.Hooks.OnMarker = func(t *vm.Thread, op isa.Op, tag uint32) {
+		if prevMarker != nil {
+			prevMarker(t, op, tag)
+		}
+		if !measuring && tag == cfg.StartMarker {
+			measuring = true
+		}
+	}
+	feeder := uarch.NewFeeder(m, uarch.ConsumerFunc(func(d *uarch.DynInst) {
+		if !measuring {
+			return
+		}
+		if d.Class == isa.ClassVec || d.Ins.Op == isa.VLD || d.Ins.Op == isa.VST {
+			res.VectorOps++
+			if !cfg.AllowVector && isaErr == nil {
+				isaErr = fmt.Errorf("gem5sim: unsupported ISA extension at pc %#x: %s (SE mode is SSE/SSE2-only; profile with -pentium)", d.PC, d.Ins.Op.Name())
+				m.RequestStop()
+				return
+			}
+		}
+		core.Consume(d)
+	}))
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	feeder.Flush()
+	if isaErr != nil {
+		return nil, isaErr
+	}
+	st := core.Finish()
+	res.Instructions = st.Instructions
+	res.Cycles = st.Cycles
+	return res, nil
+}

@@ -1,0 +1,110 @@
+package gem5sim
+
+import (
+	"strings"
+	"testing"
+
+	"elfie/internal/core"
+	"elfie/internal/elfobj"
+	"elfie/internal/kernel"
+	"elfie/internal/pinplay"
+	"elfie/internal/vm"
+	"elfie/internal/workloads"
+)
+
+func makeELFie(t *testing.T, r workloads.Recipe, regionLen uint64) *elfobj.File {
+	t.Helper()
+	exe, err := workloads.Build(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(kernel.NewFS(), 1)
+	m, err := vm.NewLoaded(k, exe, []string{r.Name}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxInstructions = 1_000_000_000
+	pb, err := pinplay.Log(m, pinplay.LogOptions{
+		Name: r.Name, RegionStart: 30_000, RegionLength: regionLen,
+	}.Fat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Convert(pb, core.Options{
+		GracefulExit: true, Marker: core.MarkerSSC, MarkerTag: 0x55,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Exe
+}
+
+func TestSEModeIPC(t *testing.T) {
+	r := workloads.CPU2006()[5] // hmmer-like compute workload
+	r.Sequence = r.Sequence[:6]
+	exe := makeELFie(t, r, 500_000)
+
+	nhm := NehalemSE()
+	nhm.StartMarker = 0x55
+	nres, err := Simulate(exe, nhm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsw := HaswellSE()
+	hsw.StartMarker = 0x55
+	hres, err := Simulate(exe, hsw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nres.Instructions != hres.Instructions {
+		t.Errorf("instruction counts differ: %d vs %d", nres.Instructions, hres.Instructions)
+	}
+	if nres.IPC() <= 0 || hres.IPC() <= 0 {
+		t.Fatalf("IPC: nhm=%v hsw=%v", nres.IPC(), hres.IPC())
+	}
+	// The larger configuration must not be slower (Table V direction).
+	if hres.IPC() < nres.IPC() {
+		t.Errorf("haswell IPC %.3f < nehalem %.3f", hres.IPC(), nres.IPC())
+	}
+	t.Logf("nehalem IPC=%.3f haswell IPC=%.3f", nres.IPC(), hres.IPC())
+}
+
+func TestVectorISARejection(t *testing.T) {
+	// A vectorized workload (SSE4+/AVX analog) must be rejected in SE mode
+	// unless AllowVector is set — gem5's SSE/SSE2-only constraint.
+	r := workloads.Recipe{
+		Name: "vecheavy", Threads: 1, Seed: 3,
+		Phases: []workloads.Phase{
+			{WorkingSetKB: 64, StrideBytes: 16, Iterations: 5000, Vector: true},
+		},
+		Sequence: []int{0, 0},
+	}
+	exe := makeELFie(t, r, 50_000)
+	cfg := NehalemSE()
+	cfg.StartMarker = 0x55
+	if _, err := Simulate(exe, cfg, 1); err == nil ||
+		!strings.Contains(err.Error(), "unsupported ISA extension") {
+		t.Errorf("vector stream accepted: %v", err)
+	}
+	cfg.AllowVector = true
+	res, err := Simulate(exe, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VectorOps == 0 {
+		t.Error("no vector ops counted")
+	}
+}
+
+func TestCPU2006SuiteCompatible(t *testing.T) {
+	// Every Table V recipe must pass the SE-mode ISA check.
+	for _, r := range workloads.CPU2006()[:3] {
+		r.Sequence = r.Sequence[:3]
+		exe := makeELFie(t, r, 100_000)
+		cfg := NehalemSE()
+		cfg.StartMarker = 0x55
+		if _, err := Simulate(exe, cfg, 1); err != nil {
+			t.Errorf("%s: %v", r.Name, err)
+		}
+	}
+}

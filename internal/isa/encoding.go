@@ -1,0 +1,160 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Inst is one decoded PVM-64 instruction.
+//
+// The binary layout of an instruction word is:
+//
+//	byte 0      opcode
+//	byte 1      A field (destination register, or source for stores/PUSH)
+//	byte 2      B field (first source register)
+//	byte 3      C field (second source register)
+//	bytes 4..7  Imm field (little-endian int32)
+//
+// LIMM is followed by one extra 8-byte little-endian word holding the 64-bit
+// immediate; Len reports 16 for it and 8 for everything else.
+type Inst struct {
+	Op    Op
+	A     uint8
+	B     uint8
+	C     uint8
+	Imm   int32
+	Imm64 uint64 // LIMM payload
+}
+
+// Len returns the encoded length of the instruction in bytes.
+func (i Inst) Len() uint64 {
+	if i.Op == LIMM {
+		return LimmLen
+	}
+	return InstLen
+}
+
+// Encode appends the binary encoding of the instruction to dst.
+func (i Inst) Encode(dst []byte) []byte {
+	var w [8]byte
+	w[0] = byte(i.Op)
+	w[1] = i.A
+	w[2] = i.B
+	w[3] = i.C
+	binary.LittleEndian.PutUint32(w[4:], uint32(i.Imm))
+	dst = append(dst, w[:]...)
+	if i.Op == LIMM {
+		var x [8]byte
+		binary.LittleEndian.PutUint64(x[:], i.Imm64)
+		dst = append(dst, x[:]...)
+	}
+	return dst
+}
+
+// Decode decodes one instruction from b. It returns the instruction and its
+// length in bytes, or an error if b is too short or the opcode is undefined.
+func Decode(b []byte) (Inst, uint64, error) {
+	if len(b) < InstLen {
+		return Inst{}, 0, fmt.Errorf("isa: truncated instruction: %d bytes", len(b))
+	}
+	i := Inst{
+		Op:  Op(b[0]),
+		A:   b[1],
+		B:   b[2],
+		C:   b[3],
+		Imm: int32(binary.LittleEndian.Uint32(b[4:])),
+	}
+	if !i.Op.Valid() {
+		return Inst{}, 0, fmt.Errorf("isa: undefined opcode %#02x", b[0])
+	}
+	if i.Op == LIMM {
+		if len(b) < LimmLen {
+			return Inst{}, 0, fmt.Errorf("isa: truncated limm: %d bytes", len(b))
+		}
+		i.Imm64 = binary.LittleEndian.Uint64(b[8:])
+		return i, LimmLen, nil
+	}
+	return i, InstLen, nil
+}
+
+// BranchTarget returns the target address of a direct control-transfer
+// instruction located at pc. It is meaningful only for JMP/Jcc/CALL.
+func (i Inst) BranchTarget(pc uint64) uint64 {
+	return pc + i.Len() + uint64(int64(i.Imm))
+}
+
+// String renders the instruction in assembler syntax (without symbols).
+func (i Inst) String() string {
+	a, b, c := Reg(i.A), Reg(i.B), Reg(i.C)
+	switch i.Op {
+	case NOP, HLT, RET, SYSCALL, PAUSE, FENCE, PUSHF, POPF:
+		return i.Op.Name()
+	case SSCMARK, MAGIC:
+		return fmt.Sprintf("%s %d", i.Op.Name(), uint32(i.Imm))
+	case CPUID:
+		return fmt.Sprintf("cpuid %s, %d", RegName(a), uint32(i.Imm))
+	case MOV, NOT, NEG, JMPR, CALLR:
+		return fmt.Sprintf("%s %s, %s", i.Op.Name(), RegName(a), RegName(b))
+	case MOVI:
+		return fmt.Sprintf("movi %s, %d", RegName(a), i.Imm)
+	case LIMM:
+		return fmt.Sprintf("limm %s, %#x", RegName(a), i.Imm64)
+	case ADD, SUB, MUL, UDIV, SDIV, UREM, AND, OR, XOR, SHL, SHR, SAR:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op.Name(), RegName(a), RegName(b), RegName(c))
+	case ADDI, MULI, ANDI, ORI, XORI, SHLI, SHRI, SARI:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op.Name(), RegName(a), RegName(b), i.Imm)
+	case LEA1, LEA8:
+		return fmt.Sprintf("%s %s, %s, %s, %d", i.Op.Name(), RegName(a), RegName(b), RegName(c), i.Imm)
+	case LDB, LDH, LDW, LDQ, LDSB, LDSH, LDSW:
+		return fmt.Sprintf("%s %s, [%s%+d]", i.Op.Name(), RegName(a), RegName(b), i.Imm)
+	case STB, STH, STW, STQ:
+		return fmt.Sprintf("%s %s, [%s%+d]", i.Op.Name(), RegName(a), RegName(b), i.Imm)
+	case XCHG, XADD, CMPXCHG:
+		return fmt.Sprintf("%s %s, [%s%+d]", i.Op.Name(), RegName(a), RegName(b), i.Imm)
+	case CMP, TEST:
+		return fmt.Sprintf("%s %s, %s", i.Op.Name(), RegName(b), RegName(c))
+	case CMPI, TESTI:
+		return fmt.Sprintf("%s %s, %d", i.Op.Name(), RegName(b), i.Imm)
+	case JMP, JZ, JNZ, JL, JLE, JG, JGE, JB, JBE, JA, JAE, JS, JNS, CALL, JMPM:
+		return fmt.Sprintf("%s %+d", i.Op.Name(), i.Imm)
+	case PUSH, POP, RDTSC, RDFSBASE, RDGSBASE, WRFSBASE, WRGSBASE, XSAVE, XRSTOR:
+		return fmt.Sprintf("%s %s", i.Op.Name(), RegName(a))
+	case VLD, VST:
+		return fmt.Sprintf("%s %s, [%s%+d]", i.Op.Name(), VRegName(VReg(i.A)), RegName(b), i.Imm)
+	case VADDQ, VMULQ, VXOR:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op.Name(), VRegName(VReg(i.A)), VRegName(VReg(i.B)), VRegName(VReg(i.C)))
+	case VMOVQ:
+		return fmt.Sprintf("vmovq %s, %s", VRegName(VReg(i.A)), RegName(b))
+	case MOVQV:
+		return fmt.Sprintf("movqv %s, %s", RegName(a), VRegName(VReg(i.B)))
+	}
+	return i.Op.Name()
+}
+
+// Disasm decodes and renders up to max instructions from code, annotating
+// each line with its address starting at base. It is tolerant of undecodable
+// bytes, rendering them as ".quad" data.
+func Disasm(code []byte, base uint64, max int) []string {
+	var out []string
+	off := uint64(0)
+	for len(out) < max && off < uint64(len(code)) {
+		ins, n, err := Decode(code[off:])
+		if err != nil {
+			if uint64(len(code))-off >= 8 {
+				w := binary.LittleEndian.Uint64(code[off:])
+				out = append(out, fmt.Sprintf("%#012x: .quad %#x", base+off, w))
+				off += 8
+				continue
+			}
+			break
+		}
+		s := ins.String()
+		if IsBranch(ins.Op) && ins.Op != JMPR && ins.Op != CALLR && ins.Op != RET &&
+			ins.Op != SYSCALL && ins.Op != HLT {
+			s = fmt.Sprintf("%s <%#x>", s, ins.BranchTarget(base+off))
+		}
+		out = append(out, fmt.Sprintf("%#012x: %s", base+off, s))
+		off += n
+	}
+	return out
+}

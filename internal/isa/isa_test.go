@@ -1,0 +1,182 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNameRoundTrip(t *testing.T) {
+	for r := Reg(0); r < NumGPR; r++ {
+		got, ok := ParseReg(RegName(r))
+		if !ok || got != r {
+			t.Errorf("ParseReg(RegName(%d)) = %d, %v", r, got, ok)
+		}
+	}
+	if r, ok := ParseReg("rsp"); !ok || r != RSP {
+		t.Errorf("ParseReg(rsp) = %d, %v", r, ok)
+	}
+	if r, ok := ParseReg("rbp"); !ok || r != RBP {
+		t.Errorf("ParseReg(rbp) = %d, %v", r, ok)
+	}
+	for _, bad := range []string{"", "r", "r16", "r99", "x3", "rax", "r-1", "r1x"} {
+		if _, ok := ParseReg(bad); ok {
+			t.Errorf("ParseReg(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
+func TestParseVReg(t *testing.T) {
+	for v := VReg(0); v < NumVReg; v++ {
+		got, ok := ParseVReg(VRegName(v))
+		if !ok || got != v {
+			t.Errorf("ParseVReg(VRegName(%d)) = %d, %v", v, got, ok)
+		}
+	}
+	for _, bad := range []string{"v8", "v", "w0", "v00"} {
+		if _, ok := ParseVReg(bad); ok {
+			t.Errorf("ParseVReg(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n < 5000; n++ {
+		in := Inst{
+			Op:  Op(rng.Intn(NumOps)),
+			A:   uint8(rng.Intn(16)),
+			B:   uint8(rng.Intn(16)),
+			C:   uint8(rng.Intn(16)),
+			Imm: int32(rng.Uint32()),
+		}
+		if in.Op == LIMM {
+			in.Imm64 = rng.Uint64()
+		}
+		enc := in.Encode(nil)
+		if got := uint64(len(enc)); got != in.Len() {
+			t.Fatalf("encoded length %d, Len() %d for %v", got, in.Len(), in)
+		}
+		out, n2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", in, err)
+		}
+		if n2 != in.Len() || out != in {
+			t.Fatalf("round trip: in=%+v out=%+v n=%d", in, out, n2)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("Decode(nil) succeeded")
+	}
+	if _, _, err := Decode(make([]byte, 4)); err == nil {
+		t.Error("Decode(short) succeeded")
+	}
+	bad := Inst{Op: NOP}.Encode(nil)
+	bad[0] = 0xff
+	if _, _, err := Decode(bad); err == nil {
+		t.Error("Decode(bad opcode) succeeded")
+	}
+	limm := Inst{Op: LIMM, Imm64: 42}.Encode(nil)
+	if _, _, err := Decode(limm[:8]); err == nil {
+		t.Error("Decode(truncated limm) succeeded")
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	ins := Inst{Op: JMP, Imm: -16}
+	if got := ins.BranchTarget(0x1000); got != 0x1000+8-16 {
+		t.Errorf("BranchTarget = %#x", got)
+	}
+	call := Inst{Op: CALL, Imm: 64}
+	if got := call.BranchTarget(0x2000); got != 0x2000+8+64 {
+		t.Errorf("CALL target = %#x", got)
+	}
+}
+
+func TestOpClassConsistency(t *testing.T) {
+	for op := Op(0); op.Valid(); op++ {
+		if ReadsMem(op) || WritesMem(op) {
+			if MemSize(op) == 0 && op != CALLR {
+				t.Errorf("%s accesses memory but MemSize is 0", op.Name())
+			}
+		}
+		if IsCondBranch(op) && !IsBranch(op) {
+			t.Errorf("%s: conditional branch not a branch", op.Name())
+		}
+		if op.Name() == "op?" {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+}
+
+func TestXSaveRoundTrip(t *testing.T) {
+	f := func(fpcr uint64, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var r RegFile
+		r.FPCR = fpcr
+		for i := range r.V {
+			r.V[i][0] = rng.Uint64()
+			r.V[i][1] = rng.Uint64()
+		}
+		area := XSave(&r)
+		if len(area) != XSaveSize {
+			return false
+		}
+		var r2 RegFile
+		XRstor(&r2, area)
+		return r2.FPCR == r.FPCR && r2.V == r.V
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXRstorInitOptimization(t *testing.T) {
+	var r RegFile
+	r.V[3] = [2]uint64{7, 9}
+	area := make([]byte, XSaveSize) // zero feature bitmap
+	XRstor(&r, area)
+	if r.V[3] != ([2]uint64{}) {
+		t.Errorf("vector state not cleared: %v", r.V[3])
+	}
+	XRstor(&r, nil) // too short: must be a no-op, not a panic
+}
+
+func TestDisasm(t *testing.T) {
+	var code []byte
+	code = Inst{Op: LIMM, A: 1, Imm64: 0xdeadbeef}.Encode(code)
+	code = Inst{Op: ADDI, A: 2, B: 1, Imm: 4}.Encode(code)
+	code = Inst{Op: CMPI, B: 2, Imm: 10}.Encode(code)
+	code = Inst{Op: JNZ, Imm: -24}.Encode(code)
+	code = Inst{Op: SYSCALL}.Encode(code)
+	lines := Disasm(code, 0x401000, 100)
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines: %v", len(lines), lines)
+	}
+	if !strings.Contains(lines[0], "limm r1, 0xdeadbeef") {
+		t.Errorf("line 0: %s", lines[0])
+	}
+	if !strings.Contains(lines[3], "jnz") || !strings.Contains(lines[3], "<") {
+		t.Errorf("line 3 missing branch target: %s", lines[3])
+	}
+}
+
+func TestDisasmBadBytes(t *testing.T) {
+	code := make([]byte, 16)
+	code[0] = 0xfe // undefined opcode
+	lines := Disasm(code, 0, 10)
+	if len(lines) == 0 || !strings.Contains(lines[0], ".quad") {
+		t.Errorf("bad bytes not rendered as data: %v", lines)
+	}
+}
+
+func TestCondFlags(t *testing.T) {
+	r := RegFile{Flags: FlagZ | FlagC}
+	if !r.CondZ() || !r.CondC() || r.CondS() || r.CondO() {
+		t.Errorf("flag accessors wrong for %#x", r.Flags)
+	}
+}

@@ -1,0 +1,274 @@
+package isa
+
+// Op is a PVM-64 opcode.
+type Op uint8
+
+// Opcodes. The comment after each opcode gives its operand usage in terms of
+// the instruction word fields (A = byte 1, B = byte 2, C = byte 3,
+// Imm = bytes 4..7, sign-extended to 64 bits unless noted).
+const (
+	NOP Op = iota // no operands
+	HLT           // stop the whole machine (used only by bare-metal tests)
+
+	// Data movement.
+	MOV  // A <- B
+	MOVI // A <- Imm (sign-extended)
+	LIMM // A <- following 8-byte word (16-byte instruction)
+
+	// ALU, register forms: A <- B op C.
+	ADD
+	SUB
+	MUL
+	UDIV
+	SDIV
+	UREM
+	AND
+	OR
+	XOR
+	SHL
+	SHR
+	SAR
+	NOT // A <- ^B
+	NEG // A <- -B
+
+	// ALU, immediate forms: A <- B op Imm.
+	ADDI
+	MULI
+	ANDI
+	ORI
+	XORI
+	SHLI
+	SHRI
+	SARI
+
+	// Address generation: A <- B + C*scale + Imm. LEA1 scale=1, LEA8 scale=8.
+	LEA1
+	LEA8
+
+	// Loads: A <- mem[B + Imm]; zero-extending by size, LDS* sign-extend.
+	LDB
+	LDH
+	LDW
+	LDQ
+	LDSB
+	LDSH
+	LDSW
+
+	// Stores: mem[B + Imm] <- A (low `size` bytes).
+	STB
+	STH
+	STW
+	STQ
+
+	// Flags: compare/test.
+	CMP   // flags from B - C
+	CMPI  // flags from B - Imm
+	TEST  // flags from B & C (Z and S only)
+	TESTI // flags from B & Imm
+
+	// Control flow. Branch targets are PC-relative to the *next* instruction.
+	JMP // pc += Imm
+	JZ  // conditional forms likewise
+	JNZ
+	JL    // signed <
+	JLE   // signed <=
+	JG    // signed >
+	JGE   // signed >=
+	JB    // unsigned <
+	JBE   // unsigned <=
+	JA    // unsigned >
+	JAE   // unsigned >=
+	JS    // sign set
+	JNS   // sign clear
+	JMPR  // pc <- B
+	JMPM  // pc <- mem64[pc + len + Imm] (PC-relative indirect, no registers)
+	CALL  // push next pc; pc += Imm
+	CALLR // push next pc; pc <- B
+	RET   // pop pc
+
+	// Stack.
+	PUSH // rsp -= 8; mem[rsp] <- A
+	POP  // A <- mem[rsp]; rsp += 8
+	POPF // flags <- mem[rsp]; rsp += 8
+	PUSHF
+
+	// System.
+	SYSCALL // r0 = number, args r1..r5, result r0
+	CPUID   // marker-capable identification; writes feature word to A; Imm = tag
+	SSCMARK // SSC pintool marker; Imm = tag
+	MAGIC   // Simics-style magic instruction; Imm = tag
+	PAUSE   // spin-wait hint; yields the scheduler
+	FENCE   // memory fence (no-op for the sequentially consistent emulator)
+	RDTSC   // A <- virtual time-stamp counter
+
+	// Atomics (sequentially consistent).
+	XCHG    // A <-> mem[B + Imm]
+	XADD    // tmp = mem[B+Imm]; mem[B+Imm] += A; A <- tmp
+	CMPXCHG // if mem[B+Imm]==r0 {mem<-A; Z=1} else {r0<-mem; Z=0}
+
+	// Segment bases.
+	WRFSBASE // fsbase <- A
+	RDFSBASE // A <- fsbase
+	WRGSBASE // gsbase <- A
+	RDGSBASE // A <- gsbase
+
+	// Extended (vector/FP) state.
+	XSAVE  // save extended state to mem[A(reg)], XSaveSize bytes
+	XRSTOR // load extended state from mem[A(reg)]
+	VLD    // v[A] <- mem128[B + Imm]
+	VST    // mem128[B + Imm] <- v[A]
+	VADDQ  // v[A] <- v[B] + v[C] (two lanes of int64)
+	VMULQ  // v[A] <- v[B] * v[C]
+	VXOR   // v[A] <- v[B] ^ v[C]
+	VMOVQ  // v[A].lo <- gpr B, hi <- 0
+	MOVQV  // gpr A <- v[B].lo
+
+	numOps // sentinel; must be last
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+// InstLen is the length in bytes of every instruction except LIMM.
+const InstLen = 8
+
+// LimmLen is the length in bytes of a LIMM instruction.
+const LimmLen = 16
+
+var opNames = [...]string{
+	NOP: "nop", HLT: "hlt",
+	MOV: "mov", MOVI: "movi", LIMM: "limm",
+	ADD: "add", SUB: "sub", MUL: "mul", UDIV: "udiv", SDIV: "sdiv", UREM: "urem",
+	AND: "and", OR: "or", XOR: "xor", SHL: "shl", SHR: "shr", SAR: "sar",
+	NOT: "not", NEG: "neg",
+	ADDI: "addi", MULI: "muli", ANDI: "andi", ORI: "ori", XORI: "xori",
+	SHLI: "shli", SHRI: "shri", SARI: "sari",
+	LEA1: "lea1", LEA8: "lea8",
+	LDB: "ld.b", LDH: "ld.h", LDW: "ld.w", LDQ: "ld.q",
+	LDSB: "lds.b", LDSH: "lds.h", LDSW: "lds.w",
+	STB: "st.b", STH: "st.h", STW: "st.w", STQ: "st.q",
+	CMP: "cmp", CMPI: "cmpi", TEST: "test", TESTI: "testi",
+	JMP: "jmp", JZ: "jz", JNZ: "jnz", JL: "jl", JLE: "jle", JG: "jg", JGE: "jge",
+	JB: "jb", JBE: "jbe", JA: "ja", JAE: "jae", JS: "js", JNS: "jns",
+	JMPR: "jmpr", JMPM: "jmpm", CALL: "call", CALLR: "callr", RET: "ret",
+	PUSH: "push", POP: "pop", POPF: "popf", PUSHF: "pushf",
+	SYSCALL: "syscall", CPUID: "cpuid", SSCMARK: "sscmark", MAGIC: "magic",
+	PAUSE: "pause", FENCE: "fence", RDTSC: "rdtsc",
+	XCHG: "xchg", XADD: "xadd", CMPXCHG: "cmpxchg",
+	WRFSBASE: "wrfsbase", RDFSBASE: "rdfsbase",
+	WRGSBASE: "wrgsbase", RDGSBASE: "rdgsbase",
+	XSAVE: "xsave", XRSTOR: "xrstor",
+	VLD: "vld", VST: "vst", VADDQ: "vaddq", VMULQ: "vmulq", VXOR: "vxor",
+	VMOVQ: "vmovq", MOVQV: "movqv",
+}
+
+// Name returns the assembly mnemonic of the opcode.
+func (o Op) Name() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < numOps }
+
+// Class groups opcodes for timing models and basic-block detection.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassALU Class = iota
+	ClassMul       // long-latency integer op (MUL/UDIV/SDIV/UREM, VMULQ)
+	ClassLoad
+	ClassStore
+	ClassBranch // any instruction that may change control flow
+	ClassSys    // SYSCALL
+	ClassVec    // vector ALU
+	ClassOther  // fences, markers, state save/restore
+)
+
+// OpClass returns the timing/analysis class of the opcode.
+func OpClass(o Op) Class {
+	switch o {
+	case LDB, LDH, LDW, LDQ, LDSB, LDSH, LDSW, VLD, POP, POPF, RET, XRSTOR:
+		return ClassLoad
+	case STB, STH, STW, STQ, VST, PUSH, PUSHF, XSAVE:
+		return ClassStore
+	case XCHG, XADD, CMPXCHG:
+		return ClassStore // read-modify-write; stores dominate timing
+	case JMP, JZ, JNZ, JL, JLE, JG, JGE, JB, JBE, JA, JAE, JS, JNS,
+		JMPR, JMPM, CALL, CALLR:
+		return ClassBranch
+	case MUL, UDIV, SDIV, UREM, MULI, VMULQ:
+		return ClassMul
+	case SYSCALL:
+		return ClassSys
+	case VADDQ, VXOR, VMOVQ, MOVQV:
+		return ClassVec
+	case NOP, HLT, CPUID, SSCMARK, MAGIC, PAUSE, FENCE:
+		return ClassOther
+	default:
+		return ClassALU
+	}
+}
+
+// IsBranch reports whether the opcode may redirect control flow.
+// RET also redirects control flow but is classified as a load for timing;
+// basic-block detection must treat it as a block terminator too.
+func IsBranch(o Op) bool {
+	return OpClass(o) == ClassBranch || o == RET || o == SYSCALL || o == HLT
+}
+
+// IsCondBranch reports whether the opcode is a conditional branch.
+func IsCondBranch(o Op) bool {
+	switch o {
+	case JZ, JNZ, JL, JLE, JG, JGE, JB, JBE, JA, JAE, JS, JNS:
+		return true
+	}
+	return false
+}
+
+// ReadsMem reports whether the opcode reads data memory.
+func ReadsMem(o Op) bool {
+	switch o {
+	case LDB, LDH, LDW, LDQ, LDSB, LDSH, LDSW, VLD, POP, POPF, RET,
+		XCHG, XADD, CMPXCHG, XRSTOR, JMPM:
+		return true
+	}
+	return false
+}
+
+// WritesMem reports whether the opcode writes data memory.
+func WritesMem(o Op) bool {
+	switch o {
+	case STB, STH, STW, STQ, VST, PUSH, PUSHF, CALL, CALLR,
+		XCHG, XADD, XSAVE:
+		return true
+	case CMPXCHG:
+		return true // may write; treated as a write for logging purposes
+	}
+	return false
+}
+
+// MemSize returns the data-memory access size in bytes for memory opcodes,
+// or 0 for non-memory opcodes.
+func MemSize(o Op) int {
+	switch o {
+	case LDB, LDSB, STB:
+		return 1
+	case LDH, LDSH, STH:
+		return 2
+	case LDW, LDSW, STW:
+		return 4
+	case LDQ, STQ, PUSH, POP, PUSHF, POPF, RET, XCHG, XADD, CMPXCHG, JMPM:
+		return 8
+	case CALL, CALLR:
+		return 8
+	case VLD, VST:
+		return 16
+	case XSAVE, XRSTOR:
+		return XSaveSize
+	}
+	return 0
+}

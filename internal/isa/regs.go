@@ -1,0 +1,136 @@
+// Package isa defines PVM-64, the virtual instruction-set architecture that
+// the ELFie tool-chain targets.
+//
+// PVM-64 is a 64-bit, x86-flavored ISA: sixteen general-purpose registers, a
+// flags register written by compare instructions, FS/GS segment base
+// registers, and eight 128-bit vector registers whose contents live in an
+// XSAVE-style extended-state area. Instructions are fixed-width eight-byte
+// words (LIMM consumes one extra word for its 64-bit immediate), which keeps
+// decode trivial for the functional emulator, the instrumentation framework,
+// and the timing simulators while preserving every piece of architectural
+// state that the paper's checkpoints must capture and restore.
+package isa
+
+import "fmt"
+
+// Reg identifies one of the sixteen general-purpose registers.
+type Reg uint8
+
+// General-purpose registers. R15 is the stack pointer by software convention
+// (the assembler accepts the alias "rsp"); R14 is the frame pointer ("rbp").
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14    // alias rbp
+	R15    // alias rsp
+	NumGPR = 16
+)
+
+// RSP and RBP are the conventional stack and frame pointer registers.
+const (
+	RSP = R15
+	RBP = R14
+)
+
+// VReg identifies one of the eight 128-bit vector registers.
+type VReg uint8
+
+// NumVReg is the number of 128-bit vector registers.
+const NumVReg = 8
+
+// Flag bits in the flags register, set by CMP/CMPI/TEST/CMPXCHG.
+const (
+	FlagZ uint64 = 1 << 0 // zero
+	FlagS uint64 = 1 << 1 // sign
+	FlagC uint64 = 1 << 2 // carry (unsigned borrow)
+	FlagO uint64 = 1 << 3 // overflow (signed)
+	// FlagMask covers every architecturally defined flag bit.
+	FlagMask = FlagZ | FlagS | FlagC | FlagO
+)
+
+// RegName returns the canonical assembly name of a GPR ("r0".."r13",
+// "rbp", "rsp").
+func RegName(r Reg) string {
+	switch r {
+	case RBP:
+		return "rbp"
+	case RSP:
+		return "rsp"
+	default:
+		return fmt.Sprintf("r%d", r)
+	}
+}
+
+// ParseReg parses a GPR name; it accepts "rN" as well as the aliases
+// "rsp" and "rbp".
+func ParseReg(s string) (Reg, bool) {
+	switch s {
+	case "rsp":
+		return RSP, true
+	case "rbp":
+		return RBP, true
+	}
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, false
+	}
+	n := 0
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+		if n >= NumGPR {
+			return 0, false
+		}
+	}
+	return Reg(n), true
+}
+
+// VRegName returns the assembly name of a vector register ("v0".."v7").
+func VRegName(v VReg) string { return fmt.Sprintf("v%d", v) }
+
+// ParseVReg parses a vector register name "vN".
+func ParseVReg(s string) (VReg, bool) {
+	if len(s) != 2 || s[0] != 'v' || s[1] < '0' || s[1] > '7' {
+		return 0, false
+	}
+	return VReg(s[1] - '0'), true
+}
+
+// RegFile is the full architectural register state of one hardware thread.
+// It is exactly the state a pinball's .reg file records and an ELFie's
+// startup code must restore.
+type RegFile struct {
+	GPR    [NumGPR]uint64
+	PC     uint64
+	Flags  uint64
+	FSBase uint64
+	GSBase uint64
+	V      [NumVReg][2]uint64 // [reg][0]=low 64 bits, [reg][1]=high 64 bits
+	FPCR   uint64             // floating-point/vector control register
+}
+
+// CondZ reports whether the Z flag is set.
+func (r *RegFile) CondZ() bool { return r.Flags&FlagZ != 0 }
+
+// CondS reports whether the S flag is set.
+func (r *RegFile) CondS() bool { return r.Flags&FlagS != 0 }
+
+// CondC reports whether the C flag is set.
+func (r *RegFile) CondC() bool { return r.Flags&FlagC != 0 }
+
+// CondO reports whether the O flag is set.
+func (r *RegFile) CondO() bool { return r.Flags&FlagO != 0 }

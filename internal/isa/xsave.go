@@ -1,0 +1,53 @@
+package isa
+
+import "encoding/binary"
+
+// XSaveSize is the size in bytes of the extended-state save area used by the
+// XSAVE and XRSTOR instructions. The layout mirrors the role of the x86
+// FXSAVE/XSAVE area: a control word, a feature bitmap, the vector register
+// file, and reserved space for future state components. ELFie thread-context
+// sections embed one such area per thread.
+//
+// Layout (little-endian):
+//
+//	0x00  FPCR (8 bytes)
+//	0x08  XSTATE_BV feature bitmap (8 bytes; bit 0 = vector state present)
+//	0x10  v0.lo, v0.hi, v1.lo, ... v7.hi (8 regs x 16 bytes = 128 bytes)
+//	0x90  reserved, must be zero (112 bytes)
+const XSaveSize = 256
+
+// xstateVec is the XSTATE_BV bit indicating the vector state component.
+const xstateVec uint64 = 1
+
+// XSave serializes the extended state of r into a new XSaveSize-byte area.
+func XSave(r *RegFile) []byte {
+	buf := make([]byte, XSaveSize)
+	binary.LittleEndian.PutUint64(buf[0x00:], r.FPCR)
+	binary.LittleEndian.PutUint64(buf[0x08:], xstateVec)
+	for i := 0; i < NumVReg; i++ {
+		binary.LittleEndian.PutUint64(buf[0x10+i*16:], r.V[i][0])
+		binary.LittleEndian.PutUint64(buf[0x18+i*16:], r.V[i][1])
+	}
+	return buf
+}
+
+// XRstor restores extended state from an XSaveSize-byte area into r.
+// Areas whose feature bitmap lacks the vector bit leave the vector file
+// zeroed, matching the init-optimization behaviour of hardware XRSTOR.
+func XRstor(r *RegFile, buf []byte) {
+	if len(buf) < XSaveSize {
+		return
+	}
+	r.FPCR = binary.LittleEndian.Uint64(buf[0x00:])
+	bv := binary.LittleEndian.Uint64(buf[0x08:])
+	if bv&xstateVec == 0 {
+		for i := range r.V {
+			r.V[i] = [2]uint64{}
+		}
+		return
+	}
+	for i := 0; i < NumVReg; i++ {
+		r.V[i][0] = binary.LittleEndian.Uint64(buf[0x10+i*16:])
+		r.V[i][1] = binary.LittleEndian.Uint64(buf[0x18+i*16:])
+	}
+}

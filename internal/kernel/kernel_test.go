@@ -1,0 +1,490 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"elfie/internal/asm"
+	"elfie/internal/elfobj"
+	"elfie/internal/isa"
+	"elfie/internal/mem"
+)
+
+func newTestProc(k *Kernel) (*Process, *Ctx) {
+	p := NewProcess(k.FS)
+	p.AS.Map(0x10000, 0x10000, mem.ProtRW)
+	regs := &isa.RegFile{}
+	return p, &Ctx{Proc: p, Regs: regs, TID: 0}
+}
+
+func call(k *Kernel, c *Ctx, num uint64, args ...uint64) Result {
+	c.Regs.GPR[isa.R0] = num
+	for i, a := range args {
+		c.Regs.GPR[isa.R1+isa.Reg(i)] = a
+	}
+	return k.Syscall(c)
+}
+
+func TestFS(t *testing.T) {
+	fs := NewFS()
+	fs.WriteFile("/a/b.txt", []byte("data"))
+	fs.WriteFile("a/b.txt", []byte("data2")) // same cleaned path
+	got, ok := fs.ReadFile("/a/./b.txt")
+	if !ok || string(got) != "data2" {
+		t.Errorf("got %q ok=%v", got, ok)
+	}
+	c := fs.Clone()
+	c.WriteFile("/a/b.txt", []byte("x"))
+	got, _ = fs.ReadFile("/a/b.txt")
+	if string(got) != "data2" {
+		t.Error("clone aliases parent")
+	}
+	fs.Remove("/a/b.txt")
+	if _, ok := fs.ReadFile("/a/b.txt"); ok {
+		t.Error("file not removed")
+	}
+	if len(c.Names()) != 1 || c.Names()[0] != "/a/b.txt" {
+		t.Errorf("names: %v", c.Names())
+	}
+}
+
+func TestOpenReadWriteClose(t *testing.T) {
+	k := New(NewFS(), 1)
+	k.FS.WriteFile("/input.txt", []byte("hello world"))
+	p, c := newTestProc(k)
+
+	// open("/input.txt", O_RDONLY)
+	p.AS.WriteNoFault(0x10000, append([]byte("/input.txt"), 0))
+	r := call(k, c, SysOpen, 0x10000, ORdonly)
+	fd := int(int64(r.Ret))
+	if fd < 3 {
+		t.Fatalf("open: %d", fd)
+	}
+	// read 5 bytes
+	r = call(k, c, SysRead, uint64(fd), 0x11000, 5)
+	if r.Ret != 5 {
+		t.Fatalf("read: %d", int64(r.Ret))
+	}
+	buf := make([]byte, 5)
+	p.AS.Read(0x11000, buf)
+	if string(buf) != "hello" {
+		t.Errorf("read data: %q", buf)
+	}
+	// lseek to 6, read rest
+	r = call(k, c, SysLseek, uint64(fd), 6, 0)
+	if r.Ret != 6 {
+		t.Fatalf("lseek: %d", int64(r.Ret))
+	}
+	r = call(k, c, SysRead, uint64(fd), 0x11000, 100)
+	if r.Ret != 5 {
+		t.Fatalf("read2: %d", int64(r.Ret))
+	}
+	// close; further reads fail
+	if r = call(k, c, SysClose, uint64(fd)); r.Ret != 0 {
+		t.Fatal("close failed")
+	}
+	r = call(k, c, SysRead, uint64(fd), 0x11000, 1)
+	if int64(r.Ret) != -EBADF {
+		t.Errorf("read after close: %d", int64(r.Ret))
+	}
+}
+
+func TestCreateAndWriteFile(t *testing.T) {
+	k := New(NewFS(), 1)
+	p, c := newTestProc(k)
+	p.AS.WriteNoFault(0x10000, append([]byte("out.log"), 0))
+	r := call(k, c, SysOpen, 0x10000, OWronly|OCreat)
+	fd := r.Ret
+	p.AS.WriteNoFault(0x12000, []byte("abcdef"))
+	if r = call(k, c, SysWrite, fd, 0x12000, 6); r.Ret != 6 {
+		t.Fatalf("write: %d", int64(r.Ret))
+	}
+	// cwd is "/", so the file lands at /out.log.
+	got, ok := k.FS.ReadFile("/out.log")
+	if !ok || string(got) != "abcdef" {
+		t.Errorf("file: %q ok=%v", got, ok)
+	}
+	// overwrite part via lseek
+	call(k, c, SysLseek, fd, 2, 0)
+	p.AS.WriteNoFault(0x12000, []byte("XY"))
+	call(k, c, SysWrite, fd, 0x12000, 2)
+	got, _ = k.FS.ReadFile("/out.log")
+	if string(got) != "abXYef" {
+		t.Errorf("after seek+write: %q", got)
+	}
+}
+
+func TestStdStreams(t *testing.T) {
+	k := New(NewFS(), 1)
+	p, c := newTestProc(k)
+	p.Stdin = []byte("in-data")
+	p.AS.WriteNoFault(0x12000, []byte("to-stdout"))
+	call(k, c, SysWrite, 1, 0x12000, 9)
+	p.AS.WriteNoFault(0x12000, []byte("to-stderr"))
+	call(k, c, SysWrite, 2, 0x12000, 9)
+	if string(p.Stdout) != "to-stdout" || string(p.Stderr) != "to-stderr" {
+		t.Errorf("stdout=%q stderr=%q", p.Stdout, p.Stderr)
+	}
+	r := call(k, c, SysRead, 0, 0x13000, 2)
+	if r.Ret != 2 {
+		t.Fatalf("stdin read: %d", int64(r.Ret))
+	}
+	r = call(k, c, SysRead, 0, 0x13000, 100)
+	if r.Ret != 5 {
+		t.Errorf("stdin rest: %d", int64(r.Ret))
+	}
+}
+
+func TestBrk(t *testing.T) {
+	k := New(NewFS(), 1)
+	p, c := newTestProc(k)
+	p.BrkStart = 0x600000
+	p.Brk = 0x600000
+	r := call(k, c, SysBrk, 0)
+	if r.Ret != 0x600000 {
+		t.Fatalf("brk(0): %#x", r.Ret)
+	}
+	r = call(k, c, SysBrk, 0x605000)
+	if r.Ret != 0x605000 || !p.AS.Mapped(0x604000) {
+		t.Fatalf("brk grow: %#x mapped=%v", r.Ret, p.AS.Mapped(0x604000))
+	}
+	r = call(k, c, SysBrk, 0x601000)
+	if r.Ret != 0x601000 || p.AS.Mapped(0x604000) {
+		t.Fatalf("brk shrink: %#x", r.Ret)
+	}
+	// below BrkStart: unchanged
+	r = call(k, c, SysBrk, 0x100000)
+	if r.Ret != 0x601000 {
+		t.Errorf("brk below start: %#x", r.Ret)
+	}
+}
+
+func TestMmapMunmap(t *testing.T) {
+	k := New(NewFS(), 1)
+	p, c := newTestProc(k)
+	r := call(k, c, SysMmap, 0, 2*mem.PageSize, 3, MapAnon|MapPrivate)
+	base := r.Ret
+	if int64(base) < 0 || !p.AS.Mapped(base) || !p.AS.Mapped(base+mem.PageSize) {
+		t.Fatalf("mmap: %#x", base)
+	}
+	// Second mmap lands elsewhere.
+	r2 := call(k, c, SysMmap, 0, mem.PageSize, 3, MapAnon|MapPrivate)
+	if r2.Ret == base {
+		t.Error("mmap reused range")
+	}
+	// Fixed mapping at a chosen address.
+	r3 := call(k, c, SysMmap, 0x40000000, mem.PageSize, 3, MapAnon|MapFixed)
+	if r3.Ret != 0x40000000 || !p.AS.Mapped(0x40000000) {
+		t.Errorf("fixed mmap: %#x", r3.Ret)
+	}
+	call(k, c, SysMunmap, base, 2*mem.PageSize)
+	if p.AS.Mapped(base) {
+		t.Error("munmap left pages")
+	}
+}
+
+func TestCloneExitActions(t *testing.T) {
+	k := New(NewFS(), 1)
+	_, c := newTestProc(k)
+	r := call(k, c, SysClone, 0, 0x20000, 0x401000)
+	if r.Action != ActClone || r.CloneSP != 0x20000 || r.CloneEntry != 0x401000 {
+		t.Errorf("clone: %+v", r)
+	}
+	r = call(k, c, SysClone, 0, 0, 0)
+	if int64(r.Ret) != -EINVAL {
+		t.Errorf("bad clone: %+v", r)
+	}
+	r = call(k, c, SysExit, 7)
+	if r.Action != ActExitThread || r.ExitStatus != 7 {
+		t.Errorf("exit: %+v", r)
+	}
+	r = call(k, c, SysExitGroup, 3)
+	if r.Action != ActExitGroup || r.ExitStatus != 3 {
+		t.Errorf("exit_group: %+v", r)
+	}
+}
+
+func TestTimeAndYield(t *testing.T) {
+	k := New(NewFS(), 7)
+	p, c := newTestProc(k)
+	c.Icount = 1_000_000
+	r := call(k, c, SysGettimeofday, 0x10000)
+	if r.Ret != 0 {
+		t.Fatalf("gettimeofday: %d", int64(r.Ret))
+	}
+	sec, _ := p.AS.ReadU64(0x10000)
+	usec, _ := p.AS.ReadU64(0x10008)
+	if sec < 1_600_000_000 || usec >= 1_000_000 {
+		t.Errorf("tv = %d.%06d", sec, usec)
+	}
+	// Time advances with instruction count.
+	c2 := *c
+	c2.Icount = 100_000_000
+	call(k, &c2, SysGettimeofday, 0x10000)
+	sec2, _ := p.AS.ReadU64(0x10000)
+	usec2, _ := p.AS.ReadU64(0x10008)
+	if sec2*1_000_000+usec2 <= sec*1_000_000+usec {
+		t.Error("clock did not advance")
+	}
+	if r := call(k, c, SysSchedYield); r.Action != ActYield {
+		t.Errorf("yield: %+v", r)
+	}
+	if r := call(k, c, SysClockGettime, 0, 0x10000); r.Ret != 0 {
+		t.Errorf("clock_gettime: %d", int64(r.Ret))
+	}
+	// Different seeds give different jitter: run-to-run variation.
+	k2 := New(NewFS(), 8)
+	if k.Clock.JitterNanos == k2.Clock.JitterNanos {
+		t.Error("clock jitter identical across seeds")
+	}
+}
+
+func TestArchPrctl(t *testing.T) {
+	k := New(NewFS(), 1)
+	p, c := newTestProc(k)
+	call(k, c, SysArchPrctl, ArchSetFS, 0xbeef000)
+	if c.Regs.FSBase != 0xbeef000 {
+		t.Errorf("fsbase: %#x", c.Regs.FSBase)
+	}
+	call(k, c, SysArchPrctl, ArchSetGS, 0xcafe000)
+	call(k, c, SysArchPrctl, ArchGetGS, 0x10000)
+	v, _ := p.AS.ReadU64(0x10000)
+	if v != 0xcafe000 {
+		t.Errorf("gsbase readback: %#x", v)
+	}
+	if r := call(k, c, SysArchPrctl, 0x9999, 0); int64(r.Ret) != -EINVAL {
+		t.Errorf("bad code: %d", int64(r.Ret))
+	}
+}
+
+func TestPrctlSetBrk(t *testing.T) {
+	k := New(NewFS(), 1)
+	p, c := newTestProc(k)
+	r := call(k, c, SysPrctl, PrSetBrk, 0x700000, 0x680000)
+	if r.Ret != 0 || p.Brk != 0x700000 || p.BrkStart != 0x680000 {
+		t.Errorf("prctl: %+v brk=%#x start=%#x", r, p.Brk, p.BrkStart)
+	}
+}
+
+func TestDup(t *testing.T) {
+	k := New(NewFS(), 1)
+	k.FS.WriteFile("/f", []byte("xyz"))
+	p, c := newTestProc(k)
+	p.AS.WriteNoFault(0x10000, append([]byte("/f"), 0))
+	fd := call(k, c, SysOpen, 0x10000, ORdonly).Ret
+	d := call(k, c, SysDup, fd)
+	if int64(d.Ret) < 3 || d.Ret == fd {
+		t.Fatalf("dup: %d", int64(d.Ret))
+	}
+	d2 := call(k, c, SysDup2, fd, 9)
+	if d2.Ret != 9 {
+		t.Fatalf("dup2: %d", int64(d2.Ret))
+	}
+	r := call(k, c, SysRead, 9, 0x11000, 3)
+	if r.Ret != 3 {
+		t.Errorf("read via dup2: %d", int64(r.Ret))
+	}
+	if r := call(k, c, SysDup, 77); int64(r.Ret) != -EBADF {
+		t.Errorf("dup bad fd: %d", int64(r.Ret))
+	}
+}
+
+func TestPerfEventOpen(t *testing.T) {
+	k := New(NewFS(), 1)
+	p, c := newTestProc(k)
+	var attr [PerfAttrSize]byte
+	putU64(attr[0:], 500000)
+	putU64(attr[8:], 0)
+	putU64(attr[16:], PerfExitOnOverflow)
+	p.AS.WriteNoFault(0x10000, attr[:])
+	r := call(k, c, SysPerfOpen, 0x10000)
+	if r.Action != ActPerfOpen || r.Perf.Period != 500000 || r.Perf.Flags != PerfExitOnOverflow {
+		t.Errorf("perf: %+v", r)
+	}
+	// Zero period rejected.
+	putU64(attr[0:], 0)
+	p.AS.WriteNoFault(0x10000, attr[:])
+	if r := call(k, c, SysPerfOpen, 0x10000); int64(r.Ret) != -EINVAL {
+		t.Errorf("zero period: %d", int64(r.Ret))
+	}
+	k.PerfExitSupported = false
+	if r := call(k, c, SysPerfOpen, 0x10000); int64(r.Ret) != -ENOSYS {
+		t.Errorf("unsupported: %d", int64(r.Ret))
+	}
+}
+
+func TestChroot(t *testing.T) {
+	k := New(NewFS(), 1)
+	k.FS.WriteFile("/jail/data.txt", []byte("jailed"))
+	p, c := newTestProc(k)
+	p.AS.WriteNoFault(0x10000, append([]byte("/jail"), 0))
+	if r := call(k, c, SysChroot, 0x10000); r.Ret != 0 {
+		t.Fatalf("chroot: %d", int64(r.Ret))
+	}
+	p.AS.WriteNoFault(0x10000, append([]byte("/data.txt"), 0))
+	r := call(k, c, SysOpen, 0x10000, ORdonly)
+	if int64(r.Ret) < 3 {
+		t.Fatalf("open in chroot: %d", int64(r.Ret))
+	}
+}
+
+func TestENOSYS(t *testing.T) {
+	k := New(NewFS(), 1)
+	_, c := newTestProc(k)
+	if r := call(k, c, 9999); int64(r.Ret) != -ENOSYS {
+		t.Errorf("unknown syscall: %d", int64(r.Ret))
+	}
+	if SyscallName(SysRead) != "read" || SyscallName(12345) != "sys?" {
+		t.Error("SyscallName")
+	}
+}
+
+func buildExe(t *testing.T, src string) *elfobj.File {
+	t.Helper()
+	exe, err := asm.Program(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip through the binary form so the loader sees real segments.
+	buf, err := exe.Write()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe2, err := elfobj.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exe2
+}
+
+func TestLoader(t *testing.T) {
+	k := New(NewFS(), 42)
+	exe := buildExe(t, `
+		.text
+		.global _start
+_start:	movi r0, 60
+		syscall
+		.data
+greet:	.asciz "hello"
+	`)
+	proc := NewProcess(k.FS)
+	res, err := k.Load(proc, exe, []string{"prog", "arg1"}, []string{"HOME=/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Entry == 0 || res.SP == 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.SP%16 != 0 {
+		t.Errorf("sp %#x not 16-aligned", res.SP)
+	}
+	// argc at sp.
+	argc, err := proc.AS.ReadU64(res.SP)
+	if err != nil || argc != 2 {
+		t.Fatalf("argc=%d err=%v", argc, err)
+	}
+	argv0Ptr, _ := proc.AS.ReadU64(res.SP + 8)
+	var name [4]byte
+	proc.AS.Read(argv0Ptr, name[:])
+	if string(name[:]) != "prog" {
+		t.Errorf("argv[0]=%q", name)
+	}
+	// NULL after argv.
+	nullp, _ := proc.AS.ReadU64(res.SP + 8 + 2*8)
+	if nullp != 0 {
+		t.Errorf("argv terminator: %#x", nullp)
+	}
+	// Text mapped executable, data writable.
+	txt := exe.Section(".text")
+	if proc.AS.Prot(txt.Addr)&mem.ProtExec == 0 {
+		t.Error("text not executable")
+	}
+	if proc.Brk == 0 || proc.BrkStart == 0 {
+		t.Error("brk not initialized")
+	}
+	if len(proc.ImageRegions) == 0 {
+		t.Error("image regions not recorded")
+	}
+}
+
+func TestLoaderStackRandomization(t *testing.T) {
+	exeSrc := `
+		.text
+		.global _start
+_start:	nop
+	`
+	tops := make(map[uint64]bool)
+	for seed := int64(0); seed < 8; seed++ {
+		k := New(NewFS(), seed)
+		proc := NewProcess(k.FS)
+		res, err := k.Load(proc, buildExe(t, exeSrc), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tops[res.StackTop] = true
+	}
+	if len(tops) < 4 {
+		t.Errorf("stack tops not randomized: %v", tops)
+	}
+}
+
+func TestLoaderStackCollision(t *testing.T) {
+	// An executable whose sections blanket the entire stack randomization
+	// window must kill the load.
+	f := elfobj.NewExec(0x401000)
+	f.AddSection(&elfobj.Section{
+		Name: ".text", Type: elfobj.SHTProgbits,
+		Flags: elfobj.SHFAlloc | elfobj.SHFExecinstr,
+		Addr:  0x401000, Data: make([]byte, 32),
+	})
+	f.AddSection(&elfobj.Section{
+		Name: ".stack.blanket", Type: elfobj.SHTNobits,
+		Flags: elfobj.SHFAlloc | elfobj.SHFWrite,
+		Addr:  stackWindowBase, Size: uint64(stackWindowPages)*mem.PageSize + StackSize,
+	})
+	buf, err := f.Write()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := elfobj.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := New(NewFS(), 3)
+	_, err = k.Load(NewProcess(k.FS), exe, nil, nil)
+	if !errors.Is(err, ErrStackCollision) {
+		t.Errorf("err = %v, want stack collision", err)
+	}
+}
+
+func TestLoaderRejectsNonExec(t *testing.T) {
+	k := New(NewFS(), 1)
+	obj := elfobj.NewObject()
+	if _, err := k.Load(NewProcess(k.FS), obj, nil, nil); err == nil {
+		t.Error("object accepted by loader")
+	}
+}
+
+func TestReadStringFault(t *testing.T) {
+	k := New(NewFS(), 1)
+	_, c := newTestProc(k)
+	if r := call(k, c, SysOpen, 0xdead0000, ORdonly); int64(r.Ret) != -EFAULT {
+		t.Errorf("open with bad path ptr: %d", int64(r.Ret))
+	}
+}
+
+func TestFstat(t *testing.T) {
+	k := New(NewFS(), 1)
+	k.FS.WriteFile("/f", bytes.Repeat([]byte("a"), 321))
+	p, c := newTestProc(k)
+	p.AS.WriteNoFault(0x10000, append([]byte("/f"), 0))
+	fd := call(k, c, SysOpen, 0x10000, ORdonly).Ret
+	if r := call(k, c, SysFstat, fd, 0x11000); r.Ret != 0 {
+		t.Fatalf("fstat: %d", int64(r.Ret))
+	}
+	size, _ := p.AS.ReadU64(0x11000 + 48)
+	if size != 321 {
+		t.Errorf("st_size = %d", size)
+	}
+}

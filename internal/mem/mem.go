@@ -1,0 +1,324 @@
+// Package mem implements the paged virtual address space of a PVM machine.
+//
+// Memory is organized in 4 KiB pages with read/write/execute protections.
+// Accesses that touch unmapped pages or violate protections return a *Fault
+// carrying the faulting address and access type; the emulated kernel turns
+// these into the "ungraceful exit" the paper describes when an ELFie strays
+// off its captured pages.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSize is the size of one page in bytes.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// Protection bits.
+const (
+	ProtRead  = 1
+	ProtWrite = 2
+	ProtExec  = 4
+	ProtRW    = ProtRead | ProtWrite
+	ProtRX    = ProtRead | ProtExec
+	ProtRWX   = ProtRead | ProtWrite | ProtExec
+)
+
+// Access identifies the kind of memory access that faulted.
+type Access uint8
+
+// Access kinds.
+const (
+	AccessRead Access = iota
+	AccessWrite
+	AccessExec
+)
+
+func (a Access) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExec:
+		return "exec"
+	}
+	return "access?"
+}
+
+// Fault describes a failed memory access.
+type Fault struct {
+	Addr    uint64
+	Access  Access
+	Missing bool // page not mapped (vs. protection violation)
+}
+
+func (f *Fault) Error() string {
+	why := "protection violation"
+	if f.Missing {
+		why = "page not mapped"
+	}
+	return fmt.Sprintf("mem: %s fault at %#x: %s", f.Access, f.Addr, why)
+}
+
+type page struct {
+	data [PageSize]byte
+	prot int
+}
+
+// AddrSpace is one process's paged virtual address space.
+type AddrSpace struct {
+	pages map[uint64]*page // page number -> page
+	// hot single-entry translation cache
+	lastPN   uint64
+	lastPage *page
+}
+
+// NewAddrSpace returns an empty address space.
+func NewAddrSpace() *AddrSpace {
+	return &AddrSpace{pages: make(map[uint64]*page)}
+}
+
+// PageNum returns the page number containing addr.
+func PageNum(addr uint64) uint64 { return addr >> PageShift }
+
+// PageBase returns the base address of the page containing addr.
+func PageBase(addr uint64) uint64 { return addr &^ (PageSize - 1) }
+
+func (as *AddrSpace) lookup(pn uint64) *page {
+	if as.lastPage != nil && as.lastPN == pn {
+		return as.lastPage
+	}
+	p := as.pages[pn]
+	if p != nil {
+		as.lastPN, as.lastPage = pn, p
+	}
+	return p
+}
+
+// Map maps [addr, addr+size) with the given protections, zero-filling pages
+// that were not previously mapped. Already-mapped pages in the range keep
+// their contents but take the new protections.
+func (as *AddrSpace) Map(addr, size uint64, prot int) {
+	if size == 0 {
+		return
+	}
+	first := PageNum(addr)
+	last := PageNum(addr + size - 1)
+	for pn := first; pn <= last; pn++ {
+		p := as.pages[pn]
+		if p == nil {
+			p = &page{}
+			as.pages[pn] = p
+		}
+		p.prot = prot
+	}
+	as.lastPage = nil
+}
+
+// Unmap removes all pages overlapping [addr, addr+size).
+func (as *AddrSpace) Unmap(addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	first := PageNum(addr)
+	last := PageNum(addr + size - 1)
+	for pn := first; pn <= last; pn++ {
+		delete(as.pages, pn)
+	}
+	as.lastPage = nil
+}
+
+// Mapped reports whether the page containing addr is mapped.
+func (as *AddrSpace) Mapped(addr uint64) bool {
+	return as.lookup(PageNum(addr)) != nil
+}
+
+// Prot returns the protection bits of the page containing addr (0 if
+// unmapped).
+func (as *AddrSpace) Prot(addr uint64) int {
+	if p := as.lookup(PageNum(addr)); p != nil {
+		return p.prot
+	}
+	return 0
+}
+
+// Read copies len(buf) bytes from addr into buf.
+func (as *AddrSpace) Read(addr uint64, buf []byte) error {
+	return as.access(addr, buf, AccessRead)
+}
+
+// Write copies buf to addr.
+func (as *AddrSpace) Write(addr uint64, buf []byte) error {
+	return as.access(addr, buf, AccessWrite)
+}
+
+// Fetch copies len(buf) bytes of instruction memory from addr into buf.
+func (as *AddrSpace) Fetch(addr uint64, buf []byte) error {
+	return as.access(addr, buf, AccessExec)
+}
+
+func (as *AddrSpace) access(addr uint64, buf []byte, kind Access) error {
+	for done := 0; done < len(buf); {
+		pn := PageNum(addr)
+		p := as.lookup(pn)
+		if p == nil {
+			return &Fault{Addr: addr, Access: kind, Missing: true}
+		}
+		var need int
+		switch kind {
+		case AccessRead, AccessExec:
+			need = ProtRead
+			if kind == AccessExec {
+				need = ProtExec
+			}
+		case AccessWrite:
+			need = ProtWrite
+		}
+		if p.prot&need == 0 {
+			return &Fault{Addr: addr, Access: kind}
+		}
+		off := int(addr & (PageSize - 1))
+		n := PageSize - off
+		if n > len(buf)-done {
+			n = len(buf) - done
+		}
+		if kind == AccessWrite {
+			copy(p.data[off:off+n], buf[done:done+n])
+		} else {
+			copy(buf[done:done+n], p.data[off:off+n])
+		}
+		addr += uint64(n)
+		done += n
+	}
+	return nil
+}
+
+// ReadU64 reads a little-endian uint64 at addr.
+func (as *AddrSpace) ReadU64(addr uint64) (uint64, error) {
+	var b [8]byte
+	if err := as.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return leU64(b[:]), nil
+}
+
+// WriteU64 writes a little-endian uint64 at addr.
+func (as *AddrSpace) WriteU64(addr, v uint64) error {
+	var b [8]byte
+	putU64(b[:], v)
+	return as.Write(addr, b[:])
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// ReadNoFault copies up to len(buf) bytes starting at addr, ignoring
+// protections and stopping at the first unmapped page. It returns the number
+// of bytes copied. Instrumentation and checkpointing use it to observe
+// memory without perturbing fault behaviour.
+func (as *AddrSpace) ReadNoFault(addr uint64, buf []byte) int {
+	done := 0
+	for done < len(buf) {
+		p := as.lookup(PageNum(addr))
+		if p == nil {
+			break
+		}
+		off := int(addr & (PageSize - 1))
+		n := PageSize - off
+		if n > len(buf)-done {
+			n = len(buf) - done
+		}
+		copy(buf[done:done+n], p.data[off:off+n])
+		addr += uint64(n)
+		done += n
+	}
+	return done
+}
+
+// WriteNoFault writes buf at addr ignoring protections, mapping missing
+// pages read-write. Checkpoint restore and syscall side-effect injection
+// use it.
+func (as *AddrSpace) WriteNoFault(addr uint64, buf []byte) {
+	for done := 0; done < len(buf); {
+		pn := PageNum(addr)
+		p := as.lookup(pn)
+		if p == nil {
+			p = &page{prot: ProtRW}
+			as.pages[pn] = p
+			as.lastPage = nil
+		}
+		off := int(addr & (PageSize - 1))
+		n := PageSize - off
+		if n > len(buf)-done {
+			n = len(buf) - done
+		}
+		copy(p.data[off:off+n], buf[done:done+n])
+		addr += uint64(n)
+		done += n
+	}
+}
+
+// Region is a maximal run of consecutive mapped pages with one protection.
+type Region struct {
+	Addr uint64
+	Size uint64
+	Prot int
+}
+
+// Regions returns all mapped memory as sorted, coalesced regions.
+func (as *AddrSpace) Regions() []Region {
+	pns := make([]uint64, 0, len(as.pages))
+	for pn := range as.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	var out []Region
+	for _, pn := range pns {
+		p := as.pages[pn]
+		addr := pn << PageShift
+		if n := len(out); n > 0 && out[n-1].Addr+out[n-1].Size == addr && out[n-1].Prot == p.prot {
+			out[n-1].Size += PageSize
+			continue
+		}
+		out = append(out, Region{Addr: addr, Size: PageSize, Prot: p.prot})
+	}
+	return out
+}
+
+// PageData returns a copy of the page containing addr, or nil if unmapped.
+func (as *AddrSpace) PageData(addr uint64) []byte {
+	p := as.lookup(PageNum(addr))
+	if p == nil {
+		return nil
+	}
+	out := make([]byte, PageSize)
+	copy(out, p.data[:])
+	return out
+}
+
+// NumPages returns the number of mapped pages.
+func (as *AddrSpace) NumPages() int { return len(as.pages) }
+
+// Clone returns a deep copy of the address space.
+func (as *AddrSpace) Clone() *AddrSpace {
+	c := NewAddrSpace()
+	for pn, p := range as.pages {
+		np := &page{prot: p.prot}
+		np.data = p.data
+		c.pages[pn] = np
+	}
+	return c
+}

@@ -1,0 +1,200 @@
+package mem
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapReadWrite(t *testing.T) {
+	as := NewAddrSpace()
+	as.Map(0x1000, 0x2000, ProtRW)
+	msg := []byte("hello, pages")
+	if err := as.Write(0x1ffc, msg); err != nil { // crosses a page boundary
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := as.Read(0x1ffc, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	as := NewAddrSpace()
+	as.Map(0x1000, 0x1000, ProtRead)
+
+	var buf [8]byte
+	err := as.Read(0x5000, buf[:])
+	var f *Fault
+	if !errors.As(err, &f) || !f.Missing || f.Access != AccessRead || f.Addr != 0x5000 {
+		t.Errorf("missing read: %v", err)
+	}
+	err = as.Write(0x1000, buf[:])
+	if !errors.As(err, &f) || f.Missing || f.Access != AccessWrite {
+		t.Errorf("write to ro: %v", err)
+	}
+	err = as.Fetch(0x1000, buf[:])
+	if !errors.As(err, &f) || f.Access != AccessExec {
+		t.Errorf("fetch from non-exec: %v", err)
+	}
+	as.Map(0x1000, 0x1000, ProtRX)
+	if err := as.Fetch(0x1000, buf[:]); err != nil {
+		t.Errorf("fetch from rx: %v", err)
+	}
+	// Fault in the middle of a multi-page access reports the right address.
+	as2 := NewAddrSpace()
+	as2.Map(0x1000, 0x1000, ProtRW)
+	big := make([]byte, 0x1800)
+	err = as2.Read(0x1800, big)
+	if !errors.As(err, &f) || f.Addr != 0x2000 {
+		t.Errorf("mid-access fault: %v", err)
+	}
+	if f.Error() == "" {
+		t.Error("empty fault message")
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	as := NewAddrSpace()
+	as.Map(0x1000, 0x3000, ProtRW)
+	as.Unmap(0x2000, 0x1000)
+	if as.Mapped(0x2000) {
+		t.Error("page still mapped")
+	}
+	if !as.Mapped(0x1000) || !as.Mapped(0x3000) {
+		t.Error("neighbours unmapped")
+	}
+}
+
+func TestU64(t *testing.T) {
+	as := NewAddrSpace()
+	as.Map(0, 0x1000, ProtRW)
+	if err := as.WriteU64(8, 0xdeadbeefcafef00d); err != nil {
+		t.Fatal(err)
+	}
+	v, err := as.ReadU64(8)
+	if err != nil || v != 0xdeadbeefcafef00d {
+		t.Errorf("v=%#x err=%v", v, err)
+	}
+	if _, err := as.ReadU64(0x5000); err == nil {
+		t.Error("unmapped ReadU64 succeeded")
+	}
+}
+
+func TestNoFault(t *testing.T) {
+	as := NewAddrSpace()
+	as.Map(0x1000, 0x1000, ProtRead) // read-only
+	as.WriteNoFault(0x1000, []byte{1, 2, 3})
+	got := make([]byte, 3)
+	if n := as.ReadNoFault(0x1000, got); n != 3 || !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("n=%d got=%v", n, got)
+	}
+	// WriteNoFault maps missing pages.
+	as.WriteNoFault(0x9000, []byte{9})
+	if !as.Mapped(0x9000) {
+		t.Error("page not auto-mapped")
+	}
+	// ReadNoFault stops at unmapped pages.
+	buf := make([]byte, 0x2000)
+	if n := as.ReadNoFault(0x1000, buf); n != 0x1000 {
+		t.Errorf("partial read n=%#x", n)
+	}
+	if n := as.ReadNoFault(0x500000, buf); n != 0 {
+		t.Errorf("read from nowhere n=%d", n)
+	}
+}
+
+func TestRegions(t *testing.T) {
+	as := NewAddrSpace()
+	as.Map(0x1000, 0x2000, ProtRX)
+	as.Map(0x3000, 0x1000, ProtRW)
+	as.Map(0x10000, 0x1000, ProtRW)
+	rs := as.Regions()
+	want := []Region{
+		{0x1000, 0x2000, ProtRX},
+		{0x3000, 0x1000, ProtRW},
+		{0x10000, 0x1000, ProtRW},
+	}
+	if len(rs) != len(want) {
+		t.Fatalf("regions: %+v", rs)
+	}
+	for i := range want {
+		if rs[i] != want[i] {
+			t.Errorf("region %d: %+v want %+v", i, rs[i], want[i])
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	as := NewAddrSpace()
+	as.Map(0x1000, 0x1000, ProtRW)
+	as.Write(0x1000, []byte("original"))
+	c := as.Clone()
+	c.Write(0x1000, []byte("modified"))
+	var buf [8]byte
+	as.Read(0x1000, buf[:])
+	if string(buf[:]) != "original" {
+		t.Errorf("clone aliased parent: %q", buf)
+	}
+	if c.NumPages() != as.NumPages() {
+		t.Errorf("page counts differ")
+	}
+}
+
+func TestPageData(t *testing.T) {
+	as := NewAddrSpace()
+	as.Map(0x2000, 0x1000, ProtRW)
+	as.Write(0x2100, []byte{0xab})
+	pd := as.PageData(0x2abc)
+	if pd == nil || pd[0x100] != 0xab {
+		t.Errorf("PageData: %v", pd != nil)
+	}
+	if as.PageData(0x99000) != nil {
+		t.Error("PageData for unmapped page")
+	}
+}
+
+// Property: any write followed by a read of the same range returns the same
+// bytes, regardless of page-crossing.
+func TestReadWriteProperty(t *testing.T) {
+	as := NewAddrSpace()
+	as.Map(0x10000, 0x10000, ProtRW)
+	prop := func(off uint16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(9000)
+		data := make([]byte, n)
+		rng.Read(data)
+		addr := 0x10000 + uint64(off)%0x6000
+		if err := as.Write(addr, data); err != nil {
+			return false
+		}
+		got := make([]byte, n)
+		if err := as.Read(addr, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageHelpers(t *testing.T) {
+	if PageNum(0x1fff) != 1 || PageBase(0x1fff) != 0x1000 {
+		t.Error("page math wrong")
+	}
+	as := NewAddrSpace()
+	as.Map(0x1000, 0, ProtRW) // zero size is a no-op
+	if as.NumPages() != 0 {
+		t.Error("zero-size map created pages")
+	}
+	as.Unmap(0, 0)
+	if as.Prot(0x1000) != 0 {
+		t.Error("Prot of unmapped page")
+	}
+}

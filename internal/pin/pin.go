@@ -1,0 +1,162 @@
+// Package pin is the dynamic-instrumentation framework of the tool-chain —
+// the stand-in for Intel Pin in the paper's stack.
+//
+// A Tool is a bundle of analysis callbacks. An Engine attaches one or more
+// tools to a vm.Machine and multiplexes the machine's hooks across them, so
+// several pintools (the PinPlay logger, the BBV profiler, the sysstate
+// analyzer) can observe one execution simultaneously, exactly as Pin-based
+// tool stacks compose.
+package pin
+
+import (
+	"elfie/internal/isa"
+	"elfie/internal/kernel"
+	"elfie/internal/mem"
+	"elfie/internal/vm"
+)
+
+// Tool is one analysis tool's callbacks; nil callbacks are skipped.
+// Filter-style callbacks (SyscallFilter, OnFault) are consulted in
+// attachment order; the first tool that handles the event wins.
+type Tool struct {
+	Name          string
+	OnIns         func(t *vm.Thread, pc uint64, ins isa.Inst)
+	OnMemRead     func(t *vm.Thread, addr uint64, size int)
+	OnMemWrite    func(t *vm.Thread, addr uint64, size int)
+	OnBranch      func(t *vm.Thread, pc, target uint64, taken bool)
+	OnMarker      func(t *vm.Thread, op isa.Op, tag uint32)
+	SyscallFilter func(t *vm.Thread, num uint64) (kernel.Result, bool)
+	OnSyscall     func(t *vm.Thread, num uint64, res kernel.Result)
+	OnFault       func(t *vm.Thread, f *mem.Fault) bool
+	OnThreadStart func(t *vm.Thread)
+	OnThreadExit  func(t *vm.Thread)
+}
+
+// Engine multiplexes tools onto one machine.
+type Engine struct {
+	Machine *vm.Machine
+	tools   []*Tool
+}
+
+// NewEngine wraps a machine. Attach tools before running.
+func NewEngine(m *vm.Machine) *Engine {
+	e := &Engine{Machine: m}
+	e.install()
+	return e
+}
+
+// Attach adds a tool. Tools attached earlier see events first.
+func (e *Engine) Attach(t *Tool) { e.tools = append(e.tools, t) }
+
+// Detach removes a tool by identity.
+func (e *Engine) Detach(t *Tool) {
+	for i, x := range e.tools {
+		if x == t {
+			e.tools = append(e.tools[:i], e.tools[i+1:]...)
+			return
+		}
+	}
+}
+
+// Run runs the machine with all attached tools.
+func (e *Engine) Run() error { return e.Machine.Run() }
+
+func (e *Engine) install() {
+	m := e.Machine
+	m.Hooks = vm.Hooks{
+		OnIns: func(t *vm.Thread, pc uint64, ins isa.Inst) {
+			for _, tool := range e.tools {
+				if tool.OnIns != nil {
+					tool.OnIns(t, pc, ins)
+				}
+			}
+		},
+		OnMemRead: func(t *vm.Thread, addr uint64, size int) {
+			for _, tool := range e.tools {
+				if tool.OnMemRead != nil {
+					tool.OnMemRead(t, addr, size)
+				}
+			}
+		},
+		OnMemWrite: func(t *vm.Thread, addr uint64, size int) {
+			for _, tool := range e.tools {
+				if tool.OnMemWrite != nil {
+					tool.OnMemWrite(t, addr, size)
+				}
+			}
+		},
+		OnBranch: func(t *vm.Thread, pc, target uint64, taken bool) {
+			for _, tool := range e.tools {
+				if tool.OnBranch != nil {
+					tool.OnBranch(t, pc, target, taken)
+				}
+			}
+		},
+		OnMarker: func(t *vm.Thread, op isa.Op, tag uint32) {
+			for _, tool := range e.tools {
+				if tool.OnMarker != nil {
+					tool.OnMarker(t, op, tag)
+				}
+			}
+		},
+		SyscallFilter: func(t *vm.Thread, num uint64) (kernel.Result, bool) {
+			for _, tool := range e.tools {
+				if tool.SyscallFilter != nil {
+					if res, handled := tool.SyscallFilter(t, num); handled {
+						return res, true
+					}
+				}
+			}
+			return kernel.Result{}, false
+		},
+		OnSyscall: func(t *vm.Thread, num uint64, res kernel.Result) {
+			for _, tool := range e.tools {
+				if tool.OnSyscall != nil {
+					tool.OnSyscall(t, num, res)
+				}
+			}
+		},
+		OnFault: func(t *vm.Thread, f *mem.Fault) bool {
+			for _, tool := range e.tools {
+				if tool.OnFault != nil && tool.OnFault(t, f) {
+					return true
+				}
+			}
+			return false
+		},
+		OnThreadStart: func(t *vm.Thread) {
+			for _, tool := range e.tools {
+				if tool.OnThreadStart != nil {
+					tool.OnThreadStart(t)
+				}
+			}
+		},
+		OnThreadExit: func(t *vm.Thread) {
+			for _, tool := range e.tools {
+				if tool.OnThreadExit != nil {
+					tool.OnThreadExit(t)
+				}
+			}
+		},
+	}
+}
+
+// ICounter is a trivial pintool counting instructions per thread; it is the
+// canonical example tool and is used by tests and the replayer's
+// instruction-budget end condition.
+type ICounter struct {
+	Tool
+	PerThread map[int]uint64
+	Total     uint64
+}
+
+// NewICounter returns an instruction-counting tool.
+func NewICounter() *ICounter {
+	ic := &ICounter{PerThread: make(map[int]uint64)}
+	ic.Tool.Name = "icounter"
+	ic.Tool.OnIns = func(t *vm.Thread, pc uint64, ins isa.Inst) {
+		ic.PerThread[t.TID]++
+		ic.Total++
+	}
+	return ic
+}

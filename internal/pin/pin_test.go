@@ -1,0 +1,141 @@
+package pin
+
+import (
+	"testing"
+
+	"elfie/internal/asm"
+	"elfie/internal/isa"
+	"elfie/internal/kernel"
+	"elfie/internal/vm"
+)
+
+func machineFor(t *testing.T, src string) *vm.Machine {
+	t.Helper()
+	exe, err := asm.Program(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(kernel.NewFS(), 1)
+	m, err := vm.NewLoaded(k, exe, []string{"p"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxInstructions = 1_000_000
+	return m
+}
+
+const prog = `
+	.text
+	.global _start
+_start:
+	movi r8, 0
+l:	addi r8, r8, 1
+	sscmark 1
+	ld.q r2, [rsp]
+	st.q r2, [rsp]
+	cmpi r8, 100
+	jnz  l
+	movi r0, 231
+	movi r1, 0
+	syscall
+`
+
+func TestMultiplexing(t *testing.T) {
+	m := machineFor(t, prog)
+	eng := NewEngine(m)
+	ic1 := NewICounter()
+	ic2 := NewICounter()
+	var markers, reads, writes, branches, syscalls int
+	tool := &Tool{
+		Name:       "probe",
+		OnMarker:   func(th *vm.Thread, op isa.Op, tag uint32) { markers++ },
+		OnMemRead:  func(th *vm.Thread, addr uint64, sz int) { reads++ },
+		OnMemWrite: func(th *vm.Thread, addr uint64, sz int) { writes++ },
+		OnBranch:   func(th *vm.Thread, pc, tgt uint64, taken bool) { branches++ },
+		OnSyscall:  func(th *vm.Thread, num uint64, res kernel.Result) { syscalls++ },
+	}
+	eng.Attach(&ic1.Tool)
+	eng.Attach(tool)
+	eng.Attach(&ic2.Tool)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ic1.Total != ic2.Total || ic1.Total != m.GlobalRetired {
+		t.Errorf("counters: %d %d retired %d", ic1.Total, ic2.Total, m.GlobalRetired)
+	}
+	if markers != 100 || reads != 100 || writes != 100 || branches != 100 || syscalls != 1 {
+		t.Errorf("events: markers=%d reads=%d writes=%d branches=%d syscalls=%d",
+			markers, reads, writes, branches, syscalls)
+	}
+	if ic1.PerThread[0] != ic1.Total {
+		t.Errorf("per-thread: %v", ic1.PerThread)
+	}
+}
+
+func TestSyscallFilterFirstWins(t *testing.T) {
+	m := machineFor(t, prog)
+	eng := NewEngine(m)
+	order := []string{}
+	a := &Tool{Name: "a", SyscallFilter: func(th *vm.Thread, num uint64) (kernel.Result, bool) {
+		order = append(order, "a")
+		return kernel.Result{Action: kernel.ActExitGroup, ExitStatus: 9}, true
+	}}
+	b := &Tool{Name: "b", SyscallFilter: func(th *vm.Thread, num uint64) (kernel.Result, bool) {
+		order = append(order, "b")
+		return kernel.Result{}, false
+	}}
+	eng.Attach(b)
+	eng.Attach(a)
+	eng.Run()
+	// b attached first, consulted first, declines; a handles.
+	if len(order) != 2 || order[0] != "b" || order[1] != "a" {
+		t.Errorf("order: %v", order)
+	}
+	if m.ExitStatus != 9 {
+		t.Errorf("exit = %d (filter result not applied)", m.ExitStatus)
+	}
+}
+
+func TestDetach(t *testing.T) {
+	m := machineFor(t, prog)
+	eng := NewEngine(m)
+	ic := NewICounter()
+	eng.Attach(&ic.Tool)
+	eng.Detach(&ic.Tool)
+	eng.Run()
+	if ic.Total != 0 {
+		t.Errorf("detached tool saw %d instructions", ic.Total)
+	}
+	// Detaching an unknown tool is a no-op.
+	eng.Detach(&Tool{})
+}
+
+func TestThreadLifecycleHooks(t *testing.T) {
+	m := machineFor(t, `
+	.text
+	.global _start
+_start:
+	movi r0, 56
+	movi r1, 0
+	limm r2, stk+4096
+	limm r3, w
+	syscall
+	movi r0, 60
+	syscall
+w:	movi r0, 60
+	syscall
+	.bss
+stk: .space 4096
+`)
+	eng := NewEngine(m)
+	starts, exits := 0, 0
+	eng.Attach(&Tool{
+		OnThreadStart: func(th *vm.Thread) { starts++ },
+		OnThreadExit:  func(th *vm.Thread) { exits++ },
+	})
+	eng.Run()
+	// Thread 0 started before the engine attached; the clone is seen.
+	if starts != 1 || exits != 2 {
+		t.Errorf("starts=%d exits=%d", starts, exits)
+	}
+}

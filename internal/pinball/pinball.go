@@ -1,0 +1,378 @@
+// Package pinball defines the on-disk checkpoint format of the tool-chain.
+//
+// A pinball is a set of files that together capture a region of a program's
+// execution, mirroring the PinPlay format the paper builds on:
+//
+//	<name>.global.log  JSON metadata (threads, region lengths, end condition)
+//	<name>.text        memory image: (addr, prot, data) records
+//	<name>.<tid>.reg   per-thread architectural registers, text format
+//	<name>.sel         system-call side-effect injection log (JSON lines)
+//	<name>.race        recorded thread schedule for constrained replay
+//
+// Fat pinballs (-log:fat) additionally contain every page mapped at region
+// start, which is what pinball2elf needs to build a runnable ELFie.
+package pinball
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"elfie/internal/isa"
+	"elfie/internal/vm"
+)
+
+// Meta is the contents of the .global.log file.
+type Meta struct {
+	Version     int    `json:"version"`
+	ProgramName string `json:"program"`
+	NumThreads  int    `json:"num_threads"`
+	// RegionLength[tid] is the number of instructions thread tid retired
+	// inside the captured region — the expected instruction count that
+	// drives graceful exit.
+	RegionLength []uint64 `json:"region_length"`
+	// TotalInstructions is the aggregate region length over all threads.
+	TotalInstructions uint64 `json:"total_instructions"`
+	// WarmupLength is the prefix of the region (in aggregate instructions)
+	// used for microarchitectural warm-up rather than measurement.
+	WarmupLength uint64 `json:"warmup_length"`
+	// Fat records whether -log:fat was in effect.
+	Fat bool `json:"fat"`
+	// RegionStartIcount is the global instruction count at region start in
+	// the original run.
+	RegionStartIcount uint64 `json:"region_start_icount"`
+	// EndPC/EndCount define the (PC, global execution count) end condition
+	// used to stop multi-threaded simulations (paper §IV.B).
+	EndPC    uint64 `json:"end_pc,omitempty"`
+	EndCount uint64 `json:"end_count,omitempty"`
+	// BrkStart/Brk are the heap bounds at region start (BRK.log source).
+	BrkStart uint64 `json:"brk_start"`
+	Brk      uint64 `json:"brk"`
+	// StackRegions lists [lo,hi) address ranges identified as thread
+	// stacks, which pinball2elf marks non-loadable.
+	StackRegions [][2]uint64 `json:"stack_regions,omitempty"`
+}
+
+// Page is one captured memory extent (a multiple of the page size).
+type Page struct {
+	Addr uint64
+	Prot int
+	Data []byte
+}
+
+// MemWriteData is one memory range written by an injected system call.
+type MemWriteData struct {
+	Addr uint64 `json:"addr"`
+	Data []byte `json:"data"`
+}
+
+// SyscallEffect is the logged outcome of one system call, in per-thread
+// program order. During constrained replay the call is skipped and these
+// effects are injected instead.
+type SyscallEffect struct {
+	TID int    `json:"tid"`
+	Num uint64 `json:"num"`
+	Ret uint64 `json:"ret"`
+	// Args are the syscall arguments (r1..r5) at call time; the sysstate
+	// analyzer reconstructs file state from them.
+	Args [5]uint64 `json:"args"`
+	// FSBase/GSBase are post-call segment bases when the call changed them.
+	FSBase *uint64 `json:"fsbase,omitempty"`
+	GSBase *uint64 `json:"gsbase,omitempty"`
+	// MemWrites are the guest-memory side effects to inject.
+	MemWrites []MemWriteData `json:"mem_writes,omitempty"`
+	// Executed marks calls that must re-execute during replay rather than
+	// be injected (clone/exit/exit_group).
+	Executed bool `json:"executed,omitempty"`
+}
+
+// Pinball is an in-memory checkpoint.
+type Pinball struct {
+	Name     string
+	Meta     Meta
+	Pages    []Page
+	Regs     []isa.RegFile // indexed by TID
+	Syscalls []SyscallEffect
+	Sched    []vm.SchedRecord
+}
+
+// FindPage returns the captured page record covering addr, or nil.
+func (p *Pinball) FindPage(addr uint64) *Page {
+	for i := range p.Pages {
+		pg := &p.Pages[i]
+		if addr >= pg.Addr && addr < pg.Addr+uint64(len(pg.Data)) {
+			return pg
+		}
+	}
+	return nil
+}
+
+// ImageBytes returns the total size of the captured memory image.
+func (p *Pinball) ImageBytes() uint64 {
+	var n uint64
+	for _, pg := range p.Pages {
+		n += uint64(len(pg.Data))
+	}
+	return n
+}
+
+// SortPages orders the memory image by address and merges adjacent records
+// with identical protections.
+func (p *Pinball) SortPages() {
+	sort.Slice(p.Pages, func(i, j int) bool { return p.Pages[i].Addr < p.Pages[j].Addr })
+	var out []Page
+	for _, pg := range p.Pages {
+		if n := len(out); n > 0 && out[n-1].Addr+uint64(len(out[n-1].Data)) == pg.Addr &&
+			out[n-1].Prot == pg.Prot {
+			out[n-1].Data = append(out[n-1].Data, pg.Data...)
+			continue
+		}
+		out = append(out, Page{Addr: pg.Addr, Prot: pg.Prot, Data: append([]byte(nil), pg.Data...)})
+	}
+	p.Pages = out
+}
+
+// Save writes the pinball into dir as the paper's file set.
+func (p *Pinball) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	base := filepath.Join(dir, p.Name)
+
+	meta, err := json.MarshalIndent(&p.Meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(base+".global.log", meta, 0o644); err != nil {
+		return err
+	}
+
+	if err := p.saveText(base + ".text"); err != nil {
+		return err
+	}
+	for tid := range p.Regs {
+		if err := os.WriteFile(fmt.Sprintf("%s.%d.reg", base, tid),
+			[]byte(FormatRegs(&p.Regs[tid])), 0o644); err != nil {
+			return err
+		}
+	}
+	var sel strings.Builder
+	for i := range p.Syscalls {
+		line, err := json.Marshal(&p.Syscalls[i])
+		if err != nil {
+			return err
+		}
+		sel.Write(line)
+		sel.WriteByte('\n')
+	}
+	if err := os.WriteFile(base+".sel", []byte(sel.String()), 0o644); err != nil {
+		return err
+	}
+	return p.saveRace(base + ".race")
+}
+
+func (p *Pinball) saveText(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	var hdr [20]byte
+	for _, pg := range p.Pages {
+		binary.LittleEndian.PutUint64(hdr[0:], pg.Addr)
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(len(pg.Data)))
+		binary.LittleEndian.PutUint32(hdr[12:], uint32(pg.Prot))
+		binary.LittleEndian.PutUint32(hdr[16:], 0)
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(pg.Data); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+func (p *Pinball) saveRace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	var rec [12]byte
+	for _, r := range p.Sched {
+		binary.LittleEndian.PutUint32(rec[0:], uint32(r.TID))
+		binary.LittleEndian.PutUint64(rec[4:], r.N)
+		if _, err := w.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// Load reads a pinball named name from dir.
+func Load(dir, name string) (*Pinball, error) {
+	base := filepath.Join(dir, name)
+	p := &Pinball{Name: name}
+
+	meta, err := os.ReadFile(base + ".global.log")
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(meta, &p.Meta); err != nil {
+		return nil, fmt.Errorf("pinball: bad global.log: %v", err)
+	}
+
+	if err := p.loadText(base + ".text"); err != nil {
+		return nil, err
+	}
+	p.Regs = make([]isa.RegFile, p.Meta.NumThreads)
+	for tid := 0; tid < p.Meta.NumThreads; tid++ {
+		data, err := os.ReadFile(fmt.Sprintf("%s.%d.reg", base, tid))
+		if err != nil {
+			return nil, err
+		}
+		rf, err := ParseRegs(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("pinball: thread %d reg file: %v", tid, err)
+		}
+		p.Regs[tid] = *rf
+	}
+
+	sel, err := os.ReadFile(base + ".sel")
+	if err != nil {
+		return nil, err
+	}
+	for _, line := range strings.Split(string(sel), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var e SyscallEffect
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return nil, fmt.Errorf("pinball: bad sel line: %v", err)
+		}
+		p.Syscalls = append(p.Syscalls, e)
+	}
+	return p, p.loadRace(base + ".race")
+}
+
+func (p *Pinball) loadText(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	for off := 0; off < len(data); {
+		if off+20 > len(data) {
+			return fmt.Errorf("pinball: truncated .text header at %d", off)
+		}
+		addr := binary.LittleEndian.Uint64(data[off:])
+		n := int(binary.LittleEndian.Uint32(data[off+8:]))
+		prot := int(binary.LittleEndian.Uint32(data[off+12:]))
+		off += 20
+		if off+n > len(data) {
+			return fmt.Errorf("pinball: truncated .text data at %d", off)
+		}
+		p.Pages = append(p.Pages, Page{
+			Addr: addr, Prot: prot, Data: append([]byte(nil), data[off:off+n]...),
+		})
+		off += n
+	}
+	return nil
+}
+
+func (p *Pinball) loadRace(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data)%12 != 0 {
+		return fmt.Errorf("pinball: corrupt .race file")
+	}
+	for off := 0; off < len(data); off += 12 {
+		p.Sched = append(p.Sched, vm.SchedRecord{
+			TID: int(binary.LittleEndian.Uint32(data[off:])),
+			N:   binary.LittleEndian.Uint64(data[off+4:]),
+		})
+	}
+	return nil
+}
+
+// FormatRegs renders a register file in the text .reg format:
+// one "name value" pair per line, values in hex.
+func FormatRegs(r *isa.RegFile) string {
+	var b strings.Builder
+	for i := 0; i < isa.NumGPR; i++ {
+		fmt.Fprintf(&b, "%s 0x%x\n", isa.RegName(isa.Reg(i)), r.GPR[i])
+	}
+	fmt.Fprintf(&b, "pc 0x%x\n", r.PC)
+	fmt.Fprintf(&b, "flags 0x%x\n", r.Flags)
+	fmt.Fprintf(&b, "fsbase 0x%x\n", r.FSBase)
+	fmt.Fprintf(&b, "gsbase 0x%x\n", r.GSBase)
+	fmt.Fprintf(&b, "fpcr 0x%x\n", r.FPCR)
+	for i := 0; i < isa.NumVReg; i++ {
+		fmt.Fprintf(&b, "v%d.lo 0x%x\n", i, r.V[i][0])
+		fmt.Fprintf(&b, "v%d.hi 0x%x\n", i, r.V[i][1])
+	}
+	return b.String()
+}
+
+// ParseRegs parses the text produced by FormatRegs.
+func ParseRegs(text string) (*isa.RegFile, error) {
+	r := &isa.RegFile{}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("line %d: want 'name value', got %q", ln+1, line)
+		}
+		v, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q", ln+1, fields[1])
+		}
+		name := fields[0]
+		switch {
+		case name == "pc":
+			r.PC = v
+		case name == "flags":
+			r.Flags = v
+		case name == "fsbase":
+			r.FSBase = v
+		case name == "gsbase":
+			r.GSBase = v
+		case name == "fpcr":
+			r.FPCR = v
+		case strings.HasPrefix(name, "v") && strings.Contains(name, "."):
+			dot := strings.Index(name, ".")
+			idx, err := strconv.Atoi(name[1:dot])
+			if err != nil || idx < 0 || idx >= isa.NumVReg {
+				return nil, fmt.Errorf("line %d: bad vector register %q", ln+1, name)
+			}
+			switch name[dot+1:] {
+			case "lo":
+				r.V[idx][0] = v
+			case "hi":
+				r.V[idx][1] = v
+			default:
+				return nil, fmt.Errorf("line %d: bad vector half %q", ln+1, name)
+			}
+		default:
+			reg, okReg := isa.ParseReg(name)
+			if !okReg {
+				return nil, fmt.Errorf("line %d: unknown register %q", ln+1, name)
+			}
+			r.GPR[reg] = v
+		}
+	}
+	return r, nil
+}

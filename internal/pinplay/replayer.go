@@ -1,0 +1,172 @@
+package pinplay
+
+import (
+	"fmt"
+
+	"elfie/internal/kernel"
+	"elfie/internal/mem"
+	"elfie/internal/pinball"
+	"elfie/internal/vm"
+)
+
+// ReplayOptions controls constrained replay.
+type ReplayOptions struct {
+	// Injection enables system-call side-effect injection and thread-order
+	// enforcement. Setting it false is -replay:injection 0: the pinball
+	// executes against live kernel state with a free-running scheduler,
+	// mimicking an ELFie run while still under the replayer (the paper's
+	// ELFie-debugging aid).
+	Injection bool
+	// SchedSeed/SchedJitter configure the free-running scheduler used when
+	// Injection is off.
+	SchedSeed   int64
+	SchedJitter int
+	// MaxFactor bounds runaway replays at MaxFactor x the recorded region
+	// length (default 4).
+	MaxFactor uint64
+	// Observe, when non-nil, is called for every system call satisfied
+	// from the log during injected replay, before its effects are applied.
+	// Replay-based analyses (the sysstate tool) use it to watch the
+	// region's system-call behaviour with full access to guest memory.
+	Observe func(t *vm.Thread, e *pinball.SyscallEffect, m *vm.Machine)
+	// BeforeRun, when non-nil, runs after the replay machine is fully set
+	// up but before execution starts — the attachment point for timing
+	// simulators and other instrumentation over a replay.
+	BeforeRun func(m *vm.Machine)
+}
+
+// ReplayResult reports the outcome of a replay.
+type ReplayResult struct {
+	Machine *vm.Machine
+	// PerThread is each thread's retired count during the replay.
+	PerThread []uint64
+	// Completed reports whether every recorded thread reached its recorded
+	// instruction count.
+	Completed bool
+	// Diverged is set when a system call site did not match the log, or an
+	// unexpected fault occurred during injected replay.
+	Diverged bool
+	// DivergeReason explains the first divergence.
+	DivergeReason string
+	// InjectedSyscalls counts calls satisfied from the log.
+	InjectedSyscalls int
+}
+
+// NewReplayMachine builds a machine whose state is the pinball's captured
+// state: memory image mapped, one thread per .reg file. Shared by the
+// replayer and by tools (sysstate) that analyze pinballs by replaying them.
+func NewReplayMachine(pb *pinball.Pinball, k *kernel.Kernel) *vm.Machine {
+	proc := kernel.NewProcess(k.FS)
+	for _, pg := range pb.Pages {
+		prot := pg.Prot
+		if prot == 0 {
+			prot = mem.ProtRW
+		}
+		proc.AS.Map(pg.Addr, uint64(len(pg.Data)), prot)
+		proc.AS.WriteNoFault(pg.Addr, pg.Data)
+	}
+	proc.BrkStart = pb.Meta.BrkStart
+	proc.Brk = pb.Meta.Brk
+	m := vm.New(k, proc)
+	for _, regs := range pb.Regs {
+		m.AddThread(regs)
+	}
+	return m
+}
+
+// Replay re-executes a pinball region. With injection on, system calls are
+// skipped and their recorded side effects injected, and the recorded thread
+// schedule is enforced, so the replay is constrained to the captured
+// behaviour.
+func Replay(pb *pinball.Pinball, k *kernel.Kernel, opts ReplayOptions) (*ReplayResult, error) {
+	if len(pb.Regs) == 0 {
+		return nil, fmt.Errorf("pinplay: pinball has no threads")
+	}
+	if opts.MaxFactor == 0 {
+		opts.MaxFactor = 4
+	}
+	m := NewReplayMachine(pb, k)
+	res := &ReplayResult{Machine: m}
+
+	if opts.Injection {
+		m.Sched = &vm.TraceScheduler{Trace: pb.Sched}
+		// Per-thread queues of logged effects, in program order.
+		queues := make([][]*pinball.SyscallEffect, len(pb.Regs))
+		for i := range pb.Syscalls {
+			e := &pb.Syscalls[i]
+			if e.TID < len(queues) {
+				queues[e.TID] = append(queues[e.TID], e)
+			}
+		}
+		diverge := func(why string) {
+			if !res.Diverged {
+				res.Diverged = true
+				res.DivergeReason = why
+			}
+		}
+		m.Hooks.SyscallFilter = func(t *vm.Thread, num uint64) (kernel.Result, bool) {
+			q := queues[t.TID]
+			if len(q) == 0 {
+				diverge(fmt.Sprintf("thread %d: unlogged %s call", t.TID, kernel.SyscallName(num)))
+				return kernel.Result{Ret: ^uint64(kernel.ENOSYS) + 1}, true
+			}
+			e := q[0]
+			queues[t.TID] = q[1:]
+			if e.Num != num {
+				diverge(fmt.Sprintf("thread %d: syscall mismatch: ran %s, logged %s",
+					t.TID, kernel.SyscallName(num), kernel.SyscallName(e.Num)))
+			}
+			if opts.Observe != nil {
+				opts.Observe(t, e, m)
+			}
+			if e.Executed {
+				return kernel.Result{}, false // clone/exit re-execute natively
+			}
+			// Inject side effects.
+			for _, w := range e.MemWrites {
+				m.Proc.AS.WriteNoFault(w.Addr, w.Data)
+			}
+			if e.FSBase != nil {
+				t.Regs.FSBase = *e.FSBase
+			}
+			if e.GSBase != nil {
+				t.Regs.GSBase = *e.GSBase
+			}
+			res.InjectedSyscalls++
+			return kernel.Result{Ret: e.Ret}, true
+		}
+		m.Hooks.OnFault = func(t *vm.Thread, f *mem.Fault) bool {
+			diverge(fmt.Sprintf("thread %d: %v", t.TID, f))
+			return false
+		}
+	} else {
+		m.Sched = vm.NewRoundRobin(100, opts.SchedJitter, opts.SchedSeed)
+	}
+
+	if opts.Injection {
+		// Constrained replay ends exactly at the recorded budget.
+		m.MaxInstructions = pb.Meta.TotalInstructions
+	} else {
+		m.MaxInstructions = pb.Meta.TotalInstructions * opts.MaxFactor
+	}
+	if opts.BeforeRun != nil {
+		opts.BeforeRun(m)
+	}
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+
+	res.PerThread = make([]uint64, len(m.Threads))
+	res.Completed = true
+	for i, t := range m.Threads {
+		res.PerThread[i] = t.Retired
+		if i < len(pb.Meta.RegionLength) && t.Retired < pb.Meta.RegionLength[i] {
+			res.Completed = false
+		}
+	}
+	if m.FatalFault != nil && !res.Diverged {
+		res.Diverged = true
+		res.DivergeReason = m.FatalFault.Error()
+	}
+	return res, nil
+}

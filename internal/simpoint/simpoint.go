@@ -1,0 +1,331 @@
+// Package simpoint implements the SimPoint phase-analysis methodology
+// (Sherwood et al., ASPLOS 2002) used by PinPoints for simulation region
+// selection: basic-block vectors are random-projected to a low dimension,
+// clustered with k-means over a range of k, the best k chosen by a BIC
+// score, and one representative slice (plus ranked alternates) selected per
+// cluster with a weight proportional to cluster size.
+package simpoint
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"elfie/internal/bbv"
+)
+
+// Options tunes region selection.
+type Options struct {
+	// MaxK bounds the number of clusters (phases); default 50.
+	MaxK int
+	// Dim is the random-projection dimension; default 15.
+	Dim int
+	// Seed drives projection and k-means initialization.
+	Seed int64
+	// Iterations bounds k-means refinement; default 40.
+	Iterations int
+	// BICThreshold picks the smallest k scoring at least this fraction of
+	// the best BIC; default 0.9.
+	BICThreshold float64
+}
+
+func (o *Options) defaults() {
+	if o.MaxK == 0 {
+		o.MaxK = 50
+	}
+	if o.Dim == 0 {
+		o.Dim = 15
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 40
+	}
+	if o.BICThreshold == 0 {
+		o.BICThreshold = 0.9
+	}
+}
+
+// Region is one selected simulation region.
+type Region struct {
+	// SliceIndex is the representative slice (0-based).
+	SliceIndex int
+	// Weight is the fraction of execution this region represents.
+	Weight float64
+	// Cluster is the phase id.
+	Cluster int
+	// Alternates are fallback representatives, ranked by centroid
+	// distance — the paper uses the 2nd/3rd best to recover coverage when
+	// an ELFie fails.
+	Alternates []int
+}
+
+// Result is a region selection.
+type Result struct {
+	Regions   []Region
+	K         int
+	NumSlices int
+}
+
+// Select runs the SimPoint methodology on a BBV profile.
+func Select(p *bbv.Profile, opts Options) (*Result, error) {
+	opts.defaults()
+	n := len(p.Slices)
+	if n == 0 {
+		return nil, fmt.Errorf("simpoint: empty profile")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	pts := project(p, opts.Dim, rng)
+
+	maxK := opts.MaxK
+	if maxK > n {
+		maxK = n
+	}
+
+	type attempt struct {
+		k      int
+		assign []int
+		cents  [][]float64
+		sse    float64
+		bic    float64
+	}
+	var attempts []attempt
+	best := math.Inf(-1)
+	for k := 1; k <= maxK; k++ {
+		assign, cents, sse := kmeans(pts, k, opts.Iterations, rng)
+		b := bicScore(sse, n, k, opts.Dim)
+		attempts = append(attempts, attempt{k, assign, cents, sse, b})
+		if b > best {
+			best = b
+		}
+		// Early exit: k cannot exceed the number of distinct points.
+		if sse == 0 {
+			break
+		}
+	}
+	// Choose the smallest k whose score is within the threshold band of the
+	// best (the SimPoint heuristic, adapted for negative scores).
+	band := (1 - opts.BICThreshold) * math.Abs(best)
+	chosen := attempts[len(attempts)-1]
+	for _, a := range attempts {
+		if a.bic >= best-band {
+			chosen = a
+			break
+		}
+	}
+
+	res := &Result{K: chosen.k, NumSlices: n}
+	for c := 0; c < chosen.k; c++ {
+		// Rank members by distance to the centroid.
+		type member struct {
+			idx  int
+			dist float64
+		}
+		var ms []member
+		for i, a := range chosen.assign {
+			if a == c {
+				ms = append(ms, member{i, dist2(pts[i], chosen.cents[c])})
+			}
+		}
+		if len(ms) == 0 {
+			continue
+		}
+		sort.Slice(ms, func(i, j int) bool {
+			if ms[i].dist != ms[j].dist {
+				return ms[i].dist < ms[j].dist
+			}
+			return ms[i].idx < ms[j].idx
+		})
+		reg := Region{
+			SliceIndex: ms[0].idx,
+			Weight:     float64(len(ms)) / float64(n),
+			Cluster:    c,
+		}
+		for a := 1; a < len(ms) && a < 4; a++ {
+			reg.Alternates = append(reg.Alternates, ms[a].idx)
+		}
+		res.Regions = append(res.Regions, reg)
+	}
+	sort.Slice(res.Regions, func(i, j int) bool {
+		return res.Regions[i].Weight > res.Regions[j].Weight
+	})
+	return res, nil
+}
+
+// project maps sparse BBVs onto a dense low-dimensional space with a seeded
+// random projection, normalizing each slice vector to unit L1 mass first.
+func project(p *bbv.Profile, dim int, rng *rand.Rand) [][]float64 {
+	// Stable block ordering for reproducible projections.
+	blockSet := map[uint64]int{}
+	var blocks []uint64
+	for _, sl := range p.Slices {
+		for b := range sl {
+			if _, ok := blockSet[b]; !ok {
+				blockSet[b] = 0
+				blocks = append(blocks, b)
+			}
+		}
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	proj := make(map[uint64][]float64, len(blocks))
+	for _, b := range blocks {
+		row := make([]float64, dim)
+		for d := range row {
+			row[d] = rng.Float64()*2 - 1
+		}
+		proj[b] = row
+	}
+	pts := make([][]float64, len(p.Slices))
+	for i, sl := range p.Slices {
+		var total float64
+		for _, c := range sl {
+			total += float64(c)
+		}
+		v := make([]float64, dim)
+		if total > 0 {
+			// Iterate blocks in sorted order: float accumulation order
+			// must be deterministic for reproducible selections.
+			for _, b := range blocks {
+				c, ok := sl[b]
+				if !ok {
+					continue
+				}
+				w := float64(c) / total
+				row := proj[b]
+				for d := 0; d < dim; d++ {
+					v[d] += w * row[d]
+				}
+			}
+		}
+		pts[i] = v
+	}
+	return pts
+}
+
+// kmeans clusters pts into k groups (k-means++ init, Lloyd refinement).
+func kmeans(pts [][]float64, k, iters int, rng *rand.Rand) (assign []int, cents [][]float64, sse float64) {
+	n := len(pts)
+	dim := len(pts[0])
+	cents = make([][]float64, 0, k)
+
+	// k-means++ seeding.
+	first := rng.Intn(n)
+	cents = append(cents, append([]float64(nil), pts[first]...))
+	minD := make([]float64, n)
+	for i := range minD {
+		minD[i] = dist2(pts[i], cents[0])
+	}
+	for len(cents) < k {
+		var sum float64
+		for _, d := range minD {
+			sum += d
+		}
+		var pick int
+		if sum <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			r := rng.Float64() * sum
+			for i, d := range minD {
+				r -= d
+				if r <= 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		c := append([]float64(nil), pts[pick]...)
+		cents = append(cents, c)
+		for i := range minD {
+			if d := dist2(pts[i], c); d < minD[i] {
+				minD[i] = d
+			}
+		}
+	}
+
+	assign = make([]int, n)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, p := range pts {
+			bestC, bestD := 0, math.Inf(1)
+			for c := range cents {
+				if d := dist2(p, cents[c]); d < bestD {
+					bestC, bestD = c, d
+				}
+			}
+			if assign[i] != bestC {
+				assign[i] = bestC
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		counts := make([]int, len(cents))
+		for c := range cents {
+			for d := 0; d < dim; d++ {
+				cents[c][d] = 0
+			}
+		}
+		for i, p := range pts {
+			c := assign[i]
+			counts[c]++
+			for d := 0; d < dim; d++ {
+				cents[c][d] += p[d]
+			}
+		}
+		for c := range cents {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster on the farthest point.
+				far, farD := 0, -1.0
+				for i, p := range pts {
+					if d := dist2(p, cents[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(cents[c], pts[far])
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				cents[c][d] /= float64(counts[c])
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+	}
+	for i, p := range pts {
+		sse += dist2(p, cents[assign[i]])
+	}
+	return assign, cents, sse
+}
+
+// bicScore is a Bayesian-information-criterion model score for spherical
+// Gaussian clusters: higher is better; more clusters are penalized.
+func bicScore(sse float64, n, k, dim int) float64 {
+	nd := float64(n * dim)
+	variance := sse / nd
+	// Floor the variance at the resolution of the normalized projected
+	// vectors: below this, clusters are indistinguishable and extra k only
+	// pays penalty.
+	if variance < 1e-6 {
+		variance = 1e-6
+	}
+	logL := -nd / 2 * math.Log(variance)
+	penalty := 0.5 * float64(k*dim) * math.Log(float64(n))
+	return logL - penalty
+}
+
+func dist2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Coverage returns the summed weight of the given regions.
+func Coverage(regions []Region) float64 {
+	var w float64
+	for _, r := range regions {
+		w += r.Weight
+	}
+	return w
+}

@@ -1,0 +1,164 @@
+package simpoint
+
+import (
+	"math"
+	"testing"
+
+	"elfie/internal/bbv"
+	"elfie/internal/kernel"
+	"elfie/internal/vm"
+	"elfie/internal/workloads"
+)
+
+func profileRecipe(t *testing.T, r workloads.Recipe, sliceSize uint64) *bbv.Profile {
+	t.Helper()
+	exe, err := workloads.Build(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := kernel.NewFS()
+	if r.FileInput {
+		fs.WriteFile("/input.dat", workloads.InputFile())
+	}
+	k := kernel.New(fs, 1)
+	m, err := vm.NewLoaded(k, exe, []string{r.Name}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxInstructions = 200_000_000
+	p, err := bbv.Collect(m, sliceSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProfileStructure(t *testing.T) {
+	r := workloads.TrainIntRate()[1]
+	p := profileRecipe(t, r, 100_000)
+	if len(p.Slices) < 5 {
+		t.Fatalf("slices = %d", len(p.Slices))
+	}
+	// Each full slice holds exactly sliceSize instructions of weight.
+	for i, sl := range p.Slices[:len(p.Slices)-1] {
+		var sum uint64
+		for _, c := range sl {
+			sum += uint64(c)
+		}
+		if sum != 100_000 {
+			t.Errorf("slice %d weight %d", i, sum)
+		}
+		if len(sl) < 2 {
+			t.Errorf("slice %d has %d blocks", i, len(sl))
+		}
+	}
+}
+
+func TestSelectFindsPhases(t *testing.T) {
+	r := workloads.TrainIntRate()[1] // gcc-like: 4 distinct phases
+	p := profileRecipe(t, r, 100_000)
+	res, err := Select(p, Options{MaxK: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K < 2 {
+		t.Errorf("k = %d; phased program should need several clusters", res.K)
+	}
+	if res.K > 10 {
+		t.Errorf("k = %d exceeds MaxK", res.K)
+	}
+	// Weights sum to ~1.
+	if w := Coverage(res.Regions); math.Abs(w-1) > 1e-9 {
+		t.Errorf("total weight = %v", w)
+	}
+	// Representatives are valid and distinct.
+	seen := map[int]bool{}
+	for _, reg := range res.Regions {
+		if reg.SliceIndex < 0 || reg.SliceIndex >= res.NumSlices {
+			t.Errorf("bad slice index %d", reg.SliceIndex)
+		}
+		if seen[reg.SliceIndex] {
+			t.Errorf("duplicate representative %d", reg.SliceIndex)
+		}
+		seen[reg.SliceIndex] = true
+		for _, a := range reg.Alternates {
+			if a == reg.SliceIndex {
+				t.Error("alternate equals representative")
+			}
+		}
+	}
+	// Sorted by weight, descending.
+	for i := 1; i < len(res.Regions); i++ {
+		if res.Regions[i].Weight > res.Regions[i-1].Weight {
+			t.Error("regions not sorted by weight")
+		}
+	}
+}
+
+func TestSelectRepresentativesMatchPhases(t *testing.T) {
+	// Two radically different phases in strict alternation: slices from
+	// the same phase must cluster together.
+	r := workloads.Recipe{
+		Name: "twophase", Threads: 1, Seed: 5,
+		Phases: []workloads.Phase{
+			{WorkingSetKB: 16, StrideBytes: 8, Iterations: 10000, MulPct: 50},
+			{WorkingSetKB: 4096, StrideBytes: 64, Iterations: 10000, StorePct: 40, BranchEntropyPct: 40},
+		},
+		Sequence: []int{0, 1, 0, 1, 0, 1, 0, 1},
+	}
+	p := profileRecipe(t, r, 50_000)
+	res, err := Select(p, Options{MaxK: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K < 2 {
+		t.Errorf("k = %d for a two-phase program", res.K)
+	}
+}
+
+func TestSelectUniformProgram(t *testing.T) {
+	// A single-phase program should need very few clusters.
+	r := workloads.Recipe{
+		Name: "uniform", Threads: 1, Seed: 9,
+		Phases:   []workloads.Phase{{WorkingSetKB: 64, StrideBytes: 8, Iterations: 20000}},
+		Sequence: []int{0, 0, 0, 0, 0, 0},
+	}
+	p := profileRecipe(t, r, 50_000)
+	res, err := Select(p, Options{MaxK: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 3 {
+		t.Errorf("k = %d for a uniform program", res.K)
+	}
+	if res.Regions[0].Weight < 0.5 {
+		t.Errorf("dominant weight = %v", res.Regions[0].Weight)
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	if _, err := Select(&bbv.Profile{}, Options{}); err == nil {
+		t.Error("empty profile accepted")
+	}
+}
+
+func TestSelectDeterministic(t *testing.T) {
+	r := workloads.TrainIntRate()[4]
+	p := profileRecipe(t, r, 100_000)
+	a, err := Select(p, Options{MaxK: 6, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Select(p, Options{MaxK: 6, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != b.K || len(a.Regions) != len(b.Regions) {
+		t.Fatalf("nondeterministic selection: %d/%d vs %d/%d", a.K, len(a.Regions), b.K, len(b.Regions))
+	}
+	for i := range a.Regions {
+		if a.Regions[i].SliceIndex != b.Regions[i].SliceIndex {
+			t.Errorf("region %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package sniper
+
+import (
+	"testing"
+
+	"elfie/internal/core"
+	"elfie/internal/kernel"
+	"elfie/internal/pinball"
+	"elfie/internal/pinplay"
+	"elfie/internal/vm"
+	"elfie/internal/workloads"
+)
+
+// makeMTRegion prepares a multi-threaded pinball + ELFie pair, as the
+// Fig. 11 case study does.
+func makeMTRegion(t *testing.T, threads int, regionLen uint64) (*pinball.Pinball, *core.Result) {
+	t.Helper()
+	r := workloads.SpeedOMP()[0]
+	r.Threads = threads
+	r.Sequence = r.Sequence[:8]
+	exe, err := workloads.Build(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(kernel.NewFS(), 1)
+	m, err := vm.NewLoaded(k, exe, []string{r.Name}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxInstructions = 1_000_000_000
+	pb, err := pinplay.Log(m, pinplay.LogOptions{
+		Name:        "mtreg",
+		RegionStart: 60_000, RegionLength: regionLen,
+	}.Fat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Convert(pb, core.Options{
+		GracefulExit: false, // the simulator's end condition stops it
+		Marker:       core.MarkerSniper,
+		MarkerTag:    roiTag,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pb, res
+}
+
+// roiTag marks the start of application code in test ELFies.
+const roiTag = 0x2b2b
+
+// markedConfig is the 8-core configuration with startup gating.
+func markedConfig() Config {
+	cfg := Gainestown8()
+	cfg.StartMarker = roiTag
+	return cfg
+}
+
+func TestPinballSimulationMatchesRecordedCounts(t *testing.T) {
+	pb, _ := makeMTRegion(t, 4, 400_000)
+	res, err := SimulatePinball(pb, Gainestown8(), EndCondition{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constrained simulation instruction count matches the recorded count.
+	if res.Instructions != pb.Meta.TotalInstructions {
+		t.Errorf("simulated %d, recorded %d", res.Instructions, pb.Meta.TotalInstructions)
+	}
+	if res.Cycles == 0 || res.RuntimeNs == 0 {
+		t.Errorf("no timing: %+v", res)
+	}
+}
+
+func TestELFieSimulationExceedsRecordedCounts(t *testing.T) {
+	// Fig. 11: under the same (PC, count) end condition, the unconstrained
+	// ELFie simulation retires more instructions than the constrained
+	// pinball simulation, because spin-loop iteration counts are not
+	// pinned by the recorded schedule.
+	pb, elfie := makeMTRegion(t, 4, 400_000)
+	end := EndCondition{PC: pb.Meta.EndPC, Count: pb.Meta.EndCount}
+	if end.PC == 0 || end.Count == 0 {
+		t.Fatalf("no end condition in pinball meta: %+v", pb.Meta)
+	}
+	pbSim, err := SimulatePinball(pb, Gainestown8(), end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateELFie(elfie.Exe, markedConfig(), end, 42, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EndReached {
+		t.Fatalf("end condition never reached: %+v", res)
+	}
+	if res.Instructions <= pbSim.Instructions {
+		t.Errorf("ELFie simulated %d <= pinball %d (spin loops should inflate it)",
+			res.Instructions, pbSim.Instructions)
+	}
+	t.Logf("recorded=%d pinball-sim=%d elfie-sim=%d (+%.0f%%)",
+		pb.Meta.TotalInstructions, pbSim.Instructions, res.Instructions,
+		100*float64(res.Instructions-pbSim.Instructions)/float64(pbSim.Instructions))
+}
+
+func TestSingleThreadedELFieMatches(t *testing.T) {
+	// Fig. 11's 657.xz_s.1: single-threaded, so the unconstrained ELFie
+	// count matches the constrained one (no spin loops).
+	pb, elfie := makeMTRegion(t, 1, 200_000)
+	end := EndCondition{PC: pb.Meta.EndPC, Count: pb.Meta.EndCount}
+	res, err := SimulateELFie(elfie.Exe, markedConfig(), end, 17, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EndReached {
+		t.Fatalf("end never reached")
+	}
+	// The ELFie also executes ~60 startup instructions; within 1%.
+	diff := float64(res.Instructions) - float64(pb.Meta.TotalInstructions)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff/float64(pb.Meta.TotalInstructions) > 0.01 {
+		t.Errorf("ST counts differ: elfie=%d recorded=%d", res.Instructions, pb.Meta.TotalInstructions)
+	}
+}
+
+func TestELFieRunToRunVariation(t *testing.T) {
+	pb, elfie := makeMTRegion(t, 4, 400_000)
+	end := EndCondition{PC: pb.Meta.EndPC, Count: pb.Meta.EndCount}
+	counts := map[uint64]bool{}
+	for seed := int64(1); seed <= 3; seed++ {
+		res, err := SimulateELFie(elfie.Exe, markedConfig(), end, seed, 100_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[res.Instructions] = true
+	}
+	if len(counts) < 2 {
+		t.Errorf("no run-to-run variation in ELFie simulation: %v", counts)
+	}
+}
+
+func TestEndConditionStopsEarly(t *testing.T) {
+	pb, elfie := makeMTRegion(t, 2, 300_000)
+	_ = pb
+	// An immediate end condition: stop after one execution of the entry.
+	end := EndCondition{PC: elfie.Exe.Entry, Count: 1}
+	res, err := SimulateELFie(elfie.Exe, Gainestown8(), end, 5, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EndReached || res.Instructions > 100 {
+		t.Errorf("end condition did not stop promptly: %+v", res)
+	}
+}

@@ -1,0 +1,300 @@
+// Package sysstate implements the pinball_sysstate tool (paper §II.C.2,
+// Fig. 8): a replay-based analysis that reconstructs the file and heap state
+// a captured region depends on, so an ELFie can re-execute its system calls
+// correctly.
+//
+// The tool replays a pinball with injection and watches every system call:
+//
+//   - files opened *inside* the region get a proxy file with the real name,
+//     populated from the region's logged read() results;
+//   - files opened *before* the region — visible only as file descriptors —
+//     get a proxy named "FD_n"; the ELFie startup pre-opens those proxies
+//     and dup2()s them onto the right descriptor numbers;
+//   - the first and last brk() results are recorded in BRK.log so the
+//     ELFie startup can restore the heap layout via prctl().
+package sysstate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"elfie/internal/core"
+	"elfie/internal/kernel"
+	"elfie/internal/pinball"
+	"elfie/internal/pinplay"
+	"elfie/internal/vm"
+)
+
+// ProxyFile is one reconstructed file.
+type ProxyFile struct {
+	// Name is the file's path as the region sees it ("/data/input.txt"),
+	// or "FD_n" for descriptors opened before the region.
+	Name string `json:"name"`
+	// PreRegionFD is the descriptor number for FD_n proxies, else -1.
+	PreRegionFD int `json:"pre_region_fd"`
+	// InitialOffset is the file position the descriptor must start at.
+	InitialOffset int64 `json:"initial_offset"`
+	// Data is the reconstructed content (bytes never read stay zero).
+	Data []byte `json:"data"`
+}
+
+// State is the reconstructed system state of a region.
+type State struct {
+	Files    []*ProxyFile `json:"files"`
+	BrkFirst uint64       `json:"brk_first"` // first brk() result in region
+	BrkLast  uint64       `json:"brk_last"`  // last brk() result in region
+}
+
+// fdState tracks one descriptor during the analysis replay.
+type fdState struct {
+	file   *ProxyFile
+	offset int64
+}
+
+// Analyze replays the pinball with injection and reconstructs its sysstate.
+func Analyze(pb *pinball.Pinball) (*State, error) {
+	st := &State{}
+	byName := map[string]*ProxyFile{}
+	fds := map[int]*fdState{}
+
+	proxyFor := func(fd int) *fdState {
+		if f, ok := fds[fd]; ok {
+			return f
+		}
+		// Descriptor opened before the region: FD_n proxy.
+		name := fmt.Sprintf("FD_%d", fd)
+		pf, ok := byName[name]
+		if !ok {
+			pf = &ProxyFile{Name: name, PreRegionFD: fd}
+			byName[name] = pf
+			st.Files = append(st.Files, pf)
+		}
+		f := &fdState{file: pf}
+		fds[fd] = f
+		return f
+	}
+
+	observe := func(t *vm.Thread, e *pinball.SyscallEffect, m *vm.Machine) {
+		switch e.Num {
+		case kernel.SysOpen:
+			if int64(e.Ret) < 0 {
+				return
+			}
+			name := readGuestString(m, e.Args[0])
+			pf, ok := byName[name]
+			if !ok {
+				pf = &ProxyFile{Name: name, PreRegionFD: -1}
+				byName[name] = pf
+				st.Files = append(st.Files, pf)
+			}
+			fds[int(e.Ret)] = &fdState{file: pf}
+		case kernel.SysRead:
+			fd := int(int64(e.Args[0]))
+			if fd <= 2 || int64(e.Ret) <= 0 {
+				return
+			}
+			f := proxyFor(fd)
+			if len(e.MemWrites) > 0 {
+				f.file.placeData(f.offset, e.MemWrites[0].Data)
+			}
+			f.offset += int64(e.Ret)
+		case kernel.SysLseek:
+			fd := int(int64(e.Args[0]))
+			if int64(e.Ret) < 0 {
+				return
+			}
+			if _, tracked := fds[fd]; !tracked && fd <= 2 {
+				return
+			}
+			proxyFor(fd).offset = int64(e.Ret)
+		case kernel.SysClose:
+			delete(fds, int(int64(e.Args[0])))
+		case kernel.SysDup, kernel.SysDup2:
+			old := int(int64(e.Args[0]))
+			if int64(e.Ret) < 0 || old <= 2 {
+				return
+			}
+			src := proxyFor(old)
+			fds[int(e.Ret)] = &fdState{file: src.file, offset: src.offset}
+		case kernel.SysBrk:
+			if e.Args[0] == 0 && st.BrkFirst != 0 {
+				return // pure queries after the first don't move the break
+			}
+			if st.BrkFirst == 0 {
+				st.BrkFirst = e.Ret
+			}
+			st.BrkLast = e.Ret
+		}
+	}
+
+	k := kernel.New(kernel.NewFS(), 0)
+	res, err := pinplay.Replay(pb, k, pinplay.ReplayOptions{Injection: true, Observe: observe})
+	if err != nil {
+		return nil, err
+	}
+	if res.Diverged {
+		return nil, fmt.Errorf("sysstate: analysis replay diverged: %s", res.DivergeReason)
+	}
+	sort.Slice(st.Files, func(i, j int) bool { return st.Files[i].Name < st.Files[j].Name })
+	return st, nil
+}
+
+// placeData writes data into the proxy at the given offset, growing it.
+func (pf *ProxyFile) placeData(off int64, data []byte) {
+	end := off + int64(len(data))
+	if end > int64(len(pf.Data)) {
+		grown := make([]byte, end)
+		copy(grown, pf.Data)
+		pf.Data = grown
+	}
+	copy(pf.Data[off:], data)
+}
+
+func readGuestString(m *vm.Machine, addr uint64) string {
+	var out []byte
+	buf := make([]byte, 1)
+	for len(out) < 4096 {
+		if n := m.Proc.AS.ReadNoFault(addr, buf); n == 0 {
+			break
+		}
+		if buf[0] == 0 {
+			break
+		}
+		out = append(out, buf[0])
+		addr++
+	}
+	return string(out)
+}
+
+// Install writes the reconstructed state into a guest filesystem: FD_n
+// proxies under dir, named files both under dir and at their rightful
+// absolute paths (the paper's copy-to-location behaviour).
+func (st *State) Install(fs *kernel.FS, dir string) {
+	for _, f := range st.Files {
+		if f.PreRegionFD >= 0 {
+			fs.WriteFile(filepath.Join(dir, f.Name), f.Data)
+			continue
+		}
+		fs.WriteFile(f.Name, f.Data)
+		fs.WriteFile(filepath.Join(dir, "workdir", strings.TrimPrefix(f.Name, "/")), f.Data)
+	}
+}
+
+// Ref builds the startup-embedded reference for pinball2elf: the preopen
+// table for FD_n proxies (paths under dir) plus the BRK.log values.
+func (st *State) Ref(dir string) *core.SysStateRef {
+	ref := &core.SysStateRef{BrkFirst: st.BrkFirst, BrkLast: st.BrkLast}
+	for _, f := range st.Files {
+		if f.PreRegionFD >= 0 {
+			ref.Preopen = append(ref.Preopen, core.PreopenFile{
+				TargetFD: f.PreRegionFD,
+				Path:     filepath.Join(dir, f.Name),
+				Offset:   f.InitialOffset,
+			})
+		}
+	}
+	return ref
+}
+
+// Report renders a human-readable summary in the spirit of the paper's
+// Fig. 8 example output.
+func (st *State) Report() string {
+	var b strings.Builder
+	for _, f := range st.Files {
+		if f.PreRegionFD >= 0 {
+			fmt.Fprintf(&b, "File opened prior to the region: file descriptor %d (%d bytes reconstructed)\n",
+				f.PreRegionFD, len(f.Data))
+		} else {
+			fmt.Fprintf(&b, "File opened inside the region: %s (%d bytes reconstructed)\n",
+				f.Name, len(f.Data))
+		}
+	}
+	fmt.Fprintf(&b, "BRK.log: first 0x%x last 0x%x\n", st.BrkFirst, st.BrkLast)
+	return b.String()
+}
+
+// SaveDir writes a real on-disk sysstate directory: one file per proxy,
+// FILES.json manifest, and BRK.log.
+func (st *State) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	type manifestEntry struct {
+		Name          string `json:"name"`
+		DiskName      string `json:"disk_name"`
+		PreRegionFD   int    `json:"pre_region_fd"`
+		InitialOffset int64  `json:"initial_offset"`
+	}
+	var manifest []manifestEntry
+	for i, f := range st.Files {
+		disk := f.Name
+		if f.PreRegionFD < 0 {
+			disk = fmt.Sprintf("file%d_%s", i, sanitize(f.Name))
+		}
+		if err := os.WriteFile(filepath.Join(dir, disk), f.Data, 0o644); err != nil {
+			return err
+		}
+		manifest = append(manifest, manifestEntry{
+			Name: f.Name, DiskName: disk,
+			PreRegionFD: f.PreRegionFD, InitialOffset: f.InitialOffset,
+		})
+	}
+	mj, err := json.MarshalIndent(manifest, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "FILES.json"), mj, 0o644); err != nil {
+		return err
+	}
+	brk := fmt.Sprintf("first 0x%x\nlast 0x%x\n", st.BrkFirst, st.BrkLast)
+	return os.WriteFile(filepath.Join(dir, "BRK.log"), []byte(brk), 0o644)
+}
+
+// LoadDir reads a sysstate directory written by SaveDir.
+func LoadDir(dir string) (*State, error) {
+	mj, err := os.ReadFile(filepath.Join(dir, "FILES.json"))
+	if err != nil {
+		return nil, err
+	}
+	var manifest []struct {
+		Name          string `json:"name"`
+		DiskName      string `json:"disk_name"`
+		PreRegionFD   int    `json:"pre_region_fd"`
+		InitialOffset int64  `json:"initial_offset"`
+	}
+	if err := json.Unmarshal(mj, &manifest); err != nil {
+		return nil, err
+	}
+	st := &State{}
+	for _, e := range manifest {
+		data, err := os.ReadFile(filepath.Join(dir, e.DiskName))
+		if err != nil {
+			return nil, err
+		}
+		st.Files = append(st.Files, &ProxyFile{
+			Name: e.Name, PreRegionFD: e.PreRegionFD,
+			InitialOffset: e.InitialOffset, Data: data,
+		})
+	}
+	brk, err := os.ReadFile(filepath.Join(dir, "BRK.log"))
+	if err != nil {
+		return nil, err
+	}
+	fmt.Sscanf(string(brk), "first 0x%x\nlast 0x%x", &st.BrkFirst, &st.BrkLast)
+	return st, nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}

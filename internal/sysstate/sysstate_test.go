@@ -1,0 +1,296 @@
+package sysstate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"elfie/internal/asm"
+	"elfie/internal/core"
+	"elfie/internal/elfobj"
+	"elfie/internal/kernel"
+	"elfie/internal/pinball"
+	"elfie/internal/pinplay"
+	"elfie/internal/vm"
+)
+
+// preOpenProg opens a file long before the region of interest, then inside
+// the region reads it through the descriptor and also opens a second file by
+// name and allocates heap with brk — the full Fig. 8 menagerie.
+const preOpenProg = `
+	.text
+	.global _start
+_start:
+	movi r0, 2          # open("/warm.dat") -- before region
+	limm r1, fname1
+	movi r2, 0
+	syscall
+	mov  r10, r0        # fd for region use
+
+	# wind the descriptor to offset 64 before the region starts
+	movi r0, 8
+	mov  r1, r10
+	movi r2, 64
+	movi r3, 0
+	syscall
+
+	# some pre-region busy work
+	movi r8, 0
+warm:
+	addi r8, r8, 1
+	cmpi r8, 2000
+	jnz  warm
+
+	# ---- region of interest starts around here ----
+	movi r8, 0
+region:
+	movi r0, 0          # read(fd, buf, 16)
+	mov  r1, r10
+	limm r2, buf
+	movi r3, 16
+	syscall
+	cmpi r0, 16         # short or failed read: bail out early
+	jnz  fail
+	limm r2, buf
+	ld.q r3, [r2]
+	add  r9, r9, r3
+	addi r8, r8, 1
+	cmpi r8, 20
+	jnz  region
+
+	# open a second file inside the region
+	movi r0, 2
+	limm r1, fname2
+	movi r2, 0
+	syscall
+	mov  r11, r0
+	movi r0, 0
+	mov  r1, r11
+	limm r2, buf
+	movi r3, 32
+	syscall
+
+	# grow the heap
+	movi r0, 12         # brk(0)
+	movi r1, 0
+	syscall
+	addi r1, r0, 65536
+	movi r0, 12         # brk(+64K)
+	syscall
+	mov  r12, r0
+	st.q r9, [r12-8]    # touch new heap
+
+	# more compute so the region has a tail
+	movi r8, 0
+tail:
+	muli r9, r9, 13
+	addi r9, r9, 1
+	addi r8, r8, 1
+	cmpi r8, 30000
+	jnz  tail
+	movi r0, 231
+	movi r1, 0
+	syscall
+fail:
+	movi r0, 231
+	movi r1, 77
+	syscall
+	.data
+fname1:	.asciz "/warm.dat"
+fname2:	.asciz "/etc/config.txt"
+buf:	.space 64
+`
+
+func makeFS() *kernel.FS {
+	fs := kernel.NewFS()
+	warm := make([]byte, 4096)
+	for i := range warm {
+		warm[i] = byte(i % 251)
+	}
+	fs.WriteFile("/warm.dat", warm)
+	fs.WriteFile("/etc/config.txt", []byte("option=1\nthreads=8\npayload=xyzzy\n"))
+	return fs
+}
+
+func logRegion(t *testing.T) *pinball.Pinball {
+	t.Helper()
+	exe, err := asm.Program(preOpenProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(makeFS(), 1)
+	m, err := vm.NewLoaded(k, exe, []string{"prog"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxInstructions = 10_000_000
+	// Region starts near the end of the warm loop (2000 iterations x 3
+	// instructions plus setup), well after the open()/lseek() but before
+	// the in-region reads.
+	pb, err := pinplay.Log(m, pinplay.LogOptions{
+		Name: "pre", RegionStart: 6000, RegionLength: 60_000,
+	}.Fat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pb
+}
+
+func TestAnalyze(t *testing.T) {
+	st, err := Analyze(logRegion(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fdProxy, named *ProxyFile
+	for _, f := range st.Files {
+		switch {
+		case f.PreRegionFD >= 3:
+			fdProxy = f
+		case f.Name == "/etc/config.txt":
+			named = f
+		}
+	}
+	if fdProxy == nil {
+		t.Fatalf("no FD_n proxy: %+v", st.Files)
+	}
+	if named == nil {
+		t.Fatalf("no named proxy: %+v", st.Files)
+	}
+	// The FD proxy holds the 20x16 bytes the region read, at offset 0
+	// (region-relative) — matching /warm.dat content from offset 64.
+	warm := make([]byte, 4096)
+	for i := range warm {
+		warm[i] = byte(i % 251)
+	}
+	if len(fdProxy.Data) < 320 || !bytes.Equal(fdProxy.Data[:320], warm[64:64+320]) {
+		t.Errorf("FD proxy content wrong (%d bytes)", len(fdProxy.Data))
+	}
+	if !strings.HasPrefix(string(named.Data), "option=1") {
+		t.Errorf("named proxy content: %q", named.Data)
+	}
+	if st.BrkFirst == 0 || st.BrkLast <= st.BrkFirst {
+		t.Errorf("brk log: first=%#x last=%#x", st.BrkFirst, st.BrkLast)
+	}
+	rep := st.Report()
+	if !strings.Contains(rep, "File opened prior to the region") ||
+		!strings.Contains(rep, "BRK.log") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestELFieWithSysstate(t *testing.T) {
+	pb := logRegion(t)
+	st, err := Analyze(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Convert(pb, core.Options{
+		GracefulExit: true,
+		SysState:     st.Ref("/sysstate"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := res.Exe.Write()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe2, err := elfobj.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh machine, fresh filesystem containing ONLY the sysstate files.
+	fs := kernel.NewFS()
+	st.Install(fs, "/sysstate")
+	k := kernel.New(fs, 123)
+	m, err := vm.NewLoaded(k, exe2, []string{"elfie"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxInstructions = 10_000_000
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.FatalFault != nil {
+		t.Fatalf("fault: %v\n%s", m.FatalFault, m.DumpState())
+	}
+	pcs := m.Threads[0].PerfCounters()
+	if len(pcs) != 1 || !pcs[0].Fired {
+		t.Fatalf("region did not complete: retired=%d\n%s", m.Threads[0].Retired, m.DumpState())
+	}
+	if c := pcs[0].Count(m.Threads[0]); c != res.PerfPeriods[0] {
+		t.Errorf("counted %d, want %d", c, res.PerfPeriods[0])
+	}
+}
+
+func TestELFieWithoutSysstateDiverges(t *testing.T) {
+	pb := logRegion(t)
+	res, err := core.Convert(pb, core.Options{GracefulExit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := res.Exe.Write()
+	exe2, _ := elfobj.Read(buf)
+	k := kernel.New(kernel.NewFS(), 123) // empty fs, no preopen
+	m, err := vm.NewLoaded(k, exe2, []string{"elfie"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxInstructions = 10_000_000
+	m.Run()
+	// The read() from the stale descriptor fails; the loop exits after one
+	// pass with wrong data, so the graceful-exit counter never fires (the
+	// thread either dies on a fault or finishes the program early).
+	if len(m.Threads[0].PerfCounters()) == 1 && m.Threads[0].PerfCounters()[0].Fired &&
+		m.FatalFault == nil {
+		// Firing exactly would mean the region completed despite the
+		// missing state, which the control flow makes impossible here.
+		t.Error("region unexpectedly completed without sysstate")
+	}
+}
+
+func TestSaveLoadDir(t *testing.T) {
+	st, err := Analyze(logRegion(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := st.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.Files) != len(st.Files) {
+		t.Fatalf("files: %d vs %d", len(st2.Files), len(st.Files))
+	}
+	if st2.BrkFirst != st.BrkFirst || st2.BrkLast != st.BrkLast {
+		t.Errorf("brk: %#x/%#x vs %#x/%#x", st2.BrkFirst, st2.BrkLast, st.BrkFirst, st.BrkLast)
+	}
+	for i := range st.Files {
+		if st.Files[i].Name != st2.Files[i].Name || !bytes.Equal(st.Files[i].Data, st2.Files[i].Data) {
+			t.Errorf("file %d differs", i)
+		}
+	}
+}
+
+func TestRefTable(t *testing.T) {
+	st, err := Analyze(logRegion(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := st.Ref("/ss")
+	if len(ref.Preopen) == 0 {
+		t.Fatal("no preopen entries")
+	}
+	for _, p := range ref.Preopen {
+		if !strings.HasPrefix(p.Path, "/ss/FD_") || p.TargetFD < 3 {
+			t.Errorf("preopen entry: %+v", p)
+		}
+	}
+	if ref.BrkLast == 0 {
+		t.Error("brk missing from ref")
+	}
+}

@@ -1,0 +1,148 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+
+	"elfie/internal/isa"
+	"elfie/internal/kernel"
+	"elfie/internal/mem"
+)
+
+// TestInterpreterDifferential cross-checks the interpreter's ALU semantics
+// against an independent Go evaluator on random straight-line programs.
+func TestInterpreterDifferential(t *testing.T) {
+	aluOps := []isa.Op{
+		isa.MOV, isa.ADD, isa.SUB, isa.MUL, isa.UDIV, isa.SDIV, isa.UREM,
+		isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.SAR, isa.NOT, isa.NEG,
+		isa.ADDI, isa.MULI, isa.ANDI, isa.ORI, isa.XORI,
+		isa.SHLI, isa.SHRI, isa.SARI, isa.LEA1, isa.LEA8, isa.MOVI,
+	}
+
+	eval := func(op isa.Op, b, c, imm uint64) (uint64, bool) {
+		switch op {
+		case isa.MOV:
+			return b, true
+		case isa.MOVI:
+			return imm, true
+		case isa.ADD:
+			return b + c, true
+		case isa.SUB:
+			return b - c, true
+		case isa.MUL:
+			return b * c, true
+		case isa.UDIV:
+			if c == 0 {
+				return ^uint64(0), true
+			}
+			return b / c, true
+		case isa.SDIV:
+			if c == 0 {
+				return ^uint64(0), true
+			}
+			return uint64(int64(b) / int64(c)), true
+		case isa.UREM:
+			if c == 0 {
+				return b, true
+			}
+			return b % c, true
+		case isa.AND:
+			return b & c, true
+		case isa.OR:
+			return b | c, true
+		case isa.XOR:
+			return b ^ c, true
+		case isa.SHL:
+			return b << (c & 63), true
+		case isa.SHR:
+			return b >> (c & 63), true
+		case isa.SAR:
+			return uint64(int64(b) >> (c & 63)), true
+		case isa.NOT:
+			return ^b, true
+		case isa.NEG:
+			return -b, true
+		case isa.ADDI:
+			return b + imm, true
+		case isa.MULI:
+			return b * imm, true
+		case isa.ANDI:
+			return b & imm, true
+		case isa.ORI:
+			return b | imm, true
+		case isa.XORI:
+			return b ^ imm, true
+		case isa.SHLI:
+			return b << (imm & 63), true
+		case isa.SHRI:
+			return b >> (imm & 63), true
+		case isa.SARI:
+			return uint64(int64(b) >> (imm & 63)), true
+		case isa.LEA1:
+			return b + c + imm, true
+		case isa.LEA8:
+			return b + c*8 + imm, true
+		}
+		return 0, false
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		// Random register state and random straight-line program.
+		var init [14]uint64 // use r0..r13 (leave rbp/rsp alone)
+		for i := range init {
+			init[i] = rng.Uint64()
+		}
+		ref := init
+		var code []byte
+		n := 5 + rng.Intn(60)
+		type step struct {
+			op      isa.Op
+			a, b, c uint8
+			imm     int32
+		}
+		var steps []step
+		for i := 0; i < n; i++ {
+			s := step{
+				op:  aluOps[rng.Intn(len(aluOps))],
+				a:   uint8(rng.Intn(14)),
+				b:   uint8(rng.Intn(14)),
+				c:   uint8(rng.Intn(14)),
+				imm: int32(rng.Uint32()),
+			}
+			steps = append(steps, s)
+			code = isa.Inst{Op: s.op, A: s.a, B: s.b, C: s.c, Imm: s.imm}.Encode(code)
+		}
+		code = isa.Inst{Op: isa.HLT}.Encode(code)
+
+		// Reference evaluation.
+		for _, s := range steps {
+			v, ok := eval(s.op, ref[s.b], ref[s.c], uint64(int64(s.imm)))
+			if !ok {
+				t.Fatalf("unhandled op %v", s.op)
+			}
+			ref[s.a] = v
+		}
+
+		// Machine evaluation: map the code and run.
+		k := kernel.New(kernel.NewFS(), 1)
+		proc := kernel.NewProcess(k.FS)
+		proc.AS.Map(0x1000, uint64(len(code)+mem.PageSize), mem.ProtRX)
+		proc.AS.WriteNoFault(0x1000, code)
+		m := New(k, proc)
+		th := m.AddThread(isa.RegFile{PC: 0x1000})
+		for i := 0; i < 14; i++ {
+			th.Regs.GPR[i] = init[i]
+		}
+		m.MaxInstructions = uint64(n + 10)
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 14; i++ {
+			if th.Regs.GPR[i] != ref[i] {
+				t.Fatalf("trial %d: r%d = %#x, reference %#x\nprogram:\n%v",
+					trial, i, th.Regs.GPR[i], ref[i], steps)
+			}
+		}
+	}
+}

@@ -1,0 +1,325 @@
+// Package vm implements the PVM-64 functional emulator: a multi-threaded
+// machine with a pluggable scheduler, hardware-style per-thread performance
+// counters, and instrumentation hooks.
+//
+// The hooks are the substrate for package pin (the Pin-like instrumentation
+// framework); the scheduler abstraction is what lets the PinPlay replayer
+// enforce the recorded thread interleaving while native ELFie runs get a
+// seeded, jittering round-robin that models run-to-run variation.
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"elfie/internal/elfobj"
+	"elfie/internal/isa"
+	"elfie/internal/kernel"
+	"elfie/internal/mem"
+)
+
+// Thread is one hardware thread of the machine.
+type Thread struct {
+	TID        int
+	Regs       isa.RegFile
+	Alive      bool
+	ExitStatus int
+	// Retired counts instructions this thread has retired.
+	Retired uint64
+	// Fault is set if the thread died on an unhandled memory fault
+	// (the "ungraceful exit" of a divergent ELFie).
+	Fault *mem.Fault
+	// perf counters armed on this thread via perf_event_open.
+	perf []*PerfCounter
+}
+
+// PerfCounter models one hardware performance counter counting retired
+// instructions, with an overflow action — the mechanism pinball2elf uses
+// for the graceful-exit challenge.
+type PerfCounter struct {
+	Period         uint64
+	Handler        uint64
+	ExitOnOverflow bool
+	Fired          bool
+	base           uint64 // thread Retired when armed
+}
+
+// Count returns the counter's current value for a thread.
+func (p *PerfCounter) Count(t *Thread) uint64 { return t.Retired - p.base }
+
+// Hooks are instrumentation callbacks. Any nil hook is skipped. Hooks fire
+// before the architectural effect they describe.
+type Hooks struct {
+	// OnIns fires before each instruction executes.
+	OnIns func(t *Thread, pc uint64, ins isa.Inst)
+	// OnMemRead/OnMemWrite fire before a data memory access.
+	OnMemRead  func(t *Thread, addr uint64, size int)
+	OnMemWrite func(t *Thread, addr uint64, size int)
+	// OnBranch fires after a control-flow instruction resolves.
+	OnBranch func(t *Thread, pc, target uint64, taken bool)
+	// OnMarker fires for CPUID/SSCMARK/MAGIC marker instructions.
+	OnMarker func(t *Thread, op isa.Op, tag uint32)
+	// SyscallFilter, when non-nil, may handle a system call entirely
+	// (returning handled=true) — the replayer's side-effect injection.
+	SyscallFilter func(t *Thread, num uint64) (res kernel.Result, handled bool)
+	// OnSyscall fires after a system call (native or injected) completes.
+	OnSyscall func(t *Thread, num uint64, res kernel.Result)
+	// OnFault may handle a memory fault (e.g. by injecting a logged page);
+	// returning true retries the faulting instruction.
+	OnFault func(t *Thread, f *mem.Fault) bool
+	// OnThreadStart/OnThreadExit bracket a thread's life.
+	OnThreadStart func(t *Thread)
+	OnThreadExit  func(t *Thread)
+}
+
+// Scheduler picks the next thread to run and learns how far it got.
+type Scheduler interface {
+	// Next returns the TID to run and its quantum in instructions.
+	// It is only called with at least one runnable thread.
+	Next(m *Machine) (tid, quantum int)
+	// Ran reports how many instructions the chosen thread executed
+	// (possibly fewer than the quantum).
+	Ran(tid, n int)
+}
+
+// RoundRobin is the default scheduler: rotate over runnable threads with a
+// fixed quantum plus optional seeded jitter. Jitter models the OS-level
+// run-to-run variation that makes multi-threaded ELFie runs non-
+// deterministic; the PinPlay logger runs with Jitter = 0.
+type RoundRobin struct {
+	Quantum int
+	Jitter  int
+	rng     *rand.Rand
+	last    int
+}
+
+// NewRoundRobin returns a round-robin scheduler. If jitter > 0, quanta vary
+// uniformly in [quantum-jitter, quantum+jitter], driven by seed.
+func NewRoundRobin(quantum, jitter int, seed int64) *RoundRobin {
+	return &RoundRobin{Quantum: quantum, Jitter: jitter, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Scheduler.
+func (rr *RoundRobin) Next(m *Machine) (int, int) {
+	n := len(m.Threads)
+	for i := 1; i <= n; i++ {
+		tid := (rr.last + i) % n
+		if m.Threads[tid].Alive {
+			rr.last = tid
+			q := rr.Quantum
+			if rr.Jitter > 0 {
+				q += rr.rng.Intn(2*rr.Jitter+1) - rr.Jitter
+				if q < 1 {
+					q = 1
+				}
+			}
+			return tid, q
+		}
+	}
+	return -1, 0
+}
+
+// Ran implements Scheduler.
+func (rr *RoundRobin) Ran(tid, n int) {}
+
+// SchedRecord is one run of instructions by one thread, as recorded by the
+// PinPlay logger and enforced by the replayer.
+type SchedRecord struct {
+	TID int
+	N   uint64
+}
+
+// TraceScheduler replays a recorded schedule exactly, then falls back to
+// round-robin when the trace is exhausted.
+type TraceScheduler struct {
+	Trace    []SchedRecord
+	pos      int
+	consumed uint64
+	Fallback Scheduler
+}
+
+// Next implements Scheduler.
+func (ts *TraceScheduler) Next(m *Machine) (int, int) {
+	for ts.pos < len(ts.Trace) {
+		rec := ts.Trace[ts.pos]
+		remaining := rec.N - ts.consumed
+		if remaining == 0 {
+			ts.pos++
+			ts.consumed = 0
+			continue
+		}
+		if rec.TID < len(m.Threads) && m.Threads[rec.TID].Alive {
+			q := remaining
+			if q > 1<<20 {
+				q = 1 << 20
+			}
+			return rec.TID, int(q)
+		}
+		// Recorded thread is gone; skip the record.
+		ts.pos++
+		ts.consumed = 0
+	}
+	if ts.Fallback == nil {
+		ts.Fallback = NewRoundRobin(100, 0, 0)
+	}
+	return ts.Fallback.Next(m)
+}
+
+// Ran implements Scheduler.
+func (ts *TraceScheduler) Ran(tid, n int) {
+	if ts.pos < len(ts.Trace) && ts.Trace[ts.pos].TID == tid {
+		ts.consumed += uint64(n)
+		if ts.consumed >= ts.Trace[ts.pos].N {
+			ts.pos++
+			ts.consumed = 0
+		}
+	}
+}
+
+// Exhausted reports whether the recorded schedule has been fully consumed.
+func (ts *TraceScheduler) Exhausted() bool { return ts.pos >= len(ts.Trace) }
+
+// Machine is one emulated PVM computer running a single process.
+type Machine struct {
+	Kernel  *kernel.Kernel
+	Proc    *kernel.Process
+	Threads []*Thread
+	Sched   Scheduler
+	Hooks   Hooks
+
+	// GlobalRetired counts instructions retired machine-wide.
+	GlobalRetired uint64
+	// MaxInstructions stops the run when GlobalRetired reaches it (0 = off).
+	MaxInstructions uint64
+	// PauseDoesNotYield makes PAUSE a pure timing hint instead of a
+	// scheduler yield. The default (yielding) models timeslicing on few
+	// CPUs; simulators of many-core machines where each thread owns a core
+	// set it, so active-wait spin loops burn instructions at full rate, as
+	// they do on hardware.
+	PauseDoesNotYield bool
+
+	// Halted is set by HLT, exit_group, or a fatal fault.
+	Halted bool
+	// stopReq asks the run loop to stop at the next instruction boundary
+	// (set via RequestStop, e.g. by a simulator's end condition).
+	stopReq    bool
+	ExitStatus int
+	// FatalFault is the fault that killed the process, if any.
+	FatalFault *mem.Fault
+
+	fetchBuf [isa.LimmLen]byte
+}
+
+// New creates a machine around an existing kernel and process (no threads).
+func New(k *kernel.Kernel, proc *kernel.Process) *Machine {
+	return &Machine{
+		Kernel: k,
+		Proc:   proc,
+		Sched:  NewRoundRobin(100, 0, 0),
+	}
+}
+
+// NewLoaded creates a machine, loads the executable, and creates thread 0.
+func NewLoaded(k *kernel.Kernel, exe *elfobj.File, argv, envp []string) (*Machine, error) {
+	proc := kernel.NewProcess(k.FS)
+	res, err := k.Load(proc, exe, argv, envp)
+	if err != nil {
+		return nil, err
+	}
+	m := New(k, proc)
+	t := m.AddThread(isa.RegFile{PC: res.Entry})
+	t.Regs.GPR[isa.RSP] = res.SP
+	return m, nil
+}
+
+// AddThread creates a new runnable thread with the given initial registers.
+func (m *Machine) AddThread(regs isa.RegFile) *Thread {
+	t := &Thread{TID: len(m.Threads), Regs: regs, Alive: true}
+	m.Threads = append(m.Threads, t)
+	if m.Hooks.OnThreadStart != nil {
+		m.Hooks.OnThreadStart(t)
+	}
+	return t
+}
+
+// AliveCount returns the number of runnable threads.
+func (m *Machine) AliveCount() int {
+	n := 0
+	for _, t := range m.Threads {
+		if t.Alive {
+			n++
+		}
+	}
+	return n
+}
+
+// RequestStop makes Run return at the next instruction boundary. Timing
+// simulators use it to implement (PC, count) end conditions.
+func (m *Machine) RequestStop() { m.stopReq = true }
+
+// Run executes until no thread is runnable, the machine halts, RequestStop
+// is called, or MaxInstructions is reached. It returns an error only for
+// internal inconsistencies; guest faults are reported via thread state.
+func (m *Machine) Run() error {
+	m.stopReq = false
+	for !m.Halted && !m.stopReq && m.AliveCount() > 0 {
+		if m.MaxInstructions > 0 && m.GlobalRetired >= m.MaxInstructions {
+			break
+		}
+		tid, quantum := m.Sched.Next(m)
+		if tid < 0 {
+			break
+		}
+		if m.MaxInstructions > 0 {
+			if left := m.MaxInstructions - m.GlobalRetired; uint64(quantum) > left {
+				quantum = int(left)
+			}
+		}
+		ran := m.runThread(m.Threads[tid], quantum)
+		m.Sched.Ran(tid, ran)
+	}
+	return nil
+}
+
+// exitThread marks t dead and fires the exit hook.
+func (m *Machine) exitThread(t *Thread, status int) {
+	if !t.Alive {
+		return
+	}
+	t.Alive = false
+	t.ExitStatus = status
+	if m.Hooks.OnThreadExit != nil {
+		m.Hooks.OnThreadExit(t)
+	}
+}
+
+// exitGroup terminates the whole process.
+func (m *Machine) exitGroup(status int) {
+	for _, t := range m.Threads {
+		m.exitThread(t, status)
+	}
+	m.Halted = true
+	m.ExitStatus = status
+}
+
+// fatalFault kills the process on an unhandled fault (SIGSEGV semantics).
+func (m *Machine) fatalFault(t *Thread, f *mem.Fault) {
+	t.Fault = f
+	m.FatalFault = f
+	m.exitGroup(139) // 128 + SIGSEGV
+}
+
+// Stdout returns the process's accumulated standard output.
+func (m *Machine) Stdout() []byte { return m.Proc.Stdout }
+
+// Stderr returns the process's accumulated standard error.
+func (m *Machine) Stderr() []byte { return m.Proc.Stderr }
+
+// DumpState formats a short human-readable machine state (for debugging).
+func (m *Machine) DumpState() string {
+	s := fmt.Sprintf("retired=%d halted=%v exit=%d\n", m.GlobalRetired, m.Halted, m.ExitStatus)
+	for _, t := range m.Threads {
+		s += fmt.Sprintf("  t%d alive=%v pc=%#x retired=%d\n", t.TID, t.Alive, t.Regs.PC, t.Retired)
+	}
+	return s
+}

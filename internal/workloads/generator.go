@@ -1,0 +1,303 @@
+// Package workloads generates the synthetic benchmark suite standing in for
+// SPEC CPU2006/CPU2017 (which are proprietary and cannot ship with this
+// reproduction — see DESIGN.md).
+//
+// Each benchmark is a Recipe: a set of phases (loop kernels with distinct
+// working-set sizes, access strides, branch entropy and instruction mixes)
+// and a phase sequence script. Phased execution is exactly what the
+// SimPoint methodology exploits, so region selection, checkpointing and
+// simulation all exercise the same code paths they would on the real
+// suites. Multi-threaded recipes use an OpenMP-like fork/barrier structure
+// with active (spinning) wait, reproducing the spin-loop behaviour that
+// drives the paper's Fig. 11 observations.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"elfie/internal/asm"
+	"elfie/internal/elfobj"
+)
+
+// Phase is one program phase: a loop kernel with characteristic behaviour.
+type Phase struct {
+	// WorkingSetKB is the data touched by the phase (rounded to a power of
+	// two internally). Small sets are cache-resident; large ones stream.
+	WorkingSetKB int
+	// StrideBytes is the access stride (8 = sequential, 64+ = line-hopping).
+	StrideBytes int
+	// BranchEntropyPct is the share of iterations with a data-dependent
+	// (hard-to-predict) branch, 0..100.
+	BranchEntropyPct int
+	// MulPct mixes long-latency multiplies/divides, 0..100.
+	MulPct int
+	// StorePct is the share of iterations that also write, 0..100.
+	StorePct int
+	// Iterations per phase visit.
+	Iterations int
+	// Vector adds 128-bit vector ops to the kernel.
+	Vector bool
+}
+
+// Recipe is one synthetic benchmark.
+type Recipe struct {
+	Name     string
+	Threads  int // 1 = single-threaded; >1 = OpenMP-like
+	Phases   []Phase
+	Sequence []int // phase script: indices into Phases
+	// FileInput makes the program open and read /input.dat during startup
+	// and consult the data inside phases (pre-region descriptor use).
+	FileInput bool
+	// Seed perturbs generated constants.
+	Seed int64
+}
+
+// ApproxInstructions estimates the dynamic instruction count of a recipe.
+func (r *Recipe) ApproxInstructions() uint64 {
+	perIter := uint64(12)
+	var total uint64
+	for _, pi := range r.Sequence {
+		total += uint64(r.Phases[pi].Iterations) * perIter
+	}
+	if r.Threads > 1 {
+		total *= uint64(r.Threads)
+	}
+	return total
+}
+
+// Generate emits the PVM assembly source for a recipe.
+func Generate(r Recipe) string {
+	if r.Threads > 1 {
+		return generateMT(r)
+	}
+	return generateST(r)
+}
+
+// Build assembles and links a recipe into an executable.
+func Build(r Recipe) (*elfobj.File, error) {
+	src := Generate(r)
+	exe, err := asm.Program(src)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %v", r.Name, err)
+	}
+	return exe, nil
+}
+
+// pow2 rounds up to a power of two.
+func pow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Register conventions inside generated kernels:
+//
+//	r8  loop counter        r9  LCG state         r10 accumulator
+//	r12 scratch             r13 array base        r4/r5 address/data
+//	r14 thread slice base (MT)
+func emitPhaseBody(b *strings.Builder, r *Recipe, k int, rng *rand.Rand, mt bool) {
+	p := r.Phases[k]
+	ws := pow2(p.WorkingSetKB * 1024)
+	if ws < 4096 {
+		ws = 4096
+	}
+	stride := p.StrideBytes
+	if stride < 8 {
+		stride = 8
+	}
+	mulA := 1103515245 + rng.Intn(1000)*2 // keep odd
+	fmt.Fprintf(b, "phase%d:\n", k)
+	base := "r13"
+	if mt {
+		base = "r14"
+	}
+	fmt.Fprintf(b, "\tmovi r8, 0\n")
+	fmt.Fprintf(b, "ploop%d:\n", k)
+	// LCG step.
+	fmt.Fprintf(b, "\tmuli r9, r9, %d\n", mulA)
+	fmt.Fprintf(b, "\taddi r9, r9, 12345\n")
+	// Address: ((r9>>7) * stride) & (ws-1), 8-aligned.
+	fmt.Fprintf(b, "\tshri r4, r9, 7\n")
+	fmt.Fprintf(b, "\tmuli r4, r4, %d\n", stride)
+	fmt.Fprintf(b, "\tandi r4, r4, %d\n", (ws-1)&^7)
+	fmt.Fprintf(b, "\tlea1 r4, %s, r4, 0\n", base)
+	fmt.Fprintf(b, "\tld.q r5, [r4]\n")
+	fmt.Fprintf(b, "\tadd  r10, r10, r5\n")
+	if p.StorePct > 0 {
+		// Store on iterations where the LCG low bits fall under the
+		// percentage (approximately).
+		thresh := p.StorePct * 256 / 100
+		fmt.Fprintf(b, "\tandi r12, r9, 255\n")
+		fmt.Fprintf(b, "\tcmpi r12, %d\n", thresh)
+		fmt.Fprintf(b, "\tjae  pnost%d\n", k)
+		fmt.Fprintf(b, "\tst.q r10, [r4]\n")
+		fmt.Fprintf(b, "pnost%d:\n", k)
+	}
+	if p.MulPct > 0 {
+		thresh := p.MulPct * 256 / 100
+		fmt.Fprintf(b, "\tshri r12, r9, 8\n")
+		fmt.Fprintf(b, "\tandi r12, r12, 255\n")
+		fmt.Fprintf(b, "\tcmpi r12, %d\n", thresh)
+		fmt.Fprintf(b, "\tjae  pnomul%d\n", k)
+		fmt.Fprintf(b, "\tmuli r10, r10, 17\n")
+		fmt.Fprintf(b, "\tmuli r10, r10, 23\n")
+		fmt.Fprintf(b, "pnomul%d:\n", k)
+	}
+	if p.Vector {
+		fmt.Fprintf(b, "\tandi r12, r4, -16\n")
+		fmt.Fprintf(b, "\tvld  v0, [r12]\n")
+		fmt.Fprintf(b, "\tvaddq v1, v1, v0\n")
+	}
+	if p.BranchEntropyPct > 0 {
+		// A branch whose direction follows LCG bits: unpredictable in
+		// proportion to the entropy percentage.
+		thresh := p.BranchEntropyPct * 256 / 100
+		fmt.Fprintf(b, "\tshri r12, r9, 16\n")
+		fmt.Fprintf(b, "\tandi r12, r12, 255\n")
+		fmt.Fprintf(b, "\tcmpi r12, %d\n", thresh)
+		fmt.Fprintf(b, "\tjae  pskip%d\n", k)
+		fmt.Fprintf(b, "\txori r10, r10, 0x5a\n")
+		fmt.Fprintf(b, "pskip%d:\n", k)
+	}
+	fmt.Fprintf(b, "\taddi r8, r8, 1\n")
+	fmt.Fprintf(b, "\tcmpi r8, %d\n", p.Iterations)
+	fmt.Fprintf(b, "\tjnz  ploop%d\n", k)
+	fmt.Fprintf(b, "\tret\n")
+}
+
+// maxWorkingSet returns the largest phase working set in bytes.
+func maxWorkingSet(r *Recipe) int {
+	ws := 4096
+	for _, p := range r.Phases {
+		if s := pow2(p.WorkingSetKB * 1024); s > ws {
+			ws = s
+		}
+	}
+	return ws
+}
+
+func generateST(r Recipe) string {
+	rng := rand.New(rand.NewSource(r.Seed))
+	var b strings.Builder
+	fmt.Fprintf(&b, "# synthetic benchmark %s (single-threaded)\n", r.Name)
+	b.WriteString("\t.text\n\t.global _start\n_start:\n")
+	fmt.Fprintf(&b, "\tmovi r9, %d\n", 7+rng.Intn(1000))
+	b.WriteString("\tlimm r13, arena\n")
+	if r.FileInput {
+		b.WriteString(`	movi r0, 2          # open("/input.dat")
+	limm r1, inpath
+	movi r2, 0
+	syscall
+	mov  r11, r0
+	movi r0, 0          # read a seed block
+	mov  r1, r11
+	limm r2, inbuf
+	movi r3, 64
+	syscall
+	limm r2, inbuf
+	ld.q r12, [r2]
+	add  r9, r9, r12
+`)
+	}
+	// Phase script.
+	for vi, pi := range r.Sequence {
+		fmt.Fprintf(&b, "\tcall phase%d    # visit %d\n", pi, vi)
+		if r.FileInput && vi%16 == 7 {
+			// Periodic reads through the pre-opened descriptor. The length
+			// check makes control flow depend on the descriptor state: an
+			// ELFie without SYSSTATE support takes the failure path.
+			b.WriteString(`	movi r0, 0
+	mov  r1, r11
+	limm r2, inbuf
+	movi r3, 32
+	syscall
+	cmpi r0, 32
+	jnz  readfail
+`)
+		}
+	}
+	b.WriteString("\tmovi r0, 231\n\tmovi r1, 0\n\tsyscall\n")
+	if r.FileInput {
+		b.WriteString("readfail:\n\tmovi r0, 231\n\tmovi r1, 7\n\tsyscall\n")
+	}
+	b.WriteString("\n")
+	for k := range r.Phases {
+		emitPhaseBody(&b, &r, k, rng, false)
+	}
+	// Data.
+	b.WriteString("\n\t.data\n")
+	if r.FileInput {
+		b.WriteString("inpath:\t.asciz \"/input.dat\"\ninbuf:\t.space 64\n")
+	}
+	b.WriteString("\t.bss\n\t.align 4096\n")
+	fmt.Fprintf(&b, "arena:\t.space %d\n", maxWorkingSet(&r))
+	return b.String()
+}
+
+// generateMT emits an OpenMP-like program: the main thread forks workers
+// once, then runs the phase script as a series of parallel regions with a
+// spinning barrier after each (active wait policy).
+func generateMT(r Recipe) string {
+	rng := rand.New(rand.NewSource(r.Seed))
+	var b strings.Builder
+	n := r.Threads
+	fmt.Fprintf(&b, "# synthetic benchmark %s (%d threads, OpenMP-like, active wait)\n", r.Name, n)
+	b.WriteString("\t.text\n\t.global _start\n_start:\n")
+	fmt.Fprintf(&b, "\tmovi r9, %d\n", 7+rng.Intn(1000))
+	// Fork workers 1..n-1.
+	for i := 1; i < n; i++ {
+		fmt.Fprintf(&b, "\tmovi r0, 56\n\tmovi r1, 0\n")
+		fmt.Fprintf(&b, "\tlimm r2, tstack%d+16384\n", i)
+		fmt.Fprintf(&b, "\tlimm r3, worker%d\n", i)
+		b.WriteString("\tsyscall\n")
+	}
+	// Main thread is worker 0, on its own work stack.
+	b.WriteString("\tlimm rsp, tstack0+16384\n")
+	b.WriteString("\tmovi r1, 0\n")
+	b.WriteString("\tjmp  workbody\n")
+	for i := 1; i < n; i++ {
+		fmt.Fprintf(&b, "worker%d:\n", i)
+		fmt.Fprintf(&b, "\tmovi r9, %d\n", 100+i*37)
+		fmt.Fprintf(&b, "\tmovi r1, %d\n", i)
+		b.WriteString("\tjmp  workbody\n")
+	}
+	// Common worker body: r1 = worker id.
+	b.WriteString(`
+# common worker body: execute the phase script with a spin barrier after
+# each parallel region (OpenMP active wait)
+workbody:
+	mov  r7, r1          # worker id
+	limm r14, arena
+	muli r12, r7, ` + fmt.Sprint(maxWorkingSet(&r)) + `
+	add  r14, r14, r12   # private slice base
+`)
+	for vi, pi := range r.Sequence {
+		fmt.Fprintf(&b, "\tcall phase%d    # parallel region, visit %d\n", pi, vi)
+		// Barrier vi: arrive, then spin until all n arrived.
+		fmt.Fprintf(&b, "\tlimm r12, barrier\n")
+		fmt.Fprintf(&b, "\tmovi r5, 1\n")
+		fmt.Fprintf(&b, "\txadd r5, [r12]\n")
+		fmt.Fprintf(&b, "bwait%d:\n", vi)
+		fmt.Fprintf(&b, "\tld.q r5, [r12]\n")
+		fmt.Fprintf(&b, "\tcmpi r5, %d\n", (vi+1)*n)
+		fmt.Fprintf(&b, "\tjae  bdone%d\n", vi)
+		fmt.Fprintf(&b, "\tpause\n")
+		fmt.Fprintf(&b, "\tjmp  bwait%d\n", vi)
+		fmt.Fprintf(&b, "bdone%d:\n", vi)
+	}
+	b.WriteString("\tmovi r0, 60\n\tmovi r1, 0\n\tsyscall    # exit thread\n\n")
+	for k := range r.Phases {
+		emitPhaseBody(&b, &r, k, rng, true)
+	}
+	b.WriteString("\n\t.data\nbarrier:\t.quad 0\n")
+	b.WriteString("\t.bss\n\t.align 4096\n")
+	fmt.Fprintf(&b, "arena:\t.space %d\n", maxWorkingSet(&r)*n)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "tstack%d:\t.space 16384\n", i)
+	}
+	return b.String()
+}

@@ -1,0 +1,221 @@
+package workloads
+
+import "math/rand"
+
+// The suites below stand in for the benchmark sets of the paper's case
+// studies. Names mirror the SPEC naming convention so experiment output
+// reads like the paper's tables; the workloads themselves are synthetic
+// (see the package comment). Dynamic instruction counts are scaled ~1000x
+// down from the real suites so experiments run in seconds.
+
+// suiteRecipe derives a deterministic recipe from a benchmark name and a
+// behavioural archetype.
+func suiteRecipe(name string, seed int64, archetype string, scale int) Recipe {
+	rng := rand.New(rand.NewSource(seed))
+	iters := func(base int) int { return base * scale }
+	var phases []Phase
+	switch archetype {
+	case "pointer": // mcf/omnetpp-like: large sets, irregular access
+		phases = []Phase{
+			{WorkingSetKB: 2048, StrideBytes: 64 + rng.Intn(64), BranchEntropyPct: 25, StorePct: 20, Iterations: iters(2600)},
+			{WorkingSetKB: 256, StrideBytes: 24, BranchEntropyPct: 10, StorePct: 10, Iterations: iters(2200)},
+			{WorkingSetKB: 4096, StrideBytes: 72, BranchEntropyPct: 35, StorePct: 30, Iterations: iters(1800)},
+		}
+	case "branchy": // perlbench/gcc/deepsjeng-like: entropy-heavy
+		phases = []Phase{
+			{WorkingSetKB: 64, StrideBytes: 16, BranchEntropyPct: 45, MulPct: 5, Iterations: iters(3000)},
+			{WorkingSetKB: 512, StrideBytes: 40, BranchEntropyPct: 55, StorePct: 15, Iterations: iters(2000)},
+			{WorkingSetKB: 32, StrideBytes: 8, BranchEntropyPct: 20, MulPct: 10, Iterations: iters(2800)},
+			{WorkingSetKB: 1024, StrideBytes: 56, BranchEntropyPct: 60, StorePct: 25, Iterations: iters(1500)},
+		}
+	case "compute": // leela/exchange2/x264-like: ILP and multiplies
+		phases = []Phase{
+			{WorkingSetKB: 16, StrideBytes: 8, MulPct: 40, Iterations: iters(3200)},
+			{WorkingSetKB: 128, StrideBytes: 16, MulPct: 25, BranchEntropyPct: 10, StorePct: 20, Iterations: iters(2400)},
+			{WorkingSetKB: 48, StrideBytes: 8, MulPct: 60, Iterations: iters(2000)},
+		}
+	case "stream": // lbm/bwaves-like fp: streaming, vector
+		phases = []Phase{
+			{WorkingSetKB: 8192, StrideBytes: 64, StorePct: 40, Vector: true, Iterations: iters(2200)},
+			{WorkingSetKB: 4096, StrideBytes: 64, StorePct: 30, Vector: true, MulPct: 15, Iterations: iters(2600)},
+			{WorkingSetKB: 64, StrideBytes: 8, MulPct: 30, Vector: true, Iterations: iters(1800)},
+		}
+	default: // mixed
+		phases = []Phase{
+			{WorkingSetKB: 256, StrideBytes: 32, BranchEntropyPct: 20, StorePct: 15, Iterations: iters(2500)},
+			{WorkingSetKB: 2048, StrideBytes: 64, BranchEntropyPct: 10, StorePct: 25, MulPct: 10, Iterations: iters(2000)},
+		}
+	}
+	// Phase script: a few passes over a seeded phase pattern, so phases
+	// recur the way program phases do.
+	np := len(phases)
+	var seq []int
+	passes := 3 + rng.Intn(3)
+	for p := 0; p < passes; p++ {
+		for i := 0; i < np; i++ {
+			seq = append(seq, i)
+			if rng.Intn(3) == 0 {
+				seq = append(seq, rng.Intn(np))
+			}
+		}
+	}
+	return Recipe{Name: name, Threads: 1, Phases: phases, Sequence: seq, Seed: seed}
+}
+
+// TrainIntRate returns the SPEC CPU2017 train rate-int stand-ins used by
+// the Fig. 9 / Table II case study.
+func TrainIntRate() []Recipe {
+	specs := []struct {
+		name      string
+		archetype string
+	}{
+		{"600.perlbench_t", "branchy"},
+		{"602.gcc_t", "branchy"},
+		{"605.mcf_t", "pointer"},
+		{"620.omnetpp_t", "pointer"},
+		{"623.xalancbmk_t", "pointer"},
+		{"625.x264_t", "compute"},
+		{"631.deepsjeng_t", "branchy"},
+		{"641.leela_t", "compute"},
+		{"648.exchange2_t", "compute"},
+		{"657.xz_t", "mixed"},
+	}
+	out := make([]Recipe, 0, len(specs))
+	for i, s := range specs {
+		r := suiteRecipe(s.name, int64(1000+i*17), s.archetype, 6)
+		r.FileInput = i%3 == 0
+		out = append(out, r)
+	}
+	return out
+}
+
+// RefRate returns the ref rate (int + fp) stand-ins for Table III / Fig. 10:
+// the same programs with longer runs plus the fp subset.
+func RefRate() []Recipe {
+	specs := []struct {
+		name      string
+		archetype string
+		scale     int
+	}{
+		{"600.perlbench_r", "branchy", 14},
+		{"602.gcc_r", "branchy", 10},
+		{"605.mcf_r", "pointer", 16},
+		{"620.omnetpp_r", "pointer", 12},
+		{"623.xalancbmk_r", "pointer", 12},
+		{"625.x264_r", "compute", 18},
+		{"631.deepsjeng_r", "branchy", 14},
+		{"641.leela_r", "compute", 16},
+		{"648.exchange2_r", "compute", 20},
+		{"657.xz_r", "mixed", 12},
+		{"503.bwaves_r", "stream", 20},
+		{"507.cactuBSSN_r", "stream", 12},
+		{"519.lbm_r", "stream", 16},
+		{"521.wrf_r", "mixed", 12},
+		{"527.cam4_r", "mixed", 12},
+		{"538.imagick_r", "compute", 20},
+		{"544.nab_r", "compute", 14},
+		{"549.fotonik3d_r", "stream", 14},
+		{"554.roms_r", "stream", 14},
+		{"511.povray_r", "compute", 12},
+	}
+	out := make([]Recipe, 0, len(specs))
+	for i, s := range specs {
+		r := suiteRecipe(s.name, int64(2000+i*31), s.archetype, s.scale)
+		r.FileInput = i%4 == 0
+		out = append(out, r)
+	}
+	return out
+}
+
+// SpeedOMP returns the speed OpenMP stand-ins of the Fig. 11 Sniper case
+// study: 8-thread versions with active-wait barriers. xz_s.1 is
+// single-threaded, as in the paper.
+func SpeedOMP() []Recipe {
+	specs := []struct {
+		name      string
+		archetype string
+		threads   int
+	}{
+		{"603.bwaves_s.1", "stream", 8},
+		{"607.cactuBSSN_s.1", "stream", 8},
+		{"619.lbm_s.1", "stream", 8},
+		{"621.wrf_s.1", "mixed", 8},
+		{"627.cam4_s.1", "mixed", 8},
+		{"628.pop2_s.1", "stream", 8},
+		{"638.imagick_s.1", "compute", 8},
+		{"644.nab_s.1", "compute", 8},
+		{"657.xz_s.1", "mixed", 1},
+	}
+	out := make([]Recipe, 0, len(specs))
+	for i, s := range specs {
+		// Scale 1 keeps parallel regions short, so barrier spin time is a
+		// visible share of execution (the Fig. 11 effect).
+		r := suiteRecipe(s.name, int64(3000+i*13), s.archetype, 1)
+		r.Threads = s.threads
+		// Longer scripts compensate for the shorter regions.
+		r.Sequence = append(r.Sequence, r.Sequence...)
+		out = append(out, r)
+	}
+	return out
+}
+
+// CPU2006 returns the 19 SPEC CPU2006 stand-ins of the gem5 Table V case
+// study. None of them use vector instructions (the paper profiles with
+// SDE -pentium because gem5 supports only SSE/SSE2).
+func CPU2006() []Recipe {
+	specs := []struct {
+		name      string
+		archetype string
+	}{
+		{"400.perlbench", "branchy"},
+		{"401.bzip2", "mixed"},
+		{"403.gcc", "branchy"},
+		{"429.mcf", "pointer"},
+		{"445.gobmk", "branchy"},
+		{"456.hmmer", "compute"},
+		{"458.sjeng", "branchy"},
+		{"462.libquantum", "stream"},
+		{"464.h264ref", "compute"},
+		{"471.omnetpp", "pointer"},
+		{"473.astar", "pointer"},
+		{"483.xalancbmk", "pointer"},
+		{"410.bwaves", "stream"},
+		{"433.milc", "stream"},
+		{"444.namd", "compute"},
+		{"450.soplex", "pointer"},
+		{"453.povray", "compute"},
+		{"470.lbm", "stream"},
+		{"482.sphinx3", "compute"},
+	}
+	out := make([]Recipe, 0, len(specs))
+	for i, s := range specs {
+		r := suiteRecipe(s.name, int64(4000+i*7), s.archetype, 8)
+		// SE mode: strip vector phases.
+		for p := range r.Phases {
+			r.Phases[p].Vector = false
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// ByName finds a recipe in any suite.
+func ByName(name string) (Recipe, bool) {
+	for _, suite := range [][]Recipe{TrainIntRate(), RefRate(), SpeedOMP(), CPU2006()} {
+		for _, r := range suite {
+			if r.Name == name {
+				return r, true
+			}
+		}
+	}
+	return Recipe{}, false
+}
+
+// InputFile returns the content for /input.dat consumed by FileInput
+// recipes.
+func InputFile() []byte {
+	data := make([]byte, 16384)
+	rng := rand.New(rand.NewSource(0xe1f1e))
+	rng.Read(data)
+	return data
+}

@@ -1,0 +1,173 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"elfie/internal/kernel"
+	"elfie/internal/vm"
+)
+
+func runRecipe(t *testing.T, r Recipe, seed int64, max uint64) *vm.Machine {
+	t.Helper()
+	exe, err := Build(r)
+	if err != nil {
+		t.Fatalf("%s: %v", r.Name, err)
+	}
+	fs := kernel.NewFS()
+	if r.FileInput {
+		fs.WriteFile("/input.dat", InputFile())
+	}
+	k := kernel.New(fs, seed)
+	m, err := vm.NewLoaded(k, exe, []string{r.Name}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxInstructions = max
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSTRecipeRunsToCompletion(t *testing.T) {
+	r := TrainIntRate()[0]
+	m := runRecipe(t, r, 1, 100_000_000)
+	if m.FatalFault != nil {
+		t.Fatalf("fault: %v", m.FatalFault)
+	}
+	if !m.Halted || m.ExitStatus != 0 {
+		t.Fatalf("halted=%v exit=%d retired=%d", m.Halted, m.ExitStatus, m.GlobalRetired)
+	}
+	approx := r.ApproxInstructions()
+	if m.GlobalRetired < approx/2 || m.GlobalRetired > approx*3 {
+		t.Errorf("retired %d far from estimate %d", m.GlobalRetired, approx)
+	}
+}
+
+func TestAllSuitesBuild(t *testing.T) {
+	suites := map[string][]Recipe{
+		"train": TrainIntRate(), "ref": RefRate(),
+		"speed": SpeedOMP(), "cpu2006": CPU2006(),
+	}
+	if len(suites["train"]) != 10 || len(suites["ref"]) != 20 ||
+		len(suites["speed"]) != 9 || len(suites["cpu2006"]) != 19 {
+		t.Fatalf("suite sizes: %d %d %d %d", len(suites["train"]),
+			len(suites["ref"]), len(suites["speed"]), len(suites["cpu2006"]))
+	}
+	for sname, suite := range suites {
+		for _, r := range suite {
+			if _, err := Build(r); err != nil {
+				t.Errorf("%s/%s: %v", sname, r.Name, err)
+			}
+		}
+	}
+}
+
+func TestMTRecipeRuns(t *testing.T) {
+	r := SpeedOMP()[0]
+	if r.Threads != 8 {
+		t.Fatalf("threads = %d", r.Threads)
+	}
+	m := runRecipe(t, r, 1, 400_000_000)
+	if m.FatalFault != nil {
+		t.Fatalf("fault: %v\n%s", m.FatalFault, m.DumpState())
+	}
+	if len(m.Threads) != 8 {
+		t.Fatalf("threads = %d", len(m.Threads))
+	}
+	for i, th := range m.Threads {
+		if th.Alive {
+			t.Errorf("thread %d still alive (retired %d)", i, th.Retired)
+		}
+	}
+}
+
+func TestMTRunToRunVariation(t *testing.T) {
+	// With scheduler jitter, spin-barrier iteration counts vary run to run
+	// — the property behind the paper's Fig. 11.
+	r := SpeedOMP()[0]
+	r.Sequence = r.Sequence[:4] // shorten for test speed
+	exe, err := Build(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := map[uint64]bool{}
+	for seed := int64(0); seed < 3; seed++ {
+		k := kernel.New(kernel.NewFS(), seed)
+		m, err := vm.NewLoaded(k, exe, []string{r.Name}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Sched = vm.NewRoundRobin(100, 40, seed)
+		m.MaxInstructions = 200_000_000
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if m.FatalFault != nil {
+			t.Fatalf("fault: %v", m.FatalFault)
+		}
+		totals[m.GlobalRetired] = true
+	}
+	if len(totals) < 2 {
+		t.Errorf("no run-to-run variation: %v", totals)
+	}
+}
+
+func TestXzSpeedIsSingleThreaded(t *testing.T) {
+	for _, r := range SpeedOMP() {
+		if r.Name == "657.xz_s.1" && r.Threads != 1 {
+			t.Errorf("xz_s should be single-threaded, got %d", r.Threads)
+		}
+	}
+}
+
+func TestCPU2006HasNoVector(t *testing.T) {
+	for _, r := range CPU2006() {
+		for _, p := range r.Phases {
+			if p.Vector {
+				t.Errorf("%s has vector phases (SE mode forbids)", r.Name)
+			}
+		}
+		src := Generate(r)
+		if strings.Contains(src, "vld") {
+			t.Errorf("%s source contains vector ops", r.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	r, ok := ByName("602.gcc_t")
+	if !ok || r.Name != "602.gcc_t" {
+		t.Errorf("ByName: %v %v", r.Name, ok)
+	}
+	if _, ok := ByName("999.nonesuch"); ok {
+		t.Error("found nonexistent recipe")
+	}
+}
+
+func TestFileInputRecipe(t *testing.T) {
+	var r Recipe
+	found := false
+	for _, c := range TrainIntRate() {
+		if c.FileInput {
+			r, found = c, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no FileInput recipe in train suite")
+	}
+	m := runRecipe(t, r, 1, 100_000_000)
+	if m.FatalFault != nil || m.ExitStatus != 0 {
+		t.Errorf("file-input recipe failed: fault=%v exit=%d", m.FatalFault, m.ExitStatus)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := Generate(TrainIntRate()[2])
+	b := Generate(TrainIntRate()[2])
+	if a != b {
+		t.Error("generation not deterministic")
+	}
+}
