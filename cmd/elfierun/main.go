@@ -5,6 +5,11 @@
 // Usage:
 //
 //	elfierun -in /input.dat=./input.dat -seed 3 prog.elf [args...]
+//	elfierun -fault plan.json prog.elf
+//
+// Exit codes: the guest's exit status on a clean run; 3 when the run died on
+// a fault (injected or organic) instead of exiting; 2 for corrupt inputs;
+// 1 for internal errors.
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"os"
 
 	"elfie/internal/cli"
+	"elfie/internal/fault"
 	"elfie/internal/kernel"
 )
 
@@ -23,14 +29,19 @@ func main() {
 	var fsFlag cli.FSFlag
 	flag.Var(&fsFlag, "in", "guestpath=hostpath file mapping (repeatable)")
 	sysstateDir := flag.String("sysstate-host", "", "host directory with sysstate files to install at /sysstate")
+	faultPath := flag.String("fault", "", "JSON fault plan to inject during the run")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		cli.Die(fmt.Errorf("usage: elfierun [flags] prog.elf [args...]"))
 	}
 
+	plan, err := cli.LoadFaultPlan(*faultPath)
+	if err != nil {
+		cli.DieClassified(err)
+	}
 	exe, err := cli.LoadELF(flag.Arg(0))
 	if err != nil {
-		cli.Die(err)
+		cli.DieClassified(err)
 	}
 	fs := kernel.NewFS()
 	if err := fsFlag.Populate(fs); err != nil {
@@ -45,12 +56,18 @@ func main() {
 	if err != nil {
 		cli.Die(err)
 	}
+	if plan != nil {
+		inj := fault.New(plan)
+		m.Kernel.Fault = inj
+		m.FaultInj = inj
+	}
 	if err := m.Run(); err != nil {
 		cli.Die(err)
 	}
 	cli.PrintRunSummary(m)
 	if m.FatalFault != nil {
-		os.Exit(139)
+		fmt.Fprintf(os.Stderr, "error (divergence): run died on %v\n", m.FatalFault)
+		os.Exit(cli.ExitDivergence)
 	}
 	os.Exit(m.ExitStatus)
 }

@@ -9,6 +9,9 @@
 // Alongside the executable it writes <out>.ldscript (the memory-layout
 // linker script), <out>.startup.s (the generated startup code) and
 // <out>.ctx.s (the thread-context listing) for inspection and re-linking.
+//
+// Exit codes: 0 on success, 2 when the pinball fails integrity checks,
+// 1 for anything else.
 package main
 
 import (
@@ -48,7 +51,10 @@ func main() {
 	}
 	pb, err := pinball.Load(dir, name)
 	if err != nil {
-		cli.Die(err)
+		cli.DieClassified(err)
+	}
+	if pb.Unverified {
+		fmt.Fprintf(os.Stderr, "warning: %s has a legacy manifest; integrity unverified\n", name)
 	}
 
 	opts := core.Options{

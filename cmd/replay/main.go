@@ -7,11 +7,16 @@
 //
 //	replay -pinball pinballs/gcc.r1
 //	replay -pinball pinballs/gcc.r1 -replay:injection=0 -in /input.dat=./input.dat
+//	replay -pinball pinballs/gcc.r1 -fault plan.json
+//
+// Exit codes: 0 replay completed, 2 corrupt pinball or plan, 3 divergence,
+// 1 anything else.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"path/filepath"
 
 	"elfie/internal/cli"
@@ -25,6 +30,7 @@ func main() {
 	injection := flag.Bool("replay:injection", true, "inject logged side effects and thread order")
 	seed := flag.Int64("seed", 1, "machine seed (injection-less mode)")
 	jitter := flag.Int("jitter", 0, "scheduler jitter (injection-less mode)")
+	faultPath := flag.String("fault", "", "JSON fault plan to inject during replay")
 	var fsFlag cli.FSFlag
 	flag.Var(&fsFlag, "in", "guestpath=hostpath file mapping (repeatable)")
 	flag.Parse()
@@ -32,13 +38,20 @@ func main() {
 		cli.Die(fmt.Errorf("-pinball required"))
 	}
 
+	plan, err := cli.LoadFaultPlan(*faultPath)
+	if err != nil {
+		cli.DieClassified(err)
+	}
 	dir, name := filepath.Split(*pbPath)
 	if dir == "" {
 		dir = "."
 	}
 	pb, err := pinball.Load(dir, name)
 	if err != nil {
-		cli.Die(err)
+		cli.DieClassified(err)
+	}
+	if pb.Unverified {
+		fmt.Fprintf(os.Stderr, "warning: %s has a legacy manifest; integrity unverified\n", name)
 	}
 	fs := kernel.NewFS()
 	if err := fsFlag.Populate(fs); err != nil {
@@ -46,9 +59,10 @@ func main() {
 	}
 	res, err := pinplay.Replay(pb, kernel.New(fs, *seed), pinplay.ReplayOptions{
 		Injection: *injection, SchedSeed: *seed, SchedJitter: *jitter,
+		Fault: plan,
 	})
 	if err != nil {
-		cli.Die(err)
+		cli.DieClassified(err)
 	}
 	fmt.Printf("replay of %s: completed=%v injected=%d\n", name, res.Completed, res.InjectedSyscalls)
 	for tid, n := range res.PerThread {
@@ -59,6 +73,30 @@ func main() {
 		fmt.Printf("  thread %d: %d / %d instructions\n", tid, n, want)
 	}
 	if res.Diverged {
-		fmt.Printf("  DIVERGED: %s\n", res.DivergeReason)
+		printDivergence(res.Divergence)
+		os.Exit(cli.ExitDivergence)
+	}
+}
+
+// printDivergence renders the structured report field by field, so scripts
+// and humans both see where the replay left the logged trajectory.
+func printDivergence(d *pinplay.DivergenceReport) {
+	if d == nil {
+		fmt.Println("  DIVERGED (no report)")
+		return
+	}
+	fmt.Printf("  DIVERGED [%s] thread %d at pc=%#x retired=%d (global %d)\n",
+		d.Kind, d.TID, d.PC, d.Retired, d.GlobalRetired)
+	switch d.Kind {
+	case pinplay.DivergeSyscallMismatch:
+		fmt.Printf("    expected syscall %s (%d), got %s (%d)\n",
+			d.ExpectedSyscall, d.ExpectedNum, d.ActualSyscall, d.ActualNum)
+		for _, rd := range d.RegDiff {
+			fmt.Printf("    %s: expected %#x, actual %#x\n", rd.Name, rd.Expected, rd.Actual)
+		}
+	case pinplay.DivergeUnloggedSyscall:
+		fmt.Printf("    unlogged syscall %s (%d)\n", d.ActualSyscall, d.ActualNum)
+	case pinplay.DivergeFault:
+		fmt.Printf("    fault: %v\n", d.Fault)
 	}
 }

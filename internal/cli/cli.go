@@ -13,13 +13,18 @@ import (
 	"elfie/internal/vm"
 )
 
-// LoadELF reads a PVM ELF file from disk.
+// LoadELF reads a PVM ELF file from disk. Malformed files classify as
+// corrupt input.
 func LoadELF(path string) (*elfobj.File, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return elfobj.Read(buf)
+	f, err := elfobj.Read(buf)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorruptInput, path, err)
+	}
+	return f, nil
 }
 
 // WriteELF writes a PVM ELF file to disk.

@@ -1,0 +1,73 @@
+package cli
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"elfie/internal/fault"
+	"elfie/internal/pinball"
+)
+
+// Process exit codes shared by the command-line tools, so scripts can tell
+// bad inputs from genuine divergence from tool bugs.
+const (
+	// ExitOK: success.
+	ExitOK = 0
+	// ExitInternal: internal or unclassified error.
+	ExitInternal = 1
+	// ExitCorruptInput: an input (pinball, fault plan) failed integrity or
+	// format checks.
+	ExitCorruptInput = 2
+	// ExitDivergence: the run diverged from its reference (replay left the
+	// log, or an ELFie died ungracefully).
+	ExitDivergence = 3
+)
+
+// Marker errors tools wrap (%w) to classify their own failures.
+var (
+	// ErrCorruptInput marks unusable input files.
+	ErrCorruptInput = errors.New("corrupt input")
+	// ErrDivergence marks runs that departed from their reference.
+	ErrDivergence = errors.New("divergence")
+)
+
+// Classify maps an error to its exit code and category label.
+func Classify(err error) (code int, category string) {
+	switch {
+	case err == nil:
+		return ExitOK, "ok"
+	case errors.Is(err, pinball.ErrCorrupt), errors.Is(err, pinball.ErrTruncated),
+		errors.Is(err, pinball.ErrVersionMismatch), errors.Is(err, ErrCorruptInput):
+		return ExitCorruptInput, "corrupt-input"
+	case errors.Is(err, ErrDivergence):
+		return ExitDivergence, "divergence"
+	}
+	return ExitInternal, "internal"
+}
+
+// DieClassified prints the error with its category on stderr and exits with
+// the matching code.
+func DieClassified(err error) {
+	code, category := Classify(err)
+	fmt.Fprintf(os.Stderr, "error (%s): %v\n", category, err)
+	os.Exit(code)
+}
+
+// LoadFaultPlan reads a JSON fault plan from path. An empty path yields a
+// nil plan (injection off).
+func LoadFaultPlan(path string) (*fault.Plan, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p fault.Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("%w: fault plan %s: %v", ErrCorruptInput, path, err)
+	}
+	return &p, nil
+}

@@ -1,0 +1,63 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"elfie/internal/fault"
+	"elfie/internal/pinball"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err      error
+		code     int
+		category string
+	}{
+		{nil, ExitOK, "ok"},
+		{pinball.ErrCorrupt, ExitCorruptInput, "corrupt-input"},
+		{pinball.ErrTruncated, ExitCorruptInput, "corrupt-input"},
+		{pinball.ErrVersionMismatch, ExitCorruptInput, "corrupt-input"},
+		{fmt.Errorf("load: %w", pinball.ErrCorrupt), ExitCorruptInput, "corrupt-input"},
+		{fmt.Errorf("%w: replay left the log", ErrDivergence), ExitDivergence, "divergence"},
+		{fmt.Errorf("mystery"), ExitInternal, "internal"},
+	}
+	for _, c := range cases {
+		code, category := Classify(c.err)
+		if code != c.code || category != c.category {
+			t.Errorf("Classify(%v) = (%d, %s), want (%d, %s)",
+				c.err, code, category, c.code, c.category)
+		}
+	}
+}
+
+func TestLoadFaultPlan(t *testing.T) {
+	if p, err := LoadFaultPlan(""); p != nil || err != nil {
+		t.Fatalf("empty path: plan=%v err=%v", p, err)
+	}
+
+	dir := t.TempDir()
+	good := filepath.Join(dir, "plan.json")
+	data := `{"seed": 7, "rules": [{"point": "syscall-error", "errno": 5, "count": 1}]}`
+	if err := os.WriteFile(good, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadFaultPlan(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || len(p.Rules) != 1 || p.Rules[0].Point != fault.SyscallError {
+		t.Errorf("plan = %+v", p)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadFaultPlan(bad)
+	if code, cat := Classify(err); code != ExitCorruptInput || cat != "corrupt-input" {
+		t.Errorf("malformed plan classified as (%d, %s): %v", code, cat, err)
+	}
+}

@@ -1,0 +1,91 @@
+package kernel
+
+import (
+	"testing"
+
+	"elfie/internal/fault"
+)
+
+func u64p(v uint64) *uint64 { return &v }
+
+func TestFaultSyscallError(t *testing.T) {
+	k := New(NewFS(), 1)
+	k.FS.WriteFile("/f", []byte("contents"))
+	k.Fault = fault.New(&fault.Plan{Seed: 1, Rules: []fault.Rule{
+		{Point: fault.SyscallError, Syscall: u64p(SysRead), Errno: EBADF, Count: 1},
+	}})
+	p, c := newTestProc(k)
+	p.AS.WriteNoFault(0x10000, append([]byte("/f"), 0))
+	fd := call(k, c, SysOpen, 0x10000, ORdonly).Ret
+
+	// First read is intercepted; the second executes normally.
+	if r := call(k, c, SysRead, fd, 0x11000, 8); int64(r.Ret) != -EBADF {
+		t.Fatalf("injected read: ret=%d", int64(r.Ret))
+	}
+	if r := call(k, c, SysRead, fd, 0x11000, 8); r.Ret != 8 {
+		t.Fatalf("post-injection read: ret=%d", int64(r.Ret))
+	}
+	// exit_group is exempt even under a match-anything rule.
+	k.Fault = fault.New(&fault.Plan{Rules: []fault.Rule{{Point: fault.SyscallError}}})
+	if r := call(k, c, SysExitGroup, 0); r.Action != ActExitGroup {
+		t.Errorf("exit_group intercepted: %+v", r)
+	}
+}
+
+func TestFaultShortRead(t *testing.T) {
+	k := New(NewFS(), 1)
+	k.FS.WriteFile("/f", make([]byte, 1000))
+	k.Fault = fault.New(&fault.Plan{Seed: 3, Rules: []fault.Rule{
+		{Point: fault.ShortRead, Count: 1},
+	}})
+	p, c := newTestProc(k)
+	p.AS.WriteNoFault(0x10000, append([]byte("/f"), 0))
+	fd := call(k, c, SysOpen, 0x10000, ORdonly).Ret
+	r := call(k, c, SysRead, fd, 0x11000, 1000)
+	if int64(r.Ret) < 0 || r.Ret >= 1000 {
+		t.Fatalf("short read: ret=%d", int64(r.Ret))
+	}
+	if k.Fault.InjectedCount(fault.ShortRead) != 1 {
+		t.Errorf("events: %v", k.Fault.Events())
+	}
+}
+
+func TestFaultShortWrite(t *testing.T) {
+	k := New(NewFS(), 1)
+	k.Fault = fault.New(&fault.Plan{Seed: 3, Rules: []fault.Rule{
+		{Point: fault.ShortWrite, Count: 1},
+	}})
+	p, c := newTestProc(k)
+	p.AS.WriteNoFault(0x12000, make([]byte, 100))
+	r := call(k, c, SysWrite, 1, 0x12000, 100)
+	if int64(r.Ret) < 0 || r.Ret >= 100 {
+		t.Fatalf("short write: ret=%d", int64(r.Ret))
+	}
+	if uint64(len(p.Stdout)) != r.Ret {
+		t.Errorf("stdout got %d bytes, ret said %d", len(p.Stdout), r.Ret)
+	}
+}
+
+func TestFaultMmapBrkExhaust(t *testing.T) {
+	k := New(NewFS(), 1)
+	k.Fault = fault.New(&fault.Plan{Seed: 9, Rules: []fault.Rule{
+		{Point: fault.MmapExhaust, Count: 1},
+		{Point: fault.BrkExhaust, Count: 1},
+	}})
+	_, c := newTestProc(k)
+	if r := call(k, c, SysMmap, 0, 4096, 3, MapPrivate|MapAnon); int64(r.Ret) != -ENOMEM {
+		t.Fatalf("mmap exhaustion: ret=%d", int64(r.Ret))
+	}
+	// Second mmap succeeds (count exhausted).
+	if r := call(k, c, SysMmap, 0, 4096, 3, MapPrivate|MapAnon); int64(r.Ret) < 0 {
+		t.Fatalf("post-injection mmap: ret=%d", int64(r.Ret))
+	}
+
+	c.Proc.BrkStart, c.Proc.Brk = 0x600000, 0x600000
+	if r := call(k, c, SysBrk, uint64(0x700000)); r.Ret != 0x600000 {
+		t.Fatalf("brk exhaustion moved the break to %#x", r.Ret)
+	}
+	if r := call(k, c, SysBrk, uint64(0x700000)); r.Ret != 0x700000 {
+		t.Fatalf("post-injection brk: %#x", r.Ret)
+	}
+}

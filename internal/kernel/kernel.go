@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 
+	"elfie/internal/fault"
 	"elfie/internal/mem"
 )
 
@@ -219,6 +220,10 @@ type Kernel struct {
 	// hardware without usable counters (ELFies then cannot exit gracefully
 	// on their own).
 	PerfExitSupported bool
+
+	// Fault, when non-nil, injects system-call failures (error returns,
+	// short reads/writes, mmap/brk exhaustion) according to its plan.
+	Fault *fault.Injector
 }
 
 // New returns a kernel with the given filesystem and RNG seed. The seed

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"elfie/internal/fault"
 	"elfie/internal/isa"
 	"elfie/internal/mem"
 )
@@ -174,6 +175,15 @@ func (k *Kernel) Syscall(c *Ctx) Result {
 	a2 := c.Regs.GPR[isa.R2]
 	a3 := c.Regs.GPR[isa.R3]
 
+	// Fault injection: error out matching calls before they execute.
+	// exit/exit_group are exempt — they never return on a real kernel, so
+	// an injected errno there would invent an impossible failure mode.
+	if num != SysExit && num != SysExitGroup {
+		if e, injected := k.Fault.SyscallErrno(num); injected {
+			return errno(e)
+		}
+	}
+
 	switch num {
 	case SysRead:
 		return k.sysRead(c, int(int64(a1)), a2, a3)
@@ -328,6 +338,9 @@ func (k *Kernel) sysRead(c *Ctx, fd int, buf, count uint64) Result {
 	if n > count {
 		n = count
 	}
+	if short, injected := k.Fault.ShortIO(fault.ShortRead, SysRead, n); injected {
+		n = short
+	}
 	if n == 0 {
 		return ok(0)
 	}
@@ -349,6 +362,9 @@ func (k *Kernel) sysWrite(c *Ctx, fd int, buf, count uint64) Result {
 	}
 	if count > 1<<24 {
 		return errno(EINVAL)
+	}
+	if short, injected := k.Fault.ShortIO(fault.ShortWrite, SysWrite, count); injected {
+		count = short
 	}
 	data := make([]byte, count)
 	if err := c.Proc.AS.Read(buf, data); err != nil {
@@ -457,6 +473,9 @@ func (k *Kernel) sysMmap(c *Ctx, addr, length uint64, prot int, flags int64) Res
 	if length == 0 {
 		return errno(EINVAL)
 	}
+	if k.Fault.Trigger(fault.MmapExhaust) {
+		return errno(ENOMEM)
+	}
 	length = (length + mem.PageSize - 1) &^ (mem.PageSize - 1)
 	if flags&MapFixed != 0 {
 		if addr&(mem.PageSize-1) != 0 {
@@ -497,6 +516,11 @@ func (k *Kernel) sysBrk(c *Ctx, addr uint64) Result {
 		return ok(p.Brk)
 	}
 	if addr < p.BrkStart {
+		return ok(p.Brk)
+	}
+	// Exhaustion injection: refuse to move the break, as a loaded host
+	// kernel would.
+	if addr > p.Brk && k.Fault.Trigger(fault.BrkExhaust) {
 		return ok(p.Brk)
 	}
 	oldEnd := (p.Brk + mem.PageSize - 1) &^ (mem.PageSize - 1)

@@ -1,0 +1,85 @@
+package pinball
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzMembers is the file set FuzzPinballRead mutates, indexed by the fuzzed
+// file selector.
+var fuzzMembers = []string{
+	".global.log", ".text", ".0.reg", ".1.reg", ".sel", ".race",
+}
+
+// FuzzPinballRead corrupts one file of a valid pinball — truncation or a
+// bit-flip at an arbitrary position — and asserts that Read never panics and
+// fails only through the typed error taxonomy. Reading corrupt checkpoints
+// is the integrity layer's whole job, so any other outcome is a bug.
+func FuzzPinballRead(f *testing.F) {
+	src := f.TempDir()
+	if err := samplePinball().Save(src); err != nil {
+		f.Fatal(err)
+	}
+	pristine := make(map[string][]byte, len(fuzzMembers))
+	for _, suffix := range fuzzMembers {
+		data, err := os.ReadFile(filepath.Join(src, "sample"+suffix))
+		if err != nil {
+			f.Fatal(err)
+		}
+		pristine[suffix] = data
+	}
+
+	f.Add(uint8(0), uint32(10), uint8(0), true)  // truncate global.log
+	f.Add(uint8(1), uint32(30), uint8(3), false) // flip a .text header bit
+	f.Add(uint8(2), uint32(5), uint8(7), false)  // flip a .reg value bit
+	f.Add(uint8(4), uint32(0), uint8(0), true)   // empty the .sel file
+	f.Add(uint8(5), uint32(11), uint8(1), false) // flip a .race schedule bit
+
+	f.Fuzz(func(t *testing.T, fileSel uint8, pos uint32, bit uint8, truncate bool) {
+		suffix := fuzzMembers[int(fileSel)%len(fuzzMembers)]
+		orig := pristine[suffix]
+
+		var corrupt []byte
+		if truncate {
+			if len(orig) == 0 {
+				t.Skip()
+			}
+			corrupt = orig[:int(pos)%len(orig)]
+		} else {
+			if len(orig) == 0 {
+				t.Skip()
+			}
+			corrupt = append([]byte(nil), orig...)
+			corrupt[int(pos)%len(corrupt)] ^= 1 << (bit % 8)
+		}
+
+		dir := t.TempDir()
+		for _, s := range fuzzMembers {
+			data := pristine[s]
+			if s == suffix {
+				data = corrupt
+			}
+			if err := os.WriteFile(filepath.Join(dir, "sample"+s), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		pb, err := Load(dir, "sample")
+		if err == nil {
+			// A flip can land in JSON whitespace or a value that still
+			// parses; acceptable only if the CRC still matched, meaning the
+			// global.log itself was the mutated file (its digest covers the
+			// others, not itself).
+			if pb == nil {
+				t.Fatal("nil pinball with nil error")
+			}
+			return
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) &&
+			!errors.Is(err, ErrVersionMismatch) && !os.IsNotExist(err) {
+			t.Fatalf("untyped error from corrupted %s: %v", suffix, err)
+		}
+	})
+}

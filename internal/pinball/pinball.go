@@ -3,7 +3,8 @@
 // A pinball is a set of files that together capture a region of a program's
 // execution, mirroring the PinPlay format the paper builds on:
 //
-//	<name>.global.log  JSON metadata (threads, region lengths, end condition)
+//	<name>.global.log  JSON metadata (threads, region lengths, end condition,
+//	                   integrity manifest)
 //	<name>.text        memory image: (addr, prot, data) records
 //	<name>.<tid>.reg   per-thread architectural registers, text format
 //	<name>.sel         system-call side-effect injection log (JSON lines)
@@ -11,10 +12,15 @@
 //
 // Fat pinballs (-log:fat) additionally contain every page mapped at region
 // start, which is what pinball2elf needs to build a runnable ELFie.
+//
+// Save embeds a versioned manifest (per-file CRC32 + size) in the
+// global.log; Read verifies it and reports failures through the typed
+// errors ErrCorrupt, ErrTruncated and ErrVersionMismatch (see integrity.go).
+// Pre-manifest pinballs still load, with Pinball.Unverified set.
 package pinball
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -24,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 
+	"elfie/internal/fault"
 	"elfie/internal/isa"
 	"elfie/internal/vm"
 )
@@ -57,6 +64,9 @@ type Meta struct {
 	// StackRegions lists [lo,hi) address ranges identified as thread
 	// stacks, which pinball2elf marks non-loadable.
 	StackRegions [][2]uint64 `json:"stack_regions,omitempty"`
+	// Manifest is the integrity record for the rest of the file set
+	// (format version 2+); nil on legacy pinballs.
+	Manifest *Manifest `json:"manifest,omitempty"`
 }
 
 // Page is one captured memory extent (a multiple of the page size).
@@ -100,6 +110,9 @@ type Pinball struct {
 	Regs     []isa.RegFile // indexed by TID
 	Syscalls []SyscallEffect
 	Sched    []vm.SchedRecord
+	// Unverified is set when the pinball predates the integrity manifest
+	// (format version 1): it loaded, but its content was not CRC-checked.
+	Unverified bool
 }
 
 // FindPage returns the captured page record covering addr, or nil.
@@ -138,116 +151,181 @@ func (p *Pinball) SortPages() {
 	p.Pages = out
 }
 
-// Save writes the pinball into dir as the paper's file set.
+// Save writes the pinball into dir as the paper's file set, stamping the
+// current format version and an integrity manifest into the global.log.
 func (p *Pinball) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	base := filepath.Join(dir, p.Name)
 
-	meta, err := json.MarshalIndent(&p.Meta, "", "  ")
+	// Render every non-metadata file first, so the manifest can record
+	// each one's digest.
+	files := map[string][]byte{
+		p.Name + ".text": p.textBytes(),
+		p.Name + ".race": p.raceBytes(),
+	}
+	sel, err := p.selBytes()
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(base+".global.log", meta, 0o644); err != nil {
+	files[p.Name+".sel"] = sel
+	for tid := range p.Regs {
+		files[fmt.Sprintf("%s.%d.reg", p.Name, tid)] = []byte(FormatRegs(&p.Regs[tid]))
+	}
+
+	man := &Manifest{FormatVersion: FormatVersion, Files: make(map[string]FileDigest, len(files))}
+	for name, data := range files {
+		man.Files[name] = digest(data)
+	}
+	stamped := p.Meta
+	stamped.Version = FormatVersion
+	stamped.Manifest = man
+	meta, err := json.MarshalIndent(&stamped, "", "  ")
+	if err != nil {
 		return err
 	}
 
-	if err := p.saveText(base + ".text"); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, p.Name+".global.log"), meta, 0o644); err != nil {
 		return err
 	}
-	for tid := range p.Regs {
-		if err := os.WriteFile(fmt.Sprintf("%s.%d.reg", base, tid),
-			[]byte(FormatRegs(&p.Regs[tid])), 0o644); err != nil {
+	for name, data := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
 			return err
 		}
 	}
-	var sel strings.Builder
-	for i := range p.Syscalls {
-		line, err := json.Marshal(&p.Syscalls[i])
-		if err != nil {
-			return err
-		}
-		sel.Write(line)
-		sel.WriteByte('\n')
-	}
-	if err := os.WriteFile(base+".sel", []byte(sel.String()), 0o644); err != nil {
-		return err
-	}
-	return p.saveRace(base + ".race")
+	return nil
 }
 
-func (p *Pinball) saveText(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w := bufio.NewWriter(f)
+func (p *Pinball) textBytes() []byte {
+	var w bytes.Buffer
 	var hdr [20]byte
 	for _, pg := range p.Pages {
 		binary.LittleEndian.PutUint64(hdr[0:], pg.Addr)
 		binary.LittleEndian.PutUint32(hdr[8:], uint32(len(pg.Data)))
 		binary.LittleEndian.PutUint32(hdr[12:], uint32(pg.Prot))
 		binary.LittleEndian.PutUint32(hdr[16:], 0)
-		if _, err := w.Write(hdr[:]); err != nil {
-			return err
-		}
-		if _, err := w.Write(pg.Data); err != nil {
-			return err
-		}
+		w.Write(hdr[:])
+		w.Write(pg.Data)
 	}
-	return w.Flush()
+	return w.Bytes()
 }
 
-func (p *Pinball) saveRace(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w := bufio.NewWriter(f)
+func (p *Pinball) raceBytes() []byte {
+	var w bytes.Buffer
 	var rec [12]byte
 	for _, r := range p.Sched {
 		binary.LittleEndian.PutUint32(rec[0:], uint32(r.TID))
 		binary.LittleEndian.PutUint64(rec[4:], r.N)
-		if _, err := w.Write(rec[:]); err != nil {
-			return err
-		}
+		w.Write(rec[:])
 	}
-	return w.Flush()
+	return w.Bytes()
 }
 
-// Load reads a pinball named name from dir.
+func (p *Pinball) selBytes() ([]byte, error) {
+	var sel bytes.Buffer
+	for i := range p.Syscalls {
+		line, err := json.Marshal(&p.Syscalls[i])
+		if err != nil {
+			return nil, err
+		}
+		sel.Write(line)
+		sel.WriteByte('\n')
+	}
+	return sel.Bytes(), nil
+}
+
+// ReadOptions configures Read.
+type ReadOptions struct {
+	// Fault, when non-nil, applies the injector's pinball corruption rules
+	// (truncation, bit-flips) to each file's bytes as they are read —
+	// the integrity layer's own test harness.
+	Fault *fault.Injector
+}
+
+// Load reads a pinball named name from dir with default options.
 func Load(dir, name string) (*Pinball, error) {
-	base := filepath.Join(dir, name)
+	return Read(dir, name, ReadOptions{})
+}
+
+// Read reads a pinball named name from dir. Integrity failures are
+// reported via the typed errors ErrCorrupt, ErrTruncated and
+// ErrVersionMismatch (use errors.Is); pinballs written before the manifest
+// era load with Unverified set.
+func Read(dir, name string, opts ReadOptions) (*Pinball, error) {
 	p := &Pinball{Name: name}
 
-	meta, err := os.ReadFile(base + ".global.log")
+	readFile := func(fname string) ([]byte, error) {
+		data, err := os.ReadFile(filepath.Join(dir, fname))
+		if err != nil {
+			return nil, err
+		}
+		return opts.Fault.CorruptFile(fname, data), nil
+	}
+
+	meta, err := readFile(name + ".global.log")
 	if err != nil {
 		return nil, err
 	}
 	if err := json.Unmarshal(meta, &p.Meta); err != nil {
-		return nil, fmt.Errorf("pinball: bad global.log: %v", err)
+		return nil, fmt.Errorf("%w: bad global.log: %v", ErrCorrupt, err)
+	}
+	if p.Meta.Version > FormatVersion {
+		return nil, fmt.Errorf("%w: global.log declares format version %d, reader supports <= %d",
+			ErrVersionMismatch, p.Meta.Version, FormatVersion)
+	}
+	man := p.Meta.Manifest
+	if man != nil && man.FormatVersion > FormatVersion {
+		return nil, fmt.Errorf("%w: manifest declares format version %d, reader supports <= %d",
+			ErrVersionMismatch, man.FormatVersion, FormatVersion)
+	}
+	p.Unverified = man == nil
+	if p.Meta.NumThreads < 0 || p.Meta.NumThreads > maxThreads {
+		return nil, fmt.Errorf("%w: implausible thread count %d in global.log",
+			ErrCorrupt, p.Meta.NumThreads)
+	}
+	if err := checkRegFiles(dir, name, p.Meta.NumThreads); err != nil {
+		return nil, err
 	}
 
-	if err := p.loadText(base + ".text"); err != nil {
+	// verified reads a member file and checks it against the manifest
+	// before any parsing touches the bytes.
+	verified := func(fname string) ([]byte, error) {
+		data, err := readFile(fname)
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s missing from pinball file set", ErrTruncated, fname)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if man != nil {
+			if err := man.verify(fname, data); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+
+	text, err := verified(name + ".text")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.loadText(text); err != nil {
 		return nil, err
 	}
 	p.Regs = make([]isa.RegFile, p.Meta.NumThreads)
 	for tid := 0; tid < p.Meta.NumThreads; tid++ {
-		data, err := os.ReadFile(fmt.Sprintf("%s.%d.reg", base, tid))
+		data, err := verified(fmt.Sprintf("%s.%d.reg", name, tid))
 		if err != nil {
 			return nil, err
 		}
 		rf, err := ParseRegs(string(data))
 		if err != nil {
-			return nil, fmt.Errorf("pinball: thread %d reg file: %v", tid, err)
+			return nil, fmt.Errorf("%w: thread %d reg file: %v", ErrCorrupt, tid, err)
 		}
 		p.Regs[tid] = *rf
 	}
 
-	sel, err := os.ReadFile(base + ".sel")
+	sel, err := verified(name + ".sel")
 	if err != nil {
 		return nil, err
 	}
@@ -257,28 +335,28 @@ func Load(dir, name string) (*Pinball, error) {
 		}
 		var e SyscallEffect
 		if err := json.Unmarshal([]byte(line), &e); err != nil {
-			return nil, fmt.Errorf("pinball: bad sel line: %v", err)
+			return nil, fmt.Errorf("%w: bad sel line: %v", ErrCorrupt, err)
 		}
 		p.Syscalls = append(p.Syscalls, e)
 	}
-	return p, p.loadRace(base + ".race")
+	race, err := verified(name + ".race")
+	if err != nil {
+		return nil, err
+	}
+	return p, p.loadRace(race)
 }
 
-func (p *Pinball) loadText(path string) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
+func (p *Pinball) loadText(data []byte) error {
 	for off := 0; off < len(data); {
 		if off+20 > len(data) {
-			return fmt.Errorf("pinball: truncated .text header at %d", off)
+			return fmt.Errorf("%w: .text header cut short at offset %d", ErrTruncated, off)
 		}
 		addr := binary.LittleEndian.Uint64(data[off:])
 		n := int(binary.LittleEndian.Uint32(data[off+8:]))
 		prot := int(binary.LittleEndian.Uint32(data[off+12:]))
 		off += 20
 		if off+n > len(data) {
-			return fmt.Errorf("pinball: truncated .text data at %d", off)
+			return fmt.Errorf("%w: .text data cut short at offset %d", ErrTruncated, off)
 		}
 		p.Pages = append(p.Pages, Page{
 			Addr: addr, Prot: prot, Data: append([]byte(nil), data[off:off+n]...),
@@ -288,13 +366,9 @@ func (p *Pinball) loadText(path string) error {
 	return nil
 }
 
-func (p *Pinball) loadRace(path string) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
+func (p *Pinball) loadRace(data []byte) error {
 	if len(data)%12 != 0 {
-		return fmt.Errorf("pinball: corrupt .race file")
+		return fmt.Errorf("%w: .race length %d not a record multiple", ErrCorrupt, len(data))
 	}
 	for off := 0; off < len(data); off += 12 {
 		p.Sched = append(p.Sched, vm.SchedRecord{

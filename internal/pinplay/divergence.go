@@ -1,0 +1,87 @@
+package pinplay
+
+import (
+	"fmt"
+	"strings"
+
+	"elfie/internal/kernel"
+	"elfie/internal/mem"
+)
+
+// DivergenceKind classifies how a constrained replay departed from the log.
+type DivergenceKind string
+
+// Divergence kinds.
+const (
+	// DivergeSyscallMismatch: the replayed thread made a different system
+	// call than the log recorded at this point in its program order.
+	DivergeSyscallMismatch DivergenceKind = "syscall-mismatch"
+	// DivergeUnloggedSyscall: the thread made a system call after its
+	// logged calls were exhausted.
+	DivergeUnloggedSyscall DivergenceKind = "unlogged-syscall"
+	// DivergeFault: the replay hit a memory fault the log does not explain.
+	DivergeFault DivergenceKind = "fault"
+)
+
+// RegDelta is one register whose replay-time value differs from the logged
+// expectation.
+type RegDelta struct {
+	Name     string `json:"reg"`
+	Expected uint64 `json:"expected"`
+	Actual   uint64 `json:"actual"`
+}
+
+// DivergenceReport describes the first point where a constrained replay
+// departed from its pinball — the structured form of the old one-line
+// DivergeReason, with enough context to debug the divergence: which thread,
+// where, how far in, and what differed.
+type DivergenceReport struct {
+	Kind DivergenceKind `json:"kind"`
+	// TID and PC locate the diverging instruction.
+	TID int    `json:"tid"`
+	PC  uint64 `json:"pc"`
+	// Retired is the diverging thread's retired-instruction count;
+	// GlobalRetired the machine-wide count.
+	Retired       uint64 `json:"retired"`
+	GlobalRetired uint64 `json:"global_retired"`
+	// Expected/Actual syscall identities (mismatch and unlogged kinds).
+	ExpectedSyscall string `json:"expected_syscall,omitempty"`
+	ActualSyscall   string `json:"actual_syscall,omitempty"`
+	ExpectedNum     uint64 `json:"expected_num,omitempty"`
+	ActualNum       uint64 `json:"actual_num,omitempty"`
+	// RegDiff lists syscall argument registers whose values differ from the
+	// logged call's arguments (mismatch kind).
+	RegDiff []RegDelta `json:"reg_diff,omitempty"`
+	// Fault is the unexpected memory fault (fault kind).
+	Fault *mem.Fault `json:"fault,omitempty"`
+}
+
+// String renders the report as a one-line reason, the format DivergeReason
+// carries for backward compatibility.
+func (r *DivergenceReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "thread %d at pc=%#x retired=%d (global %d): ",
+		r.TID, r.PC, r.Retired, r.GlobalRetired)
+	switch r.Kind {
+	case DivergeUnloggedSyscall:
+		fmt.Fprintf(&b, "unlogged %s call", r.ActualSyscall)
+	case DivergeSyscallMismatch:
+		fmt.Fprintf(&b, "syscall mismatch: ran %s, logged %s",
+			r.ActualSyscall, r.ExpectedSyscall)
+		for _, d := range r.RegDiff {
+			fmt.Fprintf(&b, "; %s=%#x logged %#x", d.Name, d.Actual, d.Expected)
+		}
+	case DivergeFault:
+		fmt.Fprintf(&b, "unexpected %v", r.Fault)
+	default:
+		fmt.Fprintf(&b, "diverged (%s)", r.Kind)
+	}
+	return b.String()
+}
+
+// syscallIdentity fills the Expected/Actual naming fields.
+func (r *DivergenceReport) syscallIdentity(expected, actual uint64) {
+	r.ExpectedNum, r.ActualNum = expected, actual
+	r.ExpectedSyscall = kernel.SyscallName(expected)
+	r.ActualSyscall = kernel.SyscallName(actual)
+}

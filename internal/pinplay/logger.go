@@ -69,7 +69,7 @@ func Log(m *vm.Machine, opts LogOptions) (*pinball.Pinball, error) {
 
 	pb := &pinball.Pinball{Name: opts.Name}
 	pb.Meta = pinball.Meta{
-		Version:           1,
+		Version:           pinball.FormatVersion,
 		NumThreads:        len(m.Threads),
 		RegionLength:      make([]uint64, len(m.Threads)),
 		WarmupLength:      opts.WarmupLength,

@@ -3,6 +3,8 @@ package pinplay
 import (
 	"fmt"
 
+	"elfie/internal/fault"
+	"elfie/internal/isa"
 	"elfie/internal/kernel"
 	"elfie/internal/mem"
 	"elfie/internal/pinball"
@@ -33,6 +35,10 @@ type ReplayOptions struct {
 	// up but before execution starts — the attachment point for timing
 	// simulators and other instrumentation over a replay.
 	BeforeRun func(m *vm.Machine)
+	// Fault, when non-nil, arms seeded fault injection on the replay: the
+	// plan's kernel rules apply to the replay kernel and its VM rules to
+	// the replay machine.
+	Fault *fault.Plan
 }
 
 // ReplayResult reports the outcome of a replay.
@@ -46,8 +52,11 @@ type ReplayResult struct {
 	// Diverged is set when a system call site did not match the log, or an
 	// unexpected fault occurred during injected replay.
 	Diverged bool
-	// DivergeReason explains the first divergence.
+	// DivergeReason explains the first divergence in one line (it is
+	// Divergence.String(); kept for callers that only need text).
 	DivergeReason string
+	// Divergence is the structured report of the first divergence.
+	Divergence *DivergenceReport
 	// InjectedSyscalls counts calls satisfied from the log.
 	InjectedSyscalls int
 }
@@ -87,6 +96,21 @@ func Replay(pb *pinball.Pinball, k *kernel.Kernel, opts ReplayOptions) (*ReplayR
 	}
 	m := NewReplayMachine(pb, k)
 	res := &ReplayResult{Machine: m}
+	if opts.Fault != nil {
+		inj := fault.New(opts.Fault)
+		k.Fault = inj
+		m.FaultInj = inj
+	}
+
+	// diverge records the first divergence; later ones are ignored, as the
+	// machine state after the first is already off the logged trajectory.
+	diverge := func(rep *DivergenceReport) {
+		if !res.Diverged {
+			res.Diverged = true
+			res.Divergence = rep
+			res.DivergeReason = rep.String()
+		}
+	}
 
 	if opts.Injection {
 		m.Sched = &vm.TraceScheduler{Trace: pb.Sched}
@@ -98,23 +122,36 @@ func Replay(pb *pinball.Pinball, k *kernel.Kernel, opts ReplayOptions) (*ReplayR
 				queues[e.TID] = append(queues[e.TID], e)
 			}
 		}
-		diverge := func(why string) {
-			if !res.Diverged {
-				res.Diverged = true
-				res.DivergeReason = why
-			}
-		}
 		m.Hooks.SyscallFilter = func(t *vm.Thread, num uint64) (kernel.Result, bool) {
 			q := queues[t.TID]
 			if len(q) == 0 {
-				diverge(fmt.Sprintf("thread %d: unlogged %s call", t.TID, kernel.SyscallName(num)))
+				rep := &DivergenceReport{
+					Kind: DivergeUnloggedSyscall, TID: t.TID, PC: t.Regs.PC,
+					Retired: t.Retired, GlobalRetired: m.GlobalRetired,
+					ActualNum: num, ActualSyscall: kernel.SyscallName(num),
+				}
+				diverge(rep)
 				return kernel.Result{Ret: ^uint64(kernel.ENOSYS) + 1}, true
 			}
 			e := q[0]
 			queues[t.TID] = q[1:]
 			if e.Num != num {
-				diverge(fmt.Sprintf("thread %d: syscall mismatch: ran %s, logged %s",
-					t.TID, kernel.SyscallName(num), kernel.SyscallName(e.Num)))
+				rep := &DivergenceReport{
+					Kind: DivergeSyscallMismatch, TID: t.TID, PC: t.Regs.PC,
+					Retired: t.Retired, GlobalRetired: m.GlobalRetired,
+				}
+				rep.syscallIdentity(e.Num, num)
+				// Diff the syscall argument registers against the logged
+				// call's arguments.
+				for i := 0; i < len(e.Args); i++ {
+					reg := isa.R1 + isa.Reg(i)
+					if got := t.Regs.GPR[reg]; got != e.Args[i] {
+						rep.RegDiff = append(rep.RegDiff, RegDelta{
+							Name: isa.RegName(reg), Expected: e.Args[i], Actual: got,
+						})
+					}
+				}
+				diverge(rep)
 			}
 			if opts.Observe != nil {
 				opts.Observe(t, e, m)
@@ -136,7 +173,10 @@ func Replay(pb *pinball.Pinball, k *kernel.Kernel, opts ReplayOptions) (*ReplayR
 			return kernel.Result{Ret: e.Ret}, true
 		}
 		m.Hooks.OnFault = func(t *vm.Thread, f *mem.Fault) bool {
-			diverge(fmt.Sprintf("thread %d: %v", t.TID, f))
+			diverge(&DivergenceReport{
+				Kind: DivergeFault, TID: t.TID, PC: t.Regs.PC,
+				Retired: t.Retired, GlobalRetired: m.GlobalRetired, Fault: f,
+			})
 			return false
 		}
 	} else {
@@ -165,8 +205,15 @@ func Replay(pb *pinball.Pinball, k *kernel.Kernel, opts ReplayOptions) (*ReplayR
 		}
 	}
 	if m.FatalFault != nil && !res.Diverged {
-		res.Diverged = true
-		res.DivergeReason = m.FatalFault.Error()
+		rep := &DivergenceReport{
+			Kind: DivergeFault, GlobalRetired: m.GlobalRetired, Fault: m.FatalFault,
+		}
+		for _, t := range m.Threads {
+			if t.Fault == m.FatalFault {
+				rep.TID, rep.PC, rep.Retired = t.TID, t.Regs.PC, t.Retired
+			}
+		}
+		diverge(rep)
 	}
 	return res, nil
 }

@@ -1,0 +1,122 @@
+package pinpoints
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"elfie/internal/fault"
+	"elfie/internal/kernel"
+	"elfie/internal/pinball"
+)
+
+// chaosPlans are the seeded fault plans the pipeline must degrade under:
+// storage corruption, an injected system-call failure, and a forced
+// ungraceful ELFie death. Each plan injects exactly one fault (Count/one-shot
+// budgets), so every injection must map to exactly one recorded failure.
+func chaosPlans() map[string]*fault.Plan {
+	perfOpen := uint64(kernel.SysPerfOpen)
+	return map[string]*fault.Plan{
+		"pinball-corruption": {Seed: 11, Rules: []fault.Rule{
+			{Point: fault.PinballBitflip, File: ".text", Count: 1, Offset: -1},
+		}},
+		"syscall-failure": {Seed: 22, Rules: []fault.Rule{
+			{Point: fault.SyscallError, Syscall: &perfOpen, Errno: kernel.ENOSYS, Count: 1},
+		}},
+		"forced-ungraceful-exit": {Seed: 33, Rules: []fault.Rule{
+			{Point: fault.UngracefulExit, AtRetired: 1000},
+		}},
+	}
+}
+
+func TestChaosPipelineDegradesGracefully(t *testing.T) {
+	for name, plan := range chaosPlans() {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("pipeline panicked under fault plan: %v", r)
+				}
+			}()
+			cfg := smallConfig()
+			cfg.Fault = plan
+			b, err := Prepare(smallRecipe(), cfg)
+			if err != nil {
+				// Total failure must be typed, never an untyped abort.
+				if !errors.Is(err, ErrAllRegionsFailed) {
+					t.Fatalf("untyped Prepare failure: %v", err)
+				}
+				return
+			}
+			v, err := ValidateNative(b, 7)
+			if err != nil {
+				t.Fatalf("validation errored (should degrade instead): %v", err)
+			}
+
+			injected := b.FaultInjector().InjectedCount()
+			if injected == 0 {
+				t.Fatalf("plan injected nothing; events: %v", b.FaultInjector().Events())
+			}
+			d := v.Degradation
+			if d.Recovered+d.Dropped != injected {
+				t.Errorf("recovered %d + dropped %d != %d injected faults; events: %+v",
+					d.Recovered, d.Dropped, injected, d.Events)
+			}
+			for _, ev := range d.Events {
+				if ev.Err == nil || ev.Kind == "" || ev.Action == "" {
+					t.Errorf("incomplete failure record: %+v", ev)
+				}
+			}
+
+			// The CPI that comes out must be real, not silently wrong:
+			// surviving regions carry plausible CPIs, dropped weight is
+			// accounted, and the prediction error stays in the usual band.
+			if v.TrueCPI <= 0.2 || v.TrueCPI > 20 {
+				t.Fatalf("true CPI = %v", v.TrueCPI)
+			}
+			for _, rc := range v.PerRegion {
+				if rc.OK && (rc.CPI <= 0.2 || rc.CPI > 20) {
+					t.Errorf("implausible region CPI %v: %+v", rc.CPI, rc)
+				}
+			}
+			if got := v.Coverage + d.CoverageLost; math.Abs(got-1) > 0.01 {
+				t.Errorf("coverage %v + lost %v != 1", v.Coverage, d.CoverageLost)
+			}
+			if v.Coverage > 0 && math.Abs(v.Error) > 0.35 {
+				t.Errorf("degraded prediction error = %+.1f%%", 100*v.Error)
+			}
+			t.Logf("%s: injected=%d %s; %s", name, injected, d, v)
+		})
+	}
+}
+
+func TestChaosTotalFailureIsTyped(t *testing.T) {
+	// Corrupt every pinball read: primaries, re-logs, and alternates all
+	// fail, so Prepare must return the typed all-regions-failed error.
+	cfg := smallConfig()
+	cfg.Fault = &fault.Plan{Seed: 5, Rules: []fault.Rule{
+		{Point: fault.PinballBitflip, File: ".text", Offset: -1},
+	}}
+	_, err := Prepare(smallRecipe(), cfg)
+	if err == nil {
+		t.Fatal("pipeline succeeded with every pinball corrupted")
+	}
+	if !errors.Is(err, ErrAllRegionsFailed) {
+		t.Fatalf("untyped failure: %v", err)
+	}
+}
+
+func TestChaosFailureClassification(t *testing.T) {
+	// FailureOf classifies typed pinball errors without a failError tag.
+	if k := FailureOf(pinball.ErrCorrupt); k != FailCorruptPinball {
+		t.Errorf("ErrCorrupt -> %s", k)
+	}
+	if k := FailureOf(pinball.ErrTruncated); k != FailCorruptPinball {
+		t.Errorf("ErrTruncated -> %s", k)
+	}
+	if k := FailureOf(errors.New("mystery")); k != FailInternal {
+		t.Errorf("unknown -> %s", k)
+	}
+	if k := FailureOf(failf(FailUngracefulExit, "x")); k != FailUngracefulExit {
+		t.Errorf("tagged -> %s", k)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"elfie/internal/bbv"
 	"elfie/internal/core"
 	"elfie/internal/elfobj"
+	"elfie/internal/fault"
 	"elfie/internal/kernel"
 	"elfie/internal/pinball"
 	"elfie/internal/pinplay"
@@ -37,6 +38,12 @@ type Config struct {
 	// it, regions that re-execute stateful system calls fail — the
 	// situation alternate region selection recovers from.
 	UseSysState bool
+	// Fault, when non-nil, arms seeded fault injection on the pipeline's
+	// region paths: pinball storage round-trips and native ELFie runs.
+	// Profiling, logging, and whole-program measurement machines stay
+	// clean, so every injected failure maps to exactly one region and the
+	// reference CPI is never silently perturbed.
+	Fault *fault.Plan
 }
 
 func (c *Config) defaults() {
@@ -85,9 +92,19 @@ type Benchmark struct {
 	Selection         *simpoint.Result
 	Regions           []*Region
 	TotalInstructions uint64
+	// Degradation records build-time region failures and recoveries.
+	Degradation DegradationSummary
 
 	cfg Config
+	// inj is the pipeline-lifetime fault injector (nil when Config.Fault
+	// is nil), shared across region builds and ELFie runs so rule budgets
+	// span the whole pipeline deterministically.
+	inj *fault.Injector
 }
+
+// FaultInjector exposes the pipeline's injector (nil when injection is off),
+// for tests that assert on injected-event counts.
+func (b *Benchmark) FaultInjector() *fault.Injector { return b.inj }
 
 // NewMachine builds a fresh machine for the benchmark's program.
 func (b *Benchmark) NewMachine(seed int64) (*vm.Machine, error) {
@@ -111,7 +128,7 @@ func Prepare(r workloads.Recipe, cfg Config) (*Benchmark, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &Benchmark{Recipe: r, Exe: exe, cfg: cfg}
+	b := &Benchmark{Recipe: r, Exe: exe, cfg: cfg, inj: fault.New(cfg.Fault)}
 
 	// Profile.
 	m, err := b.NewMachine(cfg.Seed)
@@ -132,13 +149,45 @@ func Prepare(r workloads.Recipe, cfg Config) (*Benchmark, error) {
 		return nil, err
 	}
 
-	// Capture each representative.
+	// Capture each representative, degrading gracefully: a failed capture
+	// is classified and recovered (re-log, then alternates) or dropped,
+	// never aborting the regions that did work.
 	for _, sel := range b.Selection.Regions {
 		reg, err := b.BuildRegion(sel, sel.SliceIndex)
-		if err != nil {
-			return nil, fmt.Errorf("%s slice %d: %v", r.Name, sel.SliceIndex, err)
+		if err == nil {
+			b.Regions = append(b.Regions, reg)
+			continue
 		}
-		b.Regions = append(b.Regions, reg)
+		ev := RegionFailure{
+			Cluster: sel.Cluster, Slice: sel.SliceIndex,
+			Kind: FailureOf(err), Err: err,
+		}
+		if ev.Kind == FailCorruptPinball {
+			// Storage corruption does not implicate the capture itself:
+			// re-log the same slice once before burning an alternate.
+			if reg, err = b.BuildRegion(sel, sel.SliceIndex); err == nil {
+				ev.Recovered, ev.Action = true, "re-logged"
+				b.Degradation.record(ev, 0)
+				b.Regions = append(b.Regions, reg)
+				continue
+			}
+		}
+		for ai, alt := range sel.Alternates {
+			if reg, err = b.BuildRegion(sel, alt); err == nil {
+				ev.Recovered = true
+				ev.Action = fmt.Sprintf("alternate %d (slice %d)", ai, alt)
+				b.Regions = append(b.Regions, reg)
+				break
+			}
+		}
+		if !ev.Recovered {
+			ev.Action = "dropped"
+		}
+		b.Degradation.record(ev, sel.Weight)
+	}
+	if len(b.Regions) == 0 && len(b.Selection.Regions) > 0 {
+		return nil, fmt.Errorf("%w: %s: none of %d selected regions usable",
+			ErrAllRegionsFailed, r.Name, len(b.Selection.Regions))
 	}
 	return b, nil
 }
@@ -166,7 +215,14 @@ func (b *Benchmark) BuildRegion(sel simpoint.Region, slice int) (*Region, error)
 		WarmupLength: warmup,
 	}.Fat())
 	if err != nil {
-		return nil, err
+		return nil, failf(FailLogging, "log slice %d: %v", slice, err)
+	}
+	if b.inj != nil {
+		// Round-trip the pinball through storage so injected corruption can
+		// strike and the integrity manifest is verified in-pipeline.
+		if pb, err = roundTrip(pb, b.inj); err != nil {
+			return nil, err // typed pinball errors classify as corrupt-pinball
+		}
 	}
 
 	reg := &Region{
@@ -182,14 +238,14 @@ func (b *Benchmark) BuildRegion(sel simpoint.Region, slice int) (*Region, error)
 	if cfg.UseSysState {
 		st, err := sysstate.Analyze(pb)
 		if err != nil {
-			return nil, fmt.Errorf("sysstate: %v", err)
+			return nil, failf(FailConversion, "sysstate: %v", err)
 		}
 		reg.SysState = st
 		opts.SysState = st.Ref("/sysstate")
 	}
 	res, err := core.Convert(pb, opts)
 	if err != nil {
-		return nil, err
+		return nil, failf(FailConversion, "convert slice %d: %v", slice, err)
 	}
 	reg.ELFie = res.Exe
 	if len(res.PerfPeriods) > 0 {
@@ -217,10 +273,14 @@ func (b *Benchmark) RunELFie(reg *Region, seed int64) (*vm.Machine, error) {
 		reg.SysState.Install(fs, "/sysstate")
 	}
 	k := kernel.New(fs, seed)
+	// ELFie runs are the injection target: kernel rules (syscall errors,
+	// exhaustion) and VM rules (forced faults, ungraceful exit) both apply.
+	k.Fault = b.inj
 	m, err := vm.NewLoaded(k, exe, []string{"elfie"}, nil)
 	if err != nil {
 		return nil, err
 	}
+	m.FaultInj = b.inj
 	m.MaxInstructions = 4 * (reg.Warmup + b.cfg.SliceSize + 1_000_000)
 	return m, nil
 }

@@ -31,6 +31,12 @@ type Validation struct {
 	// correctly.
 	Coverage  float64
 	PerRegion []RegionCPI
+	// Degradation merges build-time failures (from Prepare) with the
+	// measurement failures of this validation: regions recovered via
+	// re-log or alternates, regions dropped, and the coverage the drops
+	// cost. A dropped region is excluded from the prediction — never
+	// silently averaged in as a wrong CPI.
+	Degradation DegradationSummary
 }
 
 // ValidateNative performs ELFie-based validation: whole-program CPI from a
@@ -38,7 +44,7 @@ type Validation struct {
 // runs, both via hardware counters (package perfle). Failed ELFies fall
 // back to alternate representatives, as in §I.
 func ValidateNative(b *Benchmark, trialSeed int64) (*Validation, error) {
-	v := &Validation{Method: "native"}
+	v := &Validation{Method: "native", Degradation: b.Degradation.clone()}
 
 	// Whole-program measurement.
 	m, err := b.NewMachine(trialSeed)
@@ -57,21 +63,31 @@ func ValidateNative(b *Benchmark, trialSeed int64) (*Validation, error) {
 			Cluster: reg.Cluster, SliceUsed: reg.SliceUsed,
 			Weight: reg.Weight, UsedAlternate: -1,
 		}
-		cpi, ok := b.measureRegion(reg, trialSeed)
-		if !ok {
+		cpi, err := b.measureRegion(reg, trialSeed)
+		if err != nil {
+			ev := RegionFailure{
+				Cluster: reg.Cluster, Slice: reg.SliceUsed,
+				Kind: FailureOf(err), Err: err,
+			}
 			for ai, alt := range reg.Alternates {
-				altReg, err := b.BuildRegion(reg.Region, alt)
-				if err != nil {
+				altReg, aerr := b.BuildRegion(reg.Region, alt)
+				if aerr != nil {
 					continue
 				}
-				if cpi, ok = b.measureRegion(altReg, trialSeed); ok {
+				if cpi, err = b.measureRegion(altReg, trialSeed); err == nil {
 					rc.UsedAlternate = ai
 					rc.SliceUsed = alt
+					ev.Recovered = true
+					ev.Action = fmt.Sprintf("alternate %d (slice %d)", ai, alt)
 					break
 				}
 			}
+			if !ev.Recovered {
+				ev.Action = "dropped"
+			}
+			v.Degradation.record(ev, reg.Weight)
 		}
-		rc.OK = ok
+		rc.OK = err == nil
 		rc.CPI = cpi
 		v.PerRegion = append(v.PerRegion, rc)
 	}
@@ -80,12 +96,12 @@ func ValidateNative(b *Benchmark, trialSeed int64) (*Validation, error) {
 }
 
 // measureRegion runs one region's ELFie natively and extracts the slice CPI
-// (the window after the warm-up prefix). ok is false if the ELFie failed to
-// reach its graceful exit.
-func (b *Benchmark) measureRegion(reg *Region, seed int64) (float64, bool) {
+// (the window after the warm-up prefix). A non-nil error (classifiable via
+// FailureOf) means the ELFie failed to produce a trustworthy measurement.
+func (b *Benchmark) measureRegion(reg *Region, seed int64) (float64, error) {
 	m, err := b.RunELFie(reg, seed)
 	if err != nil {
-		return 0, false
+		return 0, failf(FailConversion, "elfie for slice %d unloadable: %v", reg.SliceUsed, err)
 	}
 	ms := perfle.Attach(m, perfle.Options{
 		Cores:       1,
@@ -94,20 +110,26 @@ func (b *Benchmark) measureRegion(reg *Region, seed int64) (float64, bool) {
 		NoiseSeed:   seed + int64(reg.SliceUsed),
 	})
 	if err := m.Run(); err != nil {
-		return 0, false
+		return 0, failf(FailInternal, "elfie run: %v", err)
 	}
 	rep := ms.Finish()
-	if !Completed(m) || !rep.MarkerSeen || rep.WindowInstructions == 0 {
-		return 0, false
+	if m.FatalFault != nil {
+		return 0, failf(FailUngracefulExit, "elfie for slice %d died: %v",
+			reg.SliceUsed, m.FatalFault)
 	}
-	return rep.WindowCPI(), true
+	if !Completed(m) || !rep.MarkerSeen || rep.WindowInstructions == 0 {
+		return 0, failf(FailUngracefulExit,
+			"elfie for slice %d missed its graceful exit (marker=%v window=%d)",
+			reg.SliceUsed, rep.MarkerSeen, rep.WindowInstructions)
+	}
+	return rep.WindowCPI(), nil
 }
 
 // ValidateSim performs the traditional, simulation-based validation: both
 // the whole program and each region run under the detailed simulator
 // (CoreSim). This is the slow path the paper contrasts against.
 func ValidateSim(b *Benchmark, cfg coresim.Config) (*Validation, error) {
-	v := &Validation{Method: "sim"}
+	v := &Validation{Method: "sim", Degradation: b.Degradation.clone()}
 
 	m, err := b.NewMachine(b.cfg.Seed)
 	if err != nil {
@@ -124,8 +146,14 @@ func ValidateSim(b *Benchmark, cfg coresim.Config) (*Validation, error) {
 			Cluster: reg.Cluster, SliceUsed: reg.SliceUsed,
 			Weight: reg.Weight, UsedAlternate: -1,
 		}
-		cpi, ok := b.simRegion(reg, cfg)
-		rc.OK = ok
+		cpi, err := b.simRegion(reg, cfg)
+		if err != nil {
+			v.Degradation.record(RegionFailure{
+				Cluster: reg.Cluster, Slice: reg.SliceUsed,
+				Kind: FailureOf(err), Err: err, Action: "dropped",
+			}, reg.Weight)
+		}
+		rc.OK = err == nil
 		rc.CPI = cpi
 		v.PerRegion = append(v.PerRegion, rc)
 	}
@@ -135,31 +163,33 @@ func ValidateSim(b *Benchmark, cfg coresim.Config) (*Validation, error) {
 
 // simRegion simulates one region's ELFie under CoreSim, excluding the
 // warm-up prefix from the reported CPI.
-func (b *Benchmark) simRegion(reg *Region, cfg coresim.Config) (float64, bool) {
+func (b *Benchmark) simRegion(reg *Region, cfg coresim.Config) (float64, error) {
 	m, err := b.RunELFie(reg, b.cfg.Seed)
 	if err != nil {
-		return 0, false
+		return 0, failf(FailConversion, "elfie for slice %d unloadable: %v", reg.SliceUsed, err)
 	}
 	cfg.StartMarker = b.cfg.MarkerTag
 	warmLimit := reg.TailInstr + reg.Warmup
 
 	sim := coresim.Attach(m, cfg)
 	if err := m.Run(); err != nil {
-		return 0, false
+		return 0, failf(FailInternal, "simulated elfie run: %v", err)
 	}
 	res := sim.Finish()
 	if !Completed(m) {
-		return 0, false
+		return 0, failf(FailUngracefulExit, "simulated elfie for slice %d missed its graceful exit",
+			reg.SliceUsed)
 	}
 	total := res.Ring3Instr + res.Ring0Instr
 	if total <= warmLimit {
-		return 0, false
+		return 0, failf(FailUngracefulExit, "simulated elfie for slice %d retired only %d of %d warm-up",
+			reg.SliceUsed, total, warmLimit)
 	}
 	// Without a mid-run snapshot the detailed model reports whole-window
 	// CPI including warm-up; the warm-up share is small (it is warm
 	// execution of the same code) and the detailed pipeline state carries
 	// no cold-start artifact to first order.
-	return res.CPI(), total > 0
+	return res.CPI(), nil
 }
 
 func (v *Validation) finish() {

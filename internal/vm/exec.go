@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"elfie/internal/fault"
 	"elfie/internal/isa"
 	"elfie/internal/kernel"
 	"elfie/internal/mem"
@@ -30,6 +31,21 @@ func (m *Machine) runThread(t *Thread, quantum int) int {
 func (m *Machine) step(t *Thread) (yielded, retired bool) {
 	as := m.Proc.AS
 	pc := t.Regs.PC
+
+	// Fault injection: synthetic faults at a retired-instruction threshold.
+	// A PageFault goes through the normal fault path (an OnFault hook may
+	// recover it); an UngracefulExit kills the process outright — the
+	// divergent-ELFie death mode.
+	if m.FaultInj != nil {
+		if pt, fire := m.FaultInj.VMFault(m.GlobalRetired); fire {
+			f := &mem.Fault{Addr: pc, Access: mem.AccessExec}
+			if pt == fault.UngracefulExit {
+				m.fatalFault(t, f)
+				return true, false
+			}
+			return m.handleFault(t, f), false
+		}
+	}
 
 	// Fetch. Instructions are 8 bytes; LIMM needs 8 more.
 	if err := as.Fetch(pc, m.fetchBuf[:isa.InstLen]); err != nil {

@@ -1,0 +1,80 @@
+package vm
+
+import (
+	"testing"
+
+	"elfie/internal/fault"
+	"elfie/internal/mem"
+)
+
+const spinProgram = `
+		.text
+		.global _start
+_start:
+		movi r1, 0
+loop:
+		addi r1, r1, 1
+		cmpi r1, 100000
+		jnz  loop
+		movi r0, 231
+		movi r1, 0
+		syscall
+`
+
+func TestVMUngracefulExitInjection(t *testing.T) {
+	m := load(t, spinProgram, 1)
+	m.FaultInj = fault.New(&fault.Plan{Seed: 1, Rules: []fault.Rule{
+		{Point: fault.UngracefulExit, AtRetired: 500},
+	}})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.FatalFault == nil {
+		t.Fatal("no fatal fault recorded")
+	}
+	if m.ExitStatus != 139 {
+		t.Errorf("exit status = %d, want 139 (SIGSEGV)", m.ExitStatus)
+	}
+	// The fault fired at (not long after) the requested threshold.
+	if m.GlobalRetired < 500 || m.GlobalRetired > 600 {
+		t.Errorf("died at retired=%d, want ~500", m.GlobalRetired)
+	}
+	if m.FaultInj.InjectedCount(fault.UngracefulExit) != 1 {
+		t.Errorf("events: %v", m.FaultInj.Events())
+	}
+}
+
+func TestVMPageFaultRecoverable(t *testing.T) {
+	m := load(t, spinProgram, 1)
+	m.FaultInj = fault.New(&fault.Plan{Seed: 1, Rules: []fault.Rule{
+		{Point: fault.PageFault, AtRetired: 500},
+	}})
+	recovered := 0
+	m.Hooks.OnFault = func(th *Thread, f *mem.Fault) bool {
+		recovered++
+		return true // pretend we injected the missing page
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 1 {
+		t.Errorf("OnFault fired %d times, want 1", recovered)
+	}
+	// The program recovered and ran to its normal exit.
+	if m.FatalFault != nil || m.ExitStatus != 0 {
+		t.Errorf("fault=%v exit=%d", m.FatalFault, m.ExitStatus)
+	}
+}
+
+func TestVMPageFaultUnhandledIsFatal(t *testing.T) {
+	m := load(t, spinProgram, 1)
+	m.FaultInj = fault.New(&fault.Plan{Seed: 1, Rules: []fault.Rule{
+		{Point: fault.PageFault, AtRetired: 500},
+	}})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.FatalFault == nil {
+		t.Error("unhandled injected page fault did not kill the process")
+	}
+}

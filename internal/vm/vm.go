@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"elfie/internal/elfobj"
+	"elfie/internal/fault"
 	"elfie/internal/isa"
 	"elfie/internal/kernel"
 	"elfie/internal/mem"
@@ -197,6 +198,11 @@ type Machine struct {
 	// set it, so active-wait spin loops burn instructions at full rate, as
 	// they do on hardware.
 	PauseDoesNotYield bool
+
+	// FaultInj, when non-nil, raises synthetic machine faults — forced page
+	// faults and ungraceful exits — at the retired-instruction thresholds
+	// its plan specifies.
+	FaultInj *fault.Injector
 
 	// Halted is set by HLT, exit_group, or a fatal fault.
 	Halted bool
