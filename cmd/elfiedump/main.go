@@ -6,24 +6,32 @@
 //
 //	elfiedump file.elfie            # headers + sections + symbols
 //	elfiedump -d .text file.elfie   # disassemble one section
+//	elfiedump -pinball dir/name     # pinball integrity manifest
 package main
 
 import (
 	"flag"
 	"fmt"
+	"path/filepath"
 	"sort"
 
 	"elfie/internal/cli"
 	"elfie/internal/elfobj"
 	"elfie/internal/isa"
+	"elfie/internal/pinball"
 )
 
 func main() {
 	disasm := flag.String("d", "", "disassemble the named section")
 	maxIns := flag.Int("n", 200, "max instructions to disassemble")
+	pball := flag.Bool("pinball", false, "argument is a pinball (dir/name); print its integrity manifest")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		cli.Die(fmt.Errorf("usage: elfiedump [flags] file.elf"))
+	}
+	if *pball {
+		dumpPinball(flag.Arg(0))
+		return
 	}
 	f, err := cli.LoadELF(flag.Arg(0))
 	if err != nil {
@@ -91,5 +99,45 @@ func main() {
 		for _, r := range relocs {
 			fmt.Printf("  %#8x %-14s %s%+d\n", r.Offset, elfobj.RelocName(r.Type), r.Symbol, r.Addend)
 		}
+	}
+}
+
+// dumpPinball loads a pinball (verifying its CRC manifest in the process)
+// and prints the integrity record: format version and per-member digests.
+// Corrupt pinballs exit with the corrupt-input code; legacy pre-manifest
+// pinballs load but are flagged unverified.
+func dumpPinball(path string) {
+	dir, name := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	pb, err := pinball.Read(dir, name, pinball.ReadOptions{})
+	if err != nil {
+		cli.DieClassified(err)
+	}
+
+	fmt.Printf("pinball %s: format version %d (writer supports %d)\n",
+		pb.Name, pb.Meta.Version, pinball.FormatVersion)
+	fmt.Printf("threads=%d region=[%d..+%d] warmup=%d\n",
+		pb.Meta.NumThreads, pb.Meta.RegionStartIcount,
+		pb.Meta.TotalInstructions, pb.Meta.WarmupLength)
+
+	if pb.Unverified {
+		fmt.Println("\nUNVERIFIED: legacy pinball predates the integrity manifest;")
+		fmt.Println("members loaded without CRC checks. Re-log to upgrade.")
+		return
+	}
+	man := pb.Meta.Manifest
+	fmt.Printf("\nIntegrity manifest (format %d, %d members, all verified):\n",
+		man.FormatVersion, len(man.Files))
+	fmt.Printf("  %-28s %10s %10s\n", "member", "size", "crc32")
+	names := make([]string, 0, len(man.Files))
+	for fname := range man.Files {
+		names = append(names, fname)
+	}
+	sort.Strings(names)
+	for _, fname := range names {
+		d := man.Files[fname]
+		fmt.Printf("  %-28s %10d %#10x\n", fname, d.Size, d.CRC32)
 	}
 }

@@ -1,0 +1,113 @@
+// elfiestore inspects and maintains a content-addressed checkpoint store —
+// the cache the pipeline fills with pinballs, ELFies, and profiles so warm
+// re-runs skip logging and conversion entirely.
+//
+// Usage:
+//
+//	elfiestore -store work/cache ls
+//	elfiestore -store work/cache stats
+//	elfiestore -store work/cache verify
+//	elfiestore -store work/cache gc [-max-age 720h] [-dry-run]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"elfie/internal/cli"
+	"elfie/internal/store"
+)
+
+func main() {
+	dir := flag.String("store", "", "store directory (required)")
+	flag.Parse()
+
+	if *dir == "" || flag.NArg() < 1 {
+		cli.Die(fmt.Errorf("usage: elfiestore -store DIR {ls|stats|verify|gc}"))
+	}
+	// Subcommand flags come after the subcommand, so they need their own
+	// FlagSet: the global parse stops at the first non-flag argument.
+	gcFlags := flag.NewFlagSet("gc", flag.ExitOnError)
+	maxAge := gcFlags.Duration("max-age", 0, "expire entries unused for this long (0 = never)")
+	dryRun := gcFlags.Bool("dry-run", false, "report without removing")
+	if flag.NArg() > 1 {
+		if flag.Arg(0) != "gc" {
+			cli.Die(fmt.Errorf("unexpected arguments after %q", flag.Arg(0)))
+		}
+		if err := gcFlags.Parse(flag.Args()[1:]); err != nil {
+			cli.Die(err)
+		}
+	}
+	s, err := store.Open(*dir)
+	if err != nil {
+		cli.DieClassified(err)
+	}
+
+	switch cmd := flag.Arg(0); cmd {
+	case "ls":
+		entries := s.Entries()
+		fmt.Printf("%-16s %-10s %-16s %10s %6s  %s\n",
+			"key", "kind", "object", "bytes", "files", "last used")
+		for _, e := range entries {
+			fmt.Printf("%-16s %-10s %-16s %10d %6d  %s\n",
+				short(e.Key), e.Kind, short(e.Object), e.Size, e.Files,
+				e.LastUsed.UTC().Format(time.RFC3339))
+		}
+		fmt.Printf("%d entries\n", len(entries))
+
+	case "stats":
+		st, err := s.Stats()
+		if err != nil {
+			cli.DieClassified(err)
+		}
+		fmt.Printf("entries:     %d\n", st.Entries)
+		fmt.Printf("objects:     %d\n", st.Objects)
+		fmt.Printf("bytes:       %d\n", st.Bytes)
+		fmt.Printf("dedup saved: %d\n", st.DedupSaved)
+		for _, k := range st.SortedKinds() {
+			fmt.Printf("  kind %-10s %d\n", k, st.Kinds[k])
+		}
+
+	case "verify":
+		rep, err := s.Verify()
+		if err != nil {
+			cli.DieClassified(err)
+		}
+		fmt.Printf("checked %d entries (%d pinballs, %d unverified legacy)\n",
+			rep.Checked, rep.Pinballs, rep.Unverified)
+		for _, p := range rep.Problems {
+			fmt.Fprintf(os.Stderr, "CORRUPT key=%s object=%s: %v\n",
+				short(p.Key), short(p.Object), p.Err)
+		}
+		if !rep.OK() {
+			cli.DieClassified(fmt.Errorf("%w: %d object(s) failed verification",
+				store.ErrCorrupt, len(rep.Problems)))
+		}
+		fmt.Println("ok")
+
+	case "gc":
+		rep, err := s.GC(store.GCOptions{MaxAge: *maxAge, DryRun: *dryRun})
+		if err != nil {
+			cli.DieClassified(err)
+		}
+		verb := "removed"
+		if *dryRun {
+			verb = "would remove"
+		}
+		fmt.Printf("%s: %d expired entries, %d orphan objects, %d staging dirs, %d bytes\n",
+			verb, rep.ExpiredEntries, rep.OrphanObjects, rep.TmpDebris, rep.BytesReclaimed)
+
+	default:
+		cli.Die(fmt.Errorf("unknown command %q (want ls, stats, verify, or gc)", cmd))
+	}
+}
+
+// short abbreviates a hex ID for display.
+func short(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}

@@ -19,6 +19,7 @@ import (
 	"elfie/internal/cli"
 	"elfie/internal/coresim"
 	"elfie/internal/pinpoints"
+	"elfie/internal/store"
 	"elfie/internal/workloads"
 )
 
@@ -32,6 +33,8 @@ func main() {
 	maxK := flag.Int("maxk", 50, "maximum number of phases")
 	seed := flag.Int64("seed", 1, "pipeline seed")
 	trials := flag.Int("trials", 1, "native validation trials")
+	jobs := flag.Int("j", 0, "checkpoint-farm workers (0 = GOMAXPROCS)")
+	storeDir := flag.String("store", "", "cache pipeline artifacts in this checkpoint store")
 	flag.Parse()
 
 	if *list {
@@ -62,15 +65,28 @@ func main() {
 
 	cfg := pinpoints.Config{
 		SliceSize: *slice, WarmupSize: *warmup, MaxK: *maxK,
-		Seed: *seed, UseSysState: true,
+		Seed: *seed, UseSysState: true, Jobs: *jobs,
+	}
+	if *storeDir != "" {
+		s, err := store.Open(*storeDir)
+		if err != nil {
+			cli.DieClassified(err)
+		}
+		cfg.Store = s
 	}
 	b, err := pinpoints.Prepare(recipe, cfg)
 	if err != nil {
-		cli.Die(err)
+		cli.DieClassified(err)
 	}
 	fmt.Printf("%s: %d instructions, %d slices, %d phases, %d regions\n",
 		recipe.Name, b.TotalInstructions, len(b.Profile.Slices),
 		b.Selection.K, len(b.Regions))
+	fmt.Printf("farm: %s", &b.JobStats)
+	for _, st := range b.JobStats.SortedStages() {
+		ss := b.JobStats.Stages[st]
+		fmt.Printf(" %s=%.0fms", st, ss.Wall.Seconds()*1000)
+	}
+	fmt.Println()
 	for _, reg := range b.Regions {
 		fmt.Printf("  cluster %d: slice %d, weight %.3f, warm-up %d\n",
 			reg.Cluster, reg.SliceUsed, reg.Weight, reg.Warmup)

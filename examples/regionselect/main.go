@@ -5,16 +5,22 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
 
 	"elfie/internal/coresim"
 	"elfie/internal/pinpoints"
+	"elfie/internal/store"
 	"elfie/internal/workloads"
 )
 
 func main() {
+	jobs := flag.Int("j", 0, "checkpoint-farm workers (0 = GOMAXPROCS)")
+	storeDir := flag.String("store", "", "cache pipeline artifacts in this checkpoint store")
+	flag.Parse()
+
 	recipe, ok := workloads.ByName("602.gcc_t")
 	if !ok {
 		log.Fatal("recipe missing")
@@ -25,6 +31,14 @@ func main() {
 		MaxK:        10,
 		Seed:        1,
 		UseSysState: true,
+		Jobs:        *jobs,
+	}
+	if *storeDir != "" {
+		s, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Store = s
 	}
 	fmt.Printf("preparing %s (profile -> SimPoint -> pinballs -> ELFies)...\n", recipe.Name)
 	b, err := pinpoints.Prepare(recipe, cfg)
@@ -33,6 +47,7 @@ func main() {
 	}
 	fmt.Printf("  %d instructions, %d slices, %d phases found\n",
 		b.TotalInstructions, len(b.Profile.Slices), b.Selection.K)
+	fmt.Printf("  farm: %s\n", &b.JobStats)
 	for _, reg := range b.Regions {
 		fmt.Printf("  cluster %d: representative slice %d (weight %.2f, alternates %v)\n",
 			reg.Cluster, reg.SliceUsed, reg.Weight, reg.Alternates)

@@ -8,6 +8,7 @@ import (
 
 	"elfie/internal/fault"
 	"elfie/internal/pinball"
+	"elfie/internal/store"
 )
 
 // Process exit codes shared by the command-line tools, so scripts can tell
@@ -39,7 +40,8 @@ func Classify(err error) (code int, category string) {
 	case err == nil:
 		return ExitOK, "ok"
 	case errors.Is(err, pinball.ErrCorrupt), errors.Is(err, pinball.ErrTruncated),
-		errors.Is(err, pinball.ErrVersionMismatch), errors.Is(err, ErrCorruptInput):
+		errors.Is(err, pinball.ErrVersionMismatch), errors.Is(err, ErrCorruptInput),
+		errors.Is(err, store.ErrCorrupt):
 		return ExitCorruptInput, "corrupt-input"
 	case errors.Is(err, ErrDivergence):
 		return ExitDivergence, "divergence"

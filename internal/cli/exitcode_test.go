@@ -8,6 +8,7 @@ import (
 
 	"elfie/internal/fault"
 	"elfie/internal/pinball"
+	"elfie/internal/store"
 )
 
 func TestClassify(t *testing.T) {
@@ -21,6 +22,8 @@ func TestClassify(t *testing.T) {
 		{pinball.ErrTruncated, ExitCorruptInput, "corrupt-input"},
 		{pinball.ErrVersionMismatch, ExitCorruptInput, "corrupt-input"},
 		{fmt.Errorf("load: %w", pinball.ErrCorrupt), ExitCorruptInput, "corrupt-input"},
+		{store.ErrCorrupt, ExitCorruptInput, "corrupt-input"},
+		{fmt.Errorf("checkpoint store: %w", store.ErrCorrupt), ExitCorruptInput, "corrupt-input"},
 		{fmt.Errorf("%w: replay left the log", ErrDivergence), ExitDivergence, "divergence"},
 		{fmt.Errorf("mystery"), ExitInternal, "internal"},
 	}

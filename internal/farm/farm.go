@@ -1,0 +1,377 @@
+// Package farm is a dependency-aware job scheduler for the checkpoint
+// pipeline: it models the PinPoints flow (profile → SimPoint selection →
+// per-region log → convert → validate) as a DAG of jobs executed by a
+// bounded worker pool.
+//
+// The scheduler is deliberately small and deterministic-friendly:
+//
+//   - Jobs carry explicit dependencies; a job becomes ready only when every
+//     dependency succeeded, and is skipped (with a typed error) when one
+//     failed.
+//   - Ready jobs dispatch FIFO in submission order, so a one-worker farm
+//     executes exactly the serial order and more workers only overlap
+//     independent jobs.
+//   - Results are keyed by job ID, never by completion order: callers merge
+//     them in their own deterministic order, which is what makes pipeline
+//     output byte-identical regardless of worker count.
+//   - A job may consult a cache first (Probe); cache hits skip Run entirely
+//     and are counted separately, so "the warm re-run did zero work" is
+//     provable from the counters.
+//   - Failed jobs retry (bounded by Retries) when RetryIf classifies the
+//     error as retryable — e.g. a corrupt pinball read that a re-log fixes.
+//
+// Jobs may submit further jobs while running (Add is safe during Run),
+// which is how "select regions" fans out into per-region work the moment
+// the selection is known.
+package farm
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrDependency marks a job skipped because a dependency failed.
+var ErrDependency = errors.New("farm: dependency failed")
+
+// Job is one schedulable unit of work.
+type Job struct {
+	// ID uniquely names the job within one farm.
+	ID string
+	// Stage groups jobs for counters and wall-time accounting
+	// ("profile", "region", "measure", ...).
+	Stage string
+	// Deps lists job IDs that must succeed first. Every dependency must
+	// already be submitted when this job is added.
+	Deps []string
+	// Probe, when non-nil, is consulted before Run: returning true means
+	// the job's outcome is already available (a cache hit) and Run is
+	// skipped.
+	Probe func() bool
+	// Run does the work. Required unless Probe always hits.
+	Run func() error
+	// Retries bounds how many times a failed Run is re-attempted.
+	Retries int
+	// RetryIf classifies an error as retryable; nil means never retry.
+	RetryIf func(error) bool
+	// OnDone, when non-nil, runs on the worker after the job's result is
+	// final and before its dependents are released. It fires only for
+	// dispatched jobs (not for dependency-skipped ones) and may inspect
+	// the result and submit follow-up jobs — recovery paths, fan-out.
+	OnDone func(*Result)
+}
+
+// Result is one job's outcome.
+type Result struct {
+	ID    string
+	Stage string
+	// Err is nil on success; ErrDependency-wrapping on skip.
+	Err error
+	// Cached reports the job was satisfied by Probe without running.
+	Cached bool
+	// Attempts is the number of Run invocations (0 for cached/skipped).
+	Attempts int
+	// RetryErrs holds the errors of failed attempts that were retried,
+	// in order — callers reconstruct recovery narratives from them.
+	RetryErrs []error
+	// Wall is the total time spent in Probe and Run attempts.
+	Wall time.Duration
+}
+
+// StageStats aggregates counters for one stage.
+type StageStats struct {
+	Jobs    int
+	Run     int // jobs that executed Run successfully
+	Cached  int // jobs satisfied by Probe
+	Retried int // individual retry attempts
+	Skipped int // jobs skipped due to failed dependencies
+	Failed  int // jobs whose final attempt failed
+	// Wall is the summed busy time of the stage's jobs (not elapsed time:
+	// with N workers the stage's elapsed time can be Wall/N).
+	Wall time.Duration
+}
+
+// Counters aggregates scheduler activity, totalled and per stage.
+type Counters struct {
+	Jobs, Run, Cached, Retried, Skipped, Failed int
+	Stages                                      map[string]StageStats
+}
+
+func (c *Counters) String() string {
+	return fmt.Sprintf("jobs=%d run=%d cached=%d retried=%d skipped=%d failed=%d",
+		c.Jobs, c.Run, c.Cached, c.Retried, c.Skipped, c.Failed)
+}
+
+// Outcome is a completed farm run.
+type Outcome struct {
+	// Results maps job ID to its result, for deterministic merging.
+	Results  map[string]*Result
+	Counters Counters
+	// Elapsed is the wall-clock duration of the whole run.
+	Elapsed time.Duration
+}
+
+// jobState tracks one submitted job through the scheduler.
+type jobState struct {
+	job     *Job
+	waiting int  // unmet dependencies
+	done    bool // result recorded
+	failed  bool
+}
+
+// Farm schedules jobs over a bounded worker pool.
+type Farm struct {
+	workers int
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	jobs       map[string]*jobState
+	dependents map[string][]string // job ID -> IDs waiting on it
+	ready      []string            // FIFO ready queue, submission order
+	results    map[string]*Result
+	pending    int // submitted, not yet finished
+}
+
+// New builds a farm with the given worker count; workers <= 0 means
+// GOMAXPROCS.
+func New(workers int) *Farm {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	f := &Farm{
+		workers:    workers,
+		jobs:       make(map[string]*jobState),
+		dependents: make(map[string][]string),
+		results:    make(map[string]*Result),
+	}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// Workers returns the farm's worker-pool size.
+func (f *Farm) Workers() int { return f.workers }
+
+// Add submits a job. It is safe to call from inside a running job, which is
+// how one pipeline stage fans out into the next. Dependencies must already
+// be submitted; a dependency that already failed skips the new job
+// immediately.
+func (f *Farm) Add(j *Job) error {
+	if j.ID == "" {
+		return errors.New("farm: job needs an ID")
+	}
+	if j.Run == nil && j.Probe == nil {
+		return fmt.Errorf("farm: job %s has no work", j.ID)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.jobs[j.ID]; dup {
+		return fmt.Errorf("farm: duplicate job ID %q", j.ID)
+	}
+	st := &jobState{job: j}
+	for _, dep := range j.Deps {
+		ds, ok := f.jobs[dep]
+		if !ok {
+			return fmt.Errorf("farm: job %s depends on unknown job %q", j.ID, dep)
+		}
+		switch {
+		case ds.done && ds.failed:
+			// A failed dependency dooms the job; record the skip at
+			// finish time below.
+			st.waiting = -1
+		case ds.done:
+			// Satisfied already.
+		default:
+			st.waiting++
+			f.dependents[dep] = append(f.dependents[dep], j.ID)
+		}
+		if st.waiting == -1 {
+			break
+		}
+	}
+	f.jobs[j.ID] = st
+	f.pending++
+	switch {
+	case st.waiting == -1:
+		f.finishLocked(j.ID, &Result{
+			ID: j.ID, Stage: j.Stage,
+			Err: fmt.Errorf("%w: %s", ErrDependency, j.ID),
+		})
+	case st.waiting == 0:
+		f.ready = append(f.ready, j.ID)
+		f.cond.Broadcast()
+	}
+	return nil
+}
+
+// Run executes all submitted jobs (including ones submitted while running)
+// and returns when every job has a result. Job failures are reported in the
+// outcome, not as a Run error.
+func (f *Farm) Run() (*Outcome, error) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < f.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.work()
+		}()
+	}
+	wg.Wait()
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := &Outcome{
+		Results: f.results,
+		Elapsed: time.Since(start),
+		Counters: Counters{
+			Jobs:   len(f.results),
+			Stages: make(map[string]StageStats),
+		},
+	}
+	for _, r := range f.results {
+		ss := out.Counters.Stages[r.Stage]
+		ss.Jobs++
+		ss.Wall += r.Wall
+		ss.Retried += len(r.RetryErrs)
+		out.Counters.Retried += len(r.RetryErrs)
+		switch {
+		case r.Cached:
+			ss.Cached++
+			out.Counters.Cached++
+		case errors.Is(r.Err, ErrDependency):
+			ss.Skipped++
+			out.Counters.Skipped++
+		case r.Err != nil:
+			ss.Failed++
+			out.Counters.Failed++
+		default:
+			ss.Run++
+			out.Counters.Run++
+		}
+		out.Counters.Stages[r.Stage] = ss
+	}
+	return out, nil
+}
+
+// work is one worker's loop: pop the oldest ready job, execute, repeat,
+// until no work remains or can appear.
+func (f *Farm) work() {
+	for {
+		f.mu.Lock()
+		for len(f.ready) == 0 && f.pending > 0 {
+			f.cond.Wait()
+		}
+		if len(f.ready) == 0 {
+			// pending == 0: everything is finished; wake the others so
+			// they observe it too.
+			f.cond.Broadcast()
+			f.mu.Unlock()
+			return
+		}
+		id := f.ready[0]
+		f.ready = f.ready[1:]
+		job := f.jobs[id].job
+		f.mu.Unlock()
+
+		res := f.execute(job)
+		if job.OnDone != nil {
+			job.OnDone(res)
+		}
+
+		f.mu.Lock()
+		f.finishLocked(id, res)
+		f.mu.Unlock()
+	}
+}
+
+// execute runs one job outside the lock: probe, then bounded retries.
+func (f *Farm) execute(job *Job) *Result {
+	res := &Result{ID: job.ID, Stage: job.Stage}
+	start := time.Now()
+	defer func() { res.Wall = time.Since(start) }()
+
+	if job.Probe != nil && safeProbe(job, res) {
+		res.Cached = true
+		return res
+	}
+	if job.Run == nil {
+		res.Err = fmt.Errorf("farm: job %s: probe missed and no Run", job.ID)
+		return res
+	}
+	for {
+		res.Attempts++
+		err := safeRun(job)
+		if err == nil {
+			res.Err = nil
+			return res
+		}
+		res.Err = err
+		if res.Attempts > job.Retries || job.RetryIf == nil || !job.RetryIf(err) {
+			return res
+		}
+		res.RetryErrs = append(res.RetryErrs, err)
+	}
+}
+
+// safeRun invokes Run, converting a panic into an error so one bad job
+// cannot take down the worker pool.
+func safeRun(job *Job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("farm: job %s panicked: %v", job.ID, r)
+		}
+	}()
+	return job.Run()
+}
+
+func safeProbe(job *Job, res *Result) (hit bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			hit = false
+		}
+	}()
+	return job.Probe()
+}
+
+// finishLocked records a job's result and releases its dependents
+// (caller holds f.mu).
+func (f *Farm) finishLocked(id string, res *Result) {
+	st := f.jobs[id]
+	st.done = true
+	st.failed = res.Err != nil
+	f.results[id] = res
+	f.pending--
+
+	for _, depID := range f.dependents[id] {
+		ds := f.jobs[depID]
+		if ds.done {
+			continue
+		}
+		if st.failed {
+			f.finishLocked(depID, &Result{
+				ID: depID, Stage: ds.job.Stage,
+				Err: fmt.Errorf("%w: %s failed: %v", ErrDependency, id, res.Err),
+			})
+			continue
+		}
+		ds.waiting--
+		if ds.waiting == 0 {
+			f.ready = append(f.ready, depID)
+		}
+	}
+	delete(f.dependents, id)
+	f.cond.Broadcast()
+}
+
+// SortedStages returns the counter's stage names in stable order.
+func (c *Counters) SortedStages() []string {
+	stages := make([]string, 0, len(c.Stages))
+	for s := range c.Stages {
+		stages = append(stages, s)
+	}
+	sort.Strings(stages)
+	return stages
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 )
 
 // Point names one injection point.
@@ -101,7 +102,16 @@ type ruleState struct {
 // Injector evaluates a Plan. All methods are safe on a nil receiver and
 // report "no fault", so callers hold a possibly-nil *Injector and call
 // through unconditionally only after a nil check on the hot paths.
+//
+// An Injector is safe for concurrent use: when the checkpoint farm fans
+// region work out across workers, one pipeline-lifetime injector is shared
+// by every machine, and its rule budgets (Count, one-shot points) stay
+// exact — concurrent triggers serialize, so a Count=1 rule injects exactly
+// once no matter how many workers race on it. Which worker's trigger wins
+// is scheduling-dependent, but the *number* of injections, and therefore
+// the pipeline's recovered/dropped accounting, matches the serial run.
 type Injector struct {
+	mu     sync.Mutex
 	rules  []*ruleState
 	rng    *rand.Rand
 	events []Event
@@ -155,6 +165,8 @@ func (in *Injector) SyscallErrno(num uint64) (int, bool) {
 	if in == nil {
 		return 0, false
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	for _, rs := range in.rules {
 		if rs.Point != SyscallError {
 			continue
@@ -177,6 +189,8 @@ func (in *Injector) ShortIO(p Point, num uint64, n uint64) (uint64, bool) {
 	if in == nil || n <= 1 {
 		return n, false
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	for _, rs := range in.rules {
 		if rs.Point != p {
 			continue
@@ -199,6 +213,8 @@ func (in *Injector) Trigger(p Point) bool {
 	if in == nil {
 		return false
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	for _, rs := range in.rules {
 		if rs.Point != p {
 			continue
@@ -218,6 +234,8 @@ func (in *Injector) CorruptFile(name string, data []byte) []byte {
 	if in == nil {
 		return data
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	for _, rs := range in.rules {
 		if rs.Point != PinballTruncate && rs.Point != PinballBitflip {
 			continue
@@ -253,6 +271,8 @@ func (in *Injector) VMFault(retired uint64) (Point, bool) {
 	if in == nil {
 		return "", false
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	for _, rs := range in.rules {
 		if rs.Point != PageFault && rs.Point != UngracefulExit {
 			continue
@@ -273,7 +293,9 @@ func (in *Injector) Events() []Event {
 	if in == nil {
 		return nil
 	}
-	return in.events
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.events...)
 }
 
 // InjectedCount returns the number of injections at the given points
@@ -282,6 +304,8 @@ func (in *Injector) InjectedCount(points ...Point) int {
 	if in == nil {
 		return 0
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	if len(points) == 0 {
 		return len(in.events)
 	}

@@ -4,9 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"sort"
-	"strconv"
 	"strings"
 )
 
@@ -66,25 +64,16 @@ func (m *Manifest) verify(name string, data []byte) error {
 	return nil
 }
 
-// checkRegFiles validates that the set of <name>.<tid>.reg files in dir is
-// exactly {0 .. numThreads-1}: a missing register file otherwise surfaces
-// later as a confusing per-thread open error.
-func checkRegFiles(dir, name string, numThreads int) error {
-	entries, err := os.ReadDir(dir)
+// checkRegFiles validates that the set of <name>.<tid>.reg files in the
+// source is exactly {0 .. numThreads-1}: a missing register file otherwise
+// surfaces later as a confusing per-thread open error.
+func checkRegFiles(src source, name string, numThreads int) error {
+	tids, err := src.regTIDs(name)
 	if err != nil {
 		return err
 	}
 	present := make(map[int]bool)
-	for _, e := range entries {
-		fn := e.Name()
-		if !strings.HasPrefix(fn, name+".") || !strings.HasSuffix(fn, ".reg") {
-			continue
-		}
-		mid := strings.TrimSuffix(strings.TrimPrefix(fn, name+"."), ".reg")
-		tid, err := strconv.Atoi(mid)
-		if err != nil {
-			continue // a different pinball's file, e.g. <name>.alt.0.reg
-		}
+	for _, tid := range tids {
 		present[tid] = true
 	}
 	var missing, extra []string

@@ -151,13 +151,11 @@ func (p *Pinball) SortPages() {
 	p.Pages = out
 }
 
-// Save writes the pinball into dir as the paper's file set, stamping the
-// current format version and an integrity manifest into the global.log.
-func (p *Pinball) Save(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-
+// FileSet renders the pinball's complete file set in memory — global.log
+// included, byte-for-byte what Save writes to disk — stamping the current
+// format version and an integrity manifest into the global.log. The
+// rendering is deterministic, so content-addressed storage can hash it.
+func (p *Pinball) FileSet() (map[string][]byte, error) {
 	// Render every non-metadata file first, so the manifest can record
 	// each one's digest.
 	files := map[string][]byte{
@@ -166,7 +164,7 @@ func (p *Pinball) Save(dir string) error {
 	}
 	sel, err := p.selBytes()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	files[p.Name+".sel"] = sel
 	for tid := range p.Regs {
@@ -182,10 +180,20 @@ func (p *Pinball) Save(dir string) error {
 	stamped.Manifest = man
 	meta, err := json.MarshalIndent(&stamped, "", "  ")
 	if err != nil {
+		return nil, err
+	}
+	files[p.Name+".global.log"] = meta
+	return files, nil
+}
+
+// Save writes the pinball into dir as the paper's file set, stamping the
+// current format version and an integrity manifest into the global.log.
+func (p *Pinball) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-
-	if err := os.WriteFile(filepath.Join(dir, p.Name+".global.log"), meta, 0o644); err != nil {
+	files, err := p.FileSet()
+	if err != nil {
 		return err
 	}
 	for name, data := range files {
@@ -247,15 +255,90 @@ func Load(dir, name string) (*Pinball, error) {
 	return Read(dir, name, ReadOptions{})
 }
 
+// source abstracts where a pinball file set is read from: a directory on
+// disk, or an in-memory map (e.g. a content-addressed store object).
+// Missing files are reported with errors satisfying os.IsNotExist.
+type source interface {
+	read(fname string) ([]byte, error)
+	// regTIDs lists the TIDs for which a <name>.<tid>.reg file is present.
+	regTIDs(name string) ([]int, error)
+}
+
+// dirSource reads the pinball file set from a directory.
+type dirSource struct{ dir string }
+
+func (s dirSource) read(fname string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(s.dir, fname))
+}
+
+func (s dirSource) regTIDs(name string) ([]int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var tids []int
+	for _, e := range entries {
+		if tid, ok := regFileTID(name, e.Name()); ok {
+			tids = append(tids, tid)
+		}
+	}
+	return tids, nil
+}
+
+// mapSource reads the pinball file set from an in-memory map.
+type mapSource map[string][]byte
+
+func (s mapSource) read(fname string) ([]byte, error) {
+	data, ok := s[fname]
+	if !ok {
+		return nil, &os.PathError{Op: "read", Path: fname, Err: os.ErrNotExist}
+	}
+	return data, nil
+}
+
+func (s mapSource) regTIDs(name string) ([]int, error) {
+	var tids []int
+	for fname := range s {
+		if tid, ok := regFileTID(name, fname); ok {
+			tids = append(tids, tid)
+		}
+	}
+	return tids, nil
+}
+
+// regFileTID reports whether fname is a register file of pinball name,
+// returning its TID.
+func regFileTID(name, fname string) (int, bool) {
+	if !strings.HasPrefix(fname, name+".") || !strings.HasSuffix(fname, ".reg") {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(fname, name+"."), ".reg")
+	tid, err := strconv.Atoi(mid)
+	if err != nil {
+		return 0, false // a different pinball's file, e.g. <name>.alt.0.reg
+	}
+	return tid, true
+}
+
 // Read reads a pinball named name from dir. Integrity failures are
 // reported via the typed errors ErrCorrupt, ErrTruncated and
 // ErrVersionMismatch (use errors.Is); pinballs written before the manifest
 // era load with Unverified set.
 func Read(dir, name string, opts ReadOptions) (*Pinball, error) {
+	return readFrom(dirSource{dir}, name, opts)
+}
+
+// ReadFileSet parses a pinball named name from an in-memory file set (as
+// produced by FileSet), with the same integrity verification as Read.
+func ReadFileSet(name string, files map[string][]byte, opts ReadOptions) (*Pinball, error) {
+	return readFrom(mapSource(files), name, opts)
+}
+
+func readFrom(src source, name string, opts ReadOptions) (*Pinball, error) {
 	p := &Pinball{Name: name}
 
 	readFile := func(fname string) ([]byte, error) {
-		data, err := os.ReadFile(filepath.Join(dir, fname))
+		data, err := src.read(fname)
 		if err != nil {
 			return nil, err
 		}
@@ -283,7 +366,7 @@ func Read(dir, name string, opts ReadOptions) (*Pinball, error) {
 		return nil, fmt.Errorf("%w: implausible thread count %d in global.log",
 			ErrCorrupt, p.Meta.NumThreads)
 	}
-	if err := checkRegFiles(dir, name, p.Meta.NumThreads); err != nil {
+	if err := checkRegFiles(src, name, p.Meta.NumThreads); err != nil {
 		return nil, err
 	}
 

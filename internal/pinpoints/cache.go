@@ -1,0 +1,227 @@
+package pinpoints
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"elfie/internal/bbv"
+	"elfie/internal/elfobj"
+	"elfie/internal/pinball"
+	"elfie/internal/simpoint"
+	"elfie/internal/store"
+	"elfie/internal/sysstate"
+	"elfie/internal/workloads"
+)
+
+// cacheSchema versions the cached-artifact layout: bumping it invalidates
+// every prior entry (keys no longer match) instead of misreading them.
+const cacheSchema = 1
+
+// useStore reports whether artifact caching is active: a store is
+// configured and fault injection is off. Injection must strike live
+// logging and live reads — serving a warm artifact would bypass the very
+// paths a fault plan targets, and a corrupted read must never be cached.
+func (b *Benchmark) useStore() bool { return b.cfg.Store != nil && b.inj == nil }
+
+// regionKeyMaterial is everything that can change a region artifact's
+// bytes — recipe, the pipeline knobs that shape capture and conversion,
+// the slice, and the format versions — and nothing else, so unrelated
+// config changes (MaxK, validation trials) keep the cache warm.
+type regionKeyMaterial struct {
+	Schema        int              `json:"schema"`
+	Kind          string           `json:"kind"`
+	PinballFormat int              `json:"pinball_format"`
+	Recipe        workloads.Recipe `json:"recipe"`
+	SliceSize     uint64           `json:"slice_size"`
+	WarmupSize    uint64           `json:"warmup_size"`
+	Seed          int64            `json:"seed"`
+	MarkerTag     uint32           `json:"marker_tag"`
+	MachineBudget uint64           `json:"machine_budget"`
+	UseSysState   bool             `json:"use_sysstate"`
+	Slice         int              `json:"slice"`
+}
+
+func (b *Benchmark) regionCacheKey(slice int) (string, error) {
+	cfg := b.cfg
+	return store.Key(regionKeyMaterial{
+		Schema: cacheSchema, Kind: "region",
+		PinballFormat: pinball.FormatVersion,
+		Recipe:        b.Recipe,
+		SliceSize:     cfg.SliceSize, WarmupSize: cfg.WarmupSize,
+		Seed: cfg.Seed, MarkerTag: cfg.MarkerTag,
+		MachineBudget: cfg.MachineBudget, UseSysState: cfg.UseSysState,
+		Slice: slice,
+	})
+}
+
+// regionMeta is the non-content metadata stored beside a region's pinball
+// and ELFie. Selection-dependent fields (cluster, weight, alternates) are
+// deliberately absent: they belong to the live selection, so a cached
+// region survives re-selection under a different MaxK.
+type regionMeta struct {
+	PinballName string `json:"pinball_name"`
+	SliceUsed   int    `json:"slice_used"`
+	StartIcount uint64 `json:"start_icount"`
+	Warmup      uint64 `json:"warmup"`
+	TailInstr   uint64 `json:"tail_instr"`
+}
+
+// storeRegion writes one built region into the cache: the pinball file set
+// (with its CRC manifest), the serialized ELFie, the sysstate, and the
+// region metadata, as one content-addressed object.
+func (b *Benchmark) storeRegion(reg *Region) error {
+	key, err := b.regionCacheKey(reg.SliceUsed)
+	if err != nil {
+		return err
+	}
+	files, err := reg.Pinball.FileSet()
+	if err != nil {
+		return err
+	}
+	elfie, err := reg.ELFie.Write()
+	if err != nil {
+		return err
+	}
+	files["elfie.bin"] = elfie
+	meta, err := json.Marshal(regionMeta{
+		PinballName: reg.Pinball.Name,
+		SliceUsed:   reg.SliceUsed,
+		StartIcount: reg.StartIcount,
+		Warmup:      reg.Warmup,
+		TailInstr:   reg.TailInstr,
+	})
+	if err != nil {
+		return err
+	}
+	files["region.json"] = meta
+	if reg.SysState != nil {
+		ss, err := json.Marshal(reg.SysState)
+		if err != nil {
+			return err
+		}
+		files["sysstate.json"] = ss
+	}
+	_, err = b.cfg.Store.Put(key, "region", store.FileSet(files))
+	return err
+}
+
+// loadCachedRegion loads a region artifact for slice from the store,
+// attaching the live selection's identity (cluster, weight, alternates).
+// It returns ok=false on a miss; a corrupt entry also counts as a miss
+// (the caller rebuilds and overwrites it) but is tallied in CacheErrors.
+func (b *Benchmark) loadCachedRegion(sel simpoint.Region, slice int) (*Region, bool) {
+	key, err := b.regionCacheKey(slice)
+	if err != nil {
+		return nil, false
+	}
+	files, _, ok, err := b.cfg.Store.Get(key)
+	if err != nil {
+		b.cacheErrs.Add(1)
+		return nil, false
+	}
+	if !ok {
+		return nil, false
+	}
+	reg, err := b.parseCachedRegion(sel, files)
+	if err != nil {
+		b.cacheErrs.Add(1)
+		return nil, false
+	}
+	return reg, true
+}
+
+func (b *Benchmark) parseCachedRegion(sel simpoint.Region, files store.FileSet) (*Region, error) {
+	var meta regionMeta
+	if err := json.Unmarshal(files["region.json"], &meta); err != nil {
+		return nil, fmt.Errorf("region.json: %v", err)
+	}
+	// The pinball load re-verifies the embedded CRC32 manifest — the same
+	// integrity check the pipeline applies to freshly logged pinballs.
+	pb, err := pinball.ReadFileSet(meta.PinballName, files, pinball.ReadOptions{})
+	if err != nil {
+		return nil, err
+	}
+	exe, err := elfobj.Read(files["elfie.bin"])
+	if err != nil {
+		return nil, fmt.Errorf("cached elfie: %v", err)
+	}
+	reg := &Region{
+		Region: sel, SliceUsed: meta.SliceUsed,
+		StartIcount: meta.StartIcount, Warmup: meta.Warmup,
+		TailInstr: meta.TailInstr,
+		Pinball:   pb, ELFie: exe,
+	}
+	if ss, ok := files["sysstate.json"]; ok {
+		st := &sysstate.State{}
+		if err := json.Unmarshal(ss, st); err != nil {
+			return nil, fmt.Errorf("sysstate.json: %v", err)
+		}
+		reg.SysState = st
+	}
+	return reg, nil
+}
+
+// profileKeyMaterial keys a cached BBV profile: only what shapes the
+// profiled run (recipe, machine seed and budget) and the slicing.
+type profileKeyMaterial struct {
+	Schema        int              `json:"schema"`
+	Kind          string           `json:"kind"`
+	Recipe        workloads.Recipe `json:"recipe"`
+	SliceSize     uint64           `json:"slice_size"`
+	Seed          int64            `json:"seed"`
+	MachineBudget uint64           `json:"machine_budget"`
+}
+
+// profileArtifact is the cached form of a profiling run.
+type profileArtifact struct {
+	Profile           *bbv.Profile `json:"profile"`
+	TotalInstructions uint64       `json:"total_instructions"`
+}
+
+func (b *Benchmark) profileCacheKey() (string, error) {
+	cfg := b.cfg
+	return store.Key(profileKeyMaterial{
+		Schema: cacheSchema, Kind: "profile",
+		Recipe:    b.Recipe,
+		SliceSize: cfg.SliceSize, Seed: cfg.Seed,
+		MachineBudget: cfg.MachineBudget,
+	})
+}
+
+func (b *Benchmark) storeProfile() error {
+	key, err := b.profileCacheKey()
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(profileArtifact{
+		Profile: b.Profile, TotalInstructions: b.TotalInstructions,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = b.cfg.Store.Put(key, "profile", store.FileSet{"profile.json": data})
+	return err
+}
+
+func (b *Benchmark) loadCachedProfile() bool {
+	key, err := b.profileCacheKey()
+	if err != nil {
+		return false
+	}
+	files, _, ok, err := b.cfg.Store.Get(key)
+	if err != nil {
+		b.cacheErrs.Add(1)
+		return false
+	}
+	if !ok {
+		return false
+	}
+	var art profileArtifact
+	if err := json.Unmarshal(files["profile.json"], &art); err != nil || art.Profile == nil {
+		b.cacheErrs.Add(1)
+		return false
+	}
+	b.Profile = art.Profile
+	b.TotalInstructions = art.TotalInstructions
+	return true
+}

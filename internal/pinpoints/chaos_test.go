@@ -89,6 +89,68 @@ func TestChaosPipelineDegradesGracefully(t *testing.T) {
 	}
 }
 
+// chaosOutcome runs the full pipeline (Prepare + native validation) under a
+// fault plan at the given worker count and returns the fault accounting.
+func chaosOutcome(t *testing.T, plan *fault.Plan, jobs int) (injected, recovered, dropped int, allFailed bool) {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.Fault = plan
+	cfg.Jobs = jobs
+	b, err := Prepare(smallRecipe(), cfg)
+	if err != nil {
+		if !errors.Is(err, ErrAllRegionsFailed) {
+			t.Fatalf("untyped Prepare failure at -j %d: %v", jobs, err)
+		}
+		return 0, 0, 0, true
+	}
+	v, err := ValidateNative(b, 7)
+	if err != nil {
+		t.Fatalf("validation errored at -j %d (should degrade instead): %v", jobs, err)
+	}
+	d := v.Degradation
+	return b.FaultInjector().InjectedCount(), d.Recovered, d.Dropped, false
+}
+
+// TestChaosThroughFarmParallel drives the seeded fault plans through the
+// checkpoint farm at -j 8: rule budgets are injector-global and
+// mutex-guarded, so the injection count — and with it the recovered+dropped
+// accounting — must match the serial pipeline even though which worker's
+// region takes the hit is scheduling-dependent. Run under -race this also
+// exercises the shared injector, store, and degradation merging for data
+// races.
+func TestChaosThroughFarmParallel(t *testing.T) {
+	for name, plan := range chaosPlans() {
+		t.Run(name, func(t *testing.T) {
+			sInj, sRec, sDrop, sFailed := chaosOutcome(t, plan, 1)
+			pInj, pRec, pDrop, pFailed := chaosOutcome(t, plan, 8)
+
+			if sFailed != pFailed {
+				t.Fatalf("total-failure disagreement: serial=%v parallel=%v", sFailed, pFailed)
+			}
+			if sFailed {
+				return
+			}
+			if pInj == 0 {
+				t.Fatal("parallel run injected nothing")
+			}
+			if pInj != sInj {
+				t.Errorf("injection count: serial %d, parallel %d (budgets must be exact)", sInj, pInj)
+			}
+			if sRec+sDrop != sInj {
+				t.Errorf("serial accounting: recovered %d + dropped %d != %d injected", sRec, sDrop, sInj)
+			}
+			if pRec+pDrop != pInj {
+				t.Errorf("parallel accounting: recovered %d + dropped %d != %d injected", pRec, pDrop, pInj)
+			}
+			if sRec+sDrop != pRec+pDrop {
+				t.Errorf("accounting differs: serial %d+%d, parallel %d+%d", sRec, sDrop, pRec, pDrop)
+			}
+			t.Logf("%s: injected=%d serial(rec=%d drop=%d) parallel(rec=%d drop=%d)",
+				name, pInj, sRec, sDrop, pRec, pDrop)
+		})
+	}
+}
+
 func TestChaosTotalFailureIsTyped(t *testing.T) {
 	// Corrupt every pinball read: primaries, re-logs, and alternates all
 	// fail, so Prepare must return the typed all-regions-failed error.

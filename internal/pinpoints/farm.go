@@ -1,0 +1,162 @@
+package pinpoints
+
+import (
+	"errors"
+	"fmt"
+
+	"elfie/internal/farm"
+	"elfie/internal/pinball"
+	"elfie/internal/simpoint"
+)
+
+// regionBuild drives one selected region through the farm: a log → convert
+// job pair per attempt, with the serial pipeline's recovery policy encoded
+// in the jobs' completion hooks. Attempt 0 captures the primary slice
+// (re-logging once when the pinball comes back corrupt); each later
+// attempt burns one alternate representative; when every attempt fails the
+// region is dropped.
+//
+// All jobs of one regionBuild are strictly sequential — convert depends on
+// log, and the next attempt is submitted only from a finished job's hook —
+// so the struct needs no locking: the farm's internal synchronization
+// orders every access. Different regions' builds overlap freely, which is
+// where the parallelism comes from.
+type regionBuild struct {
+	b   *Benchmark
+	f   *farm.Farm
+	idx int // position in the selection, for stable job IDs
+	sel simpoint.Region
+
+	// attempt 0 is the primary slice; attempt k>0 is Alternates[k-1].
+	attempt int
+	// ev is the region's single failure event (nil while healthy). Its
+	// Kind/Err always describe the FIRST failure, exactly as the serial
+	// pipeline reported; later attempts only update Recovered/Action.
+	ev *RegionFailure
+	// evWeight is the selection weight to charge when recording ev:
+	// zero for a re-logged recovery (no coverage at risk), the region's
+	// weight otherwise.
+	evWeight float64
+	// pb is the current attempt's logged pinball, handed from the log job
+	// to the convert job.
+	pb *pinball.Pinball
+	// reg is the finished region (set by a cache hit or a successful
+	// convert); nil means the region was dropped.
+	reg *Region
+}
+
+// submit enqueues the log → convert job pair for the current attempt
+// capturing the given slice.
+func (rb *regionBuild) submit(slice int) error {
+	k := rb.attempt
+	logID := fmt.Sprintf("region%d.a%d.log", rb.idx, k)
+	convID := fmt.Sprintf("region%d.a%d.convert", rb.idx, k)
+
+	logJob := &farm.Job{
+		ID: logID, Stage: "log",
+		Probe: func() bool {
+			if !rb.b.useStore() {
+				return false
+			}
+			reg, ok := rb.b.loadCachedRegion(rb.sel, slice)
+			if ok {
+				rb.reg = reg
+			}
+			return ok
+		},
+		Run: func() error {
+			pb, err := rb.b.logSlice(slice)
+			if err != nil {
+				return err
+			}
+			rb.pb = pb
+			return nil
+		},
+		OnDone: func(res *farm.Result) { rb.logDone(res) },
+	}
+	if k == 0 {
+		// Storage corruption does not implicate the capture itself: re-log
+		// the primary slice once before burning an alternate.
+		logJob.Retries = 1
+		logJob.RetryIf = func(err error) bool { return FailureOf(err) == FailCorruptPinball }
+	}
+	if err := rb.f.Add(logJob); err != nil {
+		return err
+	}
+	return rb.f.Add(&farm.Job{
+		ID: convID, Stage: "convert", Deps: []string{logID},
+		Probe: func() bool { return rb.reg != nil },
+		Run: func() error {
+			reg, err := rb.b.convertRegion(rb.sel, slice, rb.pb)
+			if err != nil {
+				return err
+			}
+			rb.reg = reg
+			return nil
+		},
+		OnDone: func(res *farm.Result) { rb.convertDone(res, slice) },
+	})
+}
+
+// logDone handles the log stage's outcome: a failure advances the recovery
+// state machine; a success that needed the re-log retry records the
+// recovery the way the serial pipeline did (weight 0 — no coverage lost).
+func (rb *regionBuild) logDone(res *farm.Result) {
+	switch {
+	case res.Err != nil:
+		first := res.Err
+		if len(res.RetryErrs) > 0 {
+			first = res.RetryErrs[0]
+		}
+		rb.fail(first)
+	case len(res.RetryErrs) > 0:
+		rb.ev = &RegionFailure{
+			Cluster: rb.sel.Cluster, Slice: rb.sel.SliceIndex,
+			Kind: FailureOf(res.RetryErrs[0]), Err: res.RetryErrs[0],
+			Recovered: true, Action: "re-logged",
+		}
+		rb.evWeight = 0
+	}
+}
+
+// convertDone handles the convert stage's outcome. A dependency skip means
+// logDone already advanced the state machine; an own failure falls through
+// to the next alternate (undoing a provisional re-log recovery first); a
+// success on a later attempt records the alternate recovery.
+func (rb *regionBuild) convertDone(res *farm.Result, slice int) {
+	switch {
+	case errors.Is(res.Err, farm.ErrDependency):
+		// The log stage failed and already advanced recovery.
+	case res.Err != nil:
+		if rb.ev != nil && rb.ev.Action == "re-logged" {
+			// The re-logged capture did not convert: the recovery failed,
+			// so the event reverts to unrecovered and alternates take over.
+			rb.ev.Recovered, rb.ev.Action = false, ""
+			rb.evWeight = rb.sel.Weight
+		}
+		rb.fail(res.Err)
+	case rb.attempt > 0:
+		rb.ev.Recovered = true
+		rb.ev.Action = fmt.Sprintf("alternate %d (slice %d)", rb.attempt-1, slice)
+		rb.evWeight = rb.sel.Weight
+	}
+}
+
+// fail records the first failure (Kind/Err are never overwritten) and
+// either submits the next alternate's job pair or marks the region dropped.
+func (rb *regionBuild) fail(err error) {
+	if rb.ev == nil {
+		rb.ev = &RegionFailure{
+			Cluster: rb.sel.Cluster, Slice: rb.sel.SliceIndex,
+			Kind: FailureOf(err), Err: err,
+		}
+		rb.evWeight = rb.sel.Weight
+	}
+	if rb.attempt < len(rb.sel.Alternates) {
+		rb.attempt++
+		if aerr := rb.submit(rb.sel.Alternates[rb.attempt-1]); aerr == nil {
+			return
+		}
+	}
+	rb.ev.Action = "dropped"
+}

@@ -9,15 +9,18 @@ package pinpoints
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"elfie/internal/bbv"
 	"elfie/internal/core"
 	"elfie/internal/elfobj"
+	"elfie/internal/farm"
 	"elfie/internal/fault"
 	"elfie/internal/kernel"
 	"elfie/internal/pinball"
 	"elfie/internal/pinplay"
 	"elfie/internal/simpoint"
+	"elfie/internal/store"
 	"elfie/internal/sysstate"
 	"elfie/internal/vm"
 	"elfie/internal/workloads"
@@ -44,6 +47,18 @@ type Config struct {
 	// clean, so every injected failure maps to exactly one region and the
 	// reference CPI is never silently perturbed.
 	Fault *fault.Plan
+	// Jobs bounds the checkpoint farm's worker pool for per-region work;
+	// 0 means GOMAXPROCS. Any value produces byte-identical artifacts:
+	// region builds are independent given the seed, and results merge in
+	// selection order, never completion order.
+	Jobs int
+	// Store, when non-nil, caches pipeline artifacts (pinball + ELFie +
+	// sysstate per region, plus BBV profiles) content-addressed by
+	// recipe/config/slice, so a re-run of the same configuration is a
+	// cache hit that skips logging and conversion entirely. Caching is
+	// disabled while Fault is armed: injected corruption must strike live
+	// paths, and a corrupted read must never be served back as warm.
+	Store *store.Store
 }
 
 func (c *Config) defaults() {
@@ -94,13 +109,25 @@ type Benchmark struct {
 	TotalInstructions uint64
 	// Degradation records build-time region failures and recoveries.
 	Degradation DegradationSummary
+	// JobStats holds the checkpoint farm's counters for the Prepare run:
+	// jobs run/cached/retried/failed and per-stage wall time. A warm-cache
+	// re-run shows Run=0 for the "log" and "convert" stages.
+	JobStats farm.Counters
 
 	cfg Config
 	// inj is the pipeline-lifetime fault injector (nil when Config.Fault
 	// is nil), shared across region builds and ELFie runs so rule budgets
 	// span the whole pipeline deterministically.
 	inj *fault.Injector
+	// cacheErrs counts store entries that failed integrity or parse checks
+	// and were rebuilt, plus failed cache writes — cache trouble degrades
+	// to a miss, never to a wrong artifact, but it is never silent.
+	cacheErrs atomic.Int64
 }
+
+// CacheErrors reports how many store operations failed and degraded to a
+// cache miss (corrupt entries rebuilt, failed writes skipped).
+func (b *Benchmark) CacheErrors() int64 { return b.cacheErrs.Load() }
 
 // FaultInjector exposes the pipeline's injector (nil when injection is off),
 // for tests that assert on injected-event counts.
@@ -121,7 +148,13 @@ func (b *Benchmark) NewMachine(seed int64) (*vm.Machine, error) {
 	return m, nil
 }
 
-// Prepare runs the full pipeline for one recipe.
+// Prepare runs the full pipeline for one recipe through the checkpoint
+// farm: profile and SimPoint selection first, then per-region logging and
+// conversion fanned out across the worker pool (Config.Jobs). Per-region
+// failures degrade gracefully exactly as the serial pipeline did —
+// classified and recovered (re-log, then alternates) or dropped, never
+// aborting the regions that did work — and results merge in selection
+// order, so the output is byte-identical regardless of worker count.
 func Prepare(r workloads.Recipe, cfg Config) (*Benchmark, error) {
 	cfg.defaults()
 	exe, err := workloads.Build(r)
@@ -130,60 +163,76 @@ func Prepare(r workloads.Recipe, cfg Config) (*Benchmark, error) {
 	}
 	b := &Benchmark{Recipe: r, Exe: exe, cfg: cfg, inj: fault.New(cfg.Fault)}
 
-	// Profile.
-	m, err := b.NewMachine(cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	b.Profile, err = bbv.Collect(m, cfg.SliceSize)
-	if err != nil {
-		return nil, err
-	}
-	b.TotalInstructions = m.GlobalRetired
+	f := farm.New(cfg.Jobs)
+	var slots []*regionBuild
 
-	// Select regions.
-	b.Selection, err = simpoint.Select(b.Profile, simpoint.Options{
-		MaxK: cfg.MaxK, Seed: cfg.Seed,
-	})
-	if err != nil {
+	if err := f.Add(&farm.Job{
+		ID: "profile", Stage: "profile",
+		Probe: func() bool { return b.useStore() && b.loadCachedProfile() },
+		Run: func() error {
+			m, err := b.NewMachine(cfg.Seed)
+			if err != nil {
+				return err
+			}
+			if b.Profile, err = bbv.Collect(m, cfg.SliceSize); err != nil {
+				return err
+			}
+			b.TotalInstructions = m.GlobalRetired
+			if b.useStore() {
+				if err := b.storeProfile(); err != nil {
+					b.cacheErrs.Add(1)
+				}
+			}
+			return nil
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := f.Add(&farm.Job{
+		ID: "select", Stage: "select", Deps: []string{"profile"},
+		Run: func() error {
+			sel, err := simpoint.Select(b.Profile, simpoint.Options{
+				MaxK: cfg.MaxK, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return err
+			}
+			b.Selection = sel
+			// Fan out: one log→convert chain per selected region, live
+			// while the farm runs.
+			slots = make([]*regionBuild, len(sel.Regions))
+			for i, s := range sel.Regions {
+				rb := &regionBuild{b: b, f: f, idx: i, sel: s}
+				slots[i] = rb
+				if err := rb.submit(s.SliceIndex); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}); err != nil {
 		return nil, err
 	}
 
-	// Capture each representative, degrading gracefully: a failed capture
-	// is classified and recovered (re-log, then alternates) or dropped,
-	// never aborting the regions that did work.
-	for _, sel := range b.Selection.Regions {
-		reg, err := b.BuildRegion(sel, sel.SliceIndex)
-		if err == nil {
-			b.Regions = append(b.Regions, reg)
-			continue
+	out, err := f.Run()
+	if err != nil {
+		return nil, err
+	}
+	b.JobStats = out.Counters
+	for _, id := range []string{"profile", "select"} {
+		if res := out.Results[id]; res.Err != nil {
+			return nil, res.Err
 		}
-		ev := RegionFailure{
-			Cluster: sel.Cluster, Slice: sel.SliceIndex,
-			Kind: FailureOf(err), Err: err,
+	}
+
+	// Deterministic merge: selection order, never completion order.
+	for _, rb := range slots {
+		if rb.reg != nil {
+			b.Regions = append(b.Regions, rb.reg)
 		}
-		if ev.Kind == FailCorruptPinball {
-			// Storage corruption does not implicate the capture itself:
-			// re-log the same slice once before burning an alternate.
-			if reg, err = b.BuildRegion(sel, sel.SliceIndex); err == nil {
-				ev.Recovered, ev.Action = true, "re-logged"
-				b.Degradation.record(ev, 0)
-				b.Regions = append(b.Regions, reg)
-				continue
-			}
+		if rb.ev != nil {
+			b.Degradation.record(*rb.ev, rb.evWeight)
 		}
-		for ai, alt := range sel.Alternates {
-			if reg, err = b.BuildRegion(sel, alt); err == nil {
-				ev.Recovered = true
-				ev.Action = fmt.Sprintf("alternate %d (slice %d)", ai, alt)
-				b.Regions = append(b.Regions, reg)
-				break
-			}
-		}
-		if !ev.Recovered {
-			ev.Action = "dropped"
-		}
-		b.Degradation.record(ev, sel.Weight)
 	}
 	if len(b.Regions) == 0 && len(b.Selection.Regions) > 0 {
 		return nil, fmt.Errorf("%w: %s: none of %d selected regions usable",
@@ -193,17 +242,37 @@ func Prepare(r workloads.Recipe, cfg Config) (*Benchmark, error) {
 }
 
 // BuildRegion captures one slice (plus warm-up) as a pinball and converts
-// it to an ELFie. It is exported so validation can build alternates on
-// demand.
+// it to an ELFie, consulting the artifact store first when caching is on.
+// It is exported so validation can build alternates on demand.
 func (b *Benchmark) BuildRegion(sel simpoint.Region, slice int) (*Region, error) {
-	cfg := b.cfg
-	sliceStart := uint64(slice) * cfg.SliceSize
-	warmup := cfg.WarmupSize
+	if b.useStore() {
+		if reg, ok := b.loadCachedRegion(sel, slice); ok {
+			return reg, nil
+		}
+	}
+	pb, err := b.logSlice(slice)
+	if err != nil {
+		return nil, err
+	}
+	return b.convertRegion(sel, slice, pb)
+}
+
+// regionWindow computes the capture window for a slice: warm-up clamped at
+// program start, then the slice itself.
+func (b *Benchmark) regionWindow(slice int) (start, warmup uint64) {
+	sliceStart := uint64(slice) * b.cfg.SliceSize
+	warmup = b.cfg.WarmupSize
 	if warmup > sliceStart {
 		warmup = sliceStart
 	}
-	start := sliceStart - warmup
+	return sliceStart - warmup, warmup
+}
 
+// logSlice captures one slice (plus warm-up) as a fat pinball — the
+// "log" stage of the per-region pipeline.
+func (b *Benchmark) logSlice(slice int) (*pinball.Pinball, error) {
+	cfg := b.cfg
+	start, warmup := b.regionWindow(slice)
 	m, err := b.NewMachine(cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -224,7 +293,14 @@ func (b *Benchmark) BuildRegion(sel simpoint.Region, slice int) (*Region, error)
 			return nil, err // typed pinball errors classify as corrupt-pinball
 		}
 	}
+	return pb, nil
+}
 
+// convertRegion turns a logged pinball into an ELFie (with sysstate when
+// configured) — the "convert" stage — and caches the finished artifact.
+func (b *Benchmark) convertRegion(sel simpoint.Region, slice int, pb *pinball.Pinball) (*Region, error) {
+	cfg := b.cfg
+	start, warmup := b.regionWindow(slice)
 	reg := &Region{
 		Region: sel, SliceUsed: slice,
 		StartIcount: start, Warmup: warmup, Pinball: pb,
@@ -250,6 +326,11 @@ func (b *Benchmark) BuildRegion(sel simpoint.Region, slice int) (*Region, error)
 	reg.ELFie = res.Exe
 	if len(res.PerfPeriods) > 0 {
 		reg.TailInstr = res.PerfPeriods[0] - pb.Meta.RegionLength[0]
+	}
+	if b.useStore() {
+		if err := b.storeRegion(reg); err != nil {
+			b.cacheErrs.Add(1)
+		}
 	}
 	return reg, nil
 }

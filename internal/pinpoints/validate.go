@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"elfie/internal/coresim"
+	"elfie/internal/farm"
 	"elfie/internal/perfle"
 )
 
@@ -37,6 +38,16 @@ type Validation struct {
 	// cost. A dropped region is excluded from the prediction — never
 	// silently averaged in as a wrong CPI.
 	Degradation DegradationSummary
+	// JobStats reports the validation farm's scheduler counters: the
+	// whole-program measurement plus one job per region.
+	JobStats farm.Counters
+}
+
+// measureSlot is one region's validation outcome, written by its farm job
+// and merged in b.Regions order so results are deterministic at any -j.
+type measureSlot struct {
+	rc RegionCPI
+	ev *RegionFailure
 }
 
 // ValidateNative performs ELFie-based validation: whole-program CPI from a
@@ -46,53 +57,97 @@ type Validation struct {
 func ValidateNative(b *Benchmark, trialSeed int64) (*Validation, error) {
 	v := &Validation{Method: "native", Degradation: b.Degradation.clone()}
 
-	// Whole-program measurement.
-	m, err := b.NewMachine(trialSeed)
-	if err != nil {
+	f := farm.New(b.cfg.Jobs)
+	if err := f.Add(&farm.Job{
+		ID: "whole", Stage: "measure-whole",
+		Run: func() error {
+			m, err := b.NewMachine(trialSeed)
+			if err != nil {
+				return err
+			}
+			whole, err := perfle.MeasureRun(m, perfle.Options{Cores: 1, NoiseSeed: trialSeed})
+			if err != nil {
+				return err
+			}
+			v.TrueCPI = whole.CPI()
+			return nil
+		},
+	}); err != nil {
 		return nil, err
 	}
-	whole, err := perfle.MeasureRun(m, perfle.Options{Cores: 1, NoiseSeed: trialSeed})
-	if err != nil {
-		return nil, err
-	}
-	v.TrueCPI = whole.CPI()
 
-	// Per-region measurement with alternate fallback.
-	for _, reg := range b.Regions {
-		rc := RegionCPI{
-			Cluster: reg.Cluster, SliceUsed: reg.SliceUsed,
-			Weight: reg.Weight, UsedAlternate: -1,
+	// Per-region measurement with alternate fallback, one job per region.
+	// A failed measurement is degradation, not a job failure: the job
+	// records the outcome in its slot and reports success to the farm.
+	slots := make([]*measureSlot, len(b.Regions))
+	for i, reg := range b.Regions {
+		ms := &measureSlot{}
+		slots[i] = ms
+		reg := reg
+		if err := f.Add(&farm.Job{
+			ID: fmt.Sprintf("measure%d", i), Stage: "validate",
+			Run: func() error {
+				ms.rc, ms.ev = b.measureWithFallback(reg, trialSeed)
+				return nil
+			},
+		}); err != nil {
+			return nil, err
 		}
-		cpi, err := b.measureRegion(reg, trialSeed)
-		if err != nil {
-			ev := RegionFailure{
-				Cluster: reg.Cluster, Slice: reg.SliceUsed,
-				Kind: FailureOf(err), Err: err,
-			}
-			for ai, alt := range reg.Alternates {
-				altReg, aerr := b.BuildRegion(reg.Region, alt)
-				if aerr != nil {
-					continue
-				}
-				if cpi, err = b.measureRegion(altReg, trialSeed); err == nil {
-					rc.UsedAlternate = ai
-					rc.SliceUsed = alt
-					ev.Recovered = true
-					ev.Action = fmt.Sprintf("alternate %d (slice %d)", ai, alt)
-					break
-				}
-			}
-			if !ev.Recovered {
-				ev.Action = "dropped"
-			}
-			v.Degradation.record(ev, reg.Weight)
+	}
+
+	out, err := f.Run()
+	if err != nil {
+		return nil, err
+	}
+	v.JobStats = out.Counters
+	if res := out.Results["whole"]; res.Err != nil {
+		return nil, res.Err
+	}
+	for _, ms := range slots {
+		if ms.ev != nil {
+			v.Degradation.record(*ms.ev, ms.rc.Weight)
 		}
-		rc.OK = err == nil
-		rc.CPI = cpi
-		v.PerRegion = append(v.PerRegion, rc)
+		v.PerRegion = append(v.PerRegion, ms.rc)
 	}
 	v.finish()
 	return v, nil
+}
+
+// measureWithFallback measures one region's native CPI, falling back to
+// alternate representatives when the primary ELFie fails. The returned
+// event is nil when the primary measurement succeeded outright.
+func (b *Benchmark) measureWithFallback(reg *Region, trialSeed int64) (RegionCPI, *RegionFailure) {
+	rc := RegionCPI{
+		Cluster: reg.Cluster, SliceUsed: reg.SliceUsed,
+		Weight: reg.Weight, UsedAlternate: -1,
+	}
+	cpi, err := b.measureRegion(reg, trialSeed)
+	var ev *RegionFailure
+	if err != nil {
+		ev = &RegionFailure{
+			Cluster: reg.Cluster, Slice: reg.SliceUsed,
+			Kind: FailureOf(err), Err: err,
+		}
+		for ai, alt := range reg.Alternates {
+			altReg, aerr := b.BuildRegion(reg.Region, alt)
+			if aerr != nil {
+				continue
+			}
+			if cpi, err = b.measureRegion(altReg, trialSeed); err == nil {
+				rc.UsedAlternate = ai
+				rc.SliceUsed = alt
+				ev.Recovered = true
+				ev.Action = fmt.Sprintf("alternate %d (slice %d)", ai, alt)
+				break
+			}
+		}
+		if !ev.Recovered {
+			ev.Action = "dropped"
+		}
+	}
+	rc.OK = err == nil
+	rc.CPI = cpi
+	return rc, ev
 }
 
 // measureRegion runs one region's ELFie natively and extracts the slice CPI
@@ -131,31 +186,66 @@ func (b *Benchmark) measureRegion(reg *Region, seed int64) (float64, error) {
 func ValidateSim(b *Benchmark, cfg coresim.Config) (*Validation, error) {
 	v := &Validation{Method: "sim", Degradation: b.Degradation.clone()}
 
-	m, err := b.NewMachine(b.cfg.Seed)
-	if err != nil {
+	f := farm.New(b.cfg.Jobs)
+	if err := f.Add(&farm.Job{
+		ID: "whole", Stage: "measure-whole",
+		Run: func() error {
+			m, err := b.NewMachine(b.cfg.Seed)
+			if err != nil {
+				return err
+			}
+			whole, err := coresim.Simulate(m, cfg)
+			if err != nil {
+				return err
+			}
+			v.TrueCPI = whole.CPI()
+			return nil
+		},
+	}); err != nil {
 		return nil, err
 	}
-	whole, err := coresim.Simulate(m, cfg)
-	if err != nil {
-		return nil, err
-	}
-	v.TrueCPI = whole.CPI()
 
-	for _, reg := range b.Regions {
-		rc := RegionCPI{
-			Cluster: reg.Cluster, SliceUsed: reg.SliceUsed,
-			Weight: reg.Weight, UsedAlternate: -1,
+	slots := make([]*measureSlot, len(b.Regions))
+	for i, reg := range b.Regions {
+		ms := &measureSlot{}
+		slots[i] = ms
+		reg := reg
+		if err := f.Add(&farm.Job{
+			ID: fmt.Sprintf("sim%d", i), Stage: "validate",
+			Run: func() error {
+				ms.rc = RegionCPI{
+					Cluster: reg.Cluster, SliceUsed: reg.SliceUsed,
+					Weight: reg.Weight, UsedAlternate: -1,
+				}
+				cpi, err := b.simRegion(reg, cfg)
+				if err != nil {
+					ms.ev = &RegionFailure{
+						Cluster: reg.Cluster, Slice: reg.SliceUsed,
+						Kind: FailureOf(err), Err: err, Action: "dropped",
+					}
+				}
+				ms.rc.OK = err == nil
+				ms.rc.CPI = cpi
+				return nil
+			},
+		}); err != nil {
+			return nil, err
 		}
-		cpi, err := b.simRegion(reg, cfg)
-		if err != nil {
-			v.Degradation.record(RegionFailure{
-				Cluster: reg.Cluster, Slice: reg.SliceUsed,
-				Kind: FailureOf(err), Err: err, Action: "dropped",
-			}, reg.Weight)
+	}
+
+	out, err := f.Run()
+	if err != nil {
+		return nil, err
+	}
+	v.JobStats = out.Counters
+	if res := out.Results["whole"]; res.Err != nil {
+		return nil, res.Err
+	}
+	for _, ms := range slots {
+		if ms.ev != nil {
+			v.Degradation.record(*ms.ev, ms.rc.Weight)
 		}
-		rc.OK = err == nil
-		rc.CPI = cpi
-		v.PerRegion = append(v.PerRegion, rc)
+		v.PerRegion = append(v.PerRegion, ms.rc)
 	}
 	v.finish()
 	return v, nil

@@ -1,0 +1,215 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"elfie/internal/pinball"
+)
+
+// Stats summarizes a store: logical entries vs physical objects, so the
+// deduplication win is visible.
+type Stats struct {
+	Entries int
+	Objects int
+	// Bytes is the physical size of all object files.
+	Bytes int64
+	// DedupSaved is the byte size referenced by entries minus physical
+	// bytes: what content addressing avoided storing twice.
+	DedupSaved int64
+	// Kinds counts entries by kind.
+	Kinds map[string]int
+}
+
+// Stats computes store statistics.
+func (s *Store) Stats() (Stats, error) {
+	st := Stats{Kinds: make(map[string]int)}
+	s.mu.Lock()
+	objSize := make(map[string]int64)
+	var logical int64
+	for _, e := range s.idx {
+		st.Entries++
+		st.Kinds[e.Kind]++
+		objSize[e.Object] = e.Size
+		logical += e.Size
+	}
+	s.mu.Unlock()
+	st.Objects = len(objSize)
+	for _, sz := range objSize {
+		st.Bytes += sz
+	}
+	st.DedupSaved = logical - st.Bytes
+	return st, nil
+}
+
+// VerifyProblem is one integrity failure found by Verify.
+type VerifyProblem struct {
+	Key    string // empty for orphan objects
+	Object string
+	Err    error
+}
+
+// VerifyReport is the result of a full integrity scan.
+type VerifyReport struct {
+	Checked  int
+	Pinballs int
+	// Unverified counts legacy pinballs that loaded without a CRC
+	// manifest (pre-manifest format): intact as far as we can tell, but
+	// not checkable.
+	Unverified int
+	Problems   []VerifyProblem
+}
+
+// OK reports whether the scan found no problems.
+func (r *VerifyReport) OK() bool { return len(r.Problems) == 0 }
+
+// Verify re-hashes every referenced object against its content address and,
+// for objects that embed a pinball file set, additionally verifies the
+// pinball's own CRC32 integrity manifest by loading it — the same check the
+// pipeline applies, so store rot and pipeline rot are caught by one
+// mechanism.
+func (s *Store) Verify() (*VerifyReport, error) {
+	rep := &VerifyReport{}
+	for _, e := range s.Entries() {
+		rep.Checked++
+		files, err := s.readObject(e.Object)
+		if err != nil {
+			rep.Problems = append(rep.Problems, VerifyProblem{Key: e.Key, Object: e.Object, Err: err})
+			continue
+		}
+		for fname := range files {
+			name, ok := strings.CutSuffix(fname, ".global.log")
+			if !ok {
+				continue
+			}
+			rep.Pinballs++
+			pb, err := pinball.ReadFileSet(name, files, pinball.ReadOptions{})
+			if err != nil {
+				rep.Problems = append(rep.Problems, VerifyProblem{
+					Key: e.Key, Object: e.Object,
+					Err: fmt.Errorf("pinball %s: %w", name, err),
+				})
+			} else if pb.Unverified {
+				rep.Unverified++
+			}
+		}
+	}
+	return rep, nil
+}
+
+// GCOptions configures garbage collection.
+type GCOptions struct {
+	// MaxAge, when positive, expires index entries whose LastUsed is older
+	// than this.
+	MaxAge time.Duration
+	// DryRun reports what would be removed without removing it.
+	DryRun bool
+}
+
+// GCReport is the result of one collection.
+type GCReport struct {
+	ExpiredEntries int
+	OrphanObjects  int
+	TmpDebris      int
+	BytesReclaimed int64
+}
+
+// GC expires stale index entries (per opts.MaxAge), removes object
+// directories no index entry references, and clears abandoned staging
+// directories under tmp/.
+func (s *Store) GC(opts GCOptions) (*GCReport, error) {
+	rep := &GCReport{}
+	cutoff := time.Time{}
+	if opts.MaxAge > 0 {
+		cutoff = time.Now().UTC().Add(-opts.MaxAge)
+	}
+
+	s.mu.Lock()
+	live := make(map[string]bool)
+	for key, e := range s.idx {
+		if !cutoff.IsZero() && e.LastUsed.Before(cutoff) {
+			rep.ExpiredEntries++
+			if !opts.DryRun {
+				delete(s.idx, key)
+			}
+			continue
+		}
+		live[e.Object] = true
+	}
+	var err error
+	if !opts.DryRun && rep.ExpiredEntries > 0 {
+		err = s.saveIndexLocked()
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	// Orphan objects: present on disk, referenced by nothing.
+	prefixes, err := os.ReadDir(filepath.Join(s.root, "objects"))
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range prefixes {
+		if !p.IsDir() {
+			continue
+		}
+		objs, err := os.ReadDir(filepath.Join(s.root, "objects", p.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range objs {
+			if live[o.Name()] {
+				continue
+			}
+			dir := filepath.Join(s.root, "objects", p.Name(), o.Name())
+			rep.OrphanObjects++
+			rep.BytesReclaimed += dirSize(dir)
+			if !opts.DryRun {
+				if err := os.RemoveAll(dir); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Staging debris from crashed writers.
+	tmps, err := os.ReadDir(filepath.Join(s.root, "tmp"))
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range tmps {
+		rep.TmpDebris++
+		if !opts.DryRun {
+			if err := os.RemoveAll(filepath.Join(s.root, "tmp", t.Name())); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rep, nil
+}
+
+func dirSize(dir string) int64 {
+	var n int64
+	filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			n += info.Size()
+		}
+		return nil
+	})
+	return n
+}
+
+// SortedKinds returns a stats kind list in stable order (for display).
+func (st Stats) SortedKinds() []string {
+	kinds := make([]string, 0, len(st.Kinds))
+	for k := range st.Kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}

@@ -1,0 +1,23 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Key derives a cache key from arbitrary key material: the hex SHA-256 of
+// the material's canonical JSON. Struct fields marshal in declaration
+// order and map keys sort, so the same material always yields the same
+// key. Callers fold everything that affects the artifact's bytes into the
+// material — recipe, pipeline configuration, slice index, format versions —
+// and nothing else, so irrelevant config changes keep the cache warm.
+func Key(material any) (string, error) {
+	b, err := json.Marshal(material)
+	if err != nil {
+		return "", fmt.Errorf("store: cache key material: %v", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

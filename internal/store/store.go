@@ -1,0 +1,313 @@
+// Package store implements a content-addressed checkpoint store for
+// pinballs, ELFies, and other pipeline artifacts.
+//
+// The paper's premise is that region checkpoints are *shareable,
+// re-runnable artifacts* (§I, §V): a SPEC-scale study produces hundreds of
+// them per benchmark, and they get archived, copied between teams, and
+// re-simulated for years. The store gives those artifacts a durable home:
+//
+//	<root>/
+//	  index.json                 persistent cache index: key -> entry
+//	  objects/<id[:2]>/<id>/     one directory per content object
+//	  tmp/                       staging area for atomic writes
+//
+// Every object is a set of named files (a pinball file set, an ELFie
+// binary, a sysstate bundle, ...). Its identity is the SHA-256 over a
+// canonical serialization of those files, so identical content stored
+// under different cache keys deduplicates to one object directory, and any
+// on-disk tampering is detectable by re-hashing. Writes are atomic: the
+// object is staged under tmp/ and renamed into place, so a crashed writer
+// never leaves a partially-visible object.
+//
+// The cache index maps logical keys (see Key) to object IDs. A pipeline
+// re-run with the same recipe/seed/slice configuration finds its artifacts
+// by key and skips the work that produced them.
+package store
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SchemaVersion is the store layout version, folded into every cache key so
+// a layout change invalidates old entries instead of misreading them.
+const SchemaVersion = 1
+
+// ErrCorrupt marks store content that fails integrity verification: an
+// object whose re-hash does not match its ID, a missing member file, or an
+// unparsable index. Tools classify it as corrupt input (exit 2).
+var ErrCorrupt = errors.New("store: corrupt")
+
+// FileSet is one object's content: named files, as bytes.
+type FileSet map[string][]byte
+
+// Entry is one cache-index record.
+type Entry struct {
+	// Key is the logical cache key (see Key).
+	Key string `json:"key"`
+	// Kind labels what the object is ("region", "profile", ...).
+	Kind string `json:"kind"`
+	// Object is the content address: hex SHA-256 of the canonical file set.
+	Object string `json:"object"`
+	// Size is the total byte size of the object's files.
+	Size int64 `json:"size"`
+	// Files is the number of files in the object.
+	Files int `json:"files"`
+	// CreatedAt/LastUsed drive garbage collection.
+	CreatedAt time.Time `json:"created_at"`
+	LastUsed  time.Time `json:"last_used"`
+}
+
+// Store is a content-addressed artifact store rooted at one directory.
+// All methods are safe for concurrent use.
+type Store struct {
+	root string
+
+	mu  sync.Mutex
+	idx map[string]*Entry // by Key
+}
+
+// Open opens (creating if needed) a store rooted at dir and loads its
+// persistent index.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{"", "objects", "tmp"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	s := &Store{root: dir, idx: make(map[string]*Entry)}
+	data, err := os.ReadFile(s.indexPath())
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []*Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%w: index.json: %v", ErrCorrupt, err)
+	}
+	for _, e := range entries {
+		s.idx[e.Key] = e
+	}
+	return s, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+func (s *Store) indexPath() string { return filepath.Join(s.root, "index.json") }
+
+func (s *Store) objectDir(id string) string {
+	return filepath.Join(s.root, "objects", id[:2], id)
+}
+
+// ObjectID computes the content address of a file set: the hex SHA-256
+// over a canonical serialization (files ordered by name, lengths framed).
+func ObjectID(files FileSet) string {
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	var frame [8]byte
+	for _, name := range names {
+		binary.LittleEndian.PutUint64(frame[:], uint64(len(name)))
+		h.Write(frame[:])
+		h.Write([]byte(name))
+		binary.LittleEndian.PutUint64(frame[:], uint64(len(files[name])))
+		h.Write(frame[:])
+		h.Write(files[name])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Put stores a file set under a cache key. Identical content deduplicates:
+// if an object with the same content address already exists, no bytes are
+// rewritten and the key simply references the existing object. The write is
+// atomic (staged under tmp/, renamed into place).
+func (s *Store) Put(key, kind string, files FileSet) (*Entry, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("store: refusing to put empty file set for key %s", key)
+	}
+	id := ObjectID(files)
+	objDir := s.objectDir(id)
+
+	if _, err := os.Stat(objDir); os.IsNotExist(err) {
+		if err := s.writeObject(objDir, files); err != nil {
+			return nil, err
+		}
+	} else if err != nil {
+		return nil, err
+	}
+
+	var size int64
+	for _, data := range files {
+		size += int64(len(data))
+	}
+	now := time.Now().UTC()
+	e := &Entry{
+		Key: key, Kind: kind, Object: id,
+		Size: size, Files: len(files),
+		CreatedAt: now, LastUsed: now,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.idx[key]; ok {
+		e.CreatedAt = old.CreatedAt
+	}
+	s.idx[key] = e
+	if err := s.saveIndexLocked(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// writeObject stages files in tmp/ and renames the staged directory to
+// objDir. A concurrent writer of the same object wins harmlessly: content
+// addressing guarantees both staged copies are byte-identical.
+func (s *Store) writeObject(objDir string, files FileSet) error {
+	var nonce [8]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return err
+	}
+	stage := filepath.Join(s.root, "tmp", "put-"+hex.EncodeToString(nonce[:]))
+	if err := os.MkdirAll(stage, 0o755); err != nil {
+		return err
+	}
+	defer os.RemoveAll(stage)
+	for name, data := range files {
+		if name != filepath.Base(name) {
+			return fmt.Errorf("store: invalid object file name %q", name)
+		}
+		if err := os.WriteFile(filepath.Join(stage, name), data, 0o644); err != nil {
+			return err
+		}
+	}
+	if err := os.MkdirAll(filepath.Dir(objDir), 0o755); err != nil {
+		return err
+	}
+	err := os.Rename(stage, objDir)
+	if err != nil && (os.IsExist(err) || dirExists(objDir)) {
+		return nil // lost a benign race to an identical object
+	}
+	return err
+}
+
+func dirExists(dir string) bool {
+	fi, err := os.Stat(dir)
+	return err == nil && fi.IsDir()
+}
+
+// Get returns the file set cached under key, or ok=false on a miss. Every
+// hit is integrity-checked: the object's content is re-hashed and must
+// match its address, else ErrCorrupt. Hits refresh the entry's LastUsed.
+func (s *Store) Get(key string) (FileSet, *Entry, bool, error) {
+	s.mu.Lock()
+	e, ok := s.idx[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, false, nil
+	}
+	files, err := s.readObject(e.Object)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	s.mu.Lock()
+	e.LastUsed = time.Now().UTC()
+	err = s.saveIndexLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return files, e, true, nil
+}
+
+// readObject loads an object directory and verifies its content address.
+func (s *Store) readObject(id string) (FileSet, error) {
+	objDir := s.objectDir(id)
+	entries, err := os.ReadDir(objDir)
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%w: object %s missing", ErrCorrupt, shortID(id))
+	}
+	if err != nil {
+		return nil, err
+	}
+	files := make(FileSet, len(entries))
+	for _, ent := range entries {
+		if ent.IsDir() {
+			return nil, fmt.Errorf("%w: object %s contains a directory %q",
+				ErrCorrupt, shortID(id), ent.Name())
+		}
+		data, err := os.ReadFile(filepath.Join(objDir, ent.Name()))
+		if err != nil {
+			return nil, err
+		}
+		files[ent.Name()] = data
+	}
+	if got := ObjectID(files); got != id {
+		return nil, fmt.Errorf("%w: object %s re-hashes to %s (content tampered or damaged)",
+			ErrCorrupt, shortID(id), shortID(got))
+	}
+	return files, nil
+}
+
+// Delete removes a cache entry. The underlying object survives if other
+// entries still reference it; otherwise GC reclaims it.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.idx[key]; !ok {
+		return nil
+	}
+	delete(s.idx, key)
+	return s.saveIndexLocked()
+}
+
+// Entries returns a snapshot of the index, sorted by key.
+func (s *Store) Entries() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.idx))
+	for _, e := range s.idx {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// saveIndexLocked atomically persists the index (caller holds s.mu).
+func (s *Store) saveIndexLocked() error {
+	entries := make([]*Entry, 0, len(s.idx))
+	for _, e := range s.idx {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := s.indexPath() + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.indexPath())
+}
+
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}
