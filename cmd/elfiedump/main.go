@@ -43,8 +43,12 @@ func main() {
 		if sec == nil {
 			cli.Die(fmt.Errorf("no section %q", *disasm))
 		}
-		for _, line := range isa.Disasm(sec.Data, sec.Addr, *maxIns) {
+		lines, consumed := isa.Disasm(sec.Data, sec.Addr, *maxIns)
+		for _, line := range lines {
 			fmt.Println(line)
+		}
+		if consumed < sec.DataSize() {
+			fmt.Printf("# %d of %d bytes decoded\n", consumed, sec.DataSize())
 		}
 		return
 	}

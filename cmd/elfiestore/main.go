@@ -6,7 +6,7 @@
 //
 //	elfiestore -store work/cache ls
 //	elfiestore -store work/cache stats
-//	elfiestore -store work/cache verify
+//	elfiestore -store work/cache verify [-lint]
 //	elfiestore -store work/cache gc [-max-age 720h] [-dry-run]
 package main
 
@@ -32,12 +32,20 @@ func main() {
 	gcFlags := flag.NewFlagSet("gc", flag.ExitOnError)
 	maxAge := gcFlags.Duration("max-age", 0, "expire entries unused for this long (0 = never)")
 	dryRun := gcFlags.Bool("dry-run", false, "report without removing")
+	verifyFlags := flag.NewFlagSet("verify", flag.ExitOnError)
+	lint := verifyFlags.Bool("lint", false, "statically verify cached ELFies (elflint)")
 	if flag.NArg() > 1 {
-		if flag.Arg(0) != "gc" {
+		switch flag.Arg(0) {
+		case "gc":
+			if err := gcFlags.Parse(flag.Args()[1:]); err != nil {
+				cli.Die(err)
+			}
+		case "verify":
+			if err := verifyFlags.Parse(flag.Args()[1:]); err != nil {
+				cli.Die(err)
+			}
+		default:
 			cli.Die(fmt.Errorf("unexpected arguments after %q", flag.Arg(0)))
-		}
-		if err := gcFlags.Parse(flag.Args()[1:]); err != nil {
-			cli.Die(err)
 		}
 	}
 	s, err := store.Open(*dir)
@@ -71,12 +79,12 @@ func main() {
 		}
 
 	case "verify":
-		rep, err := s.Verify()
+		rep, err := s.VerifyWith(store.VerifyOptions{Lint: *lint})
 		if err != nil {
 			cli.DieClassified(err)
 		}
-		fmt.Printf("checked %d entries (%d pinballs, %d unverified legacy)\n",
-			rep.Checked, rep.Pinballs, rep.Unverified)
+		fmt.Printf("checked %d entries (%d pinballs, %d linted, %d unverified legacy)\n",
+			rep.Checked, rep.Pinballs, rep.Linted, rep.Unverified)
 		for _, p := range rep.Problems {
 			fmt.Fprintf(os.Stderr, "CORRUPT key=%s object=%s: %v\n",
 				short(p.Key), short(p.Object), p.Err)

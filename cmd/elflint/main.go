@@ -1,0 +1,90 @@
+// elflint statically verifies an ELFie before anything runs it: it decodes
+// the generated startup/restore code into a CFG and checks the restore
+// recipe, the memory map, and (given the matching pinball) the
+// syscall-injection table and pinball↔ELFie cross-invariants.
+//
+// Usage:
+//
+//	elflint file.elfie                    # ELFie-only checks
+//	elflint -pinball dir/name file.elfie  # + pinball cross-checks
+//	elflint -restore map.json file.elfie  # + converter restore-map cross-checks
+//	elflint -json file.elfie              # findings as JSON
+//
+// Exit status: 0 clean (warnings allowed with -werror off), 1 internal
+// error, 2 lint errors (corrupt-input per the exit-code taxonomy).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"elfie/internal/cli"
+	"elfie/internal/core"
+	"elfie/internal/elflint"
+	"elfie/internal/pinball"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	pbPath := flag.String("pinball", "", "matching pinball (dir/name) for cross-checks")
+	rmPath := flag.String("restore", "", "converter restore-map JSON for cross-checks")
+	werror := flag.Bool("werror", false, "treat warnings as errors")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		cli.Die(fmt.Errorf("usage: elflint [flags] file.elfie"))
+	}
+
+	exe, err := cli.LoadELF(flag.Arg(0))
+	if err != nil {
+		cli.DieClassified(err)
+	}
+	opts := elflint.Options{}
+	if *pbPath != "" {
+		dir, name := filepath.Split(*pbPath)
+		if dir == "" {
+			dir = "."
+		}
+		pb, err := pinball.Read(dir, name, pinball.ReadOptions{})
+		if err != nil {
+			cli.DieClassified(err)
+		}
+		opts.Pinball = pb
+	}
+	if *rmPath != "" {
+		data, err := os.ReadFile(*rmPath)
+		if err != nil {
+			cli.Die(err)
+		}
+		rm, err := core.ParseRestoreMap(data)
+		if err != nil {
+			cli.DieClassified(fmt.Errorf("%w: %s: %v", cli.ErrCorruptInput, *rmPath, err))
+		}
+		opts.Restore = rm
+	}
+
+	rep, err := elflint.Lint(exe, opts)
+	if err != nil {
+		cli.DieClassified(fmt.Errorf("%w: %v", cli.ErrCorruptInput, err))
+	}
+
+	if *jsonOut {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			cli.Die(err)
+		}
+		fmt.Println(string(out))
+	} else {
+		for _, f := range rep.Findings {
+			fmt.Println(f)
+		}
+		fmt.Printf("%s: %d instructions, %d blocks, %d errors, %d warnings\n",
+			flag.Arg(0), rep.Insts, rep.Blocks, rep.Errors(), len(rep.Findings)-rep.Errors())
+	}
+	if !rep.OK() || (*werror && len(rep.Findings) > 0) {
+		cli.DieClassified(fmt.Errorf("%w: %s: %d lint findings",
+			cli.ErrCorruptInput, flag.Arg(0), len(rep.Findings)))
+	}
+}

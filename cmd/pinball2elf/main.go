@@ -7,8 +7,10 @@
 //	            --roi-start ssc:0x1010 -sysstate pinballs/gcc.r1.sysstate
 //
 // Alongside the executable it writes <out>.ldscript (the memory-layout
-// linker script), <out>.startup.s (the generated startup code) and
-// <out>.ctx.s (the thread-context listing) for inspection and re-linking.
+// linker script), <out>.startup.s (the generated startup code),
+// <out>.ctx.s (the thread-context listing) and <out>.restoremap.json (the
+// restore-map side table elflint cross-checks against) for inspection,
+// re-linking, and static verification.
 //
 // Exit codes: 0 on success, 2 when the pinball fails integrity checks,
 // 1 for anything else.
@@ -102,6 +104,13 @@ func main() {
 		".ldscript":  res.Script.Format(),
 		".startup.s": res.StartupSource,
 		".ctx.s":     res.ContextsAsm,
+	}
+	if res.RestoreMap != nil {
+		rm, err := res.RestoreMap.JSON()
+		if err != nil {
+			cli.Die(err)
+		}
+		aux[".restoremap.json"] = string(rm)
 	}
 	for suffix, content := range aux {
 		if err := os.WriteFile(outPath+suffix, []byte(content), 0o644); err != nil {

@@ -108,6 +108,9 @@ type Result struct {
 	// PerfPeriods are the per-thread graceful-exit budgets (instructions),
 	// including startup-tail slack.
 	PerfPeriods []uint64
+	// RestoreMap is the machine-readable restore recipe the static
+	// verifier cross-checks against the generated startup code.
+	RestoreMap *RestoreMap
 }
 
 // Convert turns a pinball into an ELFie.
@@ -161,5 +164,6 @@ func Convert(pb *pinball.Pinball, opts Options) (*Result, error) {
 		StartupSource: startupSrc,
 		ContextsAsm:   contextsAsm(pb),
 		PerfPeriods:   gen.perfPeriods,
+		RestoreMap:    buildRestoreMap(pb, lay, gen),
 	}, nil
 }

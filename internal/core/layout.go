@@ -118,7 +118,7 @@ func planLayout(pb *pinball.Pinball) (*layout, error) {
 		lay.deadPages = append(lay.deadPages, dead...)
 	}
 	// Keep clear of the kernel's stack randomization window.
-	spans = append(spans, [2]uint64{0x7ffc00000000, 0x7ffc00000000 + 65*1024*1024})
+	spans = append(spans, [2]uint64{kernel.StackAreaBase, kernel.StackAreaBase + kernel.StackAreaSize})
 
 	cursor := uint64(0x20000000)
 	pick := func(size uint64) uint64 {

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"elfie/internal/pinball"
+)
+
+// RestoreThread describes one thread's generated restore recipe.
+type RestoreThread struct {
+	TID int `json:"tid"`
+	// Init and Target are the symbol names of the thread's restore stub
+	// and of the literal word holding the captured PC.
+	Init   string `json:"init"`
+	Target string `json:"target"`
+	// Ctx is the address of the thread's context block in .elfie.ctx.
+	Ctx uint64 `json:"ctx"`
+	// StartPC is the captured program counter the stub jumps to.
+	StartPC uint64 `json:"start_pc"`
+	// PerfPeriod is the graceful-exit budget (0 when graceful exit is off).
+	PerfPeriod uint64 `json:"perf_period,omitempty"`
+}
+
+// RestoreMap is the machine-readable side table Convert emits describing
+// the restore recipe baked into the generated startup code: where each
+// thread's stub lives, which context block it restores, and where it jumps.
+// The static verifier (internal/elflint) consumes it to cross-check the
+// decoded startup code against the converter's intent, independently of the
+// symbol table.
+type RestoreMap struct {
+	NumThreads int             `json:"num_threads"`
+	ElfieText  uint64          `json:"elfie_text"` // address of the startup code section
+	CtxAddr    uint64          `json:"ctx_addr"`
+	CtxStride  uint64          `json:"ctx_stride"`
+	Threads    []RestoreThread `json:"threads"`
+	// StackRemaps and DeadMaps count the live stack extents the startup
+	// remaps and the dead extents it maps zero.
+	StackRemaps int `json:"stack_remaps"`
+	DeadMaps    int `json:"dead_maps"`
+}
+
+// buildRestoreMap assembles the side table from the layout and the
+// startup generator's output.
+func buildRestoreMap(pb *pinball.Pinball, lay *layout, gen *startupGen) *RestoreMap {
+	m := &RestoreMap{
+		NumThreads:  lay.numThreads,
+		ElfieText:   lay.elfieTextAddr,
+		CtxAddr:     lay.ctxAddr,
+		CtxStride:   ctxStride,
+		StackRemaps: len(lay.stackPages),
+		DeadMaps:    len(lay.deadPages),
+	}
+	for i := 0; i < lay.numThreads; i++ {
+		t := RestoreThread{
+			TID:     i,
+			Init:    fmt.Sprintf("__elfie_t%d_init", i),
+			Target:  fmt.Sprintf("__elfie_t%d_target", i),
+			Ctx:     lay.ctx(i),
+			StartPC: pb.Regs[i].PC,
+		}
+		if i < len(gen.perfPeriods) {
+			t.PerfPeriod = gen.perfPeriods[i]
+		}
+		m.Threads = append(m.Threads, t)
+	}
+	return m
+}
+
+// JSON serializes the map for storage beside cached region artifacts.
+func (m *RestoreMap) JSON() ([]byte, error) { return json.Marshal(m) }
+
+// ParseRestoreMap deserializes a restore map written by JSON.
+func ParseRestoreMap(data []byte) (*RestoreMap, error) {
+	m := &RestoreMap{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, fmt.Errorf("restore map: %v", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,183 @@
+package elflint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"elfie/internal/elfobj"
+	"elfie/internal/isa"
+)
+
+// undecSite records one reachable address whose bytes did not decode.
+type undecSite struct {
+	addr   uint64
+	reason string
+}
+
+// stubSym is one per-thread restore stub discovered in the symbol table.
+type stubSym struct {
+	tid    int
+	init   uint64 // address of __elfie_tN_init
+	target uint64 // address of __elfie_tN_target (0 when missing)
+}
+
+// cfg is the control-flow graph over the startup section: every reachable
+// instruction, every 8-byte literal word referenced by a jmpm, and every
+// reachable-but-undecodable site.
+type cfg struct {
+	lo, hi  uint64 // section address range
+	code    []byte
+	insts   map[uint64]isa.Inst
+	lits    map[uint64]bool
+	leaders map[uint64]bool
+	undec   []undecSite
+}
+
+// restoreStubs enumerates the generated per-thread restore stubs.
+func restoreStubs(exe *elfobj.File) []stubSym {
+	var out []stubSym
+	for _, s := range exe.SymbolsPrefix("__elfie_t") {
+		var tid int
+		if _, err := fmt.Sscanf(s.Name, "__elfie_t%d_init", &tid); err == nil &&
+			s.Name == fmt.Sprintf("__elfie_t%d_init", tid) {
+			st := stubSym{tid: tid, init: s.Value}
+			if t, ok := exe.Symbol(fmt.Sprintf("__elfie_t%d_target", tid)); ok {
+				st.target = t.Value
+			}
+			out = append(out, st)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].tid < out[j].tid })
+	return out
+}
+
+// cfgRoots collects the CFG entry points: the ELF entry, every thread's
+// restore stub, and handlers reached only through data tables (the
+// perf-overflow exit handler).
+func cfgRoots(exe *elfobj.File, stubs []stubSym) []uint64 {
+	roots := []uint64{exe.Entry}
+	for _, st := range stubs {
+		roots = append(roots, st.init)
+	}
+	for _, s := range exe.Symbols {
+		if strings.HasPrefix(s.Name, "__elfie_") && strings.HasSuffix(s.Name, "_handler") {
+			roots = append(roots, s.Value)
+		}
+	}
+	return roots
+}
+
+// buildCFG walks the startup section from the roots, decoding reachable
+// instructions and following branch edges. Decoding stops at the first bad
+// word on any path; the site is recorded rather than treated as data, since
+// inline literals are only ever reached through a jmpm displacement and are
+// tracked separately.
+func buildCFG(sec *elfobj.Section, roots []uint64) *cfg {
+	g := &cfg{
+		lo:      sec.Addr,
+		hi:      sec.Addr + sec.DataSize(),
+		code:    sec.Data,
+		insts:   make(map[uint64]isa.Inst),
+		lits:    make(map[uint64]bool),
+		leaders: make(map[uint64]bool),
+	}
+	badAt := make(map[uint64]bool)
+	work := make([]uint64, 0, len(roots))
+	for _, r := range roots {
+		if r >= g.lo && r < g.hi {
+			work = append(work, r)
+			g.leaders[r] = true
+		}
+	}
+	push := func(addr uint64, leader bool) {
+		if addr < g.lo || addr >= g.hi {
+			return
+		}
+		if leader {
+			g.leaders[addr] = true
+		}
+		work = append(work, addr)
+	}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		if _, ok := g.insts[pc]; ok || badAt[pc] {
+			continue
+		}
+		ins, n, err := isa.Decode(g.code[pc-g.lo:])
+		if err != nil {
+			badAt[pc] = true
+			g.undec = append(g.undec, undecSite{addr: pc, reason: err.Error()})
+			continue
+		}
+		g.insts[pc] = ins
+		next := pc + n
+		switch {
+		case ins.Op == isa.JMP:
+			push(ins.BranchTarget(pc), true)
+		case isa.IsCondBranch(ins.Op):
+			push(ins.BranchTarget(pc), true)
+			push(next, true)
+		case ins.Op == isa.CALL:
+			push(ins.BranchTarget(pc), true)
+			push(next, false)
+		case ins.Op == isa.JMPM:
+			// The indirect jump reads an 8-byte literal at a PC-relative
+			// displacement; record the word as covered data.
+			g.lits[next+uint64(int64(ins.Imm))] = true
+		case ins.Op == isa.JMPR, ins.Op == isa.RET, ins.Op == isa.HLT:
+			// No static successor.
+		default:
+			push(next, false)
+		}
+		if isa.IsBranch(ins.Op) {
+			g.leaders[next] = true
+		}
+	}
+	sort.Slice(g.undec, func(i, j int) bool { return g.undec[i].addr < g.undec[j].addr })
+	return g
+}
+
+// countBlocks counts basic blocks: maximal straight-line runs of reachable
+// instructions starting at a leader.
+func (g *cfg) countBlocks() int {
+	n := 0
+	for addr := range g.leaders {
+		if _, ok := g.insts[addr]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// gaps returns [start, end) ranges of the startup section covered by no
+// reachable instruction and no jmpm literal word.
+func (g *cfg) gaps() [][2]uint64 {
+	type iv struct{ lo, hi uint64 }
+	ivs := make([]iv, 0, len(g.insts)+len(g.lits)+len(g.undec))
+	for addr, ins := range g.insts {
+		ivs = append(ivs, iv{addr, addr + ins.Len()})
+	}
+	for addr := range g.lits {
+		ivs = append(ivs, iv{addr, addr + 8})
+	}
+	for _, site := range g.undec {
+		ivs = append(ivs, iv{site.addr, site.addr + isa.InstLen})
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	var out [][2]uint64
+	pos := g.lo
+	for _, v := range ivs {
+		if v.lo > pos {
+			out = append(out, [2]uint64{pos, v.lo})
+		}
+		if v.hi > pos {
+			pos = v.hi
+		}
+	}
+	if pos < g.hi {
+		out = append(out, [2]uint64{pos, g.hi})
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+// Package elflint statically verifies generated ELFies and their pinballs
+// before anything executes them. It decodes the generated startup/restore
+// code into a control-flow graph and runs invariant checkers over the CFG,
+// the ELF program headers, and the pinball's SYSSTATE table:
+//
+//   - the restore recipe is complete (every GPR, the flags word, both
+//     segment bases, and the XSAVE region are written before the jump to
+//     region start);
+//   - the memory image is sound (no overlapping PT_LOAD segments, nothing
+//     loadable inside the loader's stack area, no writable+executable
+//     pages);
+//   - every logged system-call side effect references a mapped address and
+//     a syscall number the kernel defines;
+//   - the pinball and the ELFie agree (thread counts match the per-thread
+//     restore stubs, the region start PC lands in mapped executable
+//     memory).
+//
+// Findings carry stable rule IDs so CI, the checkpoint farm, and humans can
+// key policy off them. The linter is purely static: it complements the
+// byte-level CRC manifests (storage integrity) and replay validation
+// (dynamic correctness) with a cheap pre-execution semantic check.
+package elflint
+
+import (
+	"fmt"
+
+	"elfie/internal/core"
+	"elfie/internal/elfobj"
+	"elfie/internal/pinball"
+)
+
+// Severity grades a finding.
+type Severity uint8
+
+// Severities. Errors mean the artifact must not be run or shipped;
+// warnings flag suspicious structure that does not break the restore
+// contract.
+const (
+	SevWarning Severity = iota
+	SevError
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Stable rule IDs. These are part of the tool's interface: tests, CI
+// filters, and the farm's degradation records key off them.
+const (
+	// RuleUndecodable: reachable startup code contains bytes that do not
+	// decode.
+	RuleUndecodable = "EL001"
+	// RuleUnreachable: the startup section contains code reachable from no
+	// entry point and referenced by no literal (warning).
+	RuleUnreachable = "EL002"
+	// RuleRestore: a thread's restore stub reaches the jump to region
+	// start without restoring every GPR, the flags, both segment bases,
+	// and the XSAVE area — or never reaches the jump at all.
+	RuleRestore = "EL003"
+	// RuleSegOverlap: two PT_LOAD segments overlap.
+	RuleSegOverlap = "EL004"
+	// RuleStackCollision: a loadable segment (or the heap break) lies
+	// inside the loader's stack placement area — the paper's
+	// stack-collision hazard.
+	RuleStackCollision = "EL005"
+	// RuleWXSegment: a PT_LOAD segment is both writable and executable.
+	RuleWXSegment = "EL006"
+	// RuleSyscallUnknown: a SYSSTATE entry names a syscall number unknown
+	// to internal/kernel.
+	RuleSyscallUnknown = "EL007"
+	// RuleSyscallUnmapped: a SYSSTATE side effect writes memory that
+	// neither the captured image nor an earlier entry in the table maps.
+	RuleSyscallUnmapped = "EL008"
+	// RuleThreadMismatch: the pinball manifest's thread count disagrees
+	// with the per-thread restore stubs in the ELFie.
+	RuleThreadMismatch = "EL009"
+	// RuleStartUnmapped: a thread's region start PC does not land in a
+	// mapped executable segment, or the restore stub's jump literal
+	// disagrees with the captured PC.
+	RuleStartUnmapped = "EL010"
+)
+
+// Finding is one invariant violation.
+type Finding struct {
+	Rule     string   `json:"rule"`
+	Severity Severity `json:"-"`
+	// SeverityName is the rendered severity for -json output.
+	SeverityName string `json:"severity"`
+	Addr         uint64 `json:"addr,omitempty"`
+	Detail       string `json:"detail"`
+}
+
+func (f Finding) String() string {
+	if f.Addr != 0 {
+		return fmt.Sprintf("%s %s @ %#x: %s", f.Rule, f.Severity, f.Addr, f.Detail)
+	}
+	return fmt.Sprintf("%s %s: %s", f.Rule, f.Severity, f.Detail)
+}
+
+// Options configures a lint pass.
+type Options struct {
+	// Pinball, when set, enables the SYSSTATE-table and pinball↔ELFie
+	// cross-checks.
+	Pinball *pinball.Pinball
+	// Restore, when set, cross-checks the decoded startup code against
+	// the converter's emitted restore map.
+	Restore *core.RestoreMap
+}
+
+// Report is the outcome of one lint pass.
+type Report struct {
+	Findings []Finding `json:"findings"`
+	// Insts and Blocks are CFG statistics: reachable instructions decoded
+	// and basic blocks formed.
+	Insts  int `json:"insts"`
+	Blocks int `json:"blocks"`
+}
+
+// Errors counts error-severity findings.
+func (r *Report) Errors() int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Severity == SevError {
+			n++
+		}
+	}
+	return n
+}
+
+// OK reports whether the pass found no errors (warnings allowed).
+func (r *Report) OK() bool { return r.Errors() == 0 }
+
+// Rules returns the set of distinct rule IDs that fired.
+func (r *Report) Rules() map[string]bool {
+	m := make(map[string]bool)
+	for _, f := range r.Findings {
+		m[f.Rule] = true
+	}
+	return m
+}
+
+func (r *Report) addf(rule string, sev Severity, addr uint64, format string, args ...any) {
+	r.Findings = append(r.Findings, Finding{
+		Rule: rule, Severity: sev, SeverityName: sev.String(),
+		Addr: addr, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Lint statically verifies one ELFie. The error return is reserved for
+// inputs that are not an ELFie at all (no startup section, not an
+// executable); structural violations inside a well-formed ELFie come back
+// as findings.
+func Lint(exe *elfobj.File, opts Options) (*Report, error) {
+	if exe == nil || exe.Type != elfobj.ETExec {
+		return nil, fmt.Errorf("elflint: not an executable")
+	}
+	sec := exe.Section(".elfie.text")
+	if sec == nil {
+		return nil, fmt.Errorf("elflint: no .elfie.text section: not an ELFie")
+	}
+	rep := &Report{}
+
+	stubs := restoreStubs(exe)
+	g := buildCFG(sec, cfgRoots(exe, stubs))
+	rep.Insts = len(g.insts)
+	rep.Blocks = g.countBlocks()
+
+	for _, site := range g.undec {
+		rep.addf(RuleUndecodable, SevError, site.addr,
+			"undecodable bytes in reachable startup code: %s", site.reason)
+	}
+	// Once decoding broke, reachability is an under-approximation, so
+	// unreachable-code detection would only echo the same damage.
+	if len(g.undec) == 0 {
+		for _, gap := range g.gaps() {
+			rep.addf(RuleUnreachable, SevWarning, gap[0],
+				"%d bytes of startup code unreachable from any entry point", gap[1]-gap[0])
+		}
+	}
+
+	checkMemoryMap(rep, exe, opts)
+	checkRestoreStubs(rep, exe, sec, stubs, opts)
+	checkThreadCount(rep, stubs, opts)
+	if opts.Pinball != nil {
+		checkSyscallTable(rep, exe, opts.Pinball)
+		checkStartPCs(rep, exe, opts.Pinball)
+	}
+	return rep, nil
+}

@@ -1,0 +1,208 @@
+package elflint_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"elfie/internal/asm"
+	"elfie/internal/core"
+	"elfie/internal/elflint"
+	"elfie/internal/elfobj"
+	"elfie/internal/kernel"
+	"elfie/internal/pinball"
+	"elfie/internal/pinplay"
+	"elfie/internal/vm"
+)
+
+// demoProgram is the quickstart workload: a multiply-heavy warm-up and a
+// table-walking main loop we checkpoint the middle of.
+const demoProgram = `
+	.text
+	.global _start
+_start:
+	movi r9, 42
+	movi r8, 0
+warm:
+	muli r9, r9, 1103515245
+	addi r9, r9, 12345
+	addi r8, r8, 1
+	cmpi r8, 50000
+	jnz  warm
+
+	limm r13, table
+	movi r8, 0
+main:
+	andi r4, r9, 65528
+	lea1 r4, r13, r4, 0
+	ld.q r5, [r4]
+	add  r5, r5, r9
+	st.q r5, [r4]
+	muli r9, r9, 25
+	addi r9, r9, 13
+	addi r8, r8, 1
+	cmpi r8, 200000
+	jnz  main
+
+	movi r0, 231
+	movi r1, 0
+	syscall
+	.bss
+	.align 4096
+table:	.space 65536
+`
+
+var demo struct {
+	once sync.Once
+	exe  *elfobj.File
+	pb   *pinball.Pinball
+	rm   *core.RestoreMap
+	err  error
+}
+
+// demoArtifacts builds (once) a known-good ELFie + pinball pair from the
+// quickstart workload.
+func demoArtifacts(t *testing.T) (*elfobj.File, *pinball.Pinball, *core.RestoreMap) {
+	t.Helper()
+	demo.once.Do(func() {
+		exe, err := asm.Program(demoProgram)
+		if err != nil {
+			demo.err = err
+			return
+		}
+		m, err := vm.NewLoaded(kernel.New(kernel.NewFS(), 1), exe, []string{"demo"}, nil)
+		if err != nil {
+			demo.err = err
+			return
+		}
+		m.MaxInstructions = 100_000_000
+		pb, err := pinplay.Log(m, pinplay.LogOptions{
+			Name:         "demo.main",
+			RegionStart:  300_000,
+			RegionLength: 500_000,
+		}.Fat())
+		if err != nil {
+			demo.err = err
+			return
+		}
+		res, err := core.Convert(pb, core.Options{GracefulExit: true})
+		if err != nil {
+			demo.err = err
+			return
+		}
+		demo.exe, demo.pb, demo.rm = res.Exe, pb, res.RestoreMap
+	})
+	if demo.err != nil {
+		t.Fatalf("build known-good artifacts: %v", demo.err)
+	}
+	return demo.exe, demo.pb, demo.rm
+}
+
+func lintClean(t *testing.T, exe *elfobj.File, opts elflint.Options, label string) {
+	t.Helper()
+	rep, err := elflint.Lint(exe, opts)
+	if err != nil {
+		t.Fatalf("%s: lint: %v", label, err)
+	}
+	for _, f := range rep.Findings {
+		t.Errorf("%s: unexpected finding: %s", label, f)
+	}
+	if rep.Insts == 0 || rep.Blocks == 0 {
+		t.Errorf("%s: empty CFG: %d insts, %d blocks", label, rep.Insts, rep.Blocks)
+	}
+}
+
+func TestKnownGoodClean(t *testing.T) {
+	exe, pb, rm := demoArtifacts(t)
+	lintClean(t, exe, elflint.Options{Pinball: pb, Restore: rm}, "fresh")
+	// Lint must also pass without the optional cross-check inputs.
+	lintClean(t, exe, elflint.Options{}, "no-options")
+}
+
+func TestKnownGoodSerializedClean(t *testing.T) {
+	exe, pb, rm := demoArtifacts(t)
+	// Round-tripped through the ELF writer/reader the executable carries a
+	// real program header table; the verdict must not change.
+	clone, err := elflint.CloneExe(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lintClean(t, clone, elflint.Options{Pinball: pb, Restore: rm}, "serialized")
+}
+
+func TestLintRejectsNonELFie(t *testing.T) {
+	if _, err := elflint.Lint(nil, elflint.Options{}); err == nil {
+		t.Error("nil file: want error")
+	}
+	plain, err := asm.Program(demoProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = elflint.Lint(plain, elflint.Options{})
+	if err == nil || !strings.Contains(err.Error(), "not an ELFie") {
+		t.Errorf("plain executable: want not-an-ELFie error, got %v", err)
+	}
+}
+
+// TestMutationMatrix is the broken-ELFie corpus check: every rule must fire
+// on its seeded mutation, and must fire alone — a mutation that trips a
+// second rule means the rules are not independent and CI triage would
+// double-report one defect.
+func TestMutationMatrix(t *testing.T) {
+	exe, pb, rm := demoArtifacts(t)
+	for _, mut := range elflint.Mutations() {
+		t.Run(mut.Name, func(t *testing.T) {
+			broken, err := elflint.CloneExe(exe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bpb := elflint.ClonePinball(pb)
+			if err := mut.Apply(broken, bpb); err != nil {
+				t.Fatalf("apply: %v", err)
+			}
+			rep, err := elflint.Lint(broken, elflint.Options{Pinball: bpb, Restore: rm})
+			if err != nil {
+				t.Fatalf("lint: %v", err)
+			}
+			rules := rep.Rules()
+			if !rules[mut.Rule] {
+				t.Errorf("rule %s did not fire; findings: %v", mut.Rule, rep.Findings)
+			}
+			for r := range rules {
+				if r != mut.Rule {
+					t.Errorf("unrelated rule %s fired; findings: %v", r, rep.Findings)
+				}
+			}
+			wantOK := mut.Rule == elflint.RuleUnreachable // the only warning-severity rule
+			if rep.OK() != wantOK {
+				t.Errorf("OK() = %v, want %v (findings: %v)", rep.OK(), wantOK, rep.Findings)
+			}
+		})
+	}
+}
+
+// TestMutationCatalogCoversEveryRule pins the corpus to the rule set: a new
+// rule without a seeded mutation is unverifiable.
+func TestMutationCatalogCoversEveryRule(t *testing.T) {
+	want := []string{
+		elflint.RuleUndecodable, elflint.RuleUnreachable, elflint.RuleRestore,
+		elflint.RuleSegOverlap, elflint.RuleStackCollision, elflint.RuleWXSegment,
+		elflint.RuleSyscallUnknown, elflint.RuleSyscallUnmapped,
+		elflint.RuleThreadMismatch, elflint.RuleStartUnmapped,
+	}
+	have := make(map[string]bool)
+	for _, m := range elflint.Mutations() {
+		if have[m.Rule] {
+			t.Errorf("rule %s has two mutations", m.Rule)
+		}
+		have[m.Rule] = true
+	}
+	for _, r := range want {
+		if !have[r] {
+			t.Errorf("rule %s has no mutation in the corpus", r)
+		}
+	}
+	if len(have) != len(want) {
+		t.Errorf("corpus covers %d rules, want %d", len(have), len(want))
+	}
+}

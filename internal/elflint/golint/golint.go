@@ -1,0 +1,189 @@
+// Package golint is a source-level lint for the kernel's syscall tables.
+// internal/kernel keeps three views of every emulated system call — the
+// numeric constant block, the dispatch switch in Syscall, the printable-name
+// switch in SyscallName — plus the SYSSTATE side-effect classifier map used
+// by the static ELFie verifier. Nothing in the type system ties them
+// together, so a new syscall constant silently falls through to ENOSYS (and
+// the verifier misclassifies its injections) unless every table gains an
+// entry. This analysis checks all four stay aligned, in both directions.
+//
+// It is written against the standard library's go/ast so it runs with no
+// external analysis framework; Run mirrors the go/analysis contract of
+// returning position-tagged diagnostics.
+package golint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one misalignment between the syscall tables.
+type Diagnostic struct {
+	Pos string // file:line
+	Msg string
+}
+
+func (d Diagnostic) String() string { return d.Pos + ": " + d.Msg }
+
+// table collects, for one alignment target, which syscall identifiers it
+// mentions and where.
+type table struct {
+	name string
+	pos  map[string]token.Position
+}
+
+func newTable(name string) *table {
+	return &table{name: name, pos: make(map[string]token.Position)}
+}
+
+func (t *table) add(fset *token.FileSet, id *ast.Ident) {
+	if strings.HasPrefix(id.Name, "Sys") && len(id.Name) > 3 {
+		if _, ok := t.pos[id.Name]; !ok {
+			t.pos[id.Name] = fset.Position(id.Pos())
+		}
+	}
+}
+
+// Run lints the Go package in dir. It returns one diagnostic per missing or
+// stray table entry and an error only when the source cannot be parsed or
+// the expected declarations are absent entirely.
+func Run(dir string) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, fmt.Errorf("golint: %v", err)
+	}
+
+	consts := newTable("syscall constant block")
+	dispatch := newTable("Syscall dispatch")
+	names := newTable("SyscallName")
+	effects := newTable("sideEffects classifier")
+
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.GenDecl:
+					collectDecl(fset, d, consts, effects)
+				case *ast.FuncDecl:
+					switch d.Name.Name {
+					case "Syscall":
+						collectCases(fset, d, dispatch)
+					case "SyscallName":
+						collectCases(fset, d, names)
+					}
+				}
+			}
+		}
+	}
+
+	if len(consts.pos) == 0 {
+		return nil, fmt.Errorf("golint: no Sys* constants found in %s", dir)
+	}
+	for _, t := range []*table{dispatch, names, effects} {
+		if len(t.pos) == 0 {
+			return nil, fmt.Errorf("golint: no syscall identifiers found in the %s; is %s the kernel package?", t.name, dir)
+		}
+	}
+
+	var diags []Diagnostic
+	report := func(pos token.Position, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos: fmt.Sprintf("%s:%d", pos.Filename, pos.Line),
+			Msg: fmt.Sprintf(format, args...),
+		})
+	}
+	// Forward: every declared syscall must appear in every table.
+	for _, name := range sortedKeys(consts.pos) {
+		for _, t := range []*table{dispatch, names, effects} {
+			if _, ok := t.pos[name]; !ok {
+				report(consts.pos[name], "syscall constant %s has no entry in the %s", name, t.name)
+			}
+		}
+	}
+	// Reverse: a table entry without a constant is a stale or foreign
+	// identifier.
+	for _, t := range []*table{dispatch, names, effects} {
+		for _, name := range sortedKeys(t.pos) {
+			if _, ok := consts.pos[name]; !ok {
+				report(t.pos[name], "%s mentions %s, which is not in the syscall constant block", t.name, name)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Msg < diags[j].Msg
+	})
+	return diags, nil
+}
+
+// collectDecl picks up the syscall constant block and the sideEffects map
+// literal from a top-level declaration.
+func collectDecl(fset *token.FileSet, d *ast.GenDecl, consts, effects *table) {
+	for _, spec := range d.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		switch d.Tok {
+		case token.CONST:
+			for _, id := range vs.Names {
+				consts.add(fset, id)
+			}
+		case token.VAR:
+			for i, id := range vs.Names {
+				if id.Name != "sideEffects" || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				for _, elt := range lit.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok {
+						effects.add(fset, key)
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectCases records every Sys* identifier used as a case expression
+// anywhere inside fn.
+func collectCases(fset *token.FileSet, fn *ast.FuncDecl, t *table) {
+	ast.Inspect(fn, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, expr := range cc.List {
+			if id, ok := expr.(*ast.Ident); ok {
+				t.add(fset, id)
+			}
+		}
+		return true
+	})
+}
+
+func sortedKeys(m map[string]token.Position) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

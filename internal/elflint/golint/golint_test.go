@@ -1,0 +1,134 @@
+package golint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestKernelTablesAligned is the real gate: the live kernel package must
+// have every syscall constant represented in the dispatch switch, the name
+// switch, and the side-effect classifier.
+func TestKernelTablesAligned(t *testing.T) {
+	diags, err := Run(filepath.Join("..", "..", "kernel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// driftSource is a miniature kernel package with every drift direction the
+// lint must catch: SysOrphan misses all three tables, the dispatch and the
+// classifier each mention an identifier with no constant, and SysHalf is
+// classified but never dispatched or named.
+const driftSource = `package kernel
+
+const (
+	SysRead   = 0
+	SysOrphan = 77
+	SysHalf   = 88
+)
+
+var sideEffects = map[uint64]uint8{
+	SysRead:  1,
+	SysHalf:  1,
+	SysStale: 1,
+}
+
+const SysStale = 99 // declared outside the block is still a constant
+
+func SyscallName(n uint64) string {
+	switch n {
+	case SysRead:
+		return "read"
+	}
+	return "sys?"
+}
+
+func (k int) Syscall(num uint64) uint64 {
+	switch num {
+	case SysRead:
+		return 0
+	case SysGhost:
+		return 1
+	}
+	return ^uint64(0)
+}
+
+const SysGhost = 100
+`
+
+func TestDetectsDrift(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "syscall.go"), []byte(driftSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.Msg)
+	}
+	all := strings.Join(msgs, "\n")
+	for _, want := range []string{
+		"SysOrphan has no entry in the Syscall dispatch",
+		"SysOrphan has no entry in the SyscallName",
+		"SysOrphan has no entry in the sideEffects classifier",
+		"SysHalf has no entry in the Syscall dispatch",
+		"SysHalf has no entry in the SyscallName",
+	} {
+		if !strings.Contains(all, want) {
+			t.Errorf("missing diagnostic %q in:\n%s", want, all)
+		}
+	}
+	// SysGhost/SysStale ARE constants in the file, so the reverse check
+	// stays quiet about them; SysRead is fully aligned.
+	for _, stray := range []string{"SysRead has no", "mentions SysGhost", "mentions SysStale"} {
+		if strings.Contains(all, stray) {
+			t.Errorf("unexpected diagnostic about %q in:\n%s", stray, all)
+		}
+	}
+}
+
+// TestDetectsStrayTableEntry checks the reverse direction: a table key that
+// names no declared constant.
+func TestDetectsStrayTableEntry(t *testing.T) {
+	src := strings.Replace(driftSource, "const SysStale = 99 // declared outside the block is still a constant", "", 1)
+	src = strings.Replace(src, "const SysGhost = 100", "", 1)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "syscall.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.Msg)
+	}
+	all := strings.Join(msgs, "\n")
+	for _, want := range []string{
+		"Syscall dispatch mentions SysGhost",
+		"sideEffects classifier mentions SysStale",
+	} {
+		if !strings.Contains(all, want) {
+			t.Errorf("missing diagnostic %q in:\n%s", want, all)
+		}
+	}
+}
+
+func TestRunRejectsNonKernelDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte("package x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(dir); err == nil {
+		t.Error("want error for a package with no syscall tables")
+	}
+}

@@ -1,0 +1,212 @@
+package elflint
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"elfie/internal/elfobj"
+	"elfie/internal/isa"
+	"elfie/internal/kernel"
+	"elfie/internal/pinball"
+)
+
+// Mutation is one seeded defect for the broken-ELFie corpus: Apply damages a
+// known-good ELFie/pinball pair in a way that must trip exactly Rule and no
+// other rule. The corpus is how the rule catalog itself is tested — every
+// rule must fire on its mutation and stay silent on undamaged artifacts.
+type Mutation struct {
+	Name string
+	Rule string
+	// Apply mutates the pair in place and returns an error if the artifact
+	// does not have the shape the mutation needs (e.g. no segment large
+	// enough to overlap).
+	Apply func(exe *elfobj.File, pb *pinball.Pinball) error
+}
+
+// CloneExe deep-copies an executable by round-tripping it through the ELF
+// writer and reader, exactly as a stored artifact would be; this also
+// materializes the program header table mutations edit.
+func CloneExe(exe *elfobj.File) (*elfobj.File, error) {
+	buf, err := exe.Write()
+	if err != nil {
+		return nil, fmt.Errorf("clone elfie: %v", err)
+	}
+	out, err := elfobj.Read(buf)
+	if err != nil {
+		return nil, fmt.Errorf("clone elfie: %v", err)
+	}
+	return out, nil
+}
+
+// ClonePinball copies the parts of a pinball mutations edit (manifest and
+// syscall table); pages and register files are shared.
+func ClonePinball(pb *pinball.Pinball) *pinball.Pinball {
+	out := *pb
+	out.Syscalls = append([]pinball.SyscallEffect(nil), pb.Syscalls...)
+	return &out
+}
+
+// stubInstAddr locates the k-th instruction with opcode op in thread 0's
+// restore stub and returns its section offset.
+func stubInstAddr(exe *elfobj.File, op isa.Op) (sec *elfobj.Section, off uint64, err error) {
+	sec = exe.Section(".elfie.text")
+	if sec == nil {
+		return nil, 0, fmt.Errorf("no .elfie.text")
+	}
+	stubs := restoreStubs(exe)
+	if len(stubs) == 0 {
+		return nil, 0, fmt.Errorf("no restore stubs")
+	}
+	pc := stubs[0].init
+	end := sec.Addr + sec.DataSize()
+	for pc < end {
+		ins, n, derr := isa.Decode(sec.Data[pc-sec.Addr:])
+		if derr != nil {
+			return nil, 0, derr
+		}
+		if ins.Op == op {
+			return sec, pc - sec.Addr, nil
+		}
+		if ins.Op == isa.JMPM {
+			break
+		}
+		pc += n
+	}
+	return nil, 0, fmt.Errorf("no %s in thread 0 stub", op.Name())
+}
+
+// Mutations returns the broken-ELFie corpus: one seeded defect per lint
+// rule.
+func Mutations() []Mutation {
+	return []Mutation{
+		{
+			Name: "undecodable-stub-word", Rule: RuleUndecodable,
+			// Stomp the opcode byte of the first pop in thread 0's stub.
+			// The word no longer decodes, so the reachable-code walk trips
+			// over it.
+			Apply: func(exe *elfobj.File, pb *pinball.Pinball) error {
+				sec, off, err := stubInstAddr(exe, isa.POP)
+				if err != nil {
+					return err
+				}
+				sec.Data[off] = 0xFF
+				return nil
+			},
+		},
+		{
+			Name: "orphan-code-word", Rule: RuleUnreachable,
+			// Append an instruction word no control flow reaches.
+			Apply: func(exe *elfobj.File, pb *pinball.Pinball) error {
+				sec := exe.Section(".elfie.text")
+				if sec == nil {
+					return fmt.Errorf("no .elfie.text")
+				}
+				sec.Data = append(sec.Data, isa.Inst{Op: isa.NOP}.Encode(nil)...)
+				return nil
+			},
+		},
+		{
+			Name: "dropped-register-restore", Rule: RuleRestore,
+			// Replace the first pop with a nop: one GPR is never restored.
+			Apply: func(exe *elfobj.File, pb *pinball.Pinball) error {
+				sec, off, err := stubInstAddr(exe, isa.POP)
+				if err != nil {
+					return err
+				}
+				copy(sec.Data[off:off+isa.InstLen], isa.Inst{Op: isa.NOP}.Encode(nil))
+				return nil
+			},
+		},
+		{
+			Name: "overlapping-segments", Rule: RuleSegOverlap,
+			// Duplicate a PT_LOAD shifted into its own tail.
+			Apply: func(exe *elfobj.File, pb *pinball.Pinball) error {
+				for _, s := range exe.LoadSegments() {
+					if s.Memsz > 0x100 {
+						dup := *s
+						dup.Vaddr += 0x100
+						exe.Segments = append(exe.Segments, &dup)
+						return nil
+					}
+				}
+				return fmt.Errorf("no PT_LOAD larger than 0x100")
+			},
+		},
+		{
+			Name: "segment-in-stack-area", Rule: RuleStackCollision,
+			// A loadable segment where the loader will place the stack.
+			Apply: func(exe *elfobj.File, pb *pinball.Pinball) error {
+				exe.Segments = append(exe.Segments, &elfobj.Segment{
+					Type: elfobj.PTLoad, Flags: elfobj.PFR | elfobj.PFW,
+					Vaddr: kernel.StackAreaBase + 0x1000, Memsz: 0x1000,
+					Align: 0x1000,
+				})
+				return nil
+			},
+		},
+		{
+			Name: "writable-code-segment", Rule: RuleWXSegment,
+			Apply: func(exe *elfobj.File, pb *pinball.Pinball) error {
+				for _, s := range exe.LoadSegments() {
+					if s.Flags&elfobj.PFX != 0 {
+						s.Flags |= elfobj.PFW
+						return nil
+					}
+				}
+				return fmt.Errorf("no executable PT_LOAD")
+			},
+		},
+		{
+			Name: "unknown-syscall-injection", Rule: RuleSyscallUnknown,
+			Apply: func(exe *elfobj.File, pb *pinball.Pinball) error {
+				if pb == nil {
+					return fmt.Errorf("needs a pinball")
+				}
+				pb.Syscalls = append(pb.Syscalls, pinball.SyscallEffect{Num: 9999})
+				return nil
+			},
+		},
+		{
+			Name: "unmapped-syscall-write", Rule: RuleSyscallUnmapped,
+			// A replayed read(2) writing into the unmapped zero page.
+			Apply: func(exe *elfobj.File, pb *pinball.Pinball) error {
+				if pb == nil {
+					return fmt.Errorf("needs a pinball")
+				}
+				pb.Syscalls = append(pb.Syscalls, pinball.SyscallEffect{
+					Num: kernel.SysRead, Ret: 8,
+					MemWrites: []pinball.MemWriteData{{Addr: 0x1000, Data: make([]byte, 8)}},
+				})
+				return nil
+			},
+		},
+		{
+			Name: "manifest-thread-count", Rule: RuleThreadMismatch,
+			Apply: func(exe *elfobj.File, pb *pinball.Pinball) error {
+				if pb == nil {
+					return fmt.Errorf("needs a pinball")
+				}
+				pb.Meta.NumThreads++
+				return nil
+			},
+		},
+		{
+			Name: "corrupt-jump-target", Rule: RuleStartUnmapped,
+			// Rewrite thread 0's target literal: the stub now jumps to an
+			// unmapped address that also disagrees with the captured PC.
+			Apply: func(exe *elfobj.File, pb *pinball.Pinball) error {
+				sec := exe.Section(".elfie.text")
+				if sec == nil {
+					return fmt.Errorf("no .elfie.text")
+				}
+				stubs := restoreStubs(exe)
+				if len(stubs) == 0 || stubs[0].target == 0 {
+					return fmt.Errorf("no thread 0 target word")
+				}
+				off := stubs[0].target - sec.Addr
+				binary.LittleEndian.PutUint64(sec.Data[off:off+8], 0x20)
+				return nil
+			},
+		},
+	}
+}

@@ -1,0 +1,288 @@
+package elflint
+
+import (
+	"encoding/binary"
+	"sort"
+	"strings"
+
+	"elfie/internal/elfobj"
+	"elfie/internal/isa"
+	"elfie/internal/kernel"
+	"elfie/internal/pinball"
+)
+
+// errnoBoundary: syscall return values at or above this are -errno.
+const errnoBoundary = ^uint64(0xFFF)
+
+// checkMemoryMap enforces the PT_LOAD invariants: no overlaps (EL004),
+// nothing loadable in the loader's stack placement area (EL005), and W^X on
+// every segment (EL006).
+func checkMemoryMap(rep *Report, exe *elfobj.File, opts Options) {
+	segs := exe.LoadSegments()
+	stackLo := uint64(kernel.StackAreaBase)
+	stackHi := stackLo + uint64(kernel.StackAreaSize)
+	for i, s := range segs {
+		if i+1 < len(segs) {
+			n := segs[i+1]
+			if s.Vaddr+s.Memsz > n.Vaddr {
+				rep.addf(RuleSegOverlap, SevError, n.Vaddr,
+					"PT_LOAD [%#x, %#x) overlaps PT_LOAD [%#x, %#x)",
+					s.Vaddr, s.Vaddr+s.Memsz, n.Vaddr, n.Vaddr+n.Memsz)
+			}
+		}
+		if s.Vaddr < stackHi && s.Vaddr+s.Memsz > stackLo {
+			rep.addf(RuleStackCollision, SevError, s.Vaddr,
+				"PT_LOAD [%#x, %#x) lies inside the loader stack area [%#x, %#x): "+
+					"the loader would place the startup stack on top of it",
+				s.Vaddr, s.Vaddr+s.Memsz, stackLo, stackHi)
+		}
+		if s.Flags&elfobj.PFW != 0 && s.Flags&elfobj.PFX != 0 {
+			rep.addf(RuleWXSegment, SevError, s.Vaddr,
+				"PT_LOAD [%#x, %#x) is both writable and executable",
+				s.Vaddr, s.Vaddr+s.Memsz)
+		}
+	}
+	if pb := opts.Pinball; pb != nil && pb.Meta.Brk >= stackLo {
+		rep.addf(RuleStackCollision, SevError, pb.Meta.Brk,
+			"captured heap break %#x reaches into the loader stack area at %#x",
+			pb.Meta.Brk, stackLo)
+	}
+}
+
+// restoreState tracks what one thread's restore stub has written so far.
+type restoreState struct {
+	xrstor, fsbase, gsbase, flags bool
+	popped                        [isa.NumGPR]bool
+}
+
+func (st *restoreState) missing() []string {
+	var m []string
+	if !st.xrstor {
+		m = append(m, "xsave state (no xrstor)")
+	}
+	if !st.fsbase {
+		m = append(m, "fs base (no wrfsbase)")
+	}
+	if !st.gsbase {
+		m = append(m, "gs base (no wrgsbase)")
+	}
+	if !st.flags {
+		m = append(m, "flags (no popf)")
+	}
+	var regs []string
+	for r := 0; r < isa.NumGPR; r++ {
+		if !st.popped[r] {
+			regs = append(regs, isa.RegName(isa.Reg(r)))
+		}
+	}
+	if len(regs) > 0 {
+		m = append(m, "registers "+strings.Join(regs, ","))
+	}
+	return m
+}
+
+// maxStubSteps bounds the linear scan of one restore stub.
+const maxStubSteps = 4096
+
+// checkRestoreStubs verifies register-restore completeness (EL003) and the
+// final indirect jump (EL010) for every thread stub: the stub must execute
+// xrstor, wrfsbase, wrgsbase, popf, and a pop of every GPR before the jmpm
+// to the captured PC.
+func checkRestoreStubs(rep *Report, exe *elfobj.File, sec *elfobj.Section, stubs []stubSym, opts Options) {
+	for _, stub := range stubs {
+		scanStub(rep, exe, sec, stub, opts)
+	}
+}
+
+func scanStub(rep *Report, exe *elfobj.File, sec *elfobj.Section, stub stubSym, opts Options) {
+	lo, hi := sec.Addr, sec.Addr+sec.DataSize()
+	if stub.init < lo || stub.init >= hi {
+		rep.addf(RuleRestore, SevError, stub.init,
+			"thread %d restore stub is outside the startup section", stub.tid)
+		return
+	}
+	var st restoreState
+	pc := stub.init
+	for steps := 0; steps < maxStubSteps; steps++ {
+		if pc < lo || pc >= hi {
+			rep.addf(RuleRestore, SevError, pc,
+				"thread %d restore stub runs off the startup section before jumping to region start", stub.tid)
+			return
+		}
+		ins, n, err := isa.Decode(sec.Data[pc-lo:])
+		if err != nil {
+			// EL001 already reports the bad bytes; the restore verdict
+			// would only duplicate the same root cause.
+			return
+		}
+		switch ins.Op {
+		case isa.XRSTOR:
+			st.xrstor = true
+		case isa.WRFSBASE:
+			st.fsbase = true
+		case isa.WRGSBASE:
+			st.gsbase = true
+		case isa.POPF:
+			st.flags = true
+		case isa.POP:
+			if int(ins.A) < isa.NumGPR {
+				st.popped[ins.A] = true
+			}
+		case isa.JMPM:
+			checkStubJump(rep, exe, stub, st, pc, n+uint64(int64(ins.Imm)), opts)
+			return
+		case isa.JMP, isa.JMPR, isa.RET, isa.HLT:
+			rep.addf(RuleRestore, SevError, pc,
+				"thread %d restore stub branches away (%s) before the jump to region start", stub.tid, ins.Op.Name())
+			return
+		}
+		if isa.IsCondBranch(ins.Op) {
+			rep.addf(RuleRestore, SevError, pc,
+				"thread %d restore stub branches conditionally (%s) before the jump to region start", stub.tid, ins.Op.Name())
+			return
+		}
+		pc += n
+	}
+	rep.addf(RuleRestore, SevError, stub.init,
+		"thread %d restore stub never reaches a jump to region start within %d instructions", stub.tid, maxStubSteps)
+}
+
+// checkStubJump validates the jmpm that ends a restore stub: completeness of
+// the restored state (EL003) and the jump literal itself (EL010).
+func checkStubJump(rep *Report, exe *elfobj.File, stub stubSym, st restoreState, pc, disp uint64, opts Options) {
+	if m := st.missing(); len(m) > 0 {
+		rep.addf(RuleRestore, SevError, pc,
+			"thread %d jumps to region start without restoring: %s", stub.tid, strings.Join(m, "; "))
+	}
+	litAddr := pc + disp
+	if stub.target != 0 && litAddr != stub.target {
+		rep.addf(RuleStartUnmapped, SevError, pc,
+			"thread %d jump literal at %#x is not the thread's target word %#x",
+			stub.tid, litAddr, stub.target)
+	}
+	word, ok := exe.ReadAddr(litAddr, 8)
+	if !ok {
+		rep.addf(RuleStartUnmapped, SevError, litAddr,
+			"thread %d jump literal at %#x is not backed by initialized data", stub.tid, litAddr)
+		return
+	}
+	startPC := binary.LittleEndian.Uint64(word)
+	if seg := exe.SegmentAt(startPC); seg == nil || seg.Flags&elfobj.PFX == 0 {
+		rep.addf(RuleStartUnmapped, SevError, startPC,
+			"thread %d restore stub jumps to %#x, which is not in a mapped executable segment",
+			stub.tid, startPC)
+	}
+	if pb := opts.Pinball; pb != nil && stub.tid < len(pb.Regs) && startPC != pb.Regs[stub.tid].PC {
+		rep.addf(RuleStartUnmapped, SevError, startPC,
+			"thread %d restore stub jumps to %#x but the pinball captured PC %#x",
+			stub.tid, startPC, pb.Regs[stub.tid].PC)
+	}
+	if rm := opts.Restore; rm != nil && stub.tid < len(rm.Threads) && startPC != rm.Threads[stub.tid].StartPC {
+		rep.addf(RuleStartUnmapped, SevError, startPC,
+			"thread %d restore stub jumps to %#x but the restore map records start PC %#x",
+			stub.tid, startPC, rm.Threads[stub.tid].StartPC)
+	}
+}
+
+// checkThreadCount cross-checks the number of restore stubs against the
+// pinball manifest and the converter's restore map (EL009).
+func checkThreadCount(rep *Report, stubs []stubSym, opts Options) {
+	if pb := opts.Pinball; pb != nil && pb.Meta.NumThreads != len(stubs) {
+		rep.addf(RuleThreadMismatch, SevError, 0,
+			"pinball manifest declares %d threads but the ELFie has %d restore stubs",
+			pb.Meta.NumThreads, len(stubs))
+	}
+	if rm := opts.Restore; rm != nil && rm.NumThreads != len(stubs) {
+		rep.addf(RuleThreadMismatch, SevError, 0,
+			"restore map declares %d threads but the ELFie has %d restore stubs",
+			rm.NumThreads, len(stubs))
+	}
+}
+
+// interval is a half-open mapped address range.
+type interval struct{ lo, hi uint64 }
+
+func mergeIntervals(ivs []interval) []interval {
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	var out []interval
+	for _, v := range ivs {
+		if v.hi <= v.lo {
+			continue
+		}
+		if n := len(out); n > 0 && v.lo <= out[n-1].hi {
+			if v.hi > out[n-1].hi {
+				out[n-1].hi = v.hi
+			}
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func intervalsCover(ivs []interval, lo, hi uint64) bool {
+	i := sort.Search(len(ivs), func(i int) bool { return ivs[i].hi > lo })
+	return i < len(ivs) && ivs[i].lo <= lo && hi <= ivs[i].hi
+}
+
+// checkSyscallTable verifies the SYSSTATE injection table: every entry must
+// name a syscall internal/kernel defines (EL007), and every replayed memory
+// side effect must land in mapped memory — the captured image, a loadable
+// segment, the heap, or a range an earlier entry in the table mapped
+// (EL008).
+func checkSyscallTable(rep *Report, exe *elfobj.File, pb *pinball.Pinball) {
+	base := make([]interval, 0, len(pb.Pages)+8)
+	for i := range pb.Pages {
+		pg := &pb.Pages[i]
+		base = append(base, interval{pg.Addr, pg.Addr + uint64(len(pg.Data))})
+	}
+	for _, s := range exe.LoadSegments() {
+		base = append(base, interval{s.Vaddr, s.Vaddr + s.Memsz})
+	}
+	if pb.Meta.Brk > pb.Meta.BrkStart {
+		base = append(base, interval{pb.Meta.BrkStart, pb.Meta.Brk})
+	}
+	mapped := mergeIntervals(base)
+
+	for i := range pb.Syscalls {
+		e := &pb.Syscalls[i]
+		if !kernel.KnownSyscall(e.Num) {
+			rep.addf(RuleSyscallUnknown, SevError, 0,
+				"injection table entry %d (thread %d) uses syscall %d, unknown to the kernel model",
+				i, e.TID, e.Num)
+			continue
+		}
+		for _, w := range e.MemWrites {
+			lo, hi := w.Addr, w.Addr+uint64(len(w.Data))
+			if !intervalsCover(mapped, lo, hi) {
+				rep.addf(RuleSyscallUnmapped, SevError, w.Addr,
+					"injection table entry %d (%s) writes [%#x, %#x), which is not mapped at that point",
+					i, kernel.SyscallName(e.Num), lo, hi)
+			}
+		}
+		// A successful mmap or brk extends the mapped image for later
+		// entries in table order.
+		if e.Ret < errnoBoundary {
+			switch e.Num {
+			case kernel.SysMmap:
+				mapped = mergeIntervals(append(mapped, interval{e.Ret, e.Ret + e.Args[1]}))
+			case kernel.SysBrk:
+				if e.Ret > pb.Meta.BrkStart {
+					mapped = mergeIntervals(append(mapped, interval{pb.Meta.BrkStart, e.Ret}))
+				}
+			}
+		}
+	}
+}
+
+// checkStartPCs verifies that every captured thread PC lands in a mapped
+// executable segment of the ELFie (EL010).
+func checkStartPCs(rep *Report, exe *elfobj.File, pb *pinball.Pinball) {
+	for tid := range pb.Regs {
+		pc := pb.Regs[tid].PC
+		if seg := exe.SegmentAt(pc); seg == nil || seg.Flags&elfobj.PFX == 0 {
+			rep.addf(RuleStartUnmapped, SevError, pc,
+				"thread %d region start PC %#x is not in a mapped executable segment", tid, pc)
+		}
+	}
+}

@@ -366,6 +366,13 @@ func (f *Farm) finishLocked(id string, res *Result) {
 	f.cond.Broadcast()
 }
 
+// Stage returns one stage's counters, nil-map safe: asking about a stage
+// that never ran yields zero stats, so callers can assert on stage activity
+// without guarding the map.
+func (c *Counters) Stage(name string) StageStats {
+	return c.Stages[name]
+}
+
 // SortedStages returns the counter's stage names in stable order.
 func (c *Counters) SortedStages() []string {
 	stages := make([]string, 0, len(c.Stages))

@@ -44,6 +44,10 @@ const (
 	PinballTruncate Point = "pinball-truncate"
 	// PinballBitflip flips one bit of a pinball file as it is read.
 	PinballBitflip Point = "pinball-bitflip"
+	// ElfieBitflip flips one bit of an opcode byte inside a generated
+	// ELFie's restore stub after conversion — the defect class the static
+	// verifier (internal/elflint) exists to catch before anything runs.
+	ElfieBitflip Point = "elfie-bitflip"
 	// PageFault raises a synthetic page fault at Rule.AtRetired retired
 	// instructions (recoverable by a vm.Hooks.OnFault handler).
 	PageFault Point = "page-fault"
@@ -262,6 +266,42 @@ func (in *Injector) CorruptFile(name string, data []byte) []byte {
 		}
 	}
 	return data
+}
+
+// CorruptRestoreStub applies any matching ElfieBitflip rules to a restore
+// stub's code bytes. The flip lands on the opcode byte of an
+// instruction-aligned word, so the damage is always semantic (a different
+// or undecodable instruction), never a silent immediate change. Like
+// CorruptFile it never mutates in place: if a rule fires the returned slice
+// is a corrupted copy.
+func (in *Injector) CorruptRestoreStub(name string, code []byte) ([]byte, bool) {
+	if in == nil || len(code) < 8 {
+		return code, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, rs := range in.rules {
+		if rs.Point != ElfieBitflip {
+			continue
+		}
+		if rs.File != "" && !strings.Contains(name, rs.File) {
+			continue
+		}
+		if !in.fire(rs, false) {
+			continue
+		}
+		words := int64(len(code) / 8)
+		off := rs.Offset * 8
+		if rs.Offset < 0 || rs.Offset >= words {
+			off = in.rng.Int63n(words) * 8
+		}
+		out := append([]byte(nil), code...)
+		bit := byte(1) << uint(in.rng.Intn(8))
+		out[off] ^= bit
+		in.record(ElfieBitflip, "%s opcode bit %#02x flipped at stub offset %d", name, bit, off)
+		return out, true
+	}
+	return code, false
 }
 
 // VMFault reports whether a VM point (PageFault or UngracefulExit) triggers

@@ -52,10 +52,12 @@ func (i Inst) Encode(dst []byte) []byte {
 }
 
 // Decode decodes one instruction from b. It returns the instruction and its
-// length in bytes, or an error if b is too short or the opcode is undefined.
+// length in bytes, or a *DecodeError if b is too short or the opcode is
+// undefined.
 func Decode(b []byte) (Inst, uint64, error) {
 	if len(b) < InstLen {
-		return Inst{}, 0, fmt.Errorf("isa: truncated instruction: %d bytes", len(b))
+		return Inst{}, 0, &DecodeError{Bytes: badWindow(b),
+			Reason: fmt.Sprintf("truncated instruction: %d bytes", len(b))}
 	}
 	i := Inst{
 		Op:  Op(b[0]),
@@ -65,11 +67,13 @@ func Decode(b []byte) (Inst, uint64, error) {
 		Imm: int32(binary.LittleEndian.Uint32(b[4:])),
 	}
 	if !i.Op.Valid() {
-		return Inst{}, 0, fmt.Errorf("isa: undefined opcode %#02x", b[0])
+		return Inst{}, 0, &DecodeError{Bytes: badWindow(b),
+			Reason: fmt.Sprintf("undefined opcode %#02x", b[0])}
 	}
 	if i.Op == LIMM {
 		if len(b) < LimmLen {
-			return Inst{}, 0, fmt.Errorf("isa: truncated limm: %d bytes", len(b))
+			return Inst{}, 0, &DecodeError{Bytes: badWindow(b),
+				Reason: fmt.Sprintf("truncated limm: %d bytes", len(b))}
 		}
 		i.Imm64 = binary.LittleEndian.Uint64(b[8:])
 		return i, LimmLen, nil
@@ -133,8 +137,13 @@ func (i Inst) String() string {
 
 // Disasm decodes and renders up to max instructions from code, annotating
 // each line with its address starting at base. It is tolerant of undecodable
-// bytes, rendering them as ".quad" data.
-func Disasm(code []byte, base uint64, max int) []string {
+// bytes: full 8-byte words that do not decode are rendered as ".quad" data
+// (literal pools live inside code sections), and a trailing fragment shorter
+// than an instruction is reported with its offset and bytes instead of being
+// dropped silently. The second return value is the number of bytes consumed
+// as instructions or data words, so callers can detect trailing garbage by
+// comparing it against len(code).
+func Disasm(code []byte, base uint64, max int) ([]string, uint64) {
 	var out []string
 	off := uint64(0)
 	for len(out) < max && off < uint64(len(code)) {
@@ -146,7 +155,9 @@ func Disasm(code []byte, base uint64, max int) []string {
 				off += 8
 				continue
 			}
-			break
+			out = append(out, fmt.Sprintf("%#012x: .byte % x    # undecodable at offset %#x: %v",
+				base+off, code[off:], off, err))
+			return out, off
 		}
 		s := ins.String()
 		if IsBranch(ins.Op) && ins.Op != JMPR && ins.Op != CALLR && ins.Op != RET &&
@@ -156,5 +167,5 @@ func Disasm(code []byte, base uint64, max int) []string {
 		out = append(out, fmt.Sprintf("%#012x: %s", base+off, s))
 		off += n
 	}
-	return out
+	return out, off
 }

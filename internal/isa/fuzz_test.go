@@ -1,0 +1,88 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+)
+
+// encodeCorpus is the assembler's encode corpus in miniature: one
+// representative instruction per operand shape, covering every field the
+// encoder touches (registers, immediates, the LIMM payload, branches).
+func encodeCorpus() []Inst {
+	return []Inst{
+		{Op: NOP},
+		{Op: HLT},
+		{Op: MOV, A: 1, B: 2},
+		{Op: MOVI, A: 3, Imm: -7},
+		{Op: LIMM, A: 4, Imm64: 0xdeadbeefcafef00d},
+		{Op: ADD, A: 1, B: 2, C: 3},
+		{Op: ADDI, A: 5, B: 5, Imm: 64},
+		{Op: LEA8, A: 2, B: 13, C: 4, Imm: 16},
+		{Op: LDQ, A: 6, B: 7, Imm: 24},
+		{Op: STB, A: 8, B: 9, Imm: -1},
+		{Op: CMP, B: 1, C: 2},
+		{Op: CMPI, B: 3, Imm: 100},
+		{Op: JMP, Imm: 32},
+		{Op: JNZ, Imm: -24},
+		{Op: JMPM, Imm: 0},
+		{Op: CALL, Imm: 8},
+		{Op: CALLR, A: 0, B: 11},
+		{Op: RET},
+		{Op: PUSH, A: 14},
+		{Op: POP, A: 15},
+		{Op: POPF},
+		{Op: SYSCALL},
+		{Op: SSCMARK, Imm: 0x1010},
+		{Op: XCHG, A: 1, B: 2, Imm: 8},
+		{Op: WRFSBASE, A: 2},
+		{Op: XRSTOR, A: 1},
+		{Op: VLD, A: 3, B: 4, Imm: 32},
+		{Op: VADDQ, A: 1, B: 2, C: 3},
+		{Op: MOVQV, A: 5, B: 6},
+	}
+}
+
+// FuzzDecode mirrors FuzzPinballRead one layer down: arbitrary bytes must
+// never panic the decoder, and whatever decodes must survive an
+// encode/decode round trip byte-for-byte.
+func FuzzDecode(f *testing.F) {
+	for _, ins := range encodeCorpus() {
+		f.Add(ins.Encode(nil))
+	}
+	// Boundary seeds: empty, short fragment, undefined opcode, truncated limm.
+	f.Add([]byte{})
+	f.Add([]byte{0xde, 0xad, 0xbe})
+	f.Add([]byte{0xff, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(Inst{Op: LIMM, A: 1}.Encode(nil)[:8])
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		ins, n, err := Decode(b)
+		if err != nil {
+			de, isDE := err.(*DecodeError)
+			if !isDE {
+				t.Fatalf("decode error is not *DecodeError: %v", err)
+			}
+			if len(de.Bytes) > InstLen {
+				t.Fatalf("error window too wide: %d bytes", len(de.Bytes))
+			}
+			return
+		}
+		if n != ins.Len() {
+			t.Fatalf("length %d != Len() %d for %v", n, ins.Len(), ins)
+		}
+		if n > uint64(len(b)) {
+			t.Fatalf("decoded %d bytes from a %d-byte buffer", n, len(b))
+		}
+		// Round trip: re-encoding must reproduce the consumed bytes, and
+		// decoding the re-encoding must yield the same instruction.
+		re := ins.Encode(nil)
+		if !bytes.Equal(re, b[:n]) {
+			t.Fatalf("encode(decode(%x)) = %x", b[:n], re)
+		}
+		ins2, n2, err2 := Decode(re)
+		if err2 != nil || n2 != n || ins2 != ins {
+			t.Fatalf("decode(encode(%v)) = %v, %d, %v", ins, ins2, n2, err2)
+		}
+		_ = ins.String() // rendering must not panic either
+	})
+}

@@ -1,6 +1,7 @@
 package isa
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -153,9 +154,12 @@ func TestDisasm(t *testing.T) {
 	code = Inst{Op: CMPI, B: 2, Imm: 10}.Encode(code)
 	code = Inst{Op: JNZ, Imm: -24}.Encode(code)
 	code = Inst{Op: SYSCALL}.Encode(code)
-	lines := Disasm(code, 0x401000, 100)
+	lines, consumed := Disasm(code, 0x401000, 100)
 	if len(lines) != 5 {
 		t.Fatalf("got %d lines: %v", len(lines), lines)
+	}
+	if consumed != uint64(len(code)) {
+		t.Errorf("consumed %d of %d bytes", consumed, len(code))
 	}
 	if !strings.Contains(lines[0], "limm r1, 0xdeadbeef") {
 		t.Errorf("line 0: %s", lines[0])
@@ -168,9 +172,82 @@ func TestDisasm(t *testing.T) {
 func TestDisasmBadBytes(t *testing.T) {
 	code := make([]byte, 16)
 	code[0] = 0xfe // undefined opcode
-	lines := Disasm(code, 0, 10)
+	lines, consumed := Disasm(code, 0, 10)
 	if len(lines) == 0 || !strings.Contains(lines[0], ".quad") {
 		t.Errorf("bad bytes not rendered as data: %v", lines)
+	}
+	if consumed != 16 {
+		t.Errorf("consumed = %d, want 16", consumed)
+	}
+}
+
+func TestDisasmTrailingGarbage(t *testing.T) {
+	// An instruction followed by a 3-byte fragment: the old disassembler
+	// stopped silently; now the fragment is reported with offset and bytes,
+	// and the consumed count stops before it.
+	code := Inst{Op: NOP}.Encode(nil)
+	code = append(code, 0xde, 0xad, 0xbe)
+	lines, consumed := Disasm(code, 0x1000, 10)
+	if consumed != InstLen {
+		t.Errorf("consumed = %d, want %d", consumed, InstLen)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %v", len(lines), lines)
+	}
+	if !strings.Contains(lines[1], "de ad be") || !strings.Contains(lines[1], "0x8") {
+		t.Errorf("garbage report missing bytes or offset: %s", lines[1])
+	}
+}
+
+func TestIter(t *testing.T) {
+	var code []byte
+	code = Inst{Op: LIMM, A: 3, Imm64: 0x1234}.Encode(code)
+	code = Inst{Op: ADD, A: 1, B: 2, C: 3}.Encode(code)
+	code = Inst{Op: RET}.Encode(code)
+	it := NewIter(code, 0x2000)
+	var got []Op
+	var addrs []uint64
+	for {
+		ins, addr, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, ins.Op)
+		addrs = append(addrs, addr)
+	}
+	if it.Err() != nil {
+		t.Fatalf("clean walk errored: %v", it.Err())
+	}
+	if len(got) != 3 || got[0] != LIMM || got[1] != ADD || got[2] != RET {
+		t.Fatalf("ops = %v", got)
+	}
+	if addrs[1] != 0x2000+LimmLen {
+		t.Errorf("addr after limm = %#x", addrs[1])
+	}
+	if it.Consumed() != uint64(len(code)) {
+		t.Errorf("consumed %d of %d", it.Consumed(), len(code))
+	}
+}
+
+func TestIterUndecodable(t *testing.T) {
+	code := Inst{Op: NOP}.Encode(nil)
+	code = append(code, 0xff, 0, 0, 0, 0, 0, 0, 0)
+	it := NewIter(code, 0)
+	if _, _, ok := it.Next(); !ok {
+		t.Fatal("first instruction should decode")
+	}
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("undefined opcode should stop the walk")
+	}
+	var de *DecodeError
+	if !errors.As(it.Err(), &de) {
+		t.Fatalf("err = %v, want *DecodeError", it.Err())
+	}
+	if de.Off != InstLen || len(de.Bytes) == 0 || de.Bytes[0] != 0xff {
+		t.Errorf("decode error site wrong: %+v", de)
+	}
+	if it.Consumed() != InstLen {
+		t.Errorf("consumed = %d, want %d", it.Consumed(), InstLen)
 	}
 }
 

@@ -1,0 +1,79 @@
+package isa
+
+import "fmt"
+
+// DecodeError describes bytes that do not form a valid instruction: the
+// offset where decoding stopped, the offending byte window, and why. It is
+// the error type Decode and Iter return, so static analyses can report the
+// exact location of undecodable code instead of a bare message.
+type DecodeError struct {
+	Off    uint64 // byte offset within the decoded buffer
+	Bytes  []byte // the offending bytes (at most one instruction window)
+	Reason string
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("isa: %s at offset %#x (bytes % x)", e.Reason, e.Off, e.Bytes)
+}
+
+// badWindow clips the byte window reported for a decode failure.
+func badWindow(b []byte) []byte {
+	n := len(b)
+	if n > InstLen {
+		n = InstLen
+	}
+	return append([]byte(nil), b[:n]...)
+}
+
+// Iter walks a code buffer instruction by instruction — the full-function
+// decoder used by disassembly and static analysis. Next returns each
+// instruction with its address; when it returns false, Err reports whether
+// the walk ended cleanly (nil) or on undecodable bytes, and Consumed reports
+// how many bytes decoded cleanly, so callers can detect trailing garbage.
+type Iter struct {
+	code []byte
+	base uint64
+	off  uint64
+	err  *DecodeError
+}
+
+// NewIter returns an iterator over code, reporting addresses relative to
+// base.
+func NewIter(code []byte, base uint64) *Iter {
+	return &Iter{code: code, base: base}
+}
+
+// Next decodes the next instruction, returning it with its address. It
+// returns ok=false at the end of the buffer or at undecodable bytes (see
+// Err).
+func (it *Iter) Next() (ins Inst, addr uint64, ok bool) {
+	if it.err != nil || it.off >= uint64(len(it.code)) {
+		return Inst{}, 0, false
+	}
+	ins, n, err := Decode(it.code[it.off:])
+	if err != nil {
+		var de *DecodeError
+		if e, isDE := err.(*DecodeError); isDE {
+			de = &DecodeError{Off: it.off + e.Off, Bytes: e.Bytes, Reason: e.Reason}
+		} else {
+			de = &DecodeError{Off: it.off, Bytes: badWindow(it.code[it.off:]), Reason: err.Error()}
+		}
+		it.err = de
+		return Inst{}, 0, false
+	}
+	addr = it.base + it.off
+	it.off += n
+	return ins, addr, true
+}
+
+// Err returns the decode error that stopped the walk, or nil if the buffer
+// ended on an instruction boundary.
+func (it *Iter) Err() error {
+	if it.err == nil {
+		return nil
+	}
+	return it.err
+}
+
+// Consumed reports how many bytes have been decoded cleanly so far.
+func (it *Iter) Consumed() uint64 { return it.off }

@@ -18,6 +18,13 @@ const (
 	StackAreaBase    = 0x7ffc00000000
 	stackWindowBase  = StackAreaBase
 	stackWindowPages = 16384 // 64 MiB randomization window
+	// StackAreaSize is the extent of the stack placement area: the
+	// randomization window plus the stack itself. A loadable ELFie segment
+	// inside [StackAreaBase, StackAreaBase+StackAreaSize) re-creates the
+	// stack-collision hazard, which is why pinball2elf marks captured
+	// stack pages non-loadable and the static verifier rejects loadable
+	// segments in this range.
+	StackAreaSize = stackWindowPages*mem.PageSize + StackSize
 	// MinStackPages is the least usable stack the loader will accept when
 	// part of its chosen window is already occupied by ELFie image pages.
 	// Below this, argument/environment setup does not fit and the process

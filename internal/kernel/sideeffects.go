@@ -1,0 +1,75 @@
+package kernel
+
+// SideEffect classifies how a system call mutates guest-visible state. The
+// pinball SYSSTATE table records side effects for later injection; the static
+// verifier (internal/elflint) and the table-drift lint
+// (internal/elflint/golint) both consume this classifier, so every syscall
+// number constant must have exactly one entry here.
+type SideEffect uint8
+
+// Side-effect classes.
+const (
+	// EffectNone: no guest-visible mutation beyond the return value
+	// (virtual time reads, pid, sleep).
+	EffectNone SideEffect = iota
+	// EffectMemWrite: writes caller-supplied guest memory (read, fstat,
+	// gettimeofday, ...). Injection replays recorded MemWrites.
+	EffectMemWrite
+	// EffectFDTable: mutates the file-descriptor table or file contents
+	// (open, close, dup, write, lseek).
+	EffectFDTable
+	// EffectAddrSpace: maps, unmaps, or reprotects memory, or moves the
+	// heap break.
+	EffectAddrSpace
+	// EffectThread: thread-level control flow (clone, exit, yield) — these
+	// re-execute during replay instead of being injected.
+	EffectThread
+	// EffectSegment: writes the FS/GS segment base registers.
+	EffectSegment
+)
+
+// sideEffects is the SYSSTATE side-effect classifier: one entry per syscall
+// number constant in syscall.go. internal/elflint/golint checks this table
+// against the constant block and the dispatch switch, so the three cannot
+// silently drift.
+var sideEffects = map[uint64]SideEffect{
+	SysRead:         EffectMemWrite,
+	SysWrite:        EffectFDTable,
+	SysOpen:         EffectFDTable,
+	SysClose:        EffectFDTable,
+	SysFstat:        EffectMemWrite,
+	SysLseek:        EffectFDTable,
+	SysMmap:         EffectAddrSpace,
+	SysMprotect:     EffectAddrSpace,
+	SysMunmap:       EffectAddrSpace,
+	SysBrk:          EffectAddrSpace,
+	SysNanosleep:    EffectNone,
+	SysGetpid:       EffectNone,
+	SysClone:        EffectThread,
+	SysExit:         EffectThread,
+	SysGettimeofday: EffectMemWrite,
+	SysPrctl:        EffectAddrSpace, // PR_SET_BRK moves the heap break
+	SysArchPrctl:    EffectSegment,   // get forms also write guest memory
+	SysChroot:       EffectFDTable,
+	SysGetdents:     EffectMemWrite,
+	SysDup:          EffectFDTable,
+	SysDup2:         EffectFDTable,
+	SysSchedYield:   EffectThread,
+	SysClockGettime: EffectMemWrite,
+	SysExitGroup:    EffectThread,
+	SysPerfOpen:     EffectFDTable,
+}
+
+// SyscallSideEffect returns the side-effect class of a syscall number and
+// whether the number is known to the kernel at all.
+func SyscallSideEffect(num uint64) (SideEffect, bool) {
+	e, ok := sideEffects[num]
+	return e, ok
+}
+
+// KnownSyscall reports whether num is a syscall number this kernel defines.
+// A SYSSTATE table entry with an unknown number can never replay correctly.
+func KnownSyscall(num uint64) bool {
+	_, ok := sideEffects[num]
+	return ok
+}

@@ -74,6 +74,8 @@ func SyscallName(n uint64) string {
 		return "arch_prctl"
 	case SysChroot:
 		return "chroot"
+	case SysGetdents:
+		return "getdents"
 	case SysDup:
 		return "dup"
 	case SysDup2:
@@ -267,6 +269,12 @@ func (k *Kernel) Syscall(c *Ctx) Result {
 		}
 		c.Proc.Root = c.Proc.resolve(pathname)
 		return ok(0)
+	case SysGetdents:
+		// Directory iteration is declared but not emulated: the explicit
+		// case keeps the dispatch table aligned with the constant block
+		// (checked by internal/elflint/golint) instead of falling through
+		// to the anonymous default.
+		return errno(ENOSYS)
 	case SysDup:
 		fd, okFD := c.Proc.FDs[int(int64(a1))]
 		if !okFD {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"elfie/internal/bbv"
+	"elfie/internal/core"
 	"elfie/internal/elfobj"
 	"elfie/internal/pinball"
 	"elfie/internal/simpoint"
@@ -94,6 +95,13 @@ func (b *Benchmark) storeRegion(reg *Region) error {
 		return err
 	}
 	files["region.json"] = meta
+	if reg.Restore != nil {
+		rm, err := reg.Restore.JSON()
+		if err != nil {
+			return err
+		}
+		files["restoremap.json"] = rm
+	}
 	if reg.SysState != nil {
 		ss, err := json.Marshal(reg.SysState)
 		if err != nil {
@@ -150,6 +158,13 @@ func (b *Benchmark) parseCachedRegion(sel simpoint.Region, files store.FileSet) 
 		StartIcount: meta.StartIcount, Warmup: meta.Warmup,
 		TailInstr: meta.TailInstr,
 		Pinball:   pb, ELFie: exe,
+	}
+	if rm, ok := files["restoremap.json"]; ok {
+		m, err := core.ParseRestoreMap(rm)
+		if err != nil {
+			return nil, fmt.Errorf("restoremap.json: %v", err)
+		}
+		reg.Restore = m
 	}
 	if ss, ok := files["sysstate.json"]; ok {
 		st := &sysstate.State{}

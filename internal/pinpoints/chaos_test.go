@@ -26,6 +26,9 @@ func chaosPlans() map[string]*fault.Plan {
 		"forced-ungraceful-exit": {Seed: 33, Rules: []fault.Rule{
 			{Point: fault.UngracefulExit, AtRetired: 1000},
 		}},
+		"elfie-restore-bitflip": {Seed: 44, Rules: []fault.Rule{
+			{Point: fault.ElfieBitflip, Count: 1, Offset: -1},
+		}},
 	}
 }
 
@@ -148,6 +151,42 @@ func TestChaosThroughFarmParallel(t *testing.T) {
 			t.Logf("%s: injected=%d serial(rec=%d drop=%d) parallel(rec=%d drop=%d)",
 				name, pInj, sRec, sDrop, pRec, pDrop)
 		})
+	}
+}
+
+// TestChaosElfieBitflipClassifiedAsLint flips one opcode bit in a converted
+// ELFie's restore stub at -j 8 and asserts the farm's lint stage — not a
+// crash, not a misclassified conversion error — catches it: the failure is
+// typed FailLint, an alternate recovers the region, and the accounting
+// invariant holds.
+func TestChaosElfieBitflipClassifiedAsLint(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Fault = chaosPlans()["elfie-restore-bitflip"]
+	cfg.Jobs = 8
+	b, err := Prepare(smallRecipe(), cfg)
+	if err != nil {
+		t.Fatalf("pipeline must degrade, not fail: %v", err)
+	}
+	injected := b.FaultInjector().InjectedCount(fault.ElfieBitflip)
+	if injected != 1 {
+		t.Fatalf("want exactly 1 bitflip, got %d; events: %v", injected, b.FaultInjector().Events())
+	}
+	d := b.Degradation
+	if d.Recovered+d.Dropped != 1 {
+		t.Fatalf("recovered %d + dropped %d != 1 injected; events: %+v", d.Recovered, d.Dropped, d.Events)
+	}
+	var lintEvents int
+	for _, ev := range d.Events {
+		if ev.Kind != FailLint {
+			t.Errorf("bitflip classified as %q, want %q: %+v", ev.Kind, FailLint, ev)
+		}
+		lintEvents++
+	}
+	if lintEvents != 1 {
+		t.Errorf("want 1 failure event, got %d: %+v", lintEvents, d.Events)
+	}
+	if st := b.JobStats.Stage("lint"); st.Failed != 1 || st.Run == 0 {
+		t.Errorf("lint stage stats: %+v (want 1 failed, >0 run)", st)
 	}
 }
 

@@ -25,6 +25,11 @@ const (
 	// FailUngracefulExit: the region's ELFie died or never reached its
 	// graceful exit. Recovery: alternate representative.
 	FailUngracefulExit FailureKind = "ungraceful-exit"
+	// FailLint: the converted ELFie failed static verification
+	// (internal/elflint) — broken restore recipe, unsound memory map, or
+	// pinball↔ELFie disagreement. Recovery: alternate representative, the
+	// same policy as a corrupt pinball.
+	FailLint FailureKind = "lint"
 	// FailInternal: anything else.
 	FailInternal FailureKind = "internal"
 )

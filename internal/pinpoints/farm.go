@@ -10,9 +10,9 @@ import (
 )
 
 // regionBuild drives one selected region through the farm: a log → convert
-// job pair per attempt, with the serial pipeline's recovery policy encoded
-// in the jobs' completion hooks. Attempt 0 captures the primary slice
-// (re-logging once when the pinball comes back corrupt); each later
+// → lint job chain per attempt, with the serial pipeline's recovery policy
+// encoded in the jobs' completion hooks. Attempt 0 captures the primary
+// slice (re-logging once when the pinball comes back corrupt); each later
 // attempt burns one alternate representative; when every attempt fails the
 // region is dropped.
 //
@@ -41,16 +41,21 @@ type regionBuild struct {
 	// to the convert job.
 	pb *pinball.Pinball
 	// reg is the finished region (set by a cache hit or a successful
-	// convert); nil means the region was dropped.
+	// convert, cleared again if lint rejects it); nil means the region was
+	// dropped.
 	reg *Region
+	// fromCache marks reg as a warm store hit: it was linted before it was
+	// stored, so the lint stage probes through instead of re-verifying.
+	fromCache bool
 }
 
-// submit enqueues the log → convert job pair for the current attempt
-// capturing the given slice.
+// submit enqueues the log → convert → lint job chain for the current
+// attempt capturing the given slice.
 func (rb *regionBuild) submit(slice int) error {
 	k := rb.attempt
 	logID := fmt.Sprintf("region%d.a%d.log", rb.idx, k)
 	convID := fmt.Sprintf("region%d.a%d.convert", rb.idx, k)
+	lintID := fmt.Sprintf("region%d.a%d.lint", rb.idx, k)
 
 	logJob := &farm.Job{
 		ID: logID, Stage: "log",
@@ -61,6 +66,7 @@ func (rb *regionBuild) submit(slice int) error {
 			reg, ok := rb.b.loadCachedRegion(rb.sel, slice)
 			if ok {
 				rb.reg = reg
+				rb.fromCache = true
 			}
 			return ok
 		},
@@ -83,7 +89,7 @@ func (rb *regionBuild) submit(slice int) error {
 	if err := rb.f.Add(logJob); err != nil {
 		return err
 	}
-	return rb.f.Add(&farm.Job{
+	if err := rb.f.Add(&farm.Job{
 		ID: convID, Stage: "convert", Deps: []string{logID},
 		Probe: func() bool { return rb.reg != nil },
 		Run: func() error {
@@ -94,7 +100,21 @@ func (rb *regionBuild) submit(slice int) error {
 			rb.reg = reg
 			return nil
 		},
-		OnDone: func(res *farm.Result) { rb.convertDone(res, slice) },
+		OnDone: func(res *farm.Result) { rb.convertDone(res) },
+	}); err != nil {
+		return err
+	}
+	return rb.f.Add(&farm.Job{
+		ID: lintID, Stage: "lint", Deps: []string{convID},
+		Probe: func() bool { return rb.fromCache },
+		Run: func() error {
+			if err := rb.b.lintRegion(rb.reg); err != nil {
+				return err
+			}
+			rb.b.cacheRegion(rb.reg)
+			return nil
+		},
+		OnDone: func(res *farm.Result) { rb.lintDone(res, slice) },
 	})
 }
 
@@ -121,23 +141,45 @@ func (rb *regionBuild) logDone(res *farm.Result) {
 
 // convertDone handles the convert stage's outcome. A dependency skip means
 // logDone already advanced the state machine; an own failure falls through
-// to the next alternate (undoing a provisional re-log recovery first); a
-// success on a later attempt records the alternate recovery.
-func (rb *regionBuild) convertDone(res *farm.Result, slice int) {
+// to the next alternate (undoing a provisional re-log recovery first).
+// Success is not recorded here: the region still has to pass lint, and a
+// recovery claimed before verification would leave the accounting wrong if
+// the alternate's ELFie turns out broken.
+func (rb *regionBuild) convertDone(res *farm.Result) {
 	switch {
 	case errors.Is(res.Err, farm.ErrDependency):
 		// The log stage failed and already advanced recovery.
 	case res.Err != nil:
-		if rb.ev != nil && rb.ev.Action == "re-logged" {
-			// The re-logged capture did not convert: the recovery failed,
-			// so the event reverts to unrecovered and alternates take over.
-			rb.ev.Recovered, rb.ev.Action = false, ""
-			rb.evWeight = rb.sel.Weight
-		}
+		rb.revertRelog()
+		rb.fail(res.Err)
+	}
+}
+
+// lintDone handles the lint stage's outcome — the end of one attempt. Only
+// here does an attempt count as succeeded: a later-attempt success records
+// the alternate recovery, and a lint failure discards the converted region
+// and advances recovery exactly like a convert failure.
+func (rb *regionBuild) lintDone(res *farm.Result, slice int) {
+	switch {
+	case errors.Is(res.Err, farm.ErrDependency):
+		// An earlier stage failed and already advanced recovery.
+	case res.Err != nil:
+		rb.reg = nil // converted but unverifiable: never merge it
+		rb.revertRelog()
 		rb.fail(res.Err)
 	case rb.attempt > 0:
 		rb.ev.Recovered = true
 		rb.ev.Action = fmt.Sprintf("alternate %d (slice %d)", rb.attempt-1, slice)
+		rb.evWeight = rb.sel.Weight
+	}
+}
+
+// revertRelog undoes a provisional re-log recovery when the re-logged
+// capture failed a later stage: the event reverts to unrecovered and
+// alternates take over.
+func (rb *regionBuild) revertRelog() {
+	if rb.ev != nil && rb.ev.Action == "re-logged" {
+		rb.ev.Recovered, rb.ev.Action = false, ""
 		rb.evWeight = rb.sel.Weight
 	}
 }

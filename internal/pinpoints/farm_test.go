@@ -3,9 +3,12 @@ package pinpoints
 import (
 	"bytes"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
+	"elfie/internal/elflint"
+	"elfie/internal/elfobj"
 	"elfie/internal/store"
 	"elfie/internal/workloads"
 )
@@ -231,6 +234,95 @@ func TestCorruptCacheEntryRebuilds(t *testing.T) {
 		if !bytes.Equal(e1[i], e2[i]) {
 			t.Errorf("region %d: rebuild after cache corruption diverged", i)
 		}
+	}
+}
+
+// TestWarmStoreVerifyLintClean closes the loop between the farm's lint gate
+// and the store's deep verify: a store warmed by the pipeline passes
+// VerifyWith(Lint) — every cached region was linted before it was stored —
+// and a semantically damaged ELFie (valid CRCs, broken restore stub) is
+// caught only by the lint pass, not by the plain scan.
+func TestWarmStoreVerifyLintClean(t *testing.T) {
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	cfg.Store = s
+	b, err := Prepare(smallRecipe(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := s.VerifyWith(store.VerifyOptions{Lint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("warm store fails lint verify: %+v", rep.Problems)
+	}
+	if rep.Linted != len(b.Regions) || rep.Linted == 0 {
+		t.Fatalf("linted %d ELFies, want %d", rep.Linted, len(b.Regions))
+	}
+
+	// Damage one cached ELFie the way the CRC manifest cannot see: drop a
+	// register restore from its stub and re-store the object (fresh content
+	// address, intact pinball CRCs).
+	var mut elflint.Mutation
+	for _, m := range elflint.Mutations() {
+		if m.Name == "dropped-register-restore" {
+			mut = m
+		}
+	}
+	damaged := 0
+	for _, e := range s.Entries() {
+		if e.Kind != "region" {
+			continue
+		}
+		files, _, ok, err := s.Get(e.Key)
+		if err != nil || !ok {
+			t.Fatalf("get %s: ok=%v err=%v", e.Key, ok, err)
+		}
+		exe, err := elfobj.Read(files["elfie.bin"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mut.Apply(exe, nil); err != nil {
+			t.Fatal(err)
+		}
+		files["elfie.bin"], err = exe.Write()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Delete(e.Key); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Put(e.Key, e.Kind, files); err != nil {
+			t.Fatal(err)
+		}
+		damaged++
+		break
+	}
+	if damaged != 1 {
+		t.Fatal("no region object to damage")
+	}
+
+	plain, err := s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.OK() {
+		t.Fatalf("plain verify caught semantic damage it should not see: %+v", plain.Problems)
+	}
+	deep, err := s.VerifyWith(store.VerifyOptions{Lint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deep.Problems) != 1 {
+		t.Fatalf("lint verify found %d problems, want 1: %+v", len(deep.Problems), deep.Problems)
+	}
+	if msg := deep.Problems[0].Err.Error(); !strings.Contains(msg, elflint.RuleRestore) {
+		t.Errorf("problem does not cite %s: %s", elflint.RuleRestore, msg)
 	}
 }
 

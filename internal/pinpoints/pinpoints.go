@@ -13,9 +13,11 @@ import (
 
 	"elfie/internal/bbv"
 	"elfie/internal/core"
+	"elfie/internal/elflint"
 	"elfie/internal/elfobj"
 	"elfie/internal/farm"
 	"elfie/internal/fault"
+	"elfie/internal/isa"
 	"elfie/internal/kernel"
 	"elfie/internal/pinball"
 	"elfie/internal/pinplay"
@@ -96,6 +98,9 @@ type Region struct {
 	Pinball   *pinball.Pinball
 	ELFie     *elfobj.File
 	SysState  *sysstate.State
+	// Restore is the converter's restore-map side table, cross-checked by
+	// the static verifier against the generated startup code.
+	Restore *core.RestoreMap
 }
 
 // Benchmark is a fully prepared workload: executable, profile, selection,
@@ -254,7 +259,15 @@ func (b *Benchmark) BuildRegion(sel simpoint.Region, slice int) (*Region, error)
 	if err != nil {
 		return nil, err
 	}
-	return b.convertRegion(sel, slice, pb)
+	reg, err := b.convertRegion(sel, slice, pb)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.lintRegion(reg); err != nil {
+		return nil, err
+	}
+	b.cacheRegion(reg)
+	return reg, nil
 }
 
 // regionWindow computes the capture window for a slice: warm-up clamped at
@@ -324,15 +337,64 @@ func (b *Benchmark) convertRegion(sel simpoint.Region, slice int, pb *pinball.Pi
 		return nil, failf(FailConversion, "convert slice %d: %v", slice, err)
 	}
 	reg.ELFie = res.Exe
+	reg.Restore = res.RestoreMap
 	if len(res.PerfPeriods) > 0 {
 		reg.TailInstr = res.PerfPeriods[0] - pb.Meta.RegionLength[0]
 	}
+	return reg, nil
+}
+
+// lintRegion statically verifies a freshly converted region — the post-
+// convert farm stage. A lint failure degrades the region exactly like a
+// corrupt pinball: classified, charged against the region, and recovered
+// through alternates. Under fault injection the region's restore stub is
+// first exposed to ElfieBitflip rules, so chaos plans exercise the same
+// path a genuinely broken converter would.
+func (b *Benchmark) lintRegion(reg *Region) error {
+	if b.inj != nil {
+		b.corruptRestoreStub(reg)
+	}
+	rep, err := elflint.Lint(reg.ELFie, elflint.Options{Pinball: reg.Pinball, Restore: reg.Restore})
+	if err != nil {
+		return failf(FailLint, "lint %s: %v", reg.Pinball.Name, err)
+	}
+	if !rep.OK() {
+		return failf(FailLint, "lint %s: %d findings, first: %s",
+			reg.Pinball.Name, len(rep.Findings), rep.Findings[0])
+	}
+	return nil
+}
+
+// corruptRestoreStub offers thread 0's restore tail — the flags/GPR pops and
+// the final indirect jump — to any armed ElfieBitflip rules and writes the
+// corrupted bytes back into the region's ELFie.
+func (b *Benchmark) corruptRestoreStub(reg *Region) {
+	sec := reg.ELFie.Section(".elfie.text")
+	target, ok := reg.ELFie.Symbol("__elfie_t0_target")
+	if sec == nil || !ok {
+		return
+	}
+	// popf + one pop per GPR + jmpm, all single-word instructions, end at
+	// the target literal.
+	const tailWords = 1 + isa.NumGPR + 1
+	lo := target.Value - tailWords*8
+	if lo < sec.Addr || target.Value > sec.Addr+sec.DataSize() {
+		return
+	}
+	window := sec.Data[lo-sec.Addr : target.Value-sec.Addr]
+	if out, hit := b.inj.CorruptRestoreStub(reg.Pinball.Name, window); hit {
+		copy(window, out)
+	}
+}
+
+// cacheRegion stores a region that passed static verification; artifacts
+// that fail lint must never become warm cache hits.
+func (b *Benchmark) cacheRegion(reg *Region) {
 	if b.useStore() {
 		if err := b.storeRegion(reg); err != nil {
 			b.cacheErrs.Add(1)
 		}
 	}
-	return reg, nil
 }
 
 // RunELFie executes a region's ELFie natively on a fresh machine (with its

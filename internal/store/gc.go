@@ -8,6 +8,9 @@ import (
 	"strings"
 	"time"
 
+	"elfie/internal/core"
+	"elfie/internal/elflint"
+	"elfie/internal/elfobj"
 	"elfie/internal/pinball"
 )
 
@@ -61,11 +64,24 @@ type VerifyReport struct {
 	// manifest (pre-manifest format): intact as far as we can tell, but
 	// not checkable.
 	Unverified int
-	Problems   []VerifyProblem
+	// Linted counts cached ELFies put through the static verifier
+	// (VerifyOptions.Lint).
+	Linted   int
+	Problems []VerifyProblem
 }
 
 // OK reports whether the scan found no problems.
 func (r *VerifyReport) OK() bool { return len(r.Problems) == 0 }
+
+// VerifyOptions selects how deep a store scan goes.
+type VerifyOptions struct {
+	// Lint runs the elflint static verifier over every cached ELFie
+	// (region objects), cross-checked against the pinball and restore map
+	// stored beside it. The pipeline lints before it stores, so a finding
+	// here means the artifact rotted — or was written by an older,
+	// less-strict pipeline.
+	Lint bool
+}
 
 // Verify re-hashes every referenced object against its content address and,
 // for objects that embed a pinball file set, additionally verifies the
@@ -73,6 +89,11 @@ func (r *VerifyReport) OK() bool { return len(r.Problems) == 0 }
 // pipeline applies, so store rot and pipeline rot are caught by one
 // mechanism.
 func (s *Store) Verify() (*VerifyReport, error) {
+	return s.VerifyWith(VerifyOptions{})
+}
+
+// VerifyWith is Verify with options; see VerifyOptions.
+func (s *Store) VerifyWith(opts VerifyOptions) (*VerifyReport, error) {
 	rep := &VerifyReport{}
 	for _, e := range s.Entries() {
 		rep.Checked++
@@ -81,14 +102,16 @@ func (s *Store) Verify() (*VerifyReport, error) {
 			rep.Problems = append(rep.Problems, VerifyProblem{Key: e.Key, Object: e.Object, Err: err})
 			continue
 		}
+		var pb *pinball.Pinball
 		for fname := range files {
 			name, ok := strings.CutSuffix(fname, ".global.log")
 			if !ok {
 				continue
 			}
 			rep.Pinballs++
-			pb, err := pinball.ReadFileSet(name, files, pinball.ReadOptions{})
+			pb, err = pinball.ReadFileSet(name, files, pinball.ReadOptions{})
 			if err != nil {
+				pb = nil
 				rep.Problems = append(rep.Problems, VerifyProblem{
 					Key: e.Key, Object: e.Object,
 					Err: fmt.Errorf("pinball %s: %w", name, err),
@@ -97,8 +120,49 @@ func (s *Store) Verify() (*VerifyReport, error) {
 				rep.Unverified++
 			}
 		}
+		if opts.Lint {
+			if err := lintObject(files, pb); err != nil {
+				rep.Problems = append(rep.Problems, VerifyProblem{Key: e.Key, Object: e.Object, Err: err})
+			} else if _, hasELFie := files["elfie.bin"]; hasELFie {
+				rep.Linted++
+			}
+		}
 	}
 	return rep, nil
+}
+
+// lintObject statically verifies a region object's ELFie against the
+// pinball and restore map cached beside it. Objects without an ELFie member
+// (profiles, bare pinballs) pass vacuously.
+func lintObject(files map[string][]byte, pb *pinball.Pinball) error {
+	raw, ok := files["elfie.bin"]
+	if !ok {
+		return nil
+	}
+	exe, err := elfobj.Read(raw)
+	if err != nil {
+		return fmt.Errorf("elfie.bin: %v", err)
+	}
+	lintOpts := elflint.Options{Pinball: pb}
+	if rm, ok := files["restoremap.json"]; ok {
+		m, err := core.ParseRestoreMap(rm)
+		if err != nil {
+			return fmt.Errorf("restoremap.json: %v", err)
+		}
+		lintOpts.Restore = m
+	}
+	lrep, err := elflint.Lint(exe, lintOpts)
+	if err != nil {
+		return fmt.Errorf("lint: %v", err)
+	}
+	if errs := lrep.Errors(); errs > 0 {
+		for _, f := range lrep.Findings {
+			if f.Severity >= elflint.SevError {
+				return fmt.Errorf("lint: %d findings, first: %s", errs, f)
+			}
+		}
+	}
+	return nil
 }
 
 // GCOptions configures garbage collection.
