@@ -1,0 +1,61 @@
+package isa
+
+// DecInst is one predecoded instruction, the unit of the VM's decoded
+// basic-block cache. Relative to Inst it is "executed form": register fields
+// are pre-masked to valid indices (so the executor can index the register
+// file without bounds checks), the immediate is pre-sign-extended (or, for
+// LIMM, replaced by the 64-bit payload), and the sequential / branch-target
+// addresses are precomputed so the hot loop does no address arithmetic.
+type DecInst struct {
+	Op      Op
+	A, B, C uint8  // register fields, masked to 0..15
+	Imm     uint64 // sign-extended Imm; LIMM payload for LIMM
+	Next    uint64 // address of the next sequential instruction
+	Target  uint64 // direct branch target, or JMPM slot address
+}
+
+// PredecodeBlock decodes a straight-line run of instructions from code,
+// which holds the executable bytes at address base. Decoding stops after
+// the first control-transfer instruction (IsBranch — the block terminator,
+// included in the block), at the first undecodable or truncated word
+// (excluded: the interpreter's slow path will raise the fault with precise
+// state), or after max instructions. The returned slice owns its memory and
+// does not alias code.
+func PredecodeBlock(code []byte, base uint64, max int) []DecInst {
+	out := make([]DecInst, 0, 16)
+	off := uint64(0)
+	for len(out) < max {
+		ins, n, err := Decode(code[off:])
+		if err != nil {
+			break
+		}
+		pc := base + off
+		d := DecInst{
+			Op:   ins.Op,
+			A:    ins.A & 15,
+			B:    ins.B & 15,
+			C:    ins.C & 15,
+			Imm:  uint64(int64(ins.Imm)),
+			Next: pc + n,
+		}
+		if ins.Op == LIMM {
+			d.Imm = ins.Imm64
+		}
+		// Precompute the PC-relative target for direct branches and the
+		// JMPM literal-slot address.
+		switch ins.Op {
+		case JMP, JZ, JNZ, JL, JLE, JG, JGE, JB, JBE, JA, JAE, JS, JNS,
+			CALL, JMPM:
+			d.Target = ins.BranchTarget(pc)
+		}
+		out = append(out, d)
+		off += n
+		if IsBranch(ins.Op) {
+			break
+		}
+		if off >= uint64(len(code)) {
+			break
+		}
+	}
+	return out
+}

@@ -5,9 +5,25 @@
 // carrying the faulting address and access type; the emulated kernel turns
 // these into the "ungraceful exit" the paper describes when an ELFie strays
 // off its captured pages.
+//
+// Two mechanisms keep the hot paths fast without weakening the fault model:
+//
+//   - A small direct-mapped software TLB per access kind caches (page number
+//     -> page) translations whose protection check already passed, so the
+//     common in-page access skips the page-table map lookup entirely. The
+//     TLB is flushed whenever the page table or protections change
+//     (Map/Unmap).
+//
+//   - Every page carries a generation stamp drawn from a monotonic
+//     address-space clock. The stamp changes whenever the page is (re)mapped
+//     or — for executable pages — written. The VM's decoded-block cache keys
+//     its entries on (page number, generation), so self-modifying code,
+//     munmap/mmap recycling, and checkpoint-restore rewrites all invalidate
+//     stale decoded instructions soundly.
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 )
@@ -68,14 +84,36 @@ func (f *Fault) Error() string {
 type page struct {
 	data [PageSize]byte
 	prot int
+	// gen is the page's generation stamp: a unique value from the address
+	// space's clock, refreshed on (re)map and on writes to executable pages.
+	gen uint64
 }
+
+// Software TLB geometry: one direct-mapped array per access kind.
+const (
+	tlbBits = 6
+	tlbSize = 1 << tlbBits
+	tlbMask = tlbSize - 1
+)
+
+// tlbEntry caches a translation whose protection check for its access kind
+// already succeeded. A nil page marks the entry invalid.
+type tlbEntry struct {
+	pn uint64
+	p  *page
+}
+
+// protNeed maps an access kind to the protection bit it requires.
+var protNeed = [3]int{AccessRead: ProtRead, AccessWrite: ProtWrite, AccessExec: ProtExec}
 
 // AddrSpace is one process's paged virtual address space.
 type AddrSpace struct {
 	pages map[uint64]*page // page number -> page
-	// hot single-entry translation cache
-	lastPN   uint64
-	lastPage *page
+	// tlb holds per-access-kind direct-mapped translation caches.
+	tlb [3][tlbSize]tlbEntry
+	// clock is the monotonic generation source; it advances on every
+	// mapping change and on every write that lands on an executable page.
+	clock uint64
 }
 
 // NewAddrSpace returns an empty address space.
@@ -89,20 +127,43 @@ func PageNum(addr uint64) uint64 { return addr >> PageShift }
 // PageBase returns the base address of the page containing addr.
 func PageBase(addr uint64) uint64 { return addr &^ (PageSize - 1) }
 
-func (as *AddrSpace) lookup(pn uint64) *page {
-	if as.lastPage != nil && as.lastPN == pn {
-		return as.lastPage
+// pageFor translates pn for the given access kind through the TLB, filling
+// on miss. It returns nil when the page is unmapped or lacks the required
+// protection; the slow paths classify the fault.
+func (as *AddrSpace) pageFor(pn uint64, kind Access) *page {
+	e := &as.tlb[kind][pn&tlbMask]
+	if e.p != nil && e.pn == pn {
+		return e.p
 	}
 	p := as.pages[pn]
-	if p != nil {
-		as.lastPN, as.lastPage = pn, p
+	if p == nil || p.prot&protNeed[kind] == 0 {
+		return nil
 	}
+	e.pn, e.p = pn, p
 	return p
+}
+
+// flushTLB invalidates every cached translation (mapping or protection
+// change).
+func (as *AddrSpace) flushTLB() {
+	as.tlb = [3][tlbSize]tlbEntry{}
+}
+
+// stamp gives p a fresh generation.
+func (as *AddrSpace) stamp(p *page) {
+	as.clock++
+	p.gen = as.clock
+}
+
+// faultAt builds the fault for a failed access at addr.
+func (as *AddrSpace) faultAt(addr uint64, kind Access) *Fault {
+	return &Fault{Addr: addr, Access: kind, Missing: as.pages[PageNum(addr)] == nil}
 }
 
 // Map maps [addr, addr+size) with the given protections, zero-filling pages
 // that were not previously mapped. Already-mapped pages in the range keep
-// their contents but take the new protections.
+// their contents but take the new protections — and a fresh generation, so
+// decoded code cached for a remapped executable page can never run stale.
 func (as *AddrSpace) Map(addr, size uint64, prot int) {
 	if size == 0 {
 		return
@@ -116,11 +177,13 @@ func (as *AddrSpace) Map(addr, size uint64, prot int) {
 			as.pages[pn] = p
 		}
 		p.prot = prot
+		as.stamp(p)
 	}
-	as.lastPage = nil
+	as.flushTLB()
 }
 
-// Unmap removes all pages overlapping [addr, addr+size).
+// Unmap removes all pages overlapping [addr, addr+size). The address-space
+// clock still advances so generation consumers observe the change.
 func (as *AddrSpace) Unmap(addr, size uint64) {
 	if size == 0 {
 		return
@@ -130,21 +193,50 @@ func (as *AddrSpace) Unmap(addr, size uint64) {
 	for pn := first; pn <= last; pn++ {
 		delete(as.pages, pn)
 	}
-	as.lastPage = nil
+	as.clock++
+	as.flushTLB()
 }
 
 // Mapped reports whether the page containing addr is mapped.
 func (as *AddrSpace) Mapped(addr uint64) bool {
-	return as.lookup(PageNum(addr)) != nil
+	return as.pages[PageNum(addr)] != nil
 }
 
 // Prot returns the protection bits of the page containing addr (0 if
 // unmapped).
 func (as *AddrSpace) Prot(addr uint64) int {
-	if p := as.lookup(PageNum(addr)); p != nil {
+	if p := as.pages[PageNum(addr)]; p != nil {
 		return p.prot
 	}
 	return 0
+}
+
+// Clock returns the address-space generation clock. It advances on every
+// mapping change and every write to an executable page; the VM's block
+// executor snapshots it to detect self-modification during a cached run.
+func (as *AddrSpace) Clock() uint64 { return as.clock }
+
+// ExecGen returns the generation of the page containing addr if it is
+// mapped executable. The lookup is TLB-backed: it is the per-block validity
+// check of the decoded-block cache and must stay cheap.
+func (as *AddrSpace) ExecGen(addr uint64) (uint64, bool) {
+	p := as.pageFor(PageNum(addr), AccessExec)
+	if p == nil {
+		return 0, false
+	}
+	return p.gen, true
+}
+
+// ExecWindow returns the executable bytes from addr to the end of its page,
+// with the page's generation. The slice aliases live page memory and is only
+// valid until the next mutation; the block predecoder consumes it
+// immediately. A non-executable or unmapped addr returns a *Fault.
+func (as *AddrSpace) ExecWindow(addr uint64) ([]byte, uint64, error) {
+	p := as.pageFor(PageNum(addr), AccessExec)
+	if p == nil {
+		return nil, 0, as.faultAt(addr, AccessExec)
+	}
+	return p.data[addr&(PageSize-1):], p.gen, nil
 }
 
 // Read copies len(buf) bytes from addr into buf.
@@ -159,28 +251,44 @@ func (as *AddrSpace) Write(addr uint64, buf []byte) error {
 
 // Fetch copies len(buf) bytes of instruction memory from addr into buf.
 func (as *AddrSpace) Fetch(addr uint64, buf []byte) error {
+	// Fast path for the in-page instruction-word fetch the interpreter
+	// issues for every instruction.
+	off := addr & (PageSize - 1)
+	if n := uint64(len(buf)); off+n <= PageSize {
+		if p := as.pageFor(PageNum(addr), AccessExec); p != nil {
+			copy(buf, p.data[off:off+n])
+			return nil
+		}
+	}
 	return as.access(addr, buf, AccessExec)
 }
 
+// access is the general multi-page copy path. Ranges that span pages are
+// pre-validated so an access that would fault on a later page has no effect
+// at all: previously a multi-page write could tear, mutating earlier pages
+// before faulting on a later one.
 func (as *AddrSpace) access(addr uint64, buf []byte, kind Access) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	first := PageNum(addr)
+	last := PageNum(addr + uint64(len(buf)) - 1)
+	if first != last {
+		for pn := first; pn <= last; pn++ {
+			if as.pageFor(pn, kind) == nil {
+				fa := pn << PageShift
+				if pn == first {
+					fa = addr
+				}
+				return as.faultAt(fa, kind)
+			}
+		}
+	}
 	for done := 0; done < len(buf); {
 		pn := PageNum(addr)
-		p := as.lookup(pn)
+		p := as.pageFor(pn, kind)
 		if p == nil {
-			return &Fault{Addr: addr, Access: kind, Missing: true}
-		}
-		var need int
-		switch kind {
-		case AccessRead, AccessExec:
-			need = ProtRead
-			if kind == AccessExec {
-				need = ProtExec
-			}
-		case AccessWrite:
-			need = ProtWrite
-		}
-		if p.prot&need == 0 {
-			return &Fault{Addr: addr, Access: kind}
+			return as.faultAt(addr, kind)
 		}
 		off := int(addr & (PageSize - 1))
 		n := PageSize - off
@@ -189,6 +297,9 @@ func (as *AddrSpace) access(addr uint64, buf []byte, kind Access) error {
 		}
 		if kind == AccessWrite {
 			copy(p.data[off:off+n], buf[done:done+n])
+			if p.prot&ProtExec != 0 {
+				as.stamp(p) // self-modifying code: invalidate decoded blocks
+			}
 		} else {
 			copy(buf[done:done+n], p.data[off:off+n])
 		}
@@ -198,8 +309,66 @@ func (as *AddrSpace) access(addr uint64, buf []byte, kind Access) error {
 	return nil
 }
 
+// LoadFast reads a little-endian value of the given size (1, 2, 4, or 8
+// bytes) entirely within one page, through the read TLB. It reports ok=false
+// — without touching memory — when the access crosses a page boundary or the
+// page is unmapped or unreadable; callers then take the faulting slow path.
+func (as *AddrSpace) LoadFast(addr uint64, size int) (uint64, bool) {
+	off := addr & (PageSize - 1)
+	if off+uint64(size) > PageSize {
+		return 0, false
+	}
+	p := as.pageFor(PageNum(addr), AccessRead)
+	if p == nil {
+		return 0, false
+	}
+	b := p.data[off:]
+	switch size {
+	case 8:
+		return binary.LittleEndian.Uint64(b), true
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b)), true
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b)), true
+	default:
+		return uint64(b[0]), true
+	}
+}
+
+// StoreFast writes the low `size` bytes of v little-endian entirely within
+// one page, through the write TLB. ok=false means the caller must take the
+// faulting slow path; no memory was modified.
+func (as *AddrSpace) StoreFast(addr, v uint64, size int) bool {
+	off := addr & (PageSize - 1)
+	if off+uint64(size) > PageSize {
+		return false
+	}
+	p := as.pageFor(PageNum(addr), AccessWrite)
+	if p == nil {
+		return false
+	}
+	b := p.data[off:]
+	switch size {
+	case 8:
+		binary.LittleEndian.PutUint64(b, v)
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	default:
+		b[0] = byte(v)
+	}
+	if p.prot&ProtExec != 0 {
+		as.stamp(p)
+	}
+	return true
+}
+
 // ReadU64 reads a little-endian uint64 at addr.
 func (as *AddrSpace) ReadU64(addr uint64) (uint64, error) {
+	if v, ok := as.LoadFast(addr, 8); ok {
+		return v, nil
+	}
 	var b [8]byte
 	if err := as.Read(addr, b[:]); err != nil {
 		return 0, err
@@ -209,6 +378,9 @@ func (as *AddrSpace) ReadU64(addr uint64) (uint64, error) {
 
 // WriteU64 writes a little-endian uint64 at addr.
 func (as *AddrSpace) WriteU64(addr, v uint64) error {
+	if as.StoreFast(addr, v, 8) {
+		return nil
+	}
 	var b [8]byte
 	putU64(b[:], v)
 	return as.Write(addr, b[:])
@@ -232,7 +404,7 @@ func putU64(b []byte, v uint64) {
 func (as *AddrSpace) ReadNoFault(addr uint64, buf []byte) int {
 	done := 0
 	for done < len(buf) {
-		p := as.lookup(PageNum(addr))
+		p := as.pages[PageNum(addr)]
 		if p == nil {
 			break
 		}
@@ -250,15 +422,16 @@ func (as *AddrSpace) ReadNoFault(addr uint64, buf []byte) int {
 
 // WriteNoFault writes buf at addr ignoring protections, mapping missing
 // pages read-write. Checkpoint restore and syscall side-effect injection
-// use it.
+// use it — both can rewrite executable pages, so it participates in
+// generation bumping like any other write.
 func (as *AddrSpace) WriteNoFault(addr uint64, buf []byte) {
 	for done := 0; done < len(buf); {
 		pn := PageNum(addr)
-		p := as.lookup(pn)
+		p := as.pages[pn]
 		if p == nil {
 			p = &page{prot: ProtRW}
 			as.pages[pn] = p
-			as.lastPage = nil
+			as.stamp(p)
 		}
 		off := int(addr & (PageSize - 1))
 		n := PageSize - off
@@ -266,6 +439,9 @@ func (as *AddrSpace) WriteNoFault(addr uint64, buf []byte) {
 			n = len(buf) - done
 		}
 		copy(p.data[off:off+n], buf[done:done+n])
+		if p.prot&ProtExec != 0 {
+			as.stamp(p)
+		}
 		addr += uint64(n)
 		done += n
 	}
@@ -300,7 +476,7 @@ func (as *AddrSpace) Regions() []Region {
 
 // PageData returns a copy of the page containing addr, or nil if unmapped.
 func (as *AddrSpace) PageData(addr uint64) []byte {
-	p := as.lookup(PageNum(addr))
+	p := as.pages[PageNum(addr)]
 	if p == nil {
 		return nil
 	}
@@ -312,11 +488,13 @@ func (as *AddrSpace) PageData(addr uint64) []byte {
 // NumPages returns the number of mapped pages.
 func (as *AddrSpace) NumPages() int { return len(as.pages) }
 
-// Clone returns a deep copy of the address space.
+// Clone returns a deep copy of the address space (generations included, so
+// a clone's consumers see the same validity horizon; the TLB starts cold).
 func (as *AddrSpace) Clone() *AddrSpace {
 	c := NewAddrSpace()
+	c.clock = as.clock
 	for pn, p := range as.pages {
-		np := &page{prot: p.prot}
+		np := &page{prot: p.prot, gen: p.gen}
 		np.data = p.data
 		c.pages[pn] = np
 	}

@@ -198,3 +198,207 @@ func TestPageHelpers(t *testing.T) {
 		t.Error("Prot of unmapped page")
 	}
 }
+
+// Regression: a multi-page write that faults on a later page must have no
+// effect at all. Before pre-validation, the bytes on the first (writable)
+// page were already mutated when the fault on the second page surfaced.
+func TestTornWrite(t *testing.T) {
+	as := NewAddrSpace()
+	as.Map(0x1000, 0x1000, ProtRW) // second page (0x2000) unmapped
+	orig := []byte("untouched")
+	if err := as.Write(0x2000-uint64(len(orig)), orig); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 0x100)
+	for i := range big {
+		big[i] = 0xee
+	}
+	err := as.Write(0x2000-0x80, big) // 0x80 bytes on page 1, rest on unmapped page 2
+	var f *Fault
+	if !errors.As(err, &f) || f.Addr != 0x2000 || !f.Missing {
+		t.Fatalf("expected fault at 0x2000, got %v", err)
+	}
+	got := make([]byte, len(orig))
+	if err := as.Read(0x2000-uint64(len(orig)), got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, orig) {
+		t.Errorf("torn write: first page mutated before fault: %q", got)
+	}
+	// Same for a write whose *first* page is the bad one: fault address is
+	// the original address, not the page base.
+	err = as.Write(0x0800, big)
+	if !errors.As(err, &f) || f.Addr != 0x0800 {
+		t.Errorf("first-page fault addr = %v", err)
+	}
+}
+
+// Generations: Map over existing pages, Unmap, and writes to executable
+// pages must all advance the page generation / address-space clock, so the
+// VM's decoded-block cache can never run stale code.
+func TestGenerations(t *testing.T) {
+	as := NewAddrSpace()
+	as.Map(0x1000, 0x1000, ProtRX)
+	g0, ok := as.ExecGen(0x1000)
+	if !ok {
+		t.Fatal("exec page has no generation")
+	}
+	// Remap in place (protection change): new generation.
+	as.Map(0x1000, 0x1000, ProtRWX)
+	g1, ok := as.ExecGen(0x1000)
+	if !ok || g1 == g0 {
+		t.Errorf("remap did not refresh generation: %d -> %d", g0, g1)
+	}
+	// Write to an executable page: new generation (self-modifying code).
+	if err := as.Write(0x1004, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := as.ExecGen(0x1000)
+	if g2 == g1 {
+		t.Error("write to exec page did not refresh generation")
+	}
+	// StoreFast to an executable page: same contract.
+	if !as.StoreFast(0x1008, 0xff, 8) {
+		t.Fatal("StoreFast failed")
+	}
+	g3, _ := as.ExecGen(0x1000)
+	if g3 == g2 {
+		t.Error("StoreFast to exec page did not refresh generation")
+	}
+	// WriteNoFault (checkpoint restore) to an executable page: same contract.
+	as.WriteNoFault(0x1010, []byte{7})
+	g4, _ := as.ExecGen(0x1000)
+	if g4 == g3 {
+		t.Error("WriteNoFault to exec page did not refresh generation")
+	}
+	// Writes to non-exec pages advance nothing.
+	as.Map(0x5000, 0x1000, ProtRW)
+	c := as.Clock()
+	if err := as.Write(0x5000, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if as.Clock() != c {
+		t.Error("write to non-exec page advanced the clock")
+	}
+	// Unmap advances the clock; a fresh Map at the same address yields a
+	// generation unequal to any previous one.
+	as.Unmap(0x1000, 0x1000)
+	as.Map(0x1000, 0x1000, ProtRX)
+	g5, ok := as.ExecGen(0x1000)
+	if !ok || g5 == g0 || g5 == g1 || g5 == g2 || g5 == g3 || g5 == g4 {
+		t.Errorf("unmap+map reused a stale generation: %d", g5)
+	}
+}
+
+// The TLB must never satisfy a translation for an unmapped or
+// reprotected page.
+func TestTLBInvalidation(t *testing.T) {
+	as := NewAddrSpace()
+	as.Map(0x1000, 0x1000, ProtRW)
+	if _, ok := as.LoadFast(0x1000, 8); !ok {
+		t.Fatal("warm-up load failed")
+	}
+	as.Unmap(0x1000, 0x1000)
+	if _, ok := as.LoadFast(0x1000, 8); ok {
+		t.Error("TLB served an unmapped page")
+	}
+	as.Map(0x1000, 0x1000, ProtRead)
+	if as.StoreFast(0x1000, 1, 8) {
+		t.Error("TLB allowed a store to a read-only page")
+	}
+	// Aliasing: pages 64 sets apart share a TLB slot; both must work.
+	const stride = uint64(tlbSize * PageSize)
+	as.Map(0x10000, 0x1000, ProtRW)
+	as.Map(0x10000+stride, 0x1000, ProtRW)
+	as.StoreFast(0x10000, 0x11, 8)
+	as.StoreFast(0x10000+stride, 0x22, 8)
+	if v, _ := as.LoadFast(0x10000, 8); v != 0x11 {
+		t.Errorf("aliased slot clobbered: %#x", v)
+	}
+	if v, _ := as.LoadFast(0x10000+stride, 8); v != 0x22 {
+		t.Errorf("aliased slot clobbered: %#x", v)
+	}
+}
+
+// LoadFast/StoreFast must agree byte-for-byte with the general path,
+// refuse page-crossing accesses, and leave memory untouched when refusing.
+func TestFastPathEquivalence(t *testing.T) {
+	as := NewAddrSpace()
+	as.Map(0x1000, 0x2000, ProtRW)
+	for _, size := range []int{1, 2, 4, 8} {
+		for _, addr := range []uint64{0x1000, 0x1001, 0x17ff, 0x2000 - uint64(size), 0x1ffd} {
+			v := uint64(0x1122334455667788)
+			cross := addr&(PageSize-1)+uint64(size) > PageSize
+			if ok := as.StoreFast(addr, v, size); ok == cross {
+				t.Fatalf("StoreFast(%#x,%d) ok=%v cross=%v", addr, size, ok, cross)
+			}
+			if cross {
+				continue
+			}
+			buf := make([]byte, size)
+			if err := as.Read(addr, buf); err != nil {
+				t.Fatal(err)
+			}
+			want := uint64(0)
+			for i := size - 1; i >= 0; i-- {
+				want = want<<8 | uint64(buf[i])
+			}
+			got, ok := as.LoadFast(addr, size)
+			if !ok || got != want {
+				t.Errorf("LoadFast(%#x,%d) = %#x,%v want %#x", addr, size, got, ok, want)
+			}
+		}
+	}
+	// ReadU64/WriteU64 still work across a page boundary via the slow path.
+	if err := as.WriteU64(0x1ffc, 0xdeadbeefcafef00d); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := as.ReadU64(0x1ffc); err != nil || v != 0xdeadbeefcafef00d {
+		t.Errorf("cross-page U64: %#x %v", v, err)
+	}
+}
+
+// ExecWindow returns the in-page executable bytes and matches ExecGen.
+func TestExecWindow(t *testing.T) {
+	as := NewAddrSpace()
+	as.Map(0x1000, 0x1000, ProtRX)
+	as.WriteNoFault(0x1ff0, []byte{1, 2, 3, 4})
+	win, gen, err := as.ExecWindow(0x1ff0)
+	if err != nil || len(win) != 16 || win[0] != 1 {
+		t.Fatalf("window: len=%d err=%v", len(win), err)
+	}
+	if g, ok := as.ExecGen(0x1000); !ok || g != gen {
+		t.Errorf("ExecGen %d != window gen %d", g, gen)
+	}
+	if _, _, err := as.ExecWindow(0x5000); err == nil {
+		t.Error("ExecWindow of unmapped page succeeded")
+	}
+	as.Map(0x6000, 0x1000, ProtRW)
+	if _, _, err := as.ExecWindow(0x6000); err == nil {
+		t.Error("ExecWindow of non-exec page succeeded")
+	}
+}
+
+// Clone preserves generations and the clock so decoded-block validity
+// carries over; the clone's TLB must not alias the parent's pages.
+func TestCloneGenerations(t *testing.T) {
+	as := NewAddrSpace()
+	as.Map(0x1000, 0x1000, ProtRX)
+	g, _ := as.ExecGen(0x1000)
+	c := as.Clone()
+	cg, ok := c.ExecGen(0x1000)
+	if !ok || cg != g {
+		t.Errorf("clone generation %d want %d", cg, g)
+	}
+	if c.Clock() != as.Clock() {
+		t.Error("clone clock differs")
+	}
+	// Writing through the clone must not be visible through the parent's
+	// TLB (deep copy).
+	c.Map(0x1000, 0x1000, ProtRW)
+	c.StoreFast(0x1000, 0x42, 8)
+	var buf [8]byte
+	if err := as.Fetch(0x1000, buf[:]); err != nil || buf[0] == 0x42 {
+		t.Errorf("parent sees clone write: %v %v", buf, err)
+	}
+}

@@ -46,13 +46,17 @@ func NewEngine(m *vm.Machine) *Engine {
 }
 
 // Attach adds a tool. Tools attached earlier see events first.
-func (e *Engine) Attach(t *Tool) { e.tools = append(e.tools, t) }
+func (e *Engine) Attach(t *Tool) {
+	e.tools = append(e.tools, t)
+	e.install()
+}
 
 // Detach removes a tool by identity.
 func (e *Engine) Detach(t *Tool) {
 	for i, x := range e.tools {
 		if x == t {
 			e.tools = append(e.tools[:i], e.tools[i+1:]...)
+			e.install()
 			return
 		}
 	}
@@ -61,45 +65,75 @@ func (e *Engine) Detach(t *Tool) {
 // Run runs the machine with all attached tools.
 func (e *Engine) Run() error { return e.Machine.Run() }
 
+// install (re)builds the machine's hooks from the attached tools. Only hook
+// kinds that at least one tool actually provides are installed: the VM uses
+// the absence of per-instruction observation hooks to select its decoded-
+// block fast path, so an engine whose tools only filter syscalls (or no
+// tools at all) does not tax execution.
 func (e *Engine) install() {
 	m := e.Machine
-	m.Hooks = vm.Hooks{
-		OnIns: func(t *vm.Thread, pc uint64, ins isa.Inst) {
+	h := vm.Hooks{}
+	var needIns, needRead, needWrite, needBranch, needMarker,
+		needFilter, needSyscall, needFault, needStart, needExit bool
+	for _, t := range e.tools {
+		needIns = needIns || t.OnIns != nil
+		needRead = needRead || t.OnMemRead != nil
+		needWrite = needWrite || t.OnMemWrite != nil
+		needBranch = needBranch || t.OnBranch != nil
+		needMarker = needMarker || t.OnMarker != nil
+		needFilter = needFilter || t.SyscallFilter != nil
+		needSyscall = needSyscall || t.OnSyscall != nil
+		needFault = needFault || t.OnFault != nil
+		needStart = needStart || t.OnThreadStart != nil
+		needExit = needExit || t.OnThreadExit != nil
+	}
+	if needIns {
+		h.OnIns = func(t *vm.Thread, pc uint64, ins isa.Inst) {
 			for _, tool := range e.tools {
 				if tool.OnIns != nil {
 					tool.OnIns(t, pc, ins)
 				}
 			}
-		},
-		OnMemRead: func(t *vm.Thread, addr uint64, size int) {
+		}
+	}
+	if needRead {
+		h.OnMemRead = func(t *vm.Thread, addr uint64, size int) {
 			for _, tool := range e.tools {
 				if tool.OnMemRead != nil {
 					tool.OnMemRead(t, addr, size)
 				}
 			}
-		},
-		OnMemWrite: func(t *vm.Thread, addr uint64, size int) {
+		}
+	}
+	if needWrite {
+		h.OnMemWrite = func(t *vm.Thread, addr uint64, size int) {
 			for _, tool := range e.tools {
 				if tool.OnMemWrite != nil {
 					tool.OnMemWrite(t, addr, size)
 				}
 			}
-		},
-		OnBranch: func(t *vm.Thread, pc, target uint64, taken bool) {
+		}
+	}
+	if needBranch {
+		h.OnBranch = func(t *vm.Thread, pc, target uint64, taken bool) {
 			for _, tool := range e.tools {
 				if tool.OnBranch != nil {
 					tool.OnBranch(t, pc, target, taken)
 				}
 			}
-		},
-		OnMarker: func(t *vm.Thread, op isa.Op, tag uint32) {
+		}
+	}
+	if needMarker {
+		h.OnMarker = func(t *vm.Thread, op isa.Op, tag uint32) {
 			for _, tool := range e.tools {
 				if tool.OnMarker != nil {
 					tool.OnMarker(t, op, tag)
 				}
 			}
-		},
-		SyscallFilter: func(t *vm.Thread, num uint64) (kernel.Result, bool) {
+		}
+	}
+	if needFilter {
+		h.SyscallFilter = func(t *vm.Thread, num uint64) (kernel.Result, bool) {
 			for _, tool := range e.tools {
 				if tool.SyscallFilter != nil {
 					if res, handled := tool.SyscallFilter(t, num); handled {
@@ -108,37 +142,46 @@ func (e *Engine) install() {
 				}
 			}
 			return kernel.Result{}, false
-		},
-		OnSyscall: func(t *vm.Thread, num uint64, res kernel.Result) {
+		}
+	}
+	if needSyscall {
+		h.OnSyscall = func(t *vm.Thread, num uint64, res kernel.Result) {
 			for _, tool := range e.tools {
 				if tool.OnSyscall != nil {
 					tool.OnSyscall(t, num, res)
 				}
 			}
-		},
-		OnFault: func(t *vm.Thread, f *mem.Fault) bool {
+		}
+	}
+	if needFault {
+		h.OnFault = func(t *vm.Thread, f *mem.Fault) bool {
 			for _, tool := range e.tools {
 				if tool.OnFault != nil && tool.OnFault(t, f) {
 					return true
 				}
 			}
 			return false
-		},
-		OnThreadStart: func(t *vm.Thread) {
+		}
+	}
+	if needStart {
+		h.OnThreadStart = func(t *vm.Thread) {
 			for _, tool := range e.tools {
 				if tool.OnThreadStart != nil {
 					tool.OnThreadStart(t)
 				}
 			}
-		},
-		OnThreadExit: func(t *vm.Thread) {
+		}
+	}
+	if needExit {
+		h.OnThreadExit = func(t *vm.Thread) {
 			for _, tool := range e.tools {
 				if tool.OnThreadExit != nil {
 					tool.OnThreadExit(t)
 				}
 			}
-		},
+		}
 	}
+	m.Hooks = h
 }
 
 // ICounter is a trivial pintool counting instructions per thread; it is the

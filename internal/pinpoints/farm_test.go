@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -367,5 +368,68 @@ func TestParallelBeatsSerial(t *testing.T) {
 	}
 	if parallel >= serial {
 		t.Errorf("parallel (%v) not faster than serial (%v)", parallel, serial)
+	}
+}
+
+// TestBlockCacheThroughFarmParallel drives the decoded-block fast path
+// through the whole pipeline at -j 8, then replays every region's ELFie from
+// 8 concurrent goroutines, twice over — the -race companion proving the
+// per-machine block caches and software TLBs share no state. Replays run
+// unhooked, so they take the block fast path; a serial round with the cache
+// disabled pins down that both execution paths retire identical streams.
+func TestBlockCacheThroughFarmParallel(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Jobs = 8
+	b, err := Prepare(smallRecipe(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Regions) == 0 {
+		t.Fatal("no regions")
+	}
+
+	type result struct {
+		retired uint64
+		exit    int
+		fired   bool
+	}
+	runAll := func(disable bool) []result {
+		out := make([]result, len(b.Regions))
+		var wg sync.WaitGroup
+		for i := range b.Regions {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				m, err := b.RunELFie(b.Regions[i], 7)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				m.DisableBlockCache = disable
+				if err := m.Run(); err != nil {
+					t.Error(err)
+					return
+				}
+				out[i] = result{m.GlobalRetired, m.ExitStatus, Completed(m)}
+			}(i)
+		}
+		wg.Wait()
+		return out
+	}
+
+	fast1 := runAll(false)
+	fast2 := runAll(false)
+	slow := runAll(true)
+	for i := range fast1 {
+		if fast1[i] != fast2[i] {
+			t.Errorf("region %d: parallel replays differ: %+v vs %+v", i, fast1[i], fast2[i])
+		}
+		if fast1[i] != slow[i] {
+			t.Errorf("region %d: block path diverges from step path: %+v vs %+v",
+				i, fast1[i], slow[i])
+		}
+		if !fast1[i].fired {
+			t.Errorf("region %d: replay did not reach its graceful exit", i)
+		}
 	}
 }

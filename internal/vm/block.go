@@ -1,0 +1,515 @@
+package vm
+
+import (
+	"elfie/internal/isa"
+	"elfie/internal/mem"
+)
+
+// This file implements the decoded basic-block fast path. When no
+// per-instruction instrumentation is installed (elfierun replay, farm
+// validation), the interpreter predecodes straight-line instruction runs
+// into per-page blocks and executes them in a tight loop that skips the
+// fetch/decode work of Machine.step.
+//
+// Soundness hinges on generation validation: blocks are keyed by
+// (page number, page generation), and mem.AddrSpace gives a page a fresh
+// generation whenever it is (re)mapped or — for executable pages — written.
+// A block whose page generation no longer matches is unreachable and gets
+// rebuilt; a store *during* a block batch is caught by re-checking the
+// address-space clock after every retired instruction, so self-modifying
+// code that rewrites its own block takes effect at the very next
+// instruction, exactly as in the per-instruction path.
+
+const (
+	// maxBlockLen caps the instructions predecoded into one block.
+	maxBlockLen = 128
+	// maxCachedPages bounds the block cache; reaching it drops the whole
+	// cache (simple, and effectively never hit by ELFie-sized regions).
+	maxCachedPages = 4096
+)
+
+// dblock is one decoded basic block: a straight-line run ending at the
+// first control-transfer instruction. An empty ins slice is the negative
+// cache for addresses the fast path must not batch (deopt opcodes,
+// page-straddling or undecodable words): the per-instruction path executes
+// those with precise fault and hook semantics.
+type dblock struct {
+	ins []isa.DecInst
+}
+
+// pageBlocks holds the decoded blocks of one executable page at one
+// generation.
+type pageBlocks struct {
+	gen    uint64
+	blocks map[uint64]*dblock
+}
+
+// fastPathOK reports whether execution may use the block fast path. Any
+// per-instruction observation hook forces the step path so hooks fire in
+// order; SyscallFilter/OnSyscall/OnFault and the thread hooks are
+// compatible with the fast path because blocks never contain syscalls and
+// faults fall back to step semantics.
+func (m *Machine) fastPathOK() bool {
+	h := &m.Hooks
+	return !m.DisableBlockCache && m.FaultInj == nil &&
+		h.OnIns == nil && h.OnMemRead == nil && h.OnMemWrite == nil &&
+		h.OnBranch == nil && h.OnMarker == nil
+}
+
+// deoptOp reports opcodes the block executor refuses to batch: they yield,
+// halt, enter the kernel, or touch bulk state, and the step path already
+// implements their exact semantics.
+func deoptOp(o isa.Op) bool {
+	switch o {
+	case isa.SYSCALL, isa.HLT, isa.PAUSE, isa.XSAVE, isa.XRSTOR:
+		return true
+	}
+	return false
+}
+
+// runThreadFast is the hook-free twin of runThread: execute cached blocks
+// when possible, fall back to single steps at block boundaries the cache
+// cannot cover (syscalls, faults, cross-page words).
+func (m *Machine) runThreadFast(t *Thread, quantum int) int {
+	ran := 0
+	for ran < quantum && t.Alive && !m.Halted && !m.stopReq {
+		blk := m.lookupBlock(t.Regs.PC)
+		if blk == nil || len(blk.ins) == 0 {
+			yielded, retired := m.step(t)
+			if retired {
+				ran++
+			}
+			if yielded {
+				break
+			}
+			continue
+		}
+		n := m.execBlock(t, blk, m.blockBudget(t, quantum-ran))
+		ran += n
+		if m.checkPerfOverflow(t) {
+			break
+		}
+	}
+	return ran
+}
+
+// blockBudget bounds one block batch so no armed perf counter can overflow
+// mid-batch: the overflow check after the batch then fires at exactly the
+// same retired count as the per-instruction path.
+func (m *Machine) blockBudget(t *Thread, quantum int) int {
+	budget := quantum
+	for _, p := range t.perf {
+		if p.Fired {
+			continue
+		}
+		left := p.Period - (t.Retired - p.base)
+		if left < uint64(budget) {
+			budget = int(left)
+		}
+	}
+	return budget
+}
+
+// lookupBlock returns the decoded block starting at pc, building it on
+// demand. nil means pc is not mapped executable (step will raise the
+// fault); an empty block means "single-step this address".
+func (m *Machine) lookupBlock(pc uint64) *dblock {
+	as := m.Proc.AS
+	gen, ok := as.ExecGen(pc)
+	if !ok {
+		return nil
+	}
+	pn := mem.PageNum(pc)
+	pb := m.lastPB
+	if pb == nil || m.lastPN != pn || pb.gen != gen {
+		if m.bcache == nil {
+			m.bcache = make(map[uint64]*pageBlocks)
+		}
+		pb = m.bcache[pn]
+		if pb == nil || pb.gen != gen {
+			if len(m.bcache) >= maxCachedPages {
+				m.bcache = make(map[uint64]*pageBlocks)
+			}
+			pb = &pageBlocks{gen: gen, blocks: make(map[uint64]*dblock)}
+			m.bcache[pn] = pb
+		}
+		m.lastPN, m.lastPB = pn, pb
+	}
+	blk := pb.blocks[pc]
+	if blk == nil {
+		blk = m.buildBlock(pc)
+		pb.blocks[pc] = blk
+	}
+	return blk
+}
+
+// buildBlock predecodes the straight-line run at pc, truncating at the
+// first deopt opcode. Blocks never span pages: the predecoder stops at the
+// page's end, and a word straddling the boundary is simply left to step.
+func (m *Machine) buildBlock(pc uint64) *dblock {
+	win, _, err := m.Proc.AS.ExecWindow(pc)
+	if err != nil {
+		return &dblock{}
+	}
+	ins := isa.PredecodeBlock(win, pc, maxBlockLen)
+	for i := range ins {
+		if deoptOp(ins[i].Op) {
+			ins = ins[:i]
+			break
+		}
+	}
+	return &dblock{ins: ins}
+}
+
+// loadMem reads size bytes at addr for the block executor: TLB fast path,
+// then the general path. ok=false means the access faulted and was handed
+// to handleFault — the caller ends the batch without retiring.
+func (m *Machine) loadMem(t *Thread, addr uint64, size int) (uint64, bool) {
+	as := m.Proc.AS
+	if v, ok := as.LoadFast(addr, size); ok {
+		return v, true
+	}
+	var buf [8]byte
+	if err := as.Read(addr, buf[:size]); err != nil {
+		m.handleFault(t, err)
+		return 0, false
+	}
+	return leBytes(buf[:size]), true
+}
+
+// storeMem is the store twin of loadMem.
+func (m *Machine) storeMem(t *Thread, addr, v uint64, size int) bool {
+	as := m.Proc.AS
+	if as.StoreFast(addr, v, size) {
+		return true
+	}
+	var buf [8]byte
+	putBytes(buf[:], v)
+	if err := as.Write(addr, buf[:size]); err != nil {
+		m.handleFault(t, err)
+		return false
+	}
+	return true
+}
+
+// execBlock executes up to budget instructions of blk, returning how many
+// retired. PC/Retired are committed per instruction, so a fault leaves the
+// thread exactly at the faulting instruction with all prior effects
+// applied — identical to the step path. A fault ends the batch after
+// handleFault (retry re-enters via lookupBlock; fatal halts the machine).
+// The address-space clock is re-checked after every instruction: a store
+// that hits an executable page invalidates the rest of the batch.
+func (m *Machine) execBlock(t *Thread, blk *dblock, budget int) int {
+	as := m.Proc.AS
+	r := &t.Regs
+	g := &r.GPR
+	clock := as.Clock()
+	ran := 0
+	for i := range blk.ins {
+		if ran >= budget {
+			break
+		}
+		d := &blk.ins[i]
+		next := d.Next
+
+		switch d.Op {
+		case isa.NOP, isa.FENCE, isa.SSCMARK, isa.MAGIC:
+			// Markers are no-ops here: fastPathOK guarantees OnMarker is nil.
+
+		case isa.MOV:
+			g[d.A&15] = g[d.B&15]
+		case isa.MOVI, isa.LIMM:
+			g[d.A&15] = d.Imm
+
+		case isa.ADD:
+			g[d.A&15] = g[d.B&15] + g[d.C&15]
+		case isa.SUB:
+			g[d.A&15] = g[d.B&15] - g[d.C&15]
+		case isa.MUL:
+			g[d.A&15] = g[d.B&15] * g[d.C&15]
+		case isa.UDIV:
+			if g[d.C&15] == 0 {
+				g[d.A&15] = ^uint64(0)
+			} else {
+				g[d.A&15] = g[d.B&15] / g[d.C&15]
+			}
+		case isa.SDIV:
+			if g[d.C&15] == 0 {
+				g[d.A&15] = ^uint64(0)
+			} else {
+				g[d.A&15] = uint64(int64(g[d.B&15]) / int64(g[d.C&15]))
+			}
+		case isa.UREM:
+			if g[d.C&15] == 0 {
+				g[d.A&15] = g[d.B&15]
+			} else {
+				g[d.A&15] = g[d.B&15] % g[d.C&15]
+			}
+		case isa.AND:
+			g[d.A&15] = g[d.B&15] & g[d.C&15]
+		case isa.OR:
+			g[d.A&15] = g[d.B&15] | g[d.C&15]
+		case isa.XOR:
+			g[d.A&15] = g[d.B&15] ^ g[d.C&15]
+		case isa.SHL:
+			g[d.A&15] = g[d.B&15] << (g[d.C&15] & 63)
+		case isa.SHR:
+			g[d.A&15] = g[d.B&15] >> (g[d.C&15] & 63)
+		case isa.SAR:
+			g[d.A&15] = uint64(int64(g[d.B&15]) >> (g[d.C&15] & 63))
+		case isa.NOT:
+			g[d.A&15] = ^g[d.B&15]
+		case isa.NEG:
+			g[d.A&15] = -g[d.B&15]
+
+		case isa.ADDI:
+			g[d.A&15] = g[d.B&15] + d.Imm
+		case isa.MULI:
+			g[d.A&15] = g[d.B&15] * d.Imm
+		case isa.ANDI:
+			g[d.A&15] = g[d.B&15] & d.Imm
+		case isa.ORI:
+			g[d.A&15] = g[d.B&15] | d.Imm
+		case isa.XORI:
+			g[d.A&15] = g[d.B&15] ^ d.Imm
+		case isa.SHLI:
+			g[d.A&15] = g[d.B&15] << (d.Imm & 63)
+		case isa.SHRI:
+			g[d.A&15] = g[d.B&15] >> (d.Imm & 63)
+		case isa.SARI:
+			g[d.A&15] = uint64(int64(g[d.B&15]) >> (d.Imm & 63))
+
+		case isa.LEA1:
+			g[d.A&15] = g[d.B&15] + g[d.C&15] + d.Imm
+		case isa.LEA8:
+			g[d.A&15] = g[d.B&15] + g[d.C&15]*8 + d.Imm
+
+		case isa.LDQ:
+			v, ok := m.loadMem(t, g[d.B&15]+d.Imm, 8)
+			if !ok {
+				return ran
+			}
+			g[d.A&15] = v
+		case isa.LDW:
+			v, ok := m.loadMem(t, g[d.B&15]+d.Imm, 4)
+			if !ok {
+				return ran
+			}
+			g[d.A&15] = v
+		case isa.LDH:
+			v, ok := m.loadMem(t, g[d.B&15]+d.Imm, 2)
+			if !ok {
+				return ran
+			}
+			g[d.A&15] = v
+		case isa.LDB:
+			v, ok := m.loadMem(t, g[d.B&15]+d.Imm, 1)
+			if !ok {
+				return ran
+			}
+			g[d.A&15] = v
+		case isa.LDSB:
+			v, ok := m.loadMem(t, g[d.B&15]+d.Imm, 1)
+			if !ok {
+				return ran
+			}
+			g[d.A&15] = uint64(int64(int8(v)))
+		case isa.LDSH:
+			v, ok := m.loadMem(t, g[d.B&15]+d.Imm, 2)
+			if !ok {
+				return ran
+			}
+			g[d.A&15] = uint64(int64(int16(v)))
+		case isa.LDSW:
+			v, ok := m.loadMem(t, g[d.B&15]+d.Imm, 4)
+			if !ok {
+				return ran
+			}
+			g[d.A&15] = uint64(int64(int32(v)))
+
+		case isa.STQ:
+			if !m.storeMem(t, g[d.B&15]+d.Imm, g[d.A&15], 8) {
+				return ran
+			}
+		case isa.STW:
+			if !m.storeMem(t, g[d.B&15]+d.Imm, g[d.A&15], 4) {
+				return ran
+			}
+		case isa.STH:
+			if !m.storeMem(t, g[d.B&15]+d.Imm, g[d.A&15], 2) {
+				return ran
+			}
+		case isa.STB:
+			if !m.storeMem(t, g[d.B&15]+d.Imm, g[d.A&15], 1) {
+				return ran
+			}
+
+		case isa.CMP:
+			r.Flags = subFlags(g[d.B&15], g[d.C&15])
+		case isa.CMPI:
+			r.Flags = subFlags(g[d.B&15], d.Imm)
+		case isa.TEST:
+			r.Flags = logicFlags(g[d.B&15] & g[d.C&15])
+		case isa.TESTI:
+			r.Flags = logicFlags(g[d.B&15] & d.Imm)
+
+		case isa.JMP:
+			next = d.Target
+		case isa.JZ, isa.JNZ, isa.JL, isa.JLE, isa.JG, isa.JGE,
+			isa.JB, isa.JBE, isa.JA, isa.JAE, isa.JS, isa.JNS:
+			if condTaken(d.Op, r.Flags) {
+				next = d.Target
+			}
+		case isa.JMPR:
+			next = g[d.B&15]
+		case isa.JMPM:
+			v, ok := m.loadMem(t, d.Target, 8)
+			if !ok {
+				return ran
+			}
+			next = v
+		case isa.CALL, isa.CALLR:
+			target := d.Target
+			if d.Op == isa.CALLR {
+				target = g[d.B&15]
+			}
+			// Store before committing RSP so a stack fault leaves RSP
+			// unchanged for the retry, as in step.
+			sp := g[isa.RSP] - 8
+			if !m.storeMem(t, sp, d.Next, 8) {
+				return ran
+			}
+			g[isa.RSP] = sp
+			next = target
+		case isa.RET:
+			v, ok := m.loadMem(t, g[isa.RSP], 8)
+			if !ok {
+				return ran
+			}
+			g[isa.RSP] += 8
+			next = v
+
+		case isa.PUSH, isa.PUSHF:
+			v := g[d.A&15]
+			if d.Op == isa.PUSHF {
+				v = r.Flags
+			}
+			sp := g[isa.RSP] - 8
+			if !m.storeMem(t, sp, v, 8) {
+				return ran
+			}
+			g[isa.RSP] = sp
+		case isa.POP, isa.POPF:
+			v, ok := m.loadMem(t, g[isa.RSP], 8)
+			if !ok {
+				return ran
+			}
+			g[isa.RSP] += 8
+			if d.Op == isa.POPF {
+				r.Flags = v & isa.FlagMask
+			} else {
+				g[d.A&15] = v
+			}
+
+		case isa.CPUID:
+			g[d.A&15] = 0x50564d31
+		case isa.RDTSC:
+			g[d.A&15] = m.Kernel.Clock.Now(m.GlobalRetired)
+
+		case isa.XCHG:
+			addr := g[d.B&15] + d.Imm
+			old, ok := m.loadMem(t, addr, 8)
+			if !ok {
+				return ran
+			}
+			if !m.storeMem(t, addr, g[d.A&15], 8) {
+				return ran
+			}
+			g[d.A&15] = old
+		case isa.XADD:
+			addr := g[d.B&15] + d.Imm
+			old, ok := m.loadMem(t, addr, 8)
+			if !ok {
+				return ran
+			}
+			if !m.storeMem(t, addr, old+g[d.A&15], 8) {
+				return ran
+			}
+			g[d.A&15] = old
+		case isa.CMPXCHG:
+			addr := g[d.B&15] + d.Imm
+			old, ok := m.loadMem(t, addr, 8)
+			if !ok {
+				return ran
+			}
+			if old == g[isa.R0] {
+				if !m.storeMem(t, addr, g[d.A&15], 8) {
+					return ran
+				}
+				r.Flags = isa.FlagZ
+			} else {
+				g[isa.R0] = old
+				r.Flags = 0
+			}
+
+		case isa.WRFSBASE:
+			r.FSBase = g[d.A&15]
+		case isa.RDFSBASE:
+			g[d.A&15] = r.FSBase
+		case isa.WRGSBASE:
+			r.GSBase = g[d.A&15]
+		case isa.RDGSBASE:
+			g[d.A&15] = r.GSBase
+
+		case isa.VLD:
+			addr := g[d.B&15] + d.Imm
+			var buf [16]byte
+			if err := as.Read(addr, buf[:]); err != nil {
+				m.handleFault(t, err)
+				return ran
+			}
+			r.V[d.A&7][0] = leBytes(buf[:8])
+			r.V[d.A&7][1] = leBytes(buf[8:])
+		case isa.VST:
+			addr := g[d.B&15] + d.Imm
+			var buf [16]byte
+			putBytes(buf[:8], r.V[d.A&7][0])
+			putBytes(buf[8:], r.V[d.A&7][1])
+			if err := as.Write(addr, buf[:]); err != nil {
+				m.handleFault(t, err)
+				return ran
+			}
+		case isa.VADDQ:
+			r.V[d.A&7][0] = r.V[d.B&7][0] + r.V[d.C&7][0]
+			r.V[d.A&7][1] = r.V[d.B&7][1] + r.V[d.C&7][1]
+		case isa.VMULQ:
+			r.V[d.A&7][0] = r.V[d.B&7][0] * r.V[d.C&7][0]
+			r.V[d.A&7][1] = r.V[d.B&7][1] * r.V[d.C&7][1]
+		case isa.VXOR:
+			r.V[d.A&7][0] = r.V[d.B&7][0] ^ r.V[d.C&7][0]
+			r.V[d.A&7][1] = r.V[d.B&7][1] ^ r.V[d.C&7][1]
+		case isa.VMOVQ:
+			r.V[d.A&7] = [2]uint64{g[d.B&15], 0}
+		case isa.MOVQV:
+			g[d.A&15] = r.V[d.B&7][0]
+
+		default:
+			// Deopt opcodes never reach a block (buildBlock truncates), but
+			// stay safe: hand the instruction to step via the empty-batch
+			// exit without retiring anything here.
+			return ran
+		}
+
+		r.PC = next
+		t.Retired++
+		m.GlobalRetired++
+		ran++
+
+		if as.Clock() != clock {
+			// A store touched an executable page (or remapped memory):
+			// the rest of this batch may be stale. Re-validate.
+			return ran
+		}
+	}
+	return ran
+}

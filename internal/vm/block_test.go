@@ -1,0 +1,266 @@
+package vm
+
+import (
+	"testing"
+
+	"elfie/internal/isa"
+	"elfie/internal/kernel"
+	"elfie/internal/mem"
+)
+
+// rawMachine maps code at base with the given protection and returns a
+// machine with one thread whose PC starts at start.
+func rawMachine(code []byte, base, start uint64, prot int) (*Machine, *Thread) {
+	k := kernel.New(kernel.NewFS(), 1)
+	proc := kernel.NewProcess(k.FS)
+	proc.AS.Map(base, uint64(len(code))+2*mem.PageSize, prot)
+	proc.AS.WriteNoFault(base, code)
+	m := New(k, proc)
+	th := m.AddThread(isa.RegFile{PC: start})
+	m.MaxInstructions = 100_000
+	return m, th
+}
+
+func enc(insts ...isa.Inst) []byte {
+	var code []byte
+	for _, i := range insts {
+		code = i.Encode(code)
+	}
+	return code
+}
+
+// leWord converts an encoded 8-byte instruction to the uint64 a st.q would
+// write over it.
+func leWord(i isa.Inst) uint64 {
+	b := i.Encode(nil)
+	var v uint64
+	for j := 7; j >= 0; j-- {
+		v = v<<8 | uint64(b[j])
+	}
+	return v
+}
+
+// An 8-byte instruction straddling a page boundary must execute on both
+// paths: the block cache refuses to predecode it (blocks never span pages)
+// and hands it to the per-instruction path.
+func TestCrossPageFetch(t *testing.T) {
+	for _, disable := range []bool{false, true} {
+		code := enc(
+			isa.Inst{Op: isa.MOVI, A: 1, Imm: 7}, // at 0x1ffc: 4 bytes in each page
+			isa.Inst{Op: isa.HLT},
+		)
+		m, th := rawMachine(code, 0x1000, 0x1ffc, mem.ProtRX)
+		m.Proc.AS.WriteNoFault(0x1ffc, code) // place at the straddling address
+		m.DisableBlockCache = disable
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if th.Regs.GPR[1] != 7 {
+			t.Errorf("disable=%v: r1 = %d, want 7", disable, th.Regs.GPR[1])
+		}
+		if !m.Halted || th.Retired != 2 {
+			t.Errorf("disable=%v: halted=%v retired=%d", disable, m.Halted, th.Retired)
+		}
+	}
+}
+
+// A LIMM whose instruction word sits at the end of one page with the 64-bit
+// payload on the next page.
+func TestCrossPageLimm(t *testing.T) {
+	for _, disable := range []bool{false, true} {
+		code := enc(
+			isa.Inst{Op: isa.LIMM, A: 2, Imm64: 0xfeedfacecafe}, // word at 0x1ff8, payload at 0x2000
+			isa.Inst{Op: isa.HLT},
+		)
+		m, th := rawMachine(code, 0x1000, 0x1ff8, mem.ProtRX)
+		m.Proc.AS.WriteNoFault(0x1ff8, code)
+		m.DisableBlockCache = disable
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if th.Regs.GPR[2] != 0xfeedfacecafe {
+			t.Errorf("disable=%v: r2 = %#x", disable, th.Regs.GPR[2])
+		}
+	}
+}
+
+// Self-modifying code: a store rewrites an instruction *later in the same
+// straight-line block*. The block executor must notice the generation bump
+// mid-batch and execute the new bytes — same as the per-instruction path.
+func TestSelfModifyingCode(t *testing.T) {
+	newIns := isa.Inst{Op: isa.MOVI, A: 3, Imm: 42}
+	for _, disable := range []bool{false, true} {
+		code := enc(
+			isa.Inst{Op: isa.LIMM, A: 1, Imm64: 0x1030},         // r1 = &target
+			isa.Inst{Op: isa.LIMM, A: 2, Imm64: leWord(newIns)}, // r2 = new instruction word
+			isa.Inst{Op: isa.STQ, A: 2, B: 1},                   // overwrite target
+			isa.Inst{Op: isa.NOP},                               // 0x1028
+			isa.Inst{Op: isa.MOVI, A: 3, Imm: 1},                // 0x1030: target (stale value 1)
+			isa.Inst{Op: isa.HLT},                               // 0x1038
+		)
+		m, th := rawMachine(code, 0x1000, 0x1000, mem.ProtRWX)
+		m.DisableBlockCache = disable
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if th.Regs.GPR[3] != 42 {
+			t.Errorf("disable=%v: executed stale instruction, r3 = %d, want 42",
+				disable, th.Regs.GPR[3])
+		}
+		if th.Retired != 6 {
+			t.Errorf("disable=%v: retired = %d, want 6", disable, th.Retired)
+		}
+	}
+}
+
+// Unmap + Map at the same address across two runs of the same machine: the
+// block cached during the first run must not serve the old code.
+func TestRemapInvalidation(t *testing.T) {
+	code1 := enc(isa.Inst{Op: isa.MOVI, A: 5, Imm: 1}, isa.Inst{Op: isa.HLT})
+	m, th := rawMachine(code1, 0x1000, 0x1000, mem.ProtRX)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if th.Regs.GPR[5] != 1 {
+		t.Fatalf("first run: r5 = %d", th.Regs.GPR[5])
+	}
+
+	// Recycle the page: unmap, remap at the same address, new code.
+	as := m.Proc.AS
+	as.Unmap(0x1000, mem.PageSize)
+	as.Map(0x1000, mem.PageSize, mem.ProtRX)
+	code2 := enc(isa.Inst{Op: isa.MOVI, A: 5, Imm: 99}, isa.Inst{Op: isa.HLT})
+	as.WriteNoFault(0x1000, code2)
+
+	m.Halted = false
+	th.Alive = true
+	th.Regs.PC = 0x1000
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if th.Regs.GPR[5] != 99 {
+		t.Errorf("stale block survived remap: r5 = %d, want 99", th.Regs.GPR[5])
+	}
+}
+
+// fastPathOK: per-instruction observation hooks force the step path;
+// syscall/fault/thread hooks are fast-path compatible.
+func TestFastPathSelection(t *testing.T) {
+	m := &Machine{}
+	if !m.fastPathOK() {
+		t.Error("bare machine not fast-path eligible")
+	}
+	m.Hooks.SyscallFilter = func(*Thread, uint64) (kernel.Result, bool) { return kernel.Result{}, false }
+	m.Hooks.OnFault = func(*Thread, *mem.Fault) bool { return false }
+	m.Hooks.OnThreadStart = func(*Thread) {}
+	if !m.fastPathOK() {
+		t.Error("syscall/fault/thread hooks must not disable the fast path")
+	}
+	m.Hooks.OnIns = func(*Thread, uint64, isa.Inst) {}
+	if m.fastPathOK() {
+		t.Error("OnIns must disable the fast path")
+	}
+	m.Hooks.OnIns = nil
+	m.Hooks.OnMemRead = func(*Thread, uint64, int) {}
+	if m.fastPathOK() {
+		t.Error("OnMemRead must disable the fast path")
+	}
+	m.Hooks.OnMemRead = nil
+	m.DisableBlockCache = true
+	if m.fastPathOK() {
+		t.Error("DisableBlockCache must disable the fast path")
+	}
+}
+
+// The block executor and the step path must retire the identical stream on
+// a branchy, memory-heavy, syscall-using program: same registers, retired
+// counts, output, and exit status.
+func TestBlockStepEquivalence(t *testing.T) {
+	src := `
+		.text
+		.global _start
+_start:
+		movi r1, 0        # i
+		movi r2, 0        # sum
+		limm r6, buf
+loop:
+		addi r1, r1, 1
+		add  r2, r2, r1
+		st.q r2, [r6]
+		ld.q r3, [r6]
+		push r3
+		pop  r4
+		cmpi r1, 500
+		jnz  loop
+		movi r0, 1        # write
+		movi r1, 1
+		limm r2, msg
+		movi r3, 3
+		syscall
+		movi r0, 231      # exit_group
+		movi r1, 7
+		syscall
+		.data
+msg:	.ascii "ok\n"
+buf:	.quad 0
+	`
+	fast := run(t, src, 1)
+	slow := load(t, src, 1)
+	slow.DisableBlockCache = true
+	if err := slow.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fast.GlobalRetired != slow.GlobalRetired {
+		t.Errorf("retired: fast %d, slow %d", fast.GlobalRetired, slow.GlobalRetired)
+	}
+	if fast.ExitStatus != slow.ExitStatus || fast.ExitStatus != 7 {
+		t.Errorf("exit: fast %d, slow %d", fast.ExitStatus, slow.ExitStatus)
+	}
+	if string(fast.Stdout()) != "ok\n" || string(slow.Stdout()) != "ok\n" {
+		t.Errorf("stdout: fast %q slow %q", fast.Stdout(), slow.Stdout())
+	}
+	ff, sf := fast.Threads[0].Regs, slow.Threads[0].Regs
+	if ff.GPR != sf.GPR || ff.Flags != sf.Flags {
+		t.Errorf("final registers differ:\nfast %v\nslow %v", ff.GPR, sf.GPR)
+	}
+}
+
+// A perf counter armed mid-run must overflow at the exact same retired
+// count on the block path as on the step path (the graceful-exit contract).
+func TestBlockPerfCounterPrecision(t *testing.T) {
+	src := `
+		.text
+		.global _start
+_start:
+		movi r0, 298      # perf_event_open
+		limm r1, attr
+		syscall
+loop:
+		addi r5, r5, 1
+		jmp  loop
+		.data
+attr:
+		.quad 1000        # period
+		.quad 0           # handler
+		.quad 1           # flags: exit on overflow
+	`
+	for _, disable := range []bool{false, true} {
+		m := load(t, src, 1)
+		m.DisableBlockCache = disable
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		got := m.Threads[0].Retired
+		if disable {
+			continue
+		}
+		slow := load(t, src, 1)
+		slow.DisableBlockCache = true
+		if err := slow.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got != slow.Threads[0].Retired {
+			t.Errorf("overflow point differs: fast %d, slow %d", got, slow.Threads[0].Retired)
+		}
+	}
+}

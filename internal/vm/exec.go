@@ -10,7 +10,14 @@ import (
 // runThread executes up to quantum instructions on t, returning how many
 // actually retired. It stops early on yield (PAUSE/sched_yield), thread
 // exit, machine halt, or an unhandled fault.
+//
+// When no per-instruction instrumentation is installed the decoded-block
+// fast path runs instead (see block.go); both paths retire the identical
+// architectural instruction stream.
 func (m *Machine) runThread(t *Thread, quantum int) int {
+	if m.fastPathOK() {
+		return m.runThreadFast(t, quantum)
+	}
 	ran := 0
 	for ran < quantum && t.Alive && !m.Halted && !m.stopReq {
 		yielded, retired := m.step(t)
@@ -72,7 +79,10 @@ func (m *Machine) step(t *Thread) (yielded, retired bool) {
 	next := pc + ins.Len()
 	r := &t.Regs
 	g := &r.GPR
-	a, b, c := isa.Reg(ins.A), isa.Reg(ins.B), isa.Reg(ins.C)
+	// Register fields are masked to the architectural 0..15 range; encodings
+	// with out-of-range fields alias into it rather than escaping the
+	// register file (the block executor masks identically).
+	a, b, c := isa.Reg(ins.A&15), isa.Reg(ins.B&15), isa.Reg(ins.C&15)
 	imm := uint64(int64(ins.Imm))
 
 	switch ins.Op {
@@ -417,18 +427,28 @@ func (m *Machine) step(t *Thread) (yielded, retired bool) {
 	t.Retired++
 	m.GlobalRetired++
 
-	// Perf counter overflow check (the graceful-exit mechanism).
+	if m.checkPerfOverflow(t) {
+		return true, true
+	}
+	return yielded, true
+}
+
+// checkPerfOverflow fires any due perf counters (the graceful-exit
+// mechanism). It returns true when an overflow exited the thread. The block
+// executor bounds its batches so this check still fires at the exact
+// overflow instruction (see blockBudget).
+func (m *Machine) checkPerfOverflow(t *Thread) bool {
 	for _, p := range t.perf {
 		if !p.Fired && t.Retired-p.base >= p.Period {
 			p.Fired = true
 			if p.ExitOnOverflow {
 				m.exitThread(t, 0)
-				return true, true
+				return true
 			}
 			t.Regs.PC = p.Handler
 		}
 	}
-	return yielded, true
+	return false
 }
 
 // Exit kinds returned by doSyscall.

@@ -204,6 +204,18 @@ type Machine struct {
 	// its plan specifies.
 	FaultInj *fault.Injector
 
+	// DisableBlockCache forces the per-instruction interpreter even when no
+	// instrumentation hooks are installed. Benchmarks use it as the baseline;
+	// it is also an escape hatch when debugging the fast path.
+	DisableBlockCache bool
+
+	// bcache is the decoded basic-block cache: page number -> predecoded
+	// blocks, validated against the page generation (see block.go).
+	bcache map[uint64]*pageBlocks
+	// lastPN/lastPB memoize the most recent bcache lookup.
+	lastPN uint64
+	lastPB *pageBlocks
+
 	// Halted is set by HLT, exit_group, or a fatal fault.
 	Halted bool
 	// stopReq asks the run loop to stop at the next instruction boundary

@@ -1,0 +1,129 @@
+package elfie_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+	"testing"
+
+	"elfie/internal/bbv"
+	"elfie/internal/kernel"
+	"elfie/internal/vm"
+	"elfie/internal/workloads"
+)
+
+// guardMachine builds the reference workload used by the execution-path
+// guard tests: phased and branchy, trimmed so the guard stays fast.
+func guardMachine(t *testing.T, seed int64) *vm.Machine {
+	t.Helper()
+	r := trim(workloads.TrainIntRate()[1], 3)
+	exe, err := workloads.Build(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := kernel.NewFS()
+	if r.FileInput {
+		fs.WriteFile("/input.dat", workloads.InputFile())
+	}
+	m, err := vm.NewLoaded(kernel.New(fs, seed), exe, []string{r.Name}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxInstructions = 50_000_000
+	return m
+}
+
+// marshalProfile renders a BBV profile into a canonical byte string:
+// slice count, then per slice the sorted (block, weight) pairs.
+func marshalProfile(p *bbv.Profile) []byte {
+	out := binary.LittleEndian.AppendUint64(nil, uint64(len(p.Slices)))
+	out = binary.LittleEndian.AppendUint64(out, p.TotalInstructions)
+	for _, v := range p.Slices {
+		keys := make([]uint64, 0, len(v))
+		for k := range v {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		out = binary.LittleEndian.AppendUint64(out, uint64(len(keys)))
+		for _, k := range keys {
+			out = binary.LittleEndian.AppendUint64(out, k)
+			out = binary.LittleEndian.AppendUint32(out, v[k])
+		}
+	}
+	return out
+}
+
+type runSummary struct {
+	retired uint64
+	t0      uint64
+	exit    int
+	stdout  string
+	halted  bool
+}
+
+func summarize(m *vm.Machine) runSummary {
+	return runSummary{
+		retired: m.GlobalRetired,
+		t0:      m.Threads[0].Retired,
+		exit:    m.ExitStatus,
+		stdout:  string(m.Stdout()),
+		halted:  m.Halted,
+	}
+}
+
+// TestHookedMatchesFastPath is the execution-path guard: the hooked
+// per-instruction interpreter (BBV profiling attached) and the unhooked
+// decoded-block fast path must retire the identical architectural
+// instruction stream — same counts, exit, output, and final registers —
+// and BBV profiling itself must be byte-for-byte reproducible.
+func TestHookedMatchesFastPath(t *testing.T) {
+	// Hooked run A: BBV collector forces the per-instruction path.
+	ma := guardMachine(t, 1)
+	pa, err := bbv.Collect(ma, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pa.Slices) < 2 {
+		t.Fatalf("reference workload too small: %d slices", len(pa.Slices))
+	}
+
+	// Hooked run B: identical machine, identical profile expected.
+	mb := guardMachine(t, 1)
+	pb, err := bbv.Collect(mb, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalProfile(pa), marshalProfile(pb)) {
+		t.Error("hooked BBV profiles differ between identical runs")
+	}
+
+	// Unhooked run C: decoded-block fast path.
+	mc := guardMachine(t, 1)
+	if err := mc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Unhooked run D: per-instruction path without hooks (cache disabled).
+	md := guardMachine(t, 1)
+	md.DisableBlockCache = true
+	if err := md.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	sa, sc, sd := summarize(ma), summarize(mc), summarize(md)
+	if sa != sc {
+		t.Errorf("hooked vs block fast path diverge:\nhooked %+v\nfast   %+v", sa, sc)
+	}
+	if sc != sd {
+		t.Errorf("block fast path vs plain interpreter diverge:\nfast %+v\nslow %+v", sc, sd)
+	}
+	if ma.Threads[0].Regs.GPR != mc.Threads[0].Regs.GPR {
+		t.Errorf("final registers diverge:\nhooked %v\nfast   %v",
+			ma.Threads[0].Regs.GPR, mc.Threads[0].Regs.GPR)
+	}
+	// The profiled instruction total must equal what the fast path retired
+	// on thread 0 — the BBV stream covers the whole execution.
+	if pa.TotalInstructions != mc.Threads[0].Retired {
+		t.Errorf("BBV total %d != fast-path thread-0 retired %d",
+			pa.TotalInstructions, mc.Threads[0].Retired)
+	}
+}
