@@ -484,6 +484,40 @@ func simGem5(b *testing.B, exe *elfobj.File, haswell bool) float64 {
 }
 
 // -----------------------------------------------------------------------
+// Harness trial reuse — per-trial session construction vs Reset (DESIGN.md
+// §11). The fresh path re-serializes and re-parses the region's ELFie for
+// every trial; the reset path pays that once and rewinds the session.
+// -----------------------------------------------------------------------
+
+func BenchmarkTrialReuse(b *testing.B) {
+	r := trim(workloads.TrainIntRate()[1], 8)
+	bm, err := pinpoints.Prepare(r, trainConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := bm.Regions[0]
+	b.Run("fresh-construct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bm.RunELFie(reg, int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("session-reset", func(b *testing.B) {
+		// Warm the cached session, then time pure Reset reuse.
+		if _, err := bm.ELFieSession(reg, 0); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := bm.ELFieSession(reg, int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// -----------------------------------------------------------------------
 // Ablations (DESIGN.md §4).
 // -----------------------------------------------------------------------
 

@@ -18,24 +18,20 @@ import (
 	"os"
 
 	"elfie/internal/cli"
-	"elfie/internal/fault"
-	"elfie/internal/kernel"
+	"elfie/internal/harness"
 )
 
 func main() {
-	seed := flag.Int64("seed", 1, "machine seed (stack randomization, clock jitter)")
 	jitter := flag.Int("jitter", 20, "scheduler quantum jitter (0 = deterministic)")
 	budget := flag.Uint64("max", 10_000_000_000, "instruction budget")
-	var fsFlag cli.FSFlag
-	flag.Var(&fsFlag, "in", "guestpath=hostpath file mapping (repeatable)")
 	sysstateDir := flag.String("sysstate-host", "", "host directory with sysstate files to install at /sysstate")
-	faultPath := flag.String("fault", "", "JSON fault plan to inject during the run")
+	c := cli.Register(cli.FlagSeed | cli.FlagFault | cli.FlagIn)
 	flag.Parse()
 	if flag.NArg() < 1 {
 		cli.Die(fmt.Errorf("usage: elfierun [flags] prog.elf [args...]"))
 	}
 
-	plan, err := cli.LoadFaultPlan(*faultPath)
+	plan, err := c.Plan()
 	if err != nil {
 		cli.DieClassified(err)
 	}
@@ -43,8 +39,8 @@ func main() {
 	if err != nil {
 		cli.DieClassified(err)
 	}
-	fs := kernel.NewFS()
-	if err := fsFlag.Populate(fs); err != nil {
+	fs, err := c.FS()
+	if err != nil {
 		cli.Die(err)
 	}
 	if *sysstateDir != "" {
@@ -52,17 +48,13 @@ func main() {
 			cli.Die(err)
 		}
 	}
-	m, err := cli.NewMachine(exe, fs, *seed, *jitter, *budget, flag.Args())
+	s, err := cli.NewSession(harness.ModeNative, exe, fs, c.Seed, *jitter, *budget, flag.Args(), plan)
 	if err != nil {
-		cli.Die(err)
+		cli.DieClassified(err)
 	}
-	if plan != nil {
-		inj := fault.New(plan)
-		m.Kernel.Fault = inj
-		m.FaultInj = inj
-	}
-	if err := m.Run(); err != nil {
-		cli.Die(err)
+	m := s.Machine
+	if err := s.Run(); err != nil {
+		cli.DieClassified(err)
 	}
 	cli.PrintRunSummary(m)
 	if m.FatalFault != nil {
@@ -70,13 +62,4 @@ func main() {
 		os.Exit(cli.ExitDivergence)
 	}
 	os.Exit(m.ExitStatus)
-}
-
-func installSysstate(fs *kernel.FS, dir string) error {
-	st, err := loadSysstate(dir)
-	if err != nil {
-		return err
-	}
-	st.Install(fs, "/sysstate")
-	return nil
 }

@@ -1,7 +1,18 @@
 package main
 
-import "elfie/internal/sysstate"
+import (
+	"elfie/internal/harness"
+	"elfie/internal/kernel"
+	"elfie/internal/sysstate"
+)
 
-func loadSysstate(dir string) (*sysstate.State, error) {
-	return sysstate.LoadDir(dir)
+// installSysstate loads a saved sysstate directory from the host and
+// installs it at the harness's canonical guest path.
+func installSysstate(fs *kernel.FS, dir string) error {
+	st, err := sysstate.LoadDir(dir)
+	if err != nil {
+		return err
+	}
+	st.Install(fs, harness.SysStateDir)
+	return nil
 }

@@ -4,6 +4,8 @@
 // Usage:
 //
 //	logger -name gcc.r1 -start 800000 -length 1000000 -fat -out pinballs/ prog.elf
+//
+// Exit codes: 0 on success, 2 for corrupt inputs, 1 for anything else.
 package main
 
 import (
@@ -11,7 +13,7 @@ import (
 	"fmt"
 
 	"elfie/internal/cli"
-	"elfie/internal/kernel"
+	"elfie/internal/harness"
 	"elfie/internal/pinplay"
 )
 
@@ -24,26 +26,28 @@ func main() {
 	wholeImage := flag.Bool("log:whole_image", false, "record all loaded image pages")
 	pagesEarly := flag.Bool("log:pages_early", false, "record all mapped pages eagerly")
 	out := flag.String("out", ".", "output directory")
-	seed := flag.Int64("seed", 1, "machine seed")
 	budget := flag.Uint64("max", 10_000_000_000, "instruction budget")
-	var fsFlag cli.FSFlag
-	flag.Var(&fsFlag, "in", "guestpath=hostpath file mapping (repeatable)")
+	c := cli.Register(cli.FlagSeed | cli.FlagFault | cli.FlagIn)
 	flag.Parse()
 	if flag.NArg() < 1 {
 		cli.Die(fmt.Errorf("usage: logger [flags] prog.elf [args...]"))
 	}
 
+	plan, err := c.Plan()
+	if err != nil {
+		cli.DieClassified(err)
+	}
 	exe, err := cli.LoadELF(flag.Arg(0))
 	if err != nil {
-		cli.Die(err)
+		cli.DieClassified(err)
 	}
-	fs := kernel.NewFS()
-	if err := fsFlag.Populate(fs); err != nil {
-		cli.Die(err)
-	}
-	m, err := cli.NewMachine(exe, fs, *seed, 0, *budget, flag.Args())
+	fs, err := c.FS()
 	if err != nil {
 		cli.Die(err)
+	}
+	s, err := cli.NewSession(harness.ModeLog, exe, fs, c.Seed, 0, *budget, flag.Args(), plan)
+	if err != nil {
+		cli.DieClassified(err)
 	}
 
 	opts := pinplay.LogOptions{
@@ -54,9 +58,9 @@ func main() {
 	if *fat {
 		opts = opts.Fat()
 	}
-	pb, err := pinplay.Log(m, opts)
+	pb, err := pinplay.Log(s.Machine, opts)
 	if err != nil {
-		cli.Die(err)
+		cli.DieClassified(err)
 	}
 	if err := pb.Save(*out); err != nil {
 		cli.Die(err)

@@ -19,7 +19,6 @@ import (
 	"elfie/internal/cli"
 	"elfie/internal/coresim"
 	"elfie/internal/pinpoints"
-	"elfie/internal/store"
 	"elfie/internal/workloads"
 )
 
@@ -31,10 +30,8 @@ func main() {
 	slice := flag.Uint64("slicesize", 200_000, "slice size (instructions)")
 	warmup := flag.Uint64("warmup", 800_000, "warm-up region (instructions)")
 	maxK := flag.Int("maxk", 50, "maximum number of phases")
-	seed := flag.Int64("seed", 1, "pipeline seed")
 	trials := flag.Int("trials", 1, "native validation trials")
-	jobs := flag.Int("j", 0, "checkpoint-farm workers (0 = GOMAXPROCS)")
-	storeDir := flag.String("store", "", "cache pipeline artifacts in this checkpoint store")
+	c := cli.Register(cli.FlagSeed | cli.FlagJobs | cli.FlagStore)
 	flag.Parse()
 
 	if *list {
@@ -65,15 +62,13 @@ func main() {
 
 	cfg := pinpoints.Config{
 		SliceSize: *slice, WarmupSize: *warmup, MaxK: *maxK,
-		Seed: *seed, UseSysState: true, Jobs: *jobs,
+		Seed: c.Seed, UseSysState: true, Jobs: c.Jobs,
 	}
-	if *storeDir != "" {
-		s, err := store.Open(*storeDir)
-		if err != nil {
-			cli.DieClassified(err)
-		}
-		cfg.Store = s
+	s, err := c.OpenStore()
+	if err != nil {
+		cli.DieClassified(err)
 	}
+	cfg.Store = s
 	b, err := pinpoints.Prepare(recipe, cfg)
 	if err != nil {
 		cli.DieClassified(err)
@@ -117,7 +112,7 @@ func main() {
 	case "":
 	case "native":
 		for trial := 0; trial < *trials; trial++ {
-			v, err := pinpoints.ValidateNative(b, *seed+int64(trial)*101)
+			v, err := pinpoints.ValidateNative(b, c.Seed+int64(trial)*101)
 			if err != nil {
 				cli.Die(err)
 			}

@@ -28,17 +28,14 @@ import (
 func main() {
 	pbPath := flag.String("pinball", "", "pinball path (directory/name)")
 	injection := flag.Bool("replay:injection", true, "inject logged side effects and thread order")
-	seed := flag.Int64("seed", 1, "machine seed (injection-less mode)")
 	jitter := flag.Int("jitter", 0, "scheduler jitter (injection-less mode)")
-	faultPath := flag.String("fault", "", "JSON fault plan to inject during replay")
-	var fsFlag cli.FSFlag
-	flag.Var(&fsFlag, "in", "guestpath=hostpath file mapping (repeatable)")
+	c := cli.Register(cli.FlagSeed | cli.FlagFault | cli.FlagIn)
 	flag.Parse()
 	if *pbPath == "" {
 		cli.Die(fmt.Errorf("-pinball required"))
 	}
 
-	plan, err := cli.LoadFaultPlan(*faultPath)
+	plan, err := c.Plan()
 	if err != nil {
 		cli.DieClassified(err)
 	}
@@ -53,12 +50,12 @@ func main() {
 	if pb.Unverified {
 		fmt.Fprintf(os.Stderr, "warning: %s has a legacy manifest; integrity unverified\n", name)
 	}
-	fs := kernel.NewFS()
-	if err := fsFlag.Populate(fs); err != nil {
+	fs, err := c.FS()
+	if err != nil {
 		cli.Die(err)
 	}
-	res, err := pinplay.Replay(pb, kernel.New(fs, *seed), pinplay.ReplayOptions{
-		Injection: *injection, SchedSeed: *seed, SchedJitter: *jitter,
+	res, err := pinplay.Replay(pb, kernel.New(fs, c.Seed), pinplay.ReplayOptions{
+		Injection: *injection, SchedSeed: c.Seed, SchedJitter: *jitter,
 		Fault: plan,
 	})
 	if err != nil {

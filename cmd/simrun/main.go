@@ -15,7 +15,7 @@ import (
 	"elfie/internal/cli"
 	"elfie/internal/coresim"
 	"elfie/internal/gem5sim"
-	"elfie/internal/kernel"
+	"elfie/internal/harness"
 	"elfie/internal/sniper"
 	"elfie/internal/uarch"
 )
@@ -26,22 +26,20 @@ func main() {
 	frontend := flag.String("frontend", "sde", "coresim front-end: sde (user-level) or simics (full-system)")
 	config := flag.String("config", "nehalem", "gem5 processor config: nehalem or haswell")
 	marker := flag.Uint64("marker", 0, "skip simulation until this marker tag")
-	seed := flag.Int64("seed", 1, "machine seed")
 	budget := flag.Uint64("max", 1_000_000_000, "instruction budget")
 	endPC := flag.Uint64("end-pc", 0, "(PC, count) end condition: address")
 	endCount := flag.Uint64("end-count", 0, "(PC, count) end condition: global execution count")
-	var fsFlag cli.FSFlag
-	flag.Var(&fsFlag, "in", "guestpath=hostpath file mapping (repeatable)")
+	c := cli.Register(cli.FlagSeed | cli.FlagIn)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		cli.Die(fmt.Errorf("usage: simrun [flags] prog.elf"))
 	}
 	exe, err := cli.LoadELF(flag.Arg(0))
 	if err != nil {
-		cli.Die(err)
+		cli.DieClassified(err)
 	}
-	fs := kernel.NewFS()
-	if err := fsFlag.Populate(fs); err != nil {
+	fs, err := c.FS()
+	if err != nil {
 		cli.Die(err)
 	}
 
@@ -51,9 +49,9 @@ func main() {
 		cfg.Cores = *cores
 		cfg.Hier = uarch.DesktopHierarchy(*cores)
 		end := sniper.EndCondition{PC: *endPC, Count: *endCount}
-		res, err := sniper.SimulateELFie(exe, cfg, end, *seed, *budget)
+		res, err := sniper.SimulateELFie(exe, cfg, end, c.Seed, *budget)
 		if err != nil {
-			cli.Die(err)
+			cli.DieClassified(err)
 		}
 		fmt.Printf("sniper: %d instructions, %d cycles, runtime %.2f us, end=%v\n",
 			res.Instructions, res.Cycles, res.RuntimeNs/1000, res.EndReached)
@@ -70,13 +68,13 @@ func main() {
 		}
 		cfg := coresim.Skylake1(fe)
 		cfg.StartMarker = uint32(*marker)
-		m, err := cli.NewMachine(exe, fs, *seed, 0, *budget, flag.Args())
+		s, err := cli.NewSession(harness.ModeSim, exe, fs, c.Seed, 0, *budget, flag.Args(), nil)
 		if err != nil {
-			cli.Die(err)
+			cli.DieClassified(err)
 		}
-		res, err := coresim.Simulate(m, cfg)
+		res, err := coresim.SimulateSession(s, cfg)
 		if err != nil {
-			cli.Die(err)
+			cli.DieClassified(err)
 		}
 		fmt.Printf("coresim (%s): ring3=%d ring0=%d cycles=%d CPI=%.4f footprint=%d KiB\n",
 			*frontend, res.Ring3Instr, res.Ring0Instr, res.Cycles, res.CPI(),
@@ -91,9 +89,9 @@ func main() {
 		}
 		cfg.StartMarker = uint32(*marker)
 		cfg.MaxInstructions = *budget
-		res, err := gem5sim.Simulate(exe, cfg, *seed)
+		res, err := gem5sim.Simulate(exe, cfg, c.Seed)
 		if err != nil {
-			cli.Die(err)
+			cli.DieClassified(err)
 		}
 		fmt.Printf("gem5 SE (%s): %d instructions, %d cycles, IPC %.4f\n",
 			*config, res.Instructions, res.Cycles, res.IPC())

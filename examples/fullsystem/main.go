@@ -11,10 +11,10 @@ import (
 	"elfie/internal/core"
 	"elfie/internal/coresim"
 	"elfie/internal/elfobj"
+	"elfie/internal/harness"
 	"elfie/internal/kernel"
 	"elfie/internal/pinplay"
 	"elfie/internal/sysstate"
-	"elfie/internal/vm"
 	"elfie/internal/workloads"
 )
 
@@ -27,14 +27,16 @@ func main() {
 	}
 	fs := kernel.NewFS()
 	fs.WriteFile("/input.dat", workloads.InputFile())
-	m, err := vm.NewLoaded(kernel.New(fs, 1), exe, []string{r.Name}, nil)
+	sess, err := harness.New(harness.Config{
+		Mode: harness.ModeLog, Exe: exe, Argv: []string{r.Name},
+		FS: fs, Seed: 1, Budget: 2_000_000_000,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	m.MaxInstructions = 2_000_000_000
 
 	fmt.Println("capturing a 1M-instruction x264-like region...")
-	pb, err := pinplay.Log(m, pinplay.LogOptions{
+	pb, err := pinplay.Log(sess.Machine, pinplay.LogOptions{
 		Name: "x264.region", RegionStart: 50_000, RegionLength: 1_000_000,
 	}.Fat())
 	if err != nil {
@@ -57,16 +59,17 @@ func main() {
 		elfie, _ := elfobj.Read(bin)
 		fs := kernel.NewFS()
 		fs.WriteFile("/input.dat", workloads.InputFile())
-		st.Install(fs, "/sysstate")
-		m, err := vm.NewLoaded(kernel.New(fs, 9), elfie, []string{"elfie"}, nil)
+		s, err := harness.New(harness.Config{
+			Mode: harness.ModeSim, Exe: elfie, Argv: []string{"elfie"},
+			FS: fs, SysState: st, Seed: 9, Budget: 100_000_000,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		m.MaxInstructions = 100_000_000
 		cfg := coresim.Skylake1(fe)
 		cfg.StartMarker = 0x99
 		cfg.TimerIntervalInstr = 50_000
-		res, err := coresim.Simulate(m, cfg)
+		res, err := coresim.SimulateSession(s, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,10 +9,9 @@ import (
 	"log"
 
 	"elfie/internal/core"
-	"elfie/internal/kernel"
+	"elfie/internal/harness"
 	"elfie/internal/pinplay"
 	"elfie/internal/sniper"
-	"elfie/internal/vm"
 	"elfie/internal/workloads"
 )
 
@@ -23,15 +22,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	k := kernel.New(kernel.NewFS(), 1)
-	m, err := vm.NewLoaded(k, exe, []string{r.Name}, nil)
+	s, err := harness.New(harness.Config{
+		Mode: harness.ModeLog, Exe: exe, Argv: []string{r.Name},
+		Seed: 1, Budget: 2_000_000_000,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	m.MaxInstructions = 2_000_000_000
 
 	fmt.Printf("capturing an 8-thread region of %s...\n", r.Name)
-	pb, err := pinplay.Log(m, pinplay.LogOptions{
+	pb, err := pinplay.Log(s.Machine, pinplay.LogOptions{
 		Name: "mt.region", RegionStart: 100_000, RegionLength: 2_400_000,
 	}.Fat())
 	if err != nil {

@@ -10,9 +10,8 @@ import (
 	"elfie/internal/asm"
 	"elfie/internal/core"
 	"elfie/internal/elfobj"
-	"elfie/internal/kernel"
+	"elfie/internal/harness"
 	"elfie/internal/pinplay"
-	"elfie/internal/vm"
 )
 
 const program = `
@@ -58,16 +57,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	k := kernel.New(kernel.NewFS(), 1)
-	m, err := vm.NewLoaded(k, exe, []string{"demo"}, nil)
+	s, err := harness.New(harness.Config{
+		Mode: harness.ModeLog, Exe: exe, Argv: []string{"demo"},
+		Seed: 1, Budget: 100_000_000,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	m.MaxInstructions = 100_000_000
 
 	// 2. Record a fat pinball for 500k instructions of the main loop
 	//    (the warm-up loop retires ~250k instructions first).
-	pb, err := pinplay.Log(m, pinplay.LogOptions{
+	pb, err := pinplay.Log(s.Machine, pinplay.LogOptions{
 		Name:         "demo.main",
 		RegionStart:  300_000,
 		RegionLength: 500_000,
@@ -102,15 +102,17 @@ func main() {
 
 	// 5. Run it natively on a fresh machine: it starts exactly at the
 	//    captured state and exits after exactly the captured region.
-	k2 := kernel.New(kernel.NewFS(), 77) // different seed: different stack layout
-	m2, err := vm.NewLoaded(k2, elfie, []string{"demo.main.elfie"}, nil)
+	s2, err := harness.New(harness.Config{
+		Mode: harness.ModeNative, Exe: elfie, Argv: []string{"demo.main.elfie"},
+		Seed: 77, Budget: 100_000_000, // different seed: different stack layout
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	m2.MaxInstructions = 100_000_000
-	if err := m2.Run(); err != nil {
+	if err := s2.Run(); err != nil {
 		log.Fatal(err)
 	}
+	m2 := s2.Machine
 	t0 := m2.Threads[0]
 	counter := t0.PerfCounters()[0]
 	fmt.Printf("native ELFie run: retired %d total, region counter %d (fired=%v), fault=%v\n",

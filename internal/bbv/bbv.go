@@ -4,6 +4,7 @@
 package bbv
 
 import (
+	"elfie/internal/harness"
 	"elfie/internal/isa"
 	"elfie/internal/vm"
 )
@@ -92,7 +93,17 @@ func (c *Collector) Finish() *Profile {
 func Collect(m *vm.Machine, sliceSize uint64) (*Profile, error) {
 	c := NewCollector(sliceSize)
 	c.Attach(m)
-	if err := m.Run(); err != nil {
+	if err := harness.WrapRun(harness.ModeMeasure, m.Run()); err != nil {
+		return nil, err
+	}
+	return c.Finish(), nil
+}
+
+// CollectSession runs a harness-built session to completion under profiling.
+func CollectSession(s *harness.Session, sliceSize uint64) (*Profile, error) {
+	c := NewCollector(sliceSize)
+	c.Attach(s.Machine)
+	if err := s.Run(); err != nil {
 		return nil, err
 	}
 	return c.Finish(), nil

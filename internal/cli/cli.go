@@ -9,6 +9,8 @@ import (
 	"strings"
 
 	"elfie/internal/elfobj"
+	"elfie/internal/fault"
+	"elfie/internal/harness"
 	"elfie/internal/kernel"
 	"elfie/internal/vm"
 )
@@ -67,19 +69,15 @@ func (f *FSFlag) Populate(fs *kernel.FS) error {
 	return nil
 }
 
-// NewMachine builds a machine for an executable with the given filesystem
-// and scheduler parameters.
-func NewMachine(exe *elfobj.File, fs *kernel.FS, seed int64, jitter int, budget uint64, argv []string) (*vm.Machine, error) {
-	k := kernel.New(fs, seed)
-	m, err := vm.NewLoaded(k, exe, argv, nil)
-	if err != nil {
-		return nil, err
-	}
-	if jitter > 0 {
-		m.Sched = vm.NewRoundRobin(100, jitter, seed)
-	}
-	m.MaxInstructions = budget
-	return m, nil
+// NewSession composes a run session for an executable with the given
+// filesystem, scheduler parameters, and optional fault plan. All tools build
+// their machines through this one path, so scheduler defaults and fault
+// arming are uniform across modes.
+func NewSession(mode harness.Mode, exe *elfobj.File, fs *kernel.FS, seed int64, jitter int, budget uint64, argv []string, plan *fault.Plan) (*harness.Session, error) {
+	return harness.New(harness.Config{
+		Mode: mode, Exe: exe, Argv: argv, FS: fs,
+		Seed: seed, Jitter: jitter, Budget: budget, Plan: plan,
+	})
 }
 
 // PrintRunSummary reports a finished machine run on stderr and forwards the

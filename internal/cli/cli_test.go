@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"elfie/internal/asm"
+	"elfie/internal/harness"
 	"elfie/internal/kernel"
 )
 
@@ -57,7 +58,7 @@ func TestFSFlag(t *testing.T) {
 	}
 }
 
-func TestNewMachineRuns(t *testing.T) {
+func TestNewSessionRuns(t *testing.T) {
 	exe, err := asm.Program(`
 	.global _start
 _start:	movi r0, 231
@@ -67,15 +68,15 @@ _start:	movi r0, 231
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := NewMachine(exe, kernel.NewFS(), 1, 10, 1000, []string{"x"})
+	s, err := NewSession(harness.ModeNative, exe, kernel.NewFS(), 1, 10, 1000, []string{"x"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Run(); err != nil {
+	if err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if m.ExitStatus != 5 {
-		t.Errorf("exit = %d", m.ExitStatus)
+	if s.Machine.ExitStatus != 5 {
+		t.Errorf("exit = %d", s.Machine.ExitStatus)
 	}
-	PrintRunSummary(m) // smoke: must not panic
+	PrintRunSummary(s.Machine) // smoke: must not panic
 }

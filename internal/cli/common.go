@@ -1,0 +1,77 @@
+package cli
+
+import (
+	"flag"
+
+	"elfie/internal/fault"
+	"elfie/internal/kernel"
+	"elfie/internal/store"
+)
+
+// Common holds the flag values every tool spells the same way. Tools opt
+// into the subset they need via Register, so -seed, -j, -store, -fault and
+// -in mean the same thing (same name, same default, same help text) across
+// the whole tool-chain.
+type Common struct {
+	Seed      int64
+	Jobs      int
+	StoreDir  string
+	FaultPath string
+	In        FSFlag
+}
+
+// FlagSet selects which shared flags Register installs.
+type FlagSet uint
+
+// Shared flags.
+const (
+	FlagSeed FlagSet = 1 << iota
+	FlagJobs
+	FlagStore
+	FlagFault
+	FlagIn
+)
+
+// Register installs the selected shared flags on the default flag set and
+// returns the struct their values land in. Call before flag.Parse.
+func Register(which FlagSet) *Common {
+	c := &Common{}
+	if which&FlagSeed != 0 {
+		flag.Int64Var(&c.Seed, "seed", 1, "machine seed (stack randomization, clock jitter, scheduler)")
+	}
+	if which&FlagJobs != 0 {
+		flag.IntVar(&c.Jobs, "j", 0, "parallel workers (0 = GOMAXPROCS)")
+	}
+	if which&FlagStore != 0 {
+		flag.StringVar(&c.StoreDir, "store", "", "content-addressed checkpoint store directory")
+	}
+	if which&FlagFault != 0 {
+		flag.StringVar(&c.FaultPath, "fault", "", "JSON fault plan to inject during the run")
+	}
+	if which&FlagIn != 0 {
+		flag.Var(&c.In, "in", "guestpath=hostpath file mapping (repeatable)")
+	}
+	return c
+}
+
+// Plan loads the -fault plan; a nil plan (injection off) when unset.
+func (c *Common) Plan() (*fault.Plan, error) {
+	return LoadFaultPlan(c.FaultPath)
+}
+
+// FS builds a guest filesystem populated from the -in mappings.
+func (c *Common) FS() (*kernel.FS, error) {
+	fs := kernel.NewFS()
+	if err := c.In.Populate(fs); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// OpenStore opens the -store checkpoint store; nil when unset.
+func (c *Common) OpenStore() (*store.Store, error) {
+	if c.StoreDir == "" {
+		return nil, nil
+	}
+	return store.Open(c.StoreDir)
+}

@@ -11,6 +11,7 @@
 package coresim
 
 import (
+	"elfie/internal/harness"
 	"elfie/internal/isa"
 	"elfie/internal/kernel"
 	"elfie/internal/uarch"
@@ -198,7 +199,17 @@ func (s *Sim) Finish() *Result {
 // Simulate runs the machine to completion under the simulator.
 func Simulate(m *vm.Machine, cfg Config) (*Result, error) {
 	s := Attach(m, cfg)
-	if err := m.Run(); err != nil {
+	if err := harness.WrapRun(harness.ModeSim, m.Run()); err != nil {
+		return nil, err
+	}
+	return s.Finish(), nil
+}
+
+// SimulateSession runs a harness-built session to completion under the
+// simulator.
+func SimulateSession(sess *harness.Session, cfg Config) (*Result, error) {
+	s := Attach(sess.Machine, cfg)
+	if err := sess.Run(); err != nil {
 		return nil, err
 	}
 	return s.Finish(), nil

@@ -1,0 +1,95 @@
+package golint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// rawConstructors are the vm entry points that compose a machine by hand.
+// Production code must go through internal/harness instead, so scheduler
+// quanta, seeds, and fault arming stay defined in exactly one place.
+var rawConstructors = map[string]bool{
+	"NewLoaded":     true,
+	"NewRoundRobin": true,
+}
+
+// constructExempt lists directories (relative to the repo root) whose
+// non-test sources may call the raw vm constructors: the harness itself,
+// and the vm package that defines them.
+var constructExempt = []string{
+	filepath.Join("internal", "harness"),
+	filepath.Join("internal", "vm"),
+}
+
+// LintConstruction walks every non-test Go file under root and reports each
+// call of vm.NewLoaded or vm.NewRoundRobin outside the exempt packages.
+// Test files are exempt: tests legitimately build bespoke machines to poke
+// at edge cases.
+func LintConstruction(root string) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	fset := token.NewFileSet()
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			name := info.Name()
+			if name == ".git" || name == ".github" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			rel, rerr := filepath.Rel(root, path)
+			if rerr == nil {
+				for _, ex := range constructExempt {
+					if rel == ex {
+						return filepath.SkipDir
+					}
+				}
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, perr := parser.ParseFile(fset, path, nil, 0)
+		if perr != nil {
+			return fmt.Errorf("golint: %v", perr)
+		}
+		diags = append(diags, lintFileConstruction(fset, file)...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return diags, nil
+}
+
+// lintFileConstruction reports raw vm constructor calls in one parsed file.
+func lintFileConstruction(fset *token.FileSet, file *ast.File) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !rawConstructors[sel.Sel.Name] {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "vm" {
+			return true
+		}
+		pos := fset.Position(call.Pos())
+		diags = append(diags, Diagnostic{
+			Pos: fmt.Sprintf("%s:%d", pos.Filename, pos.Line),
+			Msg: fmt.Sprintf("raw vm.%s call; compose the machine through internal/harness so scheduler and fault defaults stay in one place", sel.Sel.Name),
+		})
+		return true
+	})
+	return diags
+}

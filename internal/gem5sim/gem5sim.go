@@ -12,8 +12,8 @@ import (
 	"fmt"
 
 	"elfie/internal/elfobj"
+	"elfie/internal/harness"
 	"elfie/internal/isa"
-	"elfie/internal/kernel"
 	"elfie/internal/uarch"
 	"elfie/internal/vm"
 )
@@ -59,13 +59,14 @@ func (r *Result) IPC() float64 {
 // Simulate loads the binary (typically an ELFie) into a fresh SE-mode
 // machine and simulates it on the configured core.
 func Simulate(exe *elfobj.File, cfg Config, seed int64) (*Result, error) {
-	k := kernel.New(kernel.NewFS(), seed)
-	m, err := vm.NewLoaded(k, exe, []string{"gem5-se"}, nil)
+	s, err := harness.New(harness.Config{
+		Mode: harness.ModeSim, Exe: exe, Argv: []string{"gem5-se"},
+		Seed: seed, Budget: cfg.MaxInstructions,
+	})
 	if err != nil {
 		return nil, err
 	}
-	m.MaxInstructions = cfg.MaxInstructions
-	return SimulateMachine(m, cfg)
+	return SimulateMachine(s.Machine, cfg)
 }
 
 // SimulateMachine simulates an already-prepared machine.
@@ -99,7 +100,7 @@ func SimulateMachine(m *vm.Machine, cfg Config) (*Result, error) {
 		}
 		core.Consume(d)
 	}))
-	if err := m.Run(); err != nil {
+	if err := harness.WrapRun(harness.ModeSim, m.Run()); err != nil {
 		return nil, err
 	}
 	feeder.Flush()

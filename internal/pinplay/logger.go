@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 
+	"elfie/internal/harness"
 	"elfie/internal/isa"
 	"elfie/internal/kernel"
 	"elfie/internal/mem"
@@ -58,7 +59,7 @@ func Log(m *vm.Machine, opts LogOptions) (*pinball.Pinball, error) {
 	// Phase 1: fast-forward to the region start.
 	if opts.RegionStart > 0 {
 		m.MaxInstructions = opts.RegionStart
-		if err := m.Run(); err != nil {
+		if err := harness.WrapRun(harness.ModeLog, m.Run()); err != nil {
 			return nil, err
 		}
 		if m.Halted || m.AliveCount() == 0 {
@@ -111,7 +112,7 @@ func Log(m *vm.Machine, opts LogOptions) (*pinball.Pinball, error) {
 	eng := pin.NewEngine(m)
 	eng.Attach(&lg.Tool)
 	m.MaxInstructions = pb.Meta.RegionStartIcount + opts.RegionLength
-	if err := m.Run(); err != nil {
+	if err := harness.WrapRun(harness.ModeLog, m.Run()); err != nil {
 		return nil, err
 	}
 	m.Hooks = vm.Hooks{}

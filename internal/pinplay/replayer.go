@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"elfie/internal/fault"
+	"elfie/internal/harness"
 	"elfie/internal/isa"
 	"elfie/internal/kernel"
 	"elfie/internal/mem"
@@ -61,32 +62,11 @@ type ReplayResult struct {
 	InjectedSyscalls int
 }
 
-// NewReplayMachine builds a machine whose state is the pinball's captured
-// state: memory image mapped, one thread per .reg file. Shared by the
-// replayer and by tools (sysstate) that analyze pinballs by replaying them.
-func NewReplayMachine(pb *pinball.Pinball, k *kernel.Kernel) *vm.Machine {
-	proc := kernel.NewProcess(k.FS)
-	for _, pg := range pb.Pages {
-		prot := pg.Prot
-		if prot == 0 {
-			prot = mem.ProtRW
-		}
-		proc.AS.Map(pg.Addr, uint64(len(pg.Data)), prot)
-		proc.AS.WriteNoFault(pg.Addr, pg.Data)
-	}
-	proc.BrkStart = pb.Meta.BrkStart
-	proc.Brk = pb.Meta.Brk
-	m := vm.New(k, proc)
-	for _, regs := range pb.Regs {
-		m.AddThread(regs)
-	}
-	return m
-}
-
 // Replay re-executes a pinball region. With injection on, system calls are
 // skipped and their recorded side effects injected, and the recorded thread
 // schedule is enforced, so the replay is constrained to the captured
-// behaviour.
+// behaviour. The replay machine — pinball memory image mapped, one thread
+// per captured context — is composed by the run harness.
 func Replay(pb *pinball.Pinball, k *kernel.Kernel, opts ReplayOptions) (*ReplayResult, error) {
 	if len(pb.Regs) == 0 {
 		return nil, fmt.Errorf("pinplay: pinball has no threads")
@@ -94,13 +74,29 @@ func Replay(pb *pinball.Pinball, k *kernel.Kernel, opts ReplayOptions) (*ReplayR
 	if opts.MaxFactor == 0 {
 		opts.MaxFactor = 4
 	}
-	m := NewReplayMachine(pb, k)
-	res := &ReplayResult{Machine: m}
-	if opts.Fault != nil {
-		inj := fault.New(opts.Fault)
-		k.Fault = inj
-		m.FaultInj = inj
+	cfg := harness.Config{
+		Mode:    harness.ModeReplay,
+		Pinball: pb,
+		Kernel:  k,
+		Plan:    opts.Fault,
 	}
+	if opts.Injection {
+		// Constrained replay: recorded thread order, ends exactly at the
+		// recorded budget.
+		cfg.Sched = harness.SchedTrace
+		cfg.Budget = pb.Meta.TotalInstructions
+	} else {
+		cfg.Sched = harness.SchedJittered
+		cfg.Jitter = opts.SchedJitter
+		cfg.Seed = opts.SchedSeed
+		cfg.Budget = pb.Meta.TotalInstructions * opts.MaxFactor
+	}
+	s, err := harness.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := s.Machine
+	res := &ReplayResult{Machine: m}
 
 	// diverge records the first divergence; later ones are ignored, as the
 	// machine state after the first is already off the logged trajectory.
@@ -113,7 +109,6 @@ func Replay(pb *pinball.Pinball, k *kernel.Kernel, opts ReplayOptions) (*ReplayR
 	}
 
 	if opts.Injection {
-		m.Sched = &vm.TraceScheduler{Trace: pb.Sched}
 		// Per-thread queues of logged effects, in program order.
 		queues := make([][]*pinball.SyscallEffect, len(pb.Regs))
 		for i := range pb.Syscalls {
@@ -179,20 +174,12 @@ func Replay(pb *pinball.Pinball, k *kernel.Kernel, opts ReplayOptions) (*ReplayR
 			})
 			return false
 		}
-	} else {
-		m.Sched = vm.NewRoundRobin(100, opts.SchedJitter, opts.SchedSeed)
 	}
 
-	if opts.Injection {
-		// Constrained replay ends exactly at the recorded budget.
-		m.MaxInstructions = pb.Meta.TotalInstructions
-	} else {
-		m.MaxInstructions = pb.Meta.TotalInstructions * opts.MaxFactor
-	}
 	if opts.BeforeRun != nil {
 		opts.BeforeRun(m)
 	}
-	if err := m.Run(); err != nil {
+	if err := s.Run(); err != nil {
 		return nil, err
 	}
 

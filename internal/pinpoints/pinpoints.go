@@ -17,6 +17,7 @@ import (
 	"elfie/internal/elfobj"
 	"elfie/internal/farm"
 	"elfie/internal/fault"
+	"elfie/internal/harness"
 	"elfie/internal/isa"
 	"elfie/internal/kernel"
 	"elfie/internal/pinball"
@@ -101,6 +102,11 @@ type Region struct {
 	// Restore is the converter's restore-map side table, cross-checked by
 	// the static verifier against the generated startup code.
 	Restore *core.RestoreMap
+
+	// sess is the region's cached native-run session: the ELFie image is
+	// serialized and re-parsed once, then validation trials Reset-reuse
+	// the session (see ELFieSession).
+	sess *harness.Session
 }
 
 // Benchmark is a fully prepared workload: executable, profile, selection,
@@ -138,19 +144,27 @@ func (b *Benchmark) CacheErrors() int64 { return b.cacheErrs.Load() }
 // for tests that assert on injected-event counts.
 func (b *Benchmark) FaultInjector() *fault.Injector { return b.inj }
 
-// NewMachine builds a fresh machine for the benchmark's program.
-func (b *Benchmark) NewMachine(seed int64) (*vm.Machine, error) {
+// session composes a harness session for the benchmark's own program.
+// Profiling, logging, and whole-program measurement machines stay clean of
+// the pipeline injector by design (see Config.Fault).
+func (b *Benchmark) session(mode harness.Mode, seed int64) (*harness.Session, error) {
 	fs := kernel.NewFS()
 	if b.Recipe.FileInput {
 		fs.WriteFile("/input.dat", workloads.InputFile())
 	}
-	k := kernel.New(fs, seed)
-	m, err := vm.NewLoaded(k, b.Exe, []string{b.Recipe.Name}, nil)
+	return harness.New(harness.Config{
+		Mode: mode, Exe: b.Exe, Argv: []string{b.Recipe.Name},
+		FS: fs, Seed: seed, Budget: b.cfg.MachineBudget,
+	})
+}
+
+// NewMachine builds a fresh machine for the benchmark's program.
+func (b *Benchmark) NewMachine(seed int64) (*vm.Machine, error) {
+	s, err := b.session(harness.ModeMeasure, seed)
 	if err != nil {
 		return nil, err
 	}
-	m.MaxInstructions = b.cfg.MachineBudget
-	return m, nil
+	return s.Machine, nil
 }
 
 // Prepare runs the full pipeline for one recipe through the checkpoint
@@ -175,14 +189,14 @@ func Prepare(r workloads.Recipe, cfg Config) (*Benchmark, error) {
 		ID: "profile", Stage: "profile",
 		Probe: func() bool { return b.useStore() && b.loadCachedProfile() },
 		Run: func() error {
-			m, err := b.NewMachine(cfg.Seed)
+			s, err := b.session(harness.ModeMeasure, cfg.Seed)
 			if err != nil {
 				return err
 			}
-			if b.Profile, err = bbv.Collect(m, cfg.SliceSize); err != nil {
+			if b.Profile, err = bbv.CollectSession(s, cfg.SliceSize); err != nil {
 				return err
 			}
-			b.TotalInstructions = m.GlobalRetired
+			b.TotalInstructions = s.Machine.GlobalRetired
 			if b.useStore() {
 				if err := b.storeProfile(); err != nil {
 					b.cacheErrs.Add(1)
@@ -286,11 +300,11 @@ func (b *Benchmark) regionWindow(slice int) (start, warmup uint64) {
 func (b *Benchmark) logSlice(slice int) (*pinball.Pinball, error) {
 	cfg := b.cfg
 	start, warmup := b.regionWindow(slice)
-	m, err := b.NewMachine(cfg.Seed)
+	s, err := b.session(harness.ModeLog, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	pb, err := pinplay.Log(m, pinplay.LogOptions{
+	pb, err := pinplay.Log(s.Machine, pinplay.LogOptions{
 		Name:         fmt.Sprintf("%s.s%d", b.Recipe.Name, slice),
 		RegionStart:  start,
 		RegionLength: warmup + cfg.SliceSize,
@@ -397,35 +411,71 @@ func (b *Benchmark) cacheRegion(reg *Region) {
 	}
 }
 
-// RunELFie executes a region's ELFie natively on a fresh machine (with its
-// sysstate installed when present) and returns the machine.
-func (b *Benchmark) RunELFie(reg *Region, seed int64) (*vm.Machine, error) {
+// elfieConfig assembles the harness parts for a region's native ELFie run:
+// the serialized-and-reparsed ELFie image, the guest filesystem (input file
+// plus installed sysstate), and the pipeline injector. ELFie runs are the
+// injection target: kernel rules (syscall errors, exhaustion) and VM rules
+// (forced faults, ungraceful exit) both apply.
+func (b *Benchmark) elfieConfig(reg *Region, seed int64) (harness.Config, error) {
 	buf, err := reg.ELFie.Write()
 	if err != nil {
-		return nil, err
+		return harness.Config{}, err
 	}
 	exe, err := elfobj.Read(buf)
 	if err != nil {
-		return nil, err
+		return harness.Config{}, err
 	}
 	fs := kernel.NewFS()
 	if b.Recipe.FileInput {
 		fs.WriteFile("/input.dat", workloads.InputFile())
 	}
-	if reg.SysState != nil {
-		reg.SysState.Install(fs, "/sysstate")
+	cfg := harness.Config{
+		Mode: harness.ModeNative, Exe: exe, Argv: []string{"elfie"},
+		FS: fs, Seed: seed,
+		Budget:   4 * (reg.Warmup + b.cfg.SliceSize + 1_000_000),
+		Injector: b.inj,
 	}
-	k := kernel.New(fs, seed)
-	// ELFie runs are the injection target: kernel rules (syscall errors,
-	// exhaustion) and VM rules (forced faults, ungraceful exit) both apply.
-	k.Fault = b.inj
-	m, err := vm.NewLoaded(k, exe, []string{"elfie"}, nil)
+	if reg.SysState != nil {
+		cfg.SysState = reg.SysState
+	}
+	return cfg, nil
+}
+
+// RunELFie executes a region's ELFie natively on a fresh machine (with its
+// sysstate installed when present) and returns the machine.
+func (b *Benchmark) RunELFie(reg *Region, seed int64) (*vm.Machine, error) {
+	cfg, err := b.elfieConfig(reg, seed)
 	if err != nil {
 		return nil, err
 	}
-	m.FaultInj = b.inj
-	m.MaxInstructions = 4 * (reg.Warmup + b.cfg.SliceSize + 1_000_000)
-	return m, nil
+	s, err := harness.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Machine, nil
+}
+
+// ELFieSession returns the region's native-run session, building it (one
+// ELFie serialization round-trip) on first use and Reset-reusing it for
+// every later trial — state-for-state equivalent to a fresh RunELFie at
+// the same seed, without the per-trial serialization.
+func (b *Benchmark) ELFieSession(reg *Region, seed int64) (*harness.Session, error) {
+	if reg.sess != nil {
+		if err := reg.sess.Reset(seed); err != nil {
+			return nil, err
+		}
+		return reg.sess, nil
+	}
+	cfg, err := b.elfieConfig(reg, seed)
+	if err != nil {
+		return nil, err
+	}
+	s, err := harness.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	reg.sess = s
+	return s, nil
 }
 
 // Completed reports whether a finished ELFie run reached its graceful exit.

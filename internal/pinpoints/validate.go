@@ -153,19 +153,21 @@ func (b *Benchmark) measureWithFallback(reg *Region, trialSeed int64) (RegionCPI
 // measureRegion runs one region's ELFie natively and extracts the slice CPI
 // (the window after the warm-up prefix). A non-nil error (classifiable via
 // FailureOf) means the ELFie failed to produce a trustworthy measurement.
+// The region's session is Reset-reused across trials.
 func (b *Benchmark) measureRegion(reg *Region, seed int64) (float64, error) {
-	m, err := b.RunELFie(reg, seed)
+	s, err := b.ELFieSession(reg, seed)
 	if err != nil {
 		return 0, failf(FailConversion, "elfie for slice %d unloadable: %v", reg.SliceUsed, err)
 	}
+	m := s.Machine
 	ms := perfle.Attach(m, perfle.Options{
 		Cores:       1,
 		StartMarker: b.cfg.MarkerTag,
 		SkipInstr:   reg.TailInstr + reg.Warmup,
 		NoiseSeed:   seed + int64(reg.SliceUsed),
 	})
-	if err := m.Run(); err != nil {
-		return 0, failf(FailInternal, "elfie run: %v", err)
+	if err := s.Run(); err != nil {
+		return 0, failf(FailInternal, "elfie run for slice %d: %w", reg.SliceUsed, err)
 	}
 	rep := ms.Finish()
 	if m.FatalFault != nil {
@@ -254,16 +256,17 @@ func ValidateSim(b *Benchmark, cfg coresim.Config) (*Validation, error) {
 // simRegion simulates one region's ELFie under CoreSim, excluding the
 // warm-up prefix from the reported CPI.
 func (b *Benchmark) simRegion(reg *Region, cfg coresim.Config) (float64, error) {
-	m, err := b.RunELFie(reg, b.cfg.Seed)
+	s, err := b.ELFieSession(reg, b.cfg.Seed)
 	if err != nil {
 		return 0, failf(FailConversion, "elfie for slice %d unloadable: %v", reg.SliceUsed, err)
 	}
+	m := s.Machine
 	cfg.StartMarker = b.cfg.MarkerTag
 	warmLimit := reg.TailInstr + reg.Warmup
 
 	sim := coresim.Attach(m, cfg)
-	if err := m.Run(); err != nil {
-		return 0, failf(FailInternal, "simulated elfie run: %v", err)
+	if err := s.Run(); err != nil {
+		return 0, failf(FailInternal, "simulated elfie run for slice %d: %w", reg.SliceUsed, err)
 	}
 	res := sim.Finish()
 	if !Completed(m) {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"elfie/internal/elfobj"
+	"elfie/internal/harness"
 	"elfie/internal/isa"
 	"elfie/internal/kernel"
 	"elfie/internal/pinball"
@@ -159,21 +160,20 @@ func SimulatePinball(pb *pinball.Pinball, cfg Config, end EndCondition) (*Result
 // the recorded run — the behaviour Fig. 11 reports.
 func SimulateELFie(exe *elfobj.File, cfg Config, end EndCondition, seed int64, budget uint64) (*Result, error) {
 	e := newEngine(cfg, end)
-	k := kernel.New(kernel.NewFS(), seed)
-	m, err := vm.NewLoaded(k, exe, []string{"elfie"}, nil)
+	// SchedNative models threads pinned to dedicated cores: coarse
+	// jittering quanta let threads drift apart between barriers, and PAUSE
+	// does not yield, so a waiting thread burns spin-loop instructions at
+	// full rate — which is why unconstrained ELFie simulations retire more
+	// instructions than the constrained pinball replay (Fig. 11).
+	s, err := harness.New(harness.Config{
+		Mode: harness.ModeSim, Exe: exe, Argv: []string{"elfie"},
+		Seed: seed, Sched: harness.SchedNative, Budget: budget,
+	})
 	if err != nil {
 		return nil, err
 	}
-	// Model threads pinned to dedicated cores: coarse jittering quanta let
-	// threads drift apart between barriers, and PAUSE does not yield, so a
-	// waiting thread burns spin-loop instructions at full rate — which is
-	// why unconstrained ELFie simulations retire more instructions than
-	// the constrained pinball replay (Fig. 11).
-	m.Sched = vm.NewRoundRobin(1000, 700, seed)
-	m.PauseDoesNotYield = true
-	m.MaxInstructions = budget
-	e.attach(m)
-	if err := m.Run(); err != nil {
+	e.attach(s.Machine)
+	if err := s.Run(); err != nil {
 		return nil, err
 	}
 	return e.result(), nil
@@ -184,7 +184,7 @@ func SimulateELFie(exe *elfobj.File, cfg Config, end EndCondition, seed int64, b
 func SimulateMachine(m *vm.Machine, cfg Config, end EndCondition) (*Result, error) {
 	e := newEngine(cfg, end)
 	e.attach(m)
-	if err := m.Run(); err != nil {
+	if err := harness.WrapRun(harness.ModeSim, m.Run()); err != nil {
 		return nil, err
 	}
 	return e.result(), nil

@@ -250,6 +250,30 @@ func NewLoaded(k *kernel.Kernel, exe *elfobj.File, argv, envp []string) (*Machin
 	return m, nil
 }
 
+// Reset rewinds the machine to its freshly-constructed state around a new
+// kernel and process, reusing the Machine allocation (the run harness's
+// fast trial-reuse path). The decoded-block cache is dropped: a fresh
+// address space restarts its generation clock, so stale (page, generation)
+// keys from the previous run could otherwise collide with live ones.
+func (m *Machine) Reset(k *kernel.Kernel, proc *kernel.Process) {
+	m.Kernel = k
+	m.Proc = proc
+	m.Threads = m.Threads[:0]
+	m.Sched = NewRoundRobin(100, 0, 0)
+	m.Hooks = Hooks{}
+	m.GlobalRetired = 0
+	m.MaxInstructions = 0
+	m.PauseDoesNotYield = false
+	m.FaultInj = nil
+	m.DisableBlockCache = false
+	m.bcache = nil
+	m.lastPN, m.lastPB = 0, nil
+	m.Halted = false
+	m.stopReq = false
+	m.ExitStatus = 0
+	m.FatalFault = nil
+}
+
 // AddThread creates a new runnable thread with the given initial registers.
 func (m *Machine) AddThread(regs isa.RegFile) *Thread {
 	t := &Thread{TID: len(m.Threads), Regs: regs, Alive: true}
