@@ -83,8 +83,8 @@ func main() {
 		if err != nil {
 			cli.DieClassified(err)
 		}
-		fmt.Printf("checked %d entries (%d pinballs, %d linted, %d unverified legacy)\n",
-			rep.Checked, rep.Pinballs, rep.Linted, rep.Unverified)
+		fmt.Printf("checked %d entries (%d pinballs, %d checkpoints, %d linted, %d unverified legacy)\n",
+			rep.Checked, rep.Pinballs, rep.Checkpoints, rep.Linted, rep.Unverified)
 		for _, p := range rep.Problems {
 			fmt.Fprintf(os.Stderr, "CORRUPT key=%s object=%s: %v\n",
 				short(p.Key), short(p.Object), p.Err)

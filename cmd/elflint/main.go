@@ -9,6 +9,7 @@
 //	elflint -pinball dir/name file.elfie  # + pinball cross-checks
 //	elflint -restore map.json file.elfie  # + converter restore-map cross-checks
 //	elflint -json file.elfie              # findings as JSON
+//	elflint -ckpt dir/name.ckpt           # validate a mid-run checkpoint pinball
 //
 // Exit status: 0 clean (warnings allowed with -werror off), 1 internal
 // error, 2 lint errors (corrupt-input per the exit-code taxonomy).
@@ -32,7 +33,16 @@ func main() {
 	pbPath := flag.String("pinball", "", "matching pinball (dir/name) for cross-checks")
 	rmPath := flag.String("restore", "", "converter restore-map JSON for cross-checks")
 	werror := flag.Bool("werror", false, "treat warnings as errors")
+	ckpt := flag.String("ckpt", "",
+		"validate a mid-run checkpoint pinball (dir/name) instead of linting an ELFie")
 	flag.Parse()
+	if *ckpt != "" {
+		if flag.NArg() != 0 {
+			cli.Die(fmt.Errorf("usage: elflint -ckpt dir/name (no ELFie argument)"))
+		}
+		lintCheckpoint(*ckpt)
+		return
+	}
 	if flag.NArg() != 1 {
 		cli.Die(fmt.Errorf("usage: elflint [flags] file.elfie"))
 	}
@@ -87,4 +97,30 @@ func main() {
 		cli.DieClassified(fmt.Errorf("%w: %s: %d lint findings",
 			cli.ErrCorruptInput, flag.Arg(0), len(rep.Findings)))
 	}
+}
+
+// lintCheckpoint reads a mid-run checkpoint pinball (integrity-verified by
+// the read) and runs the semantic validation the harness applies before
+// resuming one. A pinball without checkpoint metadata is rejected: this mode
+// answers "can a crashed job restart from this file set".
+func lintCheckpoint(path string) {
+	dir, name := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	pb, err := pinball.Read(dir, name, pinball.ReadOptions{})
+	if err != nil {
+		cli.DieClassified(err)
+	}
+	if pb.Meta.Checkpoint == nil {
+		cli.DieClassified(fmt.Errorf("%w: %s: not a checkpoint pinball (no checkpoint metadata)",
+			cli.ErrCorruptInput, path))
+	}
+	if err := pb.ValidateCheckpoint(); err != nil {
+		cli.DieClassified(fmt.Errorf("%w: %s: %v", cli.ErrCorruptInput, path, err))
+	}
+	ck := pb.Meta.Checkpoint
+	fmt.Printf("%s: valid checkpoint of %s: %d threads, %d retired, %d instructions remaining, %d logged effects\n",
+		path, ck.Origin, pb.Meta.NumThreads, ck.GlobalRetired,
+		pb.Meta.TotalInstructions, len(pb.Syscalls))
 }

@@ -8,6 +8,11 @@
 //	replay -pinball pinballs/gcc.r1
 //	replay -pinball pinballs/gcc.r1 -replay:injection=0 -in /input.dat=./input.dat
 //	replay -pinball pinballs/gcc.r1 -fault plan.json
+//	replay -pinball pinballs/gcc.r1 -ckpt-every 200000 -ckpt-out ck
+//
+// With -ckpt-every, the replay drops a resumable mid-run checkpoint pinball
+// (<name>.ckpt, newest wins) into -ckpt-out every N instructions; validate
+// it with `elflint -ckpt ck/<name>.ckpt`, resume it with `replay -pinball`.
 //
 // Exit codes: 0 replay completed, 2 corrupt pinball or plan, 3 divergence,
 // 1 anything else.
@@ -20,6 +25,7 @@ import (
 	"path/filepath"
 
 	"elfie/internal/cli"
+	"elfie/internal/harness"
 	"elfie/internal/kernel"
 	"elfie/internal/pinball"
 	"elfie/internal/pinplay"
@@ -29,6 +35,10 @@ func main() {
 	pbPath := flag.String("pinball", "", "pinball path (directory/name)")
 	injection := flag.Bool("replay:injection", true, "inject logged side effects and thread order")
 	jitter := flag.Int("jitter", 0, "scheduler jitter (injection-less mode)")
+	ckptEvery := flag.Uint64("ckpt-every", 0,
+		"save a resumable mid-run checkpoint every N instructions (0 = off)")
+	ckptOut := flag.String("ckpt-out", "",
+		"directory for -ckpt-every checkpoints (default: the pinball's directory)")
 	c := cli.Register(cli.FlagSeed | cli.FlagFault | cli.FlagIn)
 	flag.Parse()
 	if *pbPath == "" {
@@ -54,10 +64,24 @@ func main() {
 	if err != nil {
 		cli.Die(err)
 	}
-	res, err := pinplay.Replay(pb, kernel.New(fs, c.Seed), pinplay.ReplayOptions{
+	opts := pinplay.ReplayOptions{
 		Injection: *injection, SchedSeed: c.Seed, SchedJitter: *jitter,
 		Fault: plan,
-	})
+	}
+	if *ckptEvery > 0 {
+		out := *ckptOut
+		if out == "" {
+			out = dir
+		}
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			cli.Die(err)
+		}
+		opts.Ckpt = &harness.CkptOptions{
+			Every: *ckptEvery,
+			Save:  func(ck *pinball.Pinball) error { return ck.Save(out) },
+		}
+	}
+	res, err := pinplay.Replay(pb, kernel.New(fs, c.Seed), opts)
 	if err != nil {
 		cli.DieClassified(err)
 	}

@@ -1,0 +1,92 @@
+package farm
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// Backoff is a capped exponential retry-delay policy with deterministic
+// seeded jitter. Jitter is derived by hashing (seed, job ID, attempt), not
+// from a global RNG or the clock, so a replayed farm run waits the exact
+// same delays — retry timing is part of the reproducible schedule, and two
+// jobs that fail together do not retry in lockstep (their IDs hash apart).
+type Backoff struct {
+	// Base is the first retry's delay (default 10ms).
+	Base time.Duration
+	// Max caps the grown delay (default 2s).
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier (default 2).
+	Factor float64
+	// Jitter is the fraction of the delay that is randomized, in [0, 1]:
+	// the delay is scaled by a factor drawn from [1-Jitter/2, 1+Jitter/2]
+	// (default 0.5).
+	Jitter float64
+	// Seed perturbs the jitter hash, so independent farms jitter apart.
+	Seed uint64
+	// Sleep, when non-nil, replaces time.Sleep — tests assert on computed
+	// delays without actually waiting.
+	Sleep func(time.Duration)
+}
+
+// withDefaults fills zero fields; a nil receiver means no backoff at all.
+func (b *Backoff) withDefaults() Backoff {
+	d := *b
+	if d.Base <= 0 {
+		d.Base = 10 * time.Millisecond
+	}
+	if d.Max <= 0 {
+		d.Max = 2 * time.Second
+	}
+	if d.Factor < 1 {
+		d.Factor = 2
+	}
+	if d.Jitter < 0 || d.Jitter > 1 {
+		d.Jitter = 0.5
+	}
+	return d
+}
+
+// Delay computes the wait before retry number attempt (1 = first retry) of
+// job jobID. Pure function of (policy, jobID, attempt).
+func (b *Backoff) Delay(jobID string, attempt int) time.Duration {
+	if b == nil {
+		return 0
+	}
+	d := b.withDefaults()
+	delay := float64(d.Base)
+	for i := 1; i < attempt && time.Duration(delay) < d.Max; i++ {
+		delay *= d.Factor
+	}
+	if delay > float64(d.Max) {
+		delay = float64(d.Max)
+	}
+	if d.Jitter > 0 {
+		h := fnv.New64a()
+		var seed [8]byte
+		for i := 0; i < 8; i++ {
+			seed[i] = byte(d.Seed >> (8 * i))
+		}
+		h.Write(seed[:])
+		h.Write([]byte(jobID))
+		h.Write([]byte{byte(attempt), byte(attempt >> 8), byte(attempt >> 16), byte(attempt >> 24)})
+		// Uniform in [0, 1) from the top 53 bits of the hash.
+		u := float64(h.Sum64()>>11) / float64(1<<53)
+		delay *= 1 - d.Jitter/2 + d.Jitter*u
+	}
+	return time.Duration(delay)
+}
+
+// wait sleeps for the computed delay (via the policy's Sleep override when
+// set) and returns it for accounting.
+func (b *Backoff) wait(jobID string, attempt int) time.Duration {
+	delay := b.Delay(jobID, attempt)
+	if delay <= 0 {
+		return 0
+	}
+	if b.Sleep != nil {
+		b.Sleep(delay)
+	} else {
+		time.Sleep(delay)
+	}
+	return delay
+}

@@ -57,6 +57,15 @@ type Job struct {
 	Retries int
 	// RetryIf classifies an error as retryable; nil means never retry.
 	RetryIf func(error) bool
+	// Deadline, with Interrupt set, arms a wall-clock watchdog around each
+	// Run attempt: an attempt still running after Deadline gets Interrupt
+	// called (from a timer goroutine). Interrupt must ask the work to stop
+	// itself — e.g. vm.Machine.RequestStop, which checkpoints and returns
+	// ErrInterrupted — rather than stop it forcibly.
+	Deadline time.Duration
+	// Interrupt is the watchdog's stop request (see Deadline). It may fire
+	// concurrently with Run and must be safe to call after Run returned.
+	Interrupt func()
 	// OnDone, when non-nil, runs on the worker after the job's result is
 	// final and before its dependents are released. It fires only for
 	// dispatched jobs (not for dependency-skipped ones) and may inspect
@@ -79,6 +88,8 @@ type Result struct {
 	RetryErrs []error
 	// Wall is the total time spent in Probe and Run attempts.
 	Wall time.Duration
+	// Backoff is the total retry delay this job waited (see Farm.SetBackoff).
+	Backoff time.Duration
 }
 
 // StageStats aggregates counters for one stage.
@@ -92,6 +103,8 @@ type StageStats struct {
 	// Wall is the summed busy time of the stage's jobs (not elapsed time:
 	// with N workers the stage's elapsed time can be Wall/N).
 	Wall time.Duration
+	// Backoff is the summed retry delay of the stage's jobs.
+	Backoff time.Duration
 }
 
 // Counters aggregates scheduler activity, totalled and per stage.
@@ -125,6 +138,7 @@ type jobState struct {
 // Farm schedules jobs over a bounded worker pool.
 type Farm struct {
 	workers int
+	backoff *Backoff
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -153,6 +167,10 @@ func New(workers int) *Farm {
 
 // Workers returns the farm's worker-pool size.
 func (f *Farm) Workers() int { return f.workers }
+
+// SetBackoff installs a retry-delay policy applied between failed attempts
+// of every job (nil disables delays, the default). Call before Run.
+func (f *Farm) SetBackoff(b *Backoff) { f.backoff = b }
 
 // Add submits a job. It is safe to call from inside a running job, which is
 // how one pipeline stage fans out into the next. Dependencies must already
@@ -235,6 +253,7 @@ func (f *Farm) Run() (*Outcome, error) {
 		ss := out.Counters.Stages[r.Stage]
 		ss.Jobs++
 		ss.Wall += r.Wall
+		ss.Backoff += r.Backoff
 		ss.Retried += len(r.RetryErrs)
 		out.Counters.Retried += len(r.RetryErrs)
 		switch {
@@ -303,7 +322,7 @@ func (f *Farm) execute(job *Job) *Result {
 	}
 	for {
 		res.Attempts++
-		err := safeRun(job)
+		err := f.runAttempt(job)
 		if err == nil {
 			res.Err = nil
 			return res
@@ -313,7 +332,18 @@ func (f *Farm) execute(job *Job) *Result {
 			return res
 		}
 		res.RetryErrs = append(res.RetryErrs, err)
+		res.Backoff += f.backoff.wait(job.ID, res.Attempts)
 	}
+}
+
+// runAttempt invokes one Run attempt, arming the job's wall-clock watchdog
+// around it when configured.
+func (f *Farm) runAttempt(job *Job) error {
+	if job.Deadline > 0 && job.Interrupt != nil {
+		tm := time.AfterFunc(job.Deadline, job.Interrupt)
+		defer tm.Stop()
+	}
+	return safeRun(job)
 }
 
 // safeRun invokes Run, converting a panic into an error so one bad job

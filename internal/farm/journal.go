@@ -1,0 +1,226 @@
+package farm
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// The run journal makes a farm run crash-safe: every job lifecycle event is
+// appended to one JSONL file and fsynced before the job's outcome is acted
+// on, so a farm killed at any instant leaves a journal whose replay
+// reconstructs exactly which jobs finished and where their newest
+// checkpoints live. A re-invoked farm opens the same journal, skips jobs
+// with a replayed "done", and resumes interrupted jobs from their recorded
+// checkpoint instead of from scratch.
+//
+// Crash tolerance is structural: records are framed by newlines, appends are
+// fsynced, and replay accepts the longest valid record prefix — a record
+// half-written at the moment of death is discarded, never misparsed.
+
+// Journal event kinds.
+const (
+	// EvStart: a Run attempt began.
+	EvStart = "start"
+	// EvDone: the job finished successfully; resume skips it.
+	EvDone = "done"
+	// EvFail: a Run attempt failed (the job may still retry).
+	EvFail = "fail"
+	// EvCkpt: a mid-run checkpoint of the job was persisted under Ckpt.
+	EvCkpt = "ckpt"
+)
+
+// ErrCrashed is returned by Append once a test-configured crash point is
+// reached — it simulates the process dying between journal records.
+var ErrCrashed = errors.New("farm: journal crashed (simulated)")
+
+// Record is one journal line.
+type Record struct {
+	Seq     int       `json:"seq"`
+	Job     string    `json:"job"`
+	Stage   string    `json:"stage,omitempty"`
+	Event   string    `json:"event"`
+	Attempt int       `json:"attempt,omitempty"`
+	Err     string    `json:"err,omitempty"`
+	Ckpt    string    `json:"ckpt,omitempty"` // store key of the checkpoint
+	At      time.Time `json:"at"`
+}
+
+// Journal is an append-only, fsynced JSONL run journal.
+type Journal struct {
+	// CrashAfter, when positive, makes Append return ErrCrashed after that
+	// many successful appends — the test hook for killing a run between
+	// records. Set before use; not synchronized against in-flight appends.
+	CrashAfter int
+
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	seq      int
+	appended int
+	replayed []Record
+	done     map[string]bool
+	ckpt     map[string]string
+}
+
+// OpenJournal opens (creating if needed) the journal at path and replays
+// its valid record prefix. A partially-written trailing record — the
+// signature of a crash mid-append — is truncated away so subsequent appends
+// extend a clean file.
+func OpenJournal(path string) (*Journal, error) {
+	j := &Journal{
+		path: path,
+		done: make(map[string]bool),
+		ckpt: make(map[string]string),
+	}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	valid := 0
+	for len(data) > valid {
+		rest := data[valid:]
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break // unterminated trailing record: crash debris
+		}
+		var r Record
+		if json.Unmarshal(rest[:nl], &r) != nil {
+			break // damaged record: stop at the valid prefix
+		}
+		j.replay(r)
+		valid += nl + 1
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	j.f = f
+	return j, nil
+}
+
+// replay folds one record into the lookup state.
+func (j *Journal) replay(r Record) {
+	j.replayed = append(j.replayed, r)
+	if r.Seq > j.seq {
+		j.seq = r.Seq
+	}
+	switch r.Event {
+	case EvDone:
+		j.done[r.Job] = true
+	case EvCkpt:
+		j.ckpt[r.Job] = r.Ckpt
+	}
+}
+
+// Append writes one record (Seq and At are filled in) and fsyncs it before
+// returning, so an acted-on event is never lost to a crash.
+func (j *Journal) Append(r Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.CrashAfter > 0 && j.appended >= j.CrashAfter {
+		return ErrCrashed
+	}
+	j.seq++
+	r.Seq = j.seq
+	r.At = time.Now().UTC()
+	line, err := json.Marshal(&r)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.appended++
+	j.replay(r)
+	return nil
+}
+
+// Done reports whether the journal (replayed or live) records the job as
+// completed.
+func (j *Journal) Done(job string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.done[job]
+}
+
+// Checkpoint returns the store key of the job's newest recorded checkpoint,
+// or "" if none.
+func (j *Journal) Checkpoint(job string) string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ckpt[job]
+}
+
+// Records returns a snapshot of every record seen (replayed + appended).
+func (j *Journal) Records() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Record(nil), j.replayed...)
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// AddJournaled submits a job whose lifecycle is recorded in jr: each Run
+// attempt is bracketed by start and done/fail records, fsynced before the
+// outcome is acted on. A job with its own Probe keeps it verbatim — a
+// content-addressed artifact's presence is authoritative on its own, journal
+// or no journal. For probe-less jobs (whose success leaves nothing to
+// probe), the journal's replayed "done" stands in as the cache hit, so a
+// resumed farm re-does zero completed jobs.
+func (f *Farm) AddJournaled(jr *Journal, job *Job) error {
+	if job.Run == nil && job.Probe == nil {
+		return fmt.Errorf("farm: job %s has no work", job.ID)
+	}
+	wrapped := *job
+	probe, run := job.Probe, job.Run
+	wrapped.Probe = func() bool {
+		if probe != nil {
+			return probe()
+		}
+		return jr.Done(job.ID)
+	}
+	if run != nil {
+		var attempt int
+		wrapped.Run = func() error {
+			attempt++
+			if err := jr.Append(Record{Job: job.ID, Stage: job.Stage, Event: EvStart, Attempt: attempt}); err != nil {
+				return err
+			}
+			if err := run(); err != nil {
+				// Best-effort: the failure itself is what matters; a crash
+				// here just means the attempt replays as interrupted.
+				jr.Append(Record{Job: job.ID, Stage: job.Stage, Event: EvFail, Attempt: attempt, Err: err.Error()})
+				return err
+			}
+			return jr.Append(Record{Job: job.ID, Stage: job.Stage, Event: EvDone, Attempt: attempt})
+		}
+	}
+	return f.Add(&wrapped)
+}

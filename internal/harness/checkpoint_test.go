@@ -1,0 +1,390 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"elfie/internal/asm"
+	"elfie/internal/isa"
+	"elfie/internal/kernel"
+	"elfie/internal/pinball"
+	"elfie/internal/vm"
+)
+
+// fileSumProgram opens a file, reads it 8 bytes at a time accumulating a
+// checksum, writes a marker to stdout per chunk, and exits with the
+// checksum — kernel state (FD offset, consumed file, emitted stdout)
+// threads through every loop iteration.
+const fileSumProgram = `
+	.text
+	.global _start
+_start:
+	movi r0, 2          # open("/input.dat")
+	limm r1, fname
+	movi r2, 0
+	syscall
+	mov  r10, r0        # fd
+	movi r9, 0
+loop:
+	movi r0, 0          # read(fd, buf, 8)
+	mov  r1, r10
+	limm r2, buf
+	movi r3, 8
+	syscall
+	cmpi r0, 8
+	jnz  done
+	limm r2, buf
+	ld.q r3, [r2]
+	add  r9, r9, r3
+	movi r0, 1          # write(1, mark, 1)
+	movi r1, 1
+	limm r2, mark
+	movi r3, 1
+	syscall
+	jmp  loop
+done:
+	mov  r1, r9
+	andi r1, r1, 255
+	movi r0, 231        # exit_group(sum & 255)
+	syscall
+	.data
+fname:	.asciz "/input.dat"
+mark:	.asciz "."
+buf:	.space 8
+`
+
+// twoThreadProgram clones a worker and races it over shared memory — the
+// jittered-scheduler workload for native checkpoint bit-identity.
+const twoThreadProgram = `
+	.text
+	.global _start
+_start:
+	movi r0, 56         # clone
+	movi r1, 0
+	limm r2, stk1+8192
+	limm r3, worker
+	syscall
+	movi r8, 0
+	limm r12, shared
+mloop:
+	movi r7, 1
+	xadd r7, [r12]
+	addi r8, r8, 1
+	cmpi r8, 3000
+	jnz  mloop
+	movi r0, 60
+	movi r1, 0
+	syscall
+worker:
+	limm r12, shared
+	movi r8, 0
+wloop:
+	ld.q r7, [r12]
+	add  r9, r9, r7
+	addi r8, r8, 1
+	cmpi r8, 4000
+	jnz  wloop
+	movi r0, 60
+	movi r1, 0
+	syscall
+	.data
+shared:	.quad 0
+	.bss
+stk1:	.space 8192
+`
+
+func inputFS(t *testing.T) *kernel.FS {
+	t.Helper()
+	fs := kernel.NewFS()
+	data := make([]byte, 2048)
+	for i := range data {
+		data[i] = byte(i*13 + 5)
+	}
+	fs.WriteFile("/input.dat", data)
+	return fs
+}
+
+// roundTripCkpt serializes a checkpoint to its file set and loads it back,
+// verifying it is a valid pinball.
+func roundTripCkpt(t *testing.T, ck *pinball.Pinball) *pinball.Pinball {
+	t.Helper()
+	files, err := ck.FileSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := pinball.ReadFileSet(ck.Name, files, pinball.ReadOptions{})
+	if err != nil {
+		t.Fatalf("checkpoint does not load back: %v", err)
+	}
+	if err := loaded.ValidateCheckpoint(); err != nil {
+		t.Fatalf("checkpoint fails validation: %v", err)
+	}
+	return loaded
+}
+
+// TestNativeCheckpointPreservesKernelState interrupts a native run in the
+// middle of a read loop, checkpoints, and resumes from the serialized
+// checkpoint on a session with an empty filesystem config: the open FD,
+// its offset, the consumed stdin/stdout, and the file contents must all
+// come from the checkpoint.
+func TestNativeCheckpointPreservesKernelState(t *testing.T) {
+	exe, err := asm.Program(fileSumProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := New(Config{Mode: ModeNative, Exe: exe, Argv: []string{"x"}, FS: inputFS(t), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Machine.Halted {
+		t.Fatal("reference run did not finish")
+	}
+	wantExit := ref.Machine.ExitStatus
+	wantOut := append([]byte(nil), ref.Machine.Proc.Stdout...)
+	wantTotal := ref.Machine.GlobalRetired
+	if len(wantOut) == 0 {
+		t.Fatal("reference run wrote no stdout")
+	}
+
+	s, err := New(Config{Mode: ModeNative, Exe: exe, Argv: []string{"x"}, FS: inputFS(t), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stopAt = 700
+	var count uint64
+	s.Machine.Hooks.OnIns = func(th *vm.Thread, pc uint64, ins isa.Inst) {
+		count++
+		if count == stopAt {
+			s.Machine.RequestStop()
+		}
+	}
+	var ckpt *pinball.Pinball
+	err = s.RunCheckpointed(CkptOptions{
+		Name: "native.ckpt",
+		Save: func(p *pinball.Pinball) error { ckpt = p; return nil },
+	})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+	if ckpt == nil {
+		t.Fatal("no checkpoint saved")
+	}
+	if s.Machine.GlobalRetired != stopAt {
+		t.Fatalf("interrupted at %d, want %d", s.Machine.GlobalRetired, stopAt)
+	}
+
+	loaded := roundTripCkpt(t, ckpt)
+	// Deliberately no FS in the resume config: everything must come from
+	// the checkpoint's own filesystem image and FD table.
+	resumed, err := New(Config{Mode: ModeNative, Pinball: loaded, Seed: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Machine.Halted {
+		t.Fatal("resumed run did not finish")
+	}
+	if resumed.Machine.ExitStatus != wantExit {
+		t.Errorf("resumed exit = %d, uninterrupted = %d (FD/file state lost)",
+			resumed.Machine.ExitStatus, wantExit)
+	}
+	if !bytes.Equal(resumed.Machine.Proc.Stdout, wantOut) {
+		t.Errorf("resumed stdout %q, uninterrupted %q", resumed.Machine.Proc.Stdout, wantOut)
+	}
+	if got := stopAt + resumed.Machine.GlobalRetired; got != wantTotal {
+		t.Errorf("retired %d+%d = %d, uninterrupted %d",
+			stopAt, resumed.Machine.GlobalRetired, got, wantTotal)
+	}
+}
+
+// TestJitteredCheckpointBitIdentity is the native-mode bit-identity guard:
+// a two-thread run under the seeded jittered scheduler, interrupted at an
+// arbitrary instruction, checkpointed (PRNG state and in-flight quantum
+// included), and resumed retires the identical (tid, pc) stream as the
+// same run uninterrupted.
+func TestJitteredCheckpointBitIdentity(t *testing.T) {
+	exe, err := asm.Program(twoThreadProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Mode: ModeNative, Exe: exe, Argv: []string{"x"}, Seed: 21, Jitter: 37}
+
+	record := func(s *Session, out *[]uint64, stopAt uint64) {
+		s.Machine.Hooks.OnIns = func(th *vm.Thread, pc uint64, ins isa.Inst) {
+			*out = append(*out, uint64(th.TID)<<48|pc)
+			if stopAt > 0 && uint64(len(*out)) == stopAt {
+				s.Machine.RequestStop()
+			}
+		}
+	}
+
+	var ref []uint64
+	refS, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(refS, &ref, 0)
+	if err := refS.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if refS.Machine.AliveCount() != 0 {
+		t.Fatal("reference did not finish")
+	}
+
+	for _, stopAt := range []uint64{3, 1009, 4999, 9001} {
+		var leg1 []uint64
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		record(s, &leg1, stopAt)
+		var ckpt *pinball.Pinball
+		err = s.RunCheckpointed(CkptOptions{
+			Name: "mt.ckpt",
+			Save: func(p *pinball.Pinball) error { ckpt = p; return nil },
+		})
+		if !errors.Is(err, ErrInterrupted) || ckpt == nil {
+			t.Fatalf("stop at %d: err=%v ckpt=%v", stopAt, err, ckpt != nil)
+		}
+
+		loaded := roundTripCkpt(t, ckpt)
+		var leg2 []uint64
+		resumed, err := New(Config{Mode: ModeNative, Pinball: loaded, Seed: 12345})
+		if err != nil {
+			t.Fatal(err)
+		}
+		record(resumed, &leg2, 0)
+		if err := resumed.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if resumed.Machine.AliveCount() != 0 {
+			t.Fatalf("stop at %d: resumed run did not finish", stopAt)
+		}
+
+		combined := append(append([]uint64(nil), leg1...), leg2...)
+		if len(combined) != len(ref) {
+			t.Fatalf("stop at %d: stream %d vs %d", stopAt, len(combined), len(ref))
+		}
+		for i := range ref {
+			if combined[i] != ref[i] {
+				t.Fatalf("stop at %d: streams diverge at instruction %d (tid %d pc %#x vs tid %d pc %#x)",
+					stopAt, i, combined[i]>>48, combined[i]&(1<<48-1), ref[i]>>48, ref[i]&(1<<48-1))
+			}
+		}
+	}
+}
+
+// TestInjectCursorRemaining exercises the cursor bookkeeping directly.
+func TestInjectCursorRemaining(t *testing.T) {
+	effects := []pinball.SyscallEffect{
+		{TID: 0, Num: 1}, {TID: 1, Num: 2}, {TID: 0, Num: 3}, {TID: 1, Num: 4}, {TID: 0, Num: 5},
+	}
+	c := NewInjectCursor(effects)
+	if e, ok := c.Next(0); !ok || e.Num != 1 {
+		t.Fatalf("first pop: %v %v", e, ok)
+	}
+	if e, ok := c.Next(1); !ok || e.Num != 2 {
+		t.Fatalf("tid 1 pop: %v %v", e, ok)
+	}
+	if e, ok := c.Next(0); !ok || e.Num != 3 {
+		t.Fatalf("second pop: %v %v", e, ok)
+	}
+	rem := c.Remaining()
+	if len(rem) != 2 || rem[0].Num != 4 || rem[1].Num != 5 {
+		t.Fatalf("remaining: %v", rem)
+	}
+	c.Next(1)
+	c.Next(0)
+	if _, ok := c.Next(0); ok {
+		t.Error("exhausted queue popped")
+	}
+	if rem := c.Remaining(); len(rem) != 0 {
+		t.Errorf("drained cursor remaining: %v", rem)
+	}
+}
+
+// TestCheckpointValidationRejectsRot corrupts checkpoint metadata in ways
+// the CRC manifest cannot catch (it is recomputed on rewrite) and checks
+// ValidateCheckpoint rejects each.
+func TestCheckpointValidationRejectsRot(t *testing.T) {
+	exe, err := asm.Program(fileSumProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Mode: ModeNative, Exe: exe, Argv: []string{"x"}, FS: inputFS(t), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count uint64
+	s.Machine.Hooks.OnIns = func(th *vm.Thread, pc uint64, ins isa.Inst) {
+		count++
+		if count == 300 {
+			s.Machine.RequestStop()
+		}
+	}
+	var ckpt *pinball.Pinball
+	if err := s.RunCheckpointed(CkptOptions{
+		Name: "v.ckpt",
+		Save: func(p *pinball.Pinball) error { ckpt = p; return nil },
+	}); !errors.Is(err, ErrInterrupted) {
+		t.Fatal(err)
+	}
+	if err := ckpt.ValidateCheckpoint(); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+
+	corrupt := []struct {
+		name string
+		mut  func(p *pinball.Pinball)
+	}{
+		{"retired-sum", func(p *pinball.Pinball) { p.Meta.Checkpoint.GlobalRetired++ }},
+		{"thread-count", func(p *pinball.Pinball) {
+			p.Meta.Checkpoint.Threads = append(p.Meta.Checkpoint.Threads, pinball.ThreadState{Alive: true})
+		}},
+		{"no-alive-thread", func(p *pinball.Pinball) {
+			for i := range p.Meta.Checkpoint.Threads {
+				p.Meta.Checkpoint.Threads[i].Alive = false
+			}
+		}},
+		{"sched-kind", func(p *pinball.Pinball) { p.Meta.Checkpoint.Sched.Kind = "lottery" }},
+		{"rr-state-missing", func(p *pinball.Pinball) { p.Meta.Checkpoint.Sched.RR = nil }},
+		{"clock-rate", func(p *pinball.Pinball) { p.Meta.Checkpoint.ClockNanosPerInstr = 0 }},
+		{"brk-inverted", func(p *pinball.Pinball) { p.Meta.Checkpoint.Proc.Brk = p.Meta.Checkpoint.Proc.BrkStart - 1 }},
+		{"stdin-offset", func(p *pinball.Pinball) { p.Meta.Checkpoint.Proc.StdinOff = len(p.Meta.Checkpoint.Proc.Stdin) + 1 }},
+		{"fd-dup", func(p *pinball.Pinball) {
+			ck := p.Meta.Checkpoint
+			ck.Proc.FDs = append(ck.Proc.FDs, ck.Proc.FDs[len(ck.Proc.FDs)-1])
+		}},
+		{"fd-dangling", func(p *pinball.Pinball) {
+			ck := p.Meta.Checkpoint
+			ck.Proc.FDs = append(ck.Proc.FDs, kernel.FDState{FD: 99, Path: "/nope", HasFile: true})
+		}},
+	}
+	for _, tc := range corrupt {
+		t.Run(tc.name, func(t *testing.T) {
+			files, err := ckpt.FileSet()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := pinball.ReadFileSet(ckpt.Name, files, pinball.ReadOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.mut(fresh)
+			if err := fresh.ValidateCheckpoint(); !errors.Is(err, pinball.ErrCorrupt) {
+				t.Errorf("corruption %q not rejected: %v", tc.name, err)
+			}
+			// New must refuse to resume it.
+			if _, err := New(Config{Mode: ModeNative, Pinball: fresh}); err == nil {
+				t.Errorf("corrupted checkpoint %q resumed", tc.name)
+			}
+		})
+	}
+}

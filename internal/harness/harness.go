@@ -171,9 +171,16 @@ type Session struct {
 	Kernel  *kernel.Kernel
 	// Injector is the armed fault injector (nil when injection is off).
 	Injector *fault.Injector
+	// Cursor, when set by the caller (the replayer), is the session's
+	// syscall-injection cursor; mid-run checkpoints serialize its
+	// unconsumed tail so a resumed replay injects the remaining effects.
+	Cursor *InjectCursor
 
 	cfg    Config
 	fsSnap *kernel.FS
+	// budget is the session's effective instruction budget: cfg.Budget, or
+	// the checkpoint's remaining budget when resuming one.
+	budget uint64
 }
 
 // New composes a session from its parts.
@@ -188,8 +195,23 @@ func New(cfg Config) (*Session, error) {
 	if s.Injector == nil {
 		s.Injector = fault.New(cfg.Plan) // nil plan -> nil injector
 	}
+	var ck *pinball.CheckpointMeta
+	if cfg.Pinball != nil {
+		if ck = cfg.Pinball.Meta.Checkpoint; ck != nil {
+			if err := cfg.Pinball.ValidateCheckpoint(); err != nil {
+				return nil, err
+			}
+		}
+	}
 	k := cfg.Kernel
-	if k == nil {
+	if ck != nil && cfg.Pinball.FS != nil {
+		// A live checkpoint carries the mid-run filesystem image its FD
+		// table points into; that image is the truth, so the kernel is
+		// rebuilt around it even when the caller supplied one.
+		fs := kernel.RestoreFS(cfg.Pinball.FS)
+		s.fsSnap = fs.Clone()
+		k = kernel.New(fs, cfg.Seed)
+	} else if k == nil {
 		fs := cfg.FS
 		if fs == nil {
 			fs = kernel.NewFS()
@@ -255,6 +277,16 @@ func (s *Session) build(k *kernel.Kernel, seed int64, reuse *vm.Machine) (*vm.Ma
 		}
 		proc.BrkStart = pb.Meta.BrkStart
 		proc.Brk = pb.Meta.Brk
+		if ck := pb.Meta.Checkpoint; ck != nil {
+			// Resume: restore the kernel-side process state and rebase the
+			// virtual clock so guest time continues from the checkpoint
+			// (the resumed machine restarts its icount at zero).
+			proc.RestoreState(ck.Proc)
+			k.Clock = kernel.Clock{
+				BaseNanos:     ck.ClockBase,
+				NanosPerInstr: ck.ClockNanosPerInstr,
+			}
+		}
 	}
 
 	m := reuse
@@ -274,8 +306,40 @@ func (s *Session) build(k *kernel.Kernel, seed int64, reuse *vm.Machine) (*vm.Ma
 	pol := s.resolveSched()
 	m.Sched = s.scheduler(pol, seed)
 	m.PauseDoesNotYield = pol == SchedNative
-	m.MaxInstructions = s.cfg.Budget
+	s.budget = s.cfg.Budget
+	if pb := s.cfg.Pinball; pb != nil && pb.Meta.Checkpoint != nil {
+		s.resumeCheckpoint(m, k, pb.Meta.Checkpoint)
+	}
+	m.MaxInstructions = s.budget
 	return m, nil
+}
+
+// resumeCheckpoint applies the machine-level state of a live checkpoint:
+// per-thread liveness and perf counters, the serialized scheduler, the
+// PAUSE semantics, and the remaining instruction budget. Per-thread
+// retired counts restart at zero — RegionLength was rewritten to the
+// remainders when the checkpoint was taken, and RestorePerf re-arms the
+// counters at their absolute counts via modular bases.
+func (s *Session) resumeCheckpoint(m *vm.Machine, k *kernel.Kernel, ck *pinball.CheckpointMeta) {
+	for i, st := range ck.Threads {
+		if i >= len(m.Threads) {
+			break
+		}
+		t := m.Threads[i]
+		t.Alive = st.Alive
+		t.ExitStatus = st.ExitStatus
+		t.RestorePerf(st.Perf)
+	}
+	switch ck.Sched.Kind {
+	case pinball.SchedKindRR:
+		m.Sched = vm.RestoreRoundRobin(*ck.Sched.RR)
+	case pinball.SchedKindTrace:
+		m.Sched = &vm.TraceScheduler{Trace: s.cfg.Pinball.Sched}
+	}
+	m.PauseDoesNotYield = ck.Sched.PauseDoesNotYield
+	if s.budget == 0 {
+		s.budget = ck.BudgetRemaining
+	}
 }
 
 // resolveSched resolves SchedAuto from the config.

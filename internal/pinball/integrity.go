@@ -10,8 +10,10 @@ import (
 
 // FormatVersion is the pinball format written by Save. Version 2 adds the
 // integrity manifest (per-file CRC32 + size) to *.global.log; version-1
-// pinballs still load, flagged Unverified.
-const FormatVersion = 2
+// pinballs still load, flagged Unverified. Version 3 adds mid-run
+// checkpoints: an optional Checkpoint block in the metadata plus a
+// <name>.fs member carrying the kernel filesystem image (see checkpoint.go).
+const FormatVersion = 3
 
 // maxThreads bounds the thread count accepted from untrusted metadata, so a
 // corrupt global.log cannot drive huge allocations or file scans.

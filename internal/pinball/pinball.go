@@ -67,6 +67,10 @@ type Meta struct {
 	// Manifest is the integrity record for the rest of the file set
 	// (format version 2+); nil on legacy pinballs.
 	Manifest *Manifest `json:"manifest,omitempty"`
+	// Checkpoint, when non-nil, marks this pinball as a live mid-run
+	// checkpoint (format version 3+) and carries the machine and kernel
+	// state a resume needs beyond registers and memory; see checkpoint.go.
+	Checkpoint *CheckpointMeta `json:"checkpoint,omitempty"`
 }
 
 // Page is one captured memory extent (a multiple of the page size).
@@ -110,6 +114,9 @@ type Pinball struct {
 	Regs     []isa.RegFile // indexed by TID
 	Syscalls []SyscallEffect
 	Sched    []vm.SchedRecord
+	// FS is the kernel filesystem image captured by a live checkpoint
+	// (serialized as <name>.fs); nil on region-start pinballs.
+	FS map[string][]byte
 	// Unverified is set when the pinball predates the integrity manifest
 	// (format version 1): it loaded, but its content was not CRC-checked.
 	Unverified bool
@@ -169,6 +176,13 @@ func (p *Pinball) FileSet() (map[string][]byte, error) {
 	files[p.Name+".sel"] = sel
 	for tid := range p.Regs {
 		files[fmt.Sprintf("%s.%d.reg", p.Name, tid)] = []byte(FormatRegs(&p.Regs[tid]))
+	}
+	if p.Meta.Checkpoint != nil {
+		fsData, err := json.MarshalIndent(p.FS, "", " ")
+		if err != nil {
+			return nil, err
+		}
+		files[p.Name+".fs"] = fsData
 	}
 
 	man := &Manifest{FormatVersion: FormatVersion, Files: make(map[string]FileDigest, len(files))}
@@ -421,6 +435,15 @@ func readFrom(src source, name string, opts ReadOptions) (*Pinball, error) {
 			return nil, fmt.Errorf("%w: bad sel line: %v", ErrCorrupt, err)
 		}
 		p.Syscalls = append(p.Syscalls, e)
+	}
+	if p.Meta.Checkpoint != nil {
+		fsData, err := verified(name + ".fs")
+		if err != nil {
+			return nil, err
+		}
+		if err := json.Unmarshal(fsData, &p.FS); err != nil {
+			return nil, fmt.Errorf("%w: bad .fs member: %v", ErrCorrupt, err)
+		}
 	}
 	race, err := verified(name + ".race")
 	if err != nil {

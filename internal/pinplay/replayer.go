@@ -1,6 +1,7 @@
 package pinplay
 
 import (
+	"errors"
 	"fmt"
 
 	"elfie/internal/fault"
@@ -40,6 +41,13 @@ type ReplayOptions struct {
 	// plan's kernel rules apply to the replay kernel and its VM rules to
 	// the replay machine.
 	Fault *fault.Plan
+	// Injector arms a caller-owned fault injector instead of Fault, so
+	// rule budgets span a whole pipeline (see harness.Config.Injector).
+	Injector *fault.Injector
+	// Ckpt, when non-nil, runs the replay through the checkpointing run
+	// loop: periodic mid-run checkpoints per Ckpt.Every, plus a final one
+	// if a watchdog interrupts the run (ReplayResult.Interrupted).
+	Ckpt *harness.CkptOptions
 }
 
 // ReplayResult reports the outcome of a replay.
@@ -60,6 +68,10 @@ type ReplayResult struct {
 	Divergence *DivergenceReport
 	// InjectedSyscalls counts calls satisfied from the log.
 	InjectedSyscalls int
+	// Interrupted reports that an external RequestStop (a watchdog) cut
+	// the run short; with ReplayOptions.Ckpt set, the final checkpoint was
+	// saved before Replay returned.
+	Interrupted bool
 }
 
 // Replay re-executes a pinball region. With injection on, system calls are
@@ -75,10 +87,11 @@ func Replay(pb *pinball.Pinball, k *kernel.Kernel, opts ReplayOptions) (*ReplayR
 		opts.MaxFactor = 4
 	}
 	cfg := harness.Config{
-		Mode:    harness.ModeReplay,
-		Pinball: pb,
-		Kernel:  k,
-		Plan:    opts.Fault,
+		Mode:     harness.ModeReplay,
+		Pinball:  pb,
+		Kernel:   k,
+		Plan:     opts.Fault,
+		Injector: opts.Injector,
 	}
 	if opts.Injection {
 		// Constrained replay: recorded thread order, ends exactly at the
@@ -109,17 +122,14 @@ func Replay(pb *pinball.Pinball, k *kernel.Kernel, opts ReplayOptions) (*ReplayR
 	}
 
 	if opts.Injection {
-		// Per-thread queues of logged effects, in program order.
-		queues := make([][]*pinball.SyscallEffect, len(pb.Regs))
-		for i := range pb.Syscalls {
-			e := &pb.Syscalls[i]
-			if e.TID < len(queues) {
-				queues[e.TID] = append(queues[e.TID], e)
-			}
-		}
+		// Cursor over the logged effects, in per-thread program order. The
+		// session keeps it so a mid-run checkpoint serializes the
+		// unconsumed tail.
+		cursor := harness.NewInjectCursor(pb.Syscalls)
+		s.Cursor = cursor
 		m.Hooks.SyscallFilter = func(t *vm.Thread, num uint64) (kernel.Result, bool) {
-			q := queues[t.TID]
-			if len(q) == 0 {
+			e, ok := cursor.Next(t.TID)
+			if !ok {
 				rep := &DivergenceReport{
 					Kind: DivergeUnloggedSyscall, TID: t.TID, PC: t.Regs.PC,
 					Retired: t.Retired, GlobalRetired: m.GlobalRetired,
@@ -128,8 +138,6 @@ func Replay(pb *pinball.Pinball, k *kernel.Kernel, opts ReplayOptions) (*ReplayR
 				diverge(rep)
 				return kernel.Result{Ret: ^uint64(kernel.ENOSYS) + 1}, true
 			}
-			e := q[0]
-			queues[t.TID] = q[1:]
 			if e.Num != num {
 				rep := &DivergenceReport{
 					Kind: DivergeSyscallMismatch, TID: t.TID, PC: t.Regs.PC,
@@ -179,8 +187,16 @@ func Replay(pb *pinball.Pinball, k *kernel.Kernel, opts ReplayOptions) (*ReplayR
 	if opts.BeforeRun != nil {
 		opts.BeforeRun(m)
 	}
-	if err := s.Run(); err != nil {
-		return nil, err
+	var runErr error
+	if opts.Ckpt != nil {
+		runErr = s.RunCheckpointed(*opts.Ckpt)
+	} else {
+		runErr = s.Run()
+	}
+	if errors.Is(runErr, harness.ErrInterrupted) {
+		res.Interrupted = true
+	} else if runErr != nil {
+		return nil, runErr
 	}
 
 	res.PerThread = make([]uint64, len(m.Threads))

@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"elfie/internal/fault"
+	"elfie/internal/harness"
 	"elfie/internal/pinball"
 )
 
@@ -30,6 +31,11 @@ const (
 	// pinball↔ELFie disagreement. Recovery: alternate representative, the
 	// same policy as a corrupt pinball.
 	FailLint FailureKind = "lint"
+	// FailInterrupted: a watchdog (wall-clock deadline or instruction
+	// budget) interrupted the region's checkpointed replay and its retry
+	// budget ran out. The last checkpoint is journaled, so a later -resume
+	// continues the replay instead of restarting it.
+	FailInterrupted FailureKind = "interrupted"
 	// FailInternal: anything else.
 	FailInternal FailureKind = "internal"
 )
@@ -62,6 +68,9 @@ func FailureOf(err error) FailureKind {
 	if errors.Is(err, pinball.ErrCorrupt) || errors.Is(err, pinball.ErrTruncated) ||
 		errors.Is(err, pinball.ErrVersionMismatch) {
 		return FailCorruptPinball
+	}
+	if errors.Is(err, harness.ErrInterrupted) {
+		return FailInterrupted
 	}
 	return FailInternal
 }

@@ -3,10 +3,13 @@ package pinpoints
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"elfie/internal/farm"
+	"elfie/internal/harness"
 	"elfie/internal/pinball"
 	"elfie/internal/simpoint"
+	"elfie/internal/vm"
 )
 
 // regionBuild drives one selected region through the farm: a log → convert
@@ -47,6 +50,11 @@ type regionBuild struct {
 	// fromCache marks reg as a warm store hit: it was linted before it was
 	// stored, so the lint stage probes through instead of re-verifying.
 	fromCache bool
+	// replayM holds the machine of the in-flight checkpointed replay
+	// attempt, so the farm's watchdog (wall-clock deadline) can request a
+	// cooperative stop from its timer goroutine. Atomic because Interrupt
+	// may fire concurrently with Run.
+	replayM atomic.Pointer[vm.Machine]
 }
 
 // submit enqueues the log → convert → lint job chain for the current
@@ -86,10 +94,10 @@ func (rb *regionBuild) submit(slice int) error {
 		logJob.Retries = 1
 		logJob.RetryIf = func(err error) bool { return FailureOf(err) == FailCorruptPinball }
 	}
-	if err := rb.f.Add(logJob); err != nil {
+	if err := rb.b.addJob(rb.f, logJob); err != nil {
 		return err
 	}
-	if err := rb.f.Add(&farm.Job{
+	if err := rb.b.addJob(rb.f, &farm.Job{
 		ID: convID, Stage: "convert", Deps: []string{logID},
 		Probe: func() bool { return rb.reg != nil },
 		Run: func() error {
@@ -104,19 +112,54 @@ func (rb *regionBuild) submit(slice int) error {
 	}); err != nil {
 		return err
 	}
-	return rb.f.Add(&farm.Job{
+	if err := rb.b.addJob(rb.f, &farm.Job{
 		ID: lintID, Stage: "lint", Deps: []string{convID},
 		Probe: func() bool { return rb.fromCache },
 		Run: func() error {
 			if err := rb.b.lintRegion(rb.reg); err != nil {
 				return err
 			}
-			rb.b.cacheRegion(rb.reg)
+			// With the replay stage armed, caching waits for it: only a
+			// region whose ELFie also replays clean may become a warm hit.
+			if !rb.b.ckptOn() {
+				rb.b.cacheRegion(rb.reg)
+			}
 			return nil
 		},
 		OnDone: func(res *farm.Result) { rb.lintDone(res, slice) },
+	}); err != nil {
+		return err
+	}
+	if !rb.b.ckptOn() {
+		return nil
+	}
+	// The checkpointed constrained-replay stage: re-execute the region's fat
+	// pinball under injection, dropping a resumable checkpoint into the store
+	// every CkptEvery instructions. Watchdogs (wall-clock deadline here,
+	// instruction budget inside replayRegion) interrupt an overrunning
+	// attempt after it checkpoints; the retry resumes from that checkpoint,
+	// so work is bounded per attempt but monotone across attempts.
+	replayID := fmt.Sprintf("region%d.a%d.replay", rb.idx, k)
+	return rb.b.addJob(rb.f, &farm.Job{
+		ID: replayID, Stage: "replay", Deps: []string{lintID},
+		Probe:    func() bool { return rb.fromCache },
+		Retries:  replayRetries,
+		RetryIf:  func(err error) bool { return errors.Is(err, harness.ErrInterrupted) },
+		Deadline: rb.b.cfg.ReplayDeadline,
+		Interrupt: func() {
+			if m := rb.replayM.Load(); m != nil {
+				m.RequestStop()
+			}
+		},
+		Run:    func() error { return rb.b.replayRegion(rb, replayID) },
+		OnDone: func(res *farm.Result) { rb.replayDone(res, slice) },
 	})
 }
+
+// replayRetries bounds how many watchdog interruptions one replay job
+// absorbs before the region is charged a FailInterrupted. Each retry resumes
+// from the newest checkpoint, so the bound caps wall time, not progress.
+const replayRetries = 8
 
 // logDone handles the log stage's outcome: a failure advances the recovery
 // state machine; a success that needed the re-log retry records the
@@ -165,6 +208,29 @@ func (rb *regionBuild) lintDone(res *farm.Result, slice int) {
 		// An earlier stage failed and already advanced recovery.
 	case res.Err != nil:
 		rb.reg = nil // converted but unverifiable: never merge it
+		rb.revertRelog()
+		rb.fail(res.Err)
+	case rb.attempt > 0 && !rb.b.ckptOn():
+		// With the replay stage armed the attempt is not over yet;
+		// replayDone records the recovery once the replay passes.
+		rb.ev.Recovered = true
+		rb.ev.Action = fmt.Sprintf("alternate %d (slice %d)", rb.attempt-1, slice)
+		rb.evWeight = rb.sel.Weight
+	}
+}
+
+// replayDone handles the checkpointed-replay stage's outcome — with the
+// stage armed, the true end of an attempt. Failures (divergence, ungraceful
+// exit, or an exhausted interrupt budget) degrade exactly like a lint
+// failure: the region is discarded and recovery advances to the next
+// alternate. The journal keeps the newest checkpoint either way, so a
+// -resume run continues an interrupted replay instead of restarting it.
+func (rb *regionBuild) replayDone(res *farm.Result, slice int) {
+	switch {
+	case errors.Is(res.Err, farm.ErrDependency):
+		// An earlier stage failed and already advanced recovery.
+	case res.Err != nil:
+		rb.reg = nil
 		rb.revertRelog()
 		rb.fail(res.Err)
 	case rb.attempt > 0:

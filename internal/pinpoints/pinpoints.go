@@ -8,8 +8,12 @@
 package pinpoints
 
 import (
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync/atomic"
+	"time"
 
 	"elfie/internal/bbv"
 	"elfie/internal/core"
@@ -61,7 +65,40 @@ type Config struct {
 	// cache hit that skips logging and conversion entirely. Caching is
 	// disabled while Fault is armed: injected corruption must strike live
 	// paths, and a corrupted read must never be served back as warm.
+	//
+	// A non-nil Store also arms the crash-safe run journal
+	// (<store>/journal.jsonl): every job lifecycle event is fsynced before
+	// it is acted on, so a killed run leaves a replayable record of what
+	// finished and where mid-run checkpoints live.
 	Store *store.Store
+	// Resume replays the store's run journal instead of starting it fresh:
+	// completed jobs are skipped (the store supplies their artifacts) and
+	// interrupted checkpointed replays continue from their newest journaled
+	// checkpoint. Without Resume, Prepare truncates the journal — a fresh
+	// run never trusts a stale one. Requires Store.
+	Resume bool
+	// CkptEvery, when nonzero, appends a checkpointed constrained-replay
+	// stage to every region build: the region's fat pinball is replayed
+	// with injection, taking a live mid-run checkpoint each CkptEvery
+	// retired instructions. Checkpoints are chunked into Store (page-level
+	// dedup keeps a checkpoint series cheap) and journaled, so a crashed or
+	// watchdog-killed replay resumes mid-region on the next run.
+	CkptEvery uint64
+	// ReplayBudget is the instruction-budget watchdog for the replay stage:
+	// an attempt that retires this many instructions is interrupted
+	// (checkpoint-then-stop) and retried, resuming from the checkpoint —
+	// bounded work per attempt, forward progress across attempts. 0 means
+	// unlimited.
+	ReplayBudget uint64
+	// ReplayDeadline is the wall-clock watchdog for the replay stage: an
+	// attempt still running after this long is interrupted the same way.
+	// 0 means no deadline.
+	ReplayDeadline time.Duration
+
+	// crashAfter, when positive, makes the run journal refuse appends after
+	// that many records — the test hook simulating the process dying
+	// between journal writes (see farm.Journal.CrashAfter).
+	crashAfter int
 }
 
 func (c *Config) defaults() {
@@ -130,6 +167,10 @@ type Benchmark struct {
 	// is nil), shared across region builds and ELFie runs so rule budgets
 	// span the whole pipeline deterministically.
 	inj *fault.Injector
+	// jr is the crash-safe run journal (nil without a store). Every farm
+	// job of the Prepare run is bracketed in it, and checkpointed replays
+	// record their checkpoint keys through it.
+	jr *farm.Journal
 	// cacheErrs counts store entries that failed integrity or parse checks
 	// and were rebuilt, plus failed cache writes — cache trouble degrades
 	// to a miss, never to a wrong artifact, but it is never silent.
@@ -176,6 +217,9 @@ func (b *Benchmark) NewMachine(seed int64) (*vm.Machine, error) {
 // order, so the output is byte-identical regardless of worker count.
 func Prepare(r workloads.Recipe, cfg Config) (*Benchmark, error) {
 	cfg.defaults()
+	if cfg.Resume && cfg.Store == nil {
+		return nil, fmt.Errorf("pinpoints: Resume requires a Store (the journal lives there)")
+	}
 	exe, err := workloads.Build(r)
 	if err != nil {
 		return nil, err
@@ -183,9 +227,27 @@ func Prepare(r workloads.Recipe, cfg Config) (*Benchmark, error) {
 	b := &Benchmark{Recipe: r, Exe: exe, cfg: cfg, inj: fault.New(cfg.Fault)}
 
 	f := farm.New(cfg.Jobs)
+	f.SetBackoff(&farm.Backoff{Seed: uint64(cfg.Seed)})
 	var slots []*regionBuild
 
-	if err := f.Add(&farm.Job{
+	if cfg.Store != nil {
+		path := filepath.Join(cfg.Store.Root(), "journal.jsonl")
+		if !cfg.Resume {
+			// A fresh run never trusts a stale journal.
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return nil, err
+			}
+		}
+		jr, err := farm.OpenJournal(path)
+		if err != nil {
+			return nil, err
+		}
+		jr.CrashAfter = cfg.crashAfter
+		b.jr = jr
+		defer jr.Close()
+	}
+
+	if err := b.addJob(f, &farm.Job{
 		ID: "profile", Stage: "profile",
 		Probe: func() bool { return b.useStore() && b.loadCachedProfile() },
 		Run: func() error {
@@ -238,6 +300,14 @@ func Prepare(r workloads.Recipe, cfg Config) (*Benchmark, error) {
 		return nil, err
 	}
 	b.JobStats = out.Counters
+	// A journal crash is fatal, never a degradable region failure: the run's
+	// record of what happened is gone mid-write, so the only safe move is to
+	// stop and let a -resume invocation replay the journal's valid prefix.
+	for id, res := range out.Results {
+		if errors.Is(res.Err, farm.ErrCrashed) {
+			return nil, fmt.Errorf("pinpoints: %s: %w", id, farm.ErrCrashed)
+		}
+	}
 	for _, id := range []string{"profile", "select"} {
 		if res := out.Results[id]; res.Err != nil {
 			return nil, res.Err
@@ -259,6 +329,20 @@ func Prepare(r workloads.Recipe, cfg Config) (*Benchmark, error) {
 	}
 	return b, nil
 }
+
+// addJob submits a job through the run journal when one is open, so every
+// lifecycle event of the Prepare run is fsynced before it is acted on. The
+// "select" job is the exception (see Prepare): its effect is in-memory
+// fan-out, which a journal-done skip could not reconstruct.
+func (b *Benchmark) addJob(f *farm.Farm, job *farm.Job) error {
+	if b.jr != nil {
+		return f.AddJournaled(b.jr, job)
+	}
+	return f.Add(job)
+}
+
+// ckptOn reports whether the checkpointed constrained-replay stage is armed.
+func (b *Benchmark) ckptOn() bool { return b.cfg.CkptEvery > 0 }
 
 // BuildRegion captures one slice (plus warm-up) as a pinball and converts
 // it to an ELFie, consulting the artifact store first when caching is on.

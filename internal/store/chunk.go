@@ -1,0 +1,147 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Page-level chunked storage. Successive mid-run checkpoints of one guest
+// share almost all of their memory image — only the pages the region dirtied
+// since the last checkpoint differ. Storing each checkpoint as one monolithic
+// object would duplicate the shared pages every time; PutChunked instead
+// splits large members into fixed-size chunks, stores each chunk as its own
+// content-addressed object, and keeps a small manifest in the top object.
+// Identical chunks across checkpoints deduplicate to one object directory,
+// so a checkpoint series costs roughly its dirty-page delta.
+
+// chunkManifestName is the reserved top-object member naming the chunked
+// members and their chunk object IDs.
+const chunkManifestName = "chunks.json"
+
+// DefaultChunkSize is the chunk granularity when PutChunked is called with
+// size 0: one guest page, the natural dirty-tracking unit.
+const DefaultChunkSize = 4096
+
+type chunkedMember struct {
+	Size   int64    `json:"size"`
+	Chunks []string `json:"chunks"`
+}
+
+type chunkManifest struct {
+	Version   int                      `json:"version"`
+	ChunkSize int                      `json:"chunk_size"`
+	Members   map[string]chunkedMember `json:"members"`
+}
+
+// PutChunked stores a file set like Put, but splits members of at least two
+// chunks' size into chunkSize-byte chunk objects (0 = DefaultChunkSize).
+// Small members stay inline in the top object. Get and VerifyWith reassemble
+// transparently; GC keeps chunks of live objects. The entry's Size reflects
+// the top object only — chunk bytes are shared and counted once per chunk
+// object, not per referencing checkpoint.
+func (s *Store) PutChunked(key, kind string, files FileSet, chunkSize int) (*Entry, error) {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	if _, ok := files[chunkManifestName]; ok {
+		return nil, fmt.Errorf("store: member name %q is reserved for chunked storage", chunkManifestName)
+	}
+	man := chunkManifest{Version: 1, ChunkSize: chunkSize, Members: make(map[string]chunkedMember)}
+	top := make(FileSet, len(files)+1)
+	// Chunk objects are pinned until the top object's index entry lands (the
+	// Put below), so a concurrent GC never orphan-sweeps a chunk before the
+	// manifest referencing it is live.
+	var pinned []string
+	defer func() { s.unpin(pinned...) }()
+	for name, data := range files {
+		if len(data) < 2*chunkSize {
+			top[name] = data
+			continue
+		}
+		ids := make([]string, 0, (len(data)+chunkSize-1)/chunkSize)
+		for off := 0; off < len(data); off += chunkSize {
+			part := FileSet{"chunk": data[off:min(off+chunkSize, len(data))]}
+			id := ObjectID(part)
+			s.pin(id)
+			pinned = append(pinned, id)
+			if !dirExists(s.objectDir(id)) {
+				if err := s.writeObject(s.objectDir(id), part); err != nil {
+					return nil, err
+				}
+			}
+			ids = append(ids, id)
+		}
+		man.Members[name] = chunkedMember{Size: int64(len(data)), Chunks: ids}
+	}
+	if len(man.Members) == 0 {
+		return s.Put(key, kind, files)
+	}
+	mdata, err := json.MarshalIndent(&man, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	top[chunkManifestName] = mdata
+	return s.Put(key, kind, top)
+}
+
+// resolveChunks reassembles a top object's chunked members. File sets
+// without a chunk manifest pass through unchanged. Every chunk object is
+// integrity-checked like any other object read.
+func (s *Store) resolveChunks(files FileSet) (FileSet, error) {
+	mdata, ok := files[chunkManifestName]
+	if !ok {
+		return files, nil
+	}
+	var man chunkManifest
+	if err := json.Unmarshal(mdata, &man); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, chunkManifestName, err)
+	}
+	out := make(FileSet, len(files)+len(man.Members))
+	for name, data := range files {
+		if name != chunkManifestName {
+			out[name] = data
+		}
+	}
+	for name, m := range man.Members {
+		buf := make([]byte, 0, m.Size)
+		for _, id := range m.Chunks {
+			part, err := s.readObject(id)
+			if err != nil {
+				return nil, fmt.Errorf("member %s: %w", name, err)
+			}
+			c, ok := part["chunk"]
+			if !ok {
+				return nil, fmt.Errorf("%w: chunk object %s has no chunk member",
+					ErrCorrupt, shortID(id))
+			}
+			buf = append(buf, c...)
+		}
+		if int64(len(buf)) != m.Size {
+			return nil, fmt.Errorf("%w: member %s reassembles to %d bytes, manifest says %d",
+				ErrCorrupt, name, len(buf), m.Size)
+		}
+		out[name] = buf
+	}
+	return out, nil
+}
+
+// chunkRefs returns the chunk object IDs a live top object references, by
+// reading just its manifest member off disk. Non-chunked and unreadable
+// objects return nothing — Verify, not GC, is where damage is reported.
+func (s *Store) chunkRefs(id string) []string {
+	mdata, err := os.ReadFile(filepath.Join(s.objectDir(id), chunkManifestName))
+	if err != nil {
+		return nil
+	}
+	var man chunkManifest
+	if json.Unmarshal(mdata, &man) != nil {
+		return nil
+	}
+	var ids []string
+	for _, m := range man.Members {
+		ids = append(ids, m.Chunks...)
+	}
+	return ids
+}

@@ -66,8 +66,14 @@ type VerifyReport struct {
 	Unverified int
 	// Linted counts cached ELFies put through the static verifier
 	// (VerifyOptions.Lint).
-	Linted   int
-	Problems []VerifyProblem
+	Linted int
+	// Chunked counts objects whose chunked members were reassembled and
+	// chunk-verified during the scan (PutChunked storage).
+	Chunked int
+	// Checkpoints counts mid-run checkpoint pinballs that passed semantic
+	// validation (pinball.ValidateCheckpoint).
+	Checkpoints int
+	Problems    []VerifyProblem
 }
 
 // OK reports whether the scan found no problems.
@@ -102,6 +108,13 @@ func (s *Store) VerifyWith(opts VerifyOptions) (*VerifyReport, error) {
 			rep.Problems = append(rep.Problems, VerifyProblem{Key: e.Key, Object: e.Object, Err: err})
 			continue
 		}
+		if _, chunked := files[chunkManifestName]; chunked {
+			if files, err = s.resolveChunks(files); err != nil {
+				rep.Problems = append(rep.Problems, VerifyProblem{Key: e.Key, Object: e.Object, Err: err})
+				continue
+			}
+			rep.Chunked++
+		}
 		var pb *pinball.Pinball
 		for fname := range files {
 			name, ok := strings.CutSuffix(fname, ".global.log")
@@ -116,8 +129,23 @@ func (s *Store) VerifyWith(opts VerifyOptions) (*VerifyReport, error) {
 					Key: e.Key, Object: e.Object,
 					Err: fmt.Errorf("pinball %s: %w", name, err),
 				})
-			} else if pb.Unverified {
+				continue
+			}
+			if pb.Unverified {
 				rep.Unverified++
+			}
+			// Mid-run checkpoints get the semantic validation the harness
+			// applies before resuming one: a checkpoint that passes here is a
+			// checkpoint a crashed job can restart from.
+			if pb.Meta.Checkpoint != nil {
+				if err := pb.ValidateCheckpoint(); err != nil {
+					rep.Problems = append(rep.Problems, VerifyProblem{
+						Key: e.Key, Object: e.Object,
+						Err: fmt.Errorf("checkpoint %s: %w", name, err),
+					})
+				} else {
+					rep.Checkpoints++
+				}
 			}
 		}
 		if opts.Lint {
@@ -170,6 +198,12 @@ type GCOptions struct {
 	// MaxAge, when positive, expires index entries whose LastUsed is older
 	// than this.
 	MaxAge time.Duration
+	// TmpGrace is how old a staging directory must be before the tmp sweep
+	// treats it as debris: staging dirs of Put calls in flight in *other*
+	// processes have no in-process registration, so age is the only safe
+	// signal. 0 means a one-hour default; negative sweeps regardless of
+	// age (in-process registered writers are still always skipped).
+	TmpGrace time.Duration
 	// DryRun reports what would be removed without removing it.
 	DryRun bool
 }
@@ -204,6 +238,13 @@ func (s *Store) GC(opts GCOptions) (*GCReport, error) {
 		}
 		live[e.Object] = true
 	}
+	inflight := make(map[string]bool, len(s.staging))
+	for b := range s.staging {
+		inflight[b] = true
+	}
+	for id := range s.pending {
+		live[id] = true
+	}
 	var err error
 	if !opts.DryRun && rep.ExpiredEntries > 0 {
 		err = s.saveIndexLocked()
@@ -211,6 +252,17 @@ func (s *Store) GC(opts GCOptions) (*GCReport, error) {
 	s.mu.Unlock()
 	if err != nil {
 		return nil, err
+	}
+
+	// Chunks of live top objects are live too (see PutChunked).
+	tops := make([]string, 0, len(live))
+	for id := range live {
+		tops = append(tops, id)
+	}
+	for _, id := range tops {
+		for _, cid := range s.chunkRefs(id) {
+			live[cid] = true
+		}
 	}
 
 	// Orphan objects: present on disk, referenced by nothing.
@@ -231,30 +283,97 @@ func (s *Store) GC(opts GCOptions) (*GCReport, error) {
 				continue
 			}
 			dir := filepath.Join(s.root, "objects", p.Name(), o.Name())
-			rep.OrphanObjects++
-			rep.BytesReclaimed += dirSize(dir)
-			if !opts.DryRun {
-				if err := os.RemoveAll(dir); err != nil {
-					return nil, err
-				}
+			if opts.DryRun {
+				rep.OrphanObjects++
+				rep.BytesReclaimed += dirSize(dir)
+				continue
+			}
+			// The liveness snapshot above may predate a concurrent Put whose
+			// index entry landed since; re-check and remove atomically under
+			// the lock (Put pins its object ID before probing for it, so any
+			// deletion decided here is invisible to in-flight writers).
+			size := dirSize(dir)
+			s.mu.Lock()
+			dead := s.orphanDeadLocked(o.Name())
+			var rmErr error
+			if dead {
+				rmErr = os.RemoveAll(dir)
+			}
+			s.mu.Unlock()
+			if rmErr != nil {
+				return nil, rmErr
+			}
+			if dead {
+				rep.OrphanObjects++
+				rep.BytesReclaimed += size
 			}
 		}
 	}
 
-	// Staging debris from crashed writers.
+	// Staging debris from crashed writers. In-flight writers registered in
+	// this process are always skipped; everything else must be older than
+	// the grace window, since a writer in another process is invisible here.
+	grace := opts.TmpGrace
+	if grace == 0 {
+		grace = time.Hour
+	}
 	tmps, err := os.ReadDir(filepath.Join(s.root, "tmp"))
 	if err != nil {
 		return nil, err
 	}
 	for _, t := range tmps {
-		rep.TmpDebris++
-		if !opts.DryRun {
-			if err := os.RemoveAll(filepath.Join(s.root, "tmp", t.Name())); err != nil {
-				return nil, err
+		if inflight[t.Name()] {
+			continue
+		}
+		if grace > 0 {
+			if info, err := t.Info(); err != nil || time.Since(info.ModTime()) < grace {
+				continue
 			}
+		}
+		if opts.DryRun {
+			rep.TmpDebris++
+			continue
+		}
+		// Re-check under the lock: a writer that registered after the
+		// snapshot above must not lose its staging dir (writeObject
+		// registers before creating it, so existence implies registration).
+		s.mu.Lock()
+		skip := s.staging[t.Name()]
+		var rmErr error
+		if !skip {
+			rmErr = os.RemoveAll(filepath.Join(s.root, "tmp", t.Name()))
+		}
+		s.mu.Unlock()
+		if rmErr != nil {
+			return nil, rmErr
+		}
+		if !skip {
+			rep.TmpDebris++
 		}
 	}
 	return rep, nil
+}
+
+// orphanDeadLocked decides, under s.mu, whether an on-disk object is truly
+// unreferenced: not pinned by an in-flight Put, not an index entry's object,
+// and not a chunk of any indexed chunked object.
+func (s *Store) orphanDeadLocked(id string) bool {
+	if s.pending[id] > 0 {
+		return false
+	}
+	for _, e := range s.idx {
+		if e.Object == id {
+			return false
+		}
+	}
+	for _, e := range s.idx {
+		for _, cid := range s.chunkRefs(e.Object) {
+			if cid == id {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func dirSize(dir string) int64 {

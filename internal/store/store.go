@@ -75,6 +75,33 @@ type Store struct {
 
 	mu  sync.Mutex
 	idx map[string]*Entry // by Key
+	// staging names tmp/ directories of in-flight writeObject calls in this
+	// process, so a concurrent GC does not sweep a write out from under its
+	// writer.
+	staging map[string]bool
+	// pending refcounts object IDs of in-flight Put/PutChunked calls: an
+	// object can be on disk before the index entry referencing it lands, and
+	// a concurrent GC must not treat it as an orphan in that window.
+	pending map[string]int
+}
+
+// pin marks object IDs as in-flight; unpin releases them.
+func (s *Store) pin(ids ...string) {
+	s.mu.Lock()
+	for _, id := range ids {
+		s.pending[id]++
+	}
+	s.mu.Unlock()
+}
+
+func (s *Store) unpin(ids ...string) {
+	s.mu.Lock()
+	for _, id := range ids {
+		if s.pending[id]--; s.pending[id] <= 0 {
+			delete(s.pending, id)
+		}
+	}
+	s.mu.Unlock()
 }
 
 // Open opens (creating if needed) a store rooted at dir and loads its
@@ -85,7 +112,12 @@ func Open(dir string) (*Store, error) {
 			return nil, err
 		}
 	}
-	s := &Store{root: dir, idx: make(map[string]*Entry)}
+	s := &Store{
+		root:    dir,
+		idx:     make(map[string]*Entry),
+		staging: make(map[string]bool),
+		pending: make(map[string]int),
+	}
 	data, err := os.ReadFile(s.indexPath())
 	if os.IsNotExist(err) {
 		return s, nil
@@ -143,6 +175,10 @@ func (s *Store) Put(key, kind string, files FileSet) (*Entry, error) {
 	}
 	id := ObjectID(files)
 	objDir := s.objectDir(id)
+	// Pinned until the index entry below is saved: the on-disk object must
+	// not look like an orphan to a concurrent GC in the meantime.
+	s.pin(id)
+	defer s.unpin(id)
 
 	if _, err := os.Stat(objDir); os.IsNotExist(err) {
 		if err := s.writeObject(objDir, files); err != nil {
@@ -182,11 +218,22 @@ func (s *Store) writeObject(objDir string, files FileSet) error {
 	if _, err := rand.Read(nonce[:]); err != nil {
 		return err
 	}
-	stage := filepath.Join(s.root, "tmp", "put-"+hex.EncodeToString(nonce[:]))
+	base := "put-" + hex.EncodeToString(nonce[:])
+	stage := filepath.Join(s.root, "tmp", base)
+	// Register the staging dir before it exists on disk, so a concurrent GC
+	// never observes it unregistered.
+	s.mu.Lock()
+	s.staging[base] = true
+	s.mu.Unlock()
+	defer func() {
+		os.RemoveAll(stage)
+		s.mu.Lock()
+		delete(s.staging, base)
+		s.mu.Unlock()
+	}()
 	if err := os.MkdirAll(stage, 0o755); err != nil {
 		return err
 	}
-	defer os.RemoveAll(stage)
 	for name, data := range files {
 		if name != filepath.Base(name) {
 			return fmt.Errorf("store: invalid object file name %q", name)
@@ -222,6 +269,9 @@ func (s *Store) Get(key string) (FileSet, *Entry, bool, error) {
 	}
 	files, err := s.readObject(e.Object)
 	if err != nil {
+		return nil, nil, false, err
+	}
+	if files, err = s.resolveChunks(files); err != nil {
 		return nil, nil, false, err
 	}
 	s.mu.Lock()

@@ -221,7 +221,7 @@ func TestGC(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	rep, err := s.GC(GCOptions{DryRun: true})
+	rep, err := s.GC(GCOptions{DryRun: true, TmpGrace: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestGC(t *testing.T) {
 		t.Fatal("dry run removed the orphan")
 	}
 
-	rep, err = s.GC(GCOptions{})
+	rep, err = s.GC(GCOptions{TmpGrace: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

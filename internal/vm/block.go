@@ -72,7 +72,7 @@ func deoptOp(o isa.Op) bool {
 // cannot cover (syscalls, faults, cross-page words).
 func (m *Machine) runThreadFast(t *Thread, quantum int) int {
 	ran := 0
-	for ran < quantum && t.Alive && !m.Halted && !m.stopReq {
+	for ran < quantum && t.Alive && !m.Halted && !m.stopReq.Load() {
 		blk := m.lookupBlock(t.Regs.PC)
 		if blk == nil || len(blk.ins) == 0 {
 			yielded, retired := m.step(t)

@@ -19,7 +19,7 @@ func (m *Machine) runThread(t *Thread, quantum int) int {
 		return m.runThreadFast(t, quantum)
 	}
 	ran := 0
-	for ran < quantum && t.Alive && !m.Halted && !m.stopReq {
+	for ran < quantum && t.Alive && !m.Halted && !m.stopReq.Load() {
 		yielded, retired := m.step(t)
 		if retired {
 			ran++

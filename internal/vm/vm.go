@@ -10,7 +10,7 @@ package vm
 
 import (
 	"fmt"
-	"math/rand"
+	"sync/atomic"
 
 	"elfie/internal/elfobj"
 	"elfie/internal/fault"
@@ -47,6 +47,53 @@ type PerfCounter struct {
 
 // Count returns the counter's current value for a thread.
 func (p *PerfCounter) Count(t *Thread) uint64 { return t.Retired - p.base }
+
+// PerfCounterState is the serializable form of an armed PerfCounter: the
+// counter's configuration plus its current count relative to the thread.
+// Storing the count (not the raw base) lets a checkpoint restore counters
+// on a machine whose per-thread Retired totals restart at zero.
+type PerfCounterState struct {
+	Period         uint64 `json:"period"`
+	Handler        uint64 `json:"handler,omitempty"`
+	ExitOnOverflow bool   `json:"exit_on_overflow,omitempty"`
+	Fired          bool   `json:"fired,omitempty"`
+	Count          uint64 `json:"count"`
+}
+
+// PerfState snapshots every counter armed on the thread.
+func (t *Thread) PerfState() []PerfCounterState {
+	if len(t.perf) == 0 {
+		return nil
+	}
+	out := make([]PerfCounterState, len(t.perf))
+	for i, p := range t.perf {
+		out[i] = PerfCounterState{
+			Period:         p.Period,
+			Handler:        p.Handler,
+			ExitOnOverflow: p.ExitOnOverflow,
+			Fired:          p.Fired,
+			Count:          p.Count(t),
+		}
+	}
+	return out
+}
+
+// RestorePerf re-arms counters from a snapshot, preserving each counter's
+// logical count against the thread's current Retired total. The base
+// subtraction wraps correctly even when the restored Retired is smaller
+// than the count (uint64 modular arithmetic).
+func (t *Thread) RestorePerf(states []PerfCounterState) {
+	t.perf = t.perf[:0]
+	for _, st := range states {
+		t.perf = append(t.perf, &PerfCounter{
+			Period:         st.Period,
+			Handler:        st.Handler,
+			ExitOnOverflow: st.ExitOnOverflow,
+			Fired:          st.Fired,
+			base:           t.Retired - st.Count,
+		})
+	}
+}
 
 // Hooks are instrumentation callbacks. Any nil hook is skipped. Hooks fire
 // before the architectural effect they describe.
@@ -87,29 +134,52 @@ type Scheduler interface {
 // fixed quantum plus optional seeded jitter. Jitter models the OS-level
 // run-to-run variation that makes multi-threaded ELFie runs non-
 // deterministic; the PinPlay logger runs with Jitter = 0.
+//
+// The jitter stream comes from a splitmix64 generator whose whole state is
+// one uint64, so a mid-run checkpoint can serialize the scheduler exactly
+// (see RRState) and a resumed run draws the identical quantum sequence an
+// uninterrupted run would have drawn.
 type RoundRobin struct {
 	Quantum int
 	Jitter  int
-	rng     *rand.Rand
+	rng     uint64 // splitmix64 state
 	last    int
+	// resid is a quantum remainder owed to last before normal rotation
+	// resumes: a checkpoint taken mid-quantum records how much of the
+	// granted quantum was still unexecuted, and the restored scheduler
+	// grants exactly that first.
+	resid int
 }
 
 // NewRoundRobin returns a round-robin scheduler. If jitter > 0, quanta vary
 // uniformly in [quantum-jitter, quantum+jitter], driven by seed.
 func NewRoundRobin(quantum, jitter int, seed int64) *RoundRobin {
-	return &RoundRobin{Quantum: quantum, Jitter: jitter, rng: rand.New(rand.NewSource(seed))}
+	return &RoundRobin{Quantum: quantum, Jitter: jitter, rng: uint64(seed)}
+}
+
+// next advances the splitmix64 state and returns the next raw draw.
+func (rr *RoundRobin) next() uint64 {
+	rr.rng += 0x9e3779b97f4a7c15
+	z := rr.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Next implements Scheduler.
 func (rr *RoundRobin) Next(m *Machine) (int, int) {
 	n := len(m.Threads)
+	if rr.resid > 0 && rr.last < n && m.Threads[rr.last].Alive {
+		return rr.last, rr.resid
+	}
+	rr.resid = 0
 	for i := 1; i <= n; i++ {
 		tid := (rr.last + i) % n
 		if m.Threads[tid].Alive {
 			rr.last = tid
 			q := rr.Quantum
 			if rr.Jitter > 0 {
-				q += rr.rng.Intn(2*rr.Jitter+1) - rr.Jitter
+				q += int(rr.next()%uint64(2*rr.Jitter+1)) - rr.Jitter
 				if q < 1 {
 					q = 1
 				}
@@ -121,7 +191,33 @@ func (rr *RoundRobin) Next(m *Machine) (int, int) {
 }
 
 // Ran implements Scheduler.
-func (rr *RoundRobin) Ran(tid, n int) {}
+func (rr *RoundRobin) Ran(tid, n int) { rr.resid = 0 }
+
+// RRState is the serializable state of a RoundRobin scheduler, captured by
+// mid-run checkpoints so a resumed run continues the identical quantum
+// sequence.
+type RRState struct {
+	Quantum int    `json:"quantum"`
+	Jitter  int    `json:"jitter"`
+	Rng     uint64 `json:"rng"`
+	Last    int    `json:"last"`
+	// Resid is the unexecuted remainder of the quantum that was in flight
+	// when the checkpoint was taken (0 = checkpoint fell on a quantum
+	// boundary).
+	Resid int `json:"resid,omitempty"`
+}
+
+// State snapshots the scheduler. The caller supplies the in-flight quantum
+// remainder (see Machine.PendingQuantum), which the scheduler itself cannot
+// observe.
+func (rr *RoundRobin) State(resid int) RRState {
+	return RRState{Quantum: rr.Quantum, Jitter: rr.Jitter, Rng: rr.rng, Last: rr.last, Resid: resid}
+}
+
+// RestoreRoundRobin rebuilds a scheduler from a checkpointed state.
+func RestoreRoundRobin(st RRState) *RoundRobin {
+	return &RoundRobin{Quantum: st.Quantum, Jitter: st.Jitter, rng: st.Rng, last: st.Last, resid: st.Resid}
+}
 
 // SchedRecord is one run of instructions by one thread, as recorded by the
 // PinPlay logger and enforced by the replayer.
@@ -180,6 +276,22 @@ func (ts *TraceScheduler) Ran(tid, n int) {
 // Exhausted reports whether the recorded schedule has been fully consumed.
 func (ts *TraceScheduler) Exhausted() bool { return ts.pos >= len(ts.Trace) }
 
+// Remaining returns the unconsumed tail of the trace, with the in-flight
+// record reduced by what already ran — the schedule a mid-run checkpoint
+// stores so constrained replay resumes at the exact interleaving point.
+func (ts *TraceScheduler) Remaining() []SchedRecord {
+	if ts.pos >= len(ts.Trace) {
+		return nil
+	}
+	var out []SchedRecord
+	first := ts.Trace[ts.pos]
+	first.N -= ts.consumed
+	if first.N > 0 {
+		out = append(out, first)
+	}
+	return append(out, ts.Trace[ts.pos+1:]...)
+}
+
 // Machine is one emulated PVM computer running a single process.
 type Machine struct {
 	Kernel  *kernel.Kernel
@@ -218,12 +330,23 @@ type Machine struct {
 
 	// Halted is set by HLT, exit_group, or a fatal fault.
 	Halted bool
-	// stopReq asks the run loop to stop at the next instruction boundary
-	// (set via RequestStop, e.g. by a simulator's end condition).
-	stopReq    bool
+	// stopReq asks the run loop to stop at the next instruction boundary.
+	// It is atomic so watchdogs on other goroutines can interrupt a run
+	// (RequestStop) without racing the executor.
+	stopReq    atomic.Bool
 	ExitStatus int
 	// FatalFault is the fault that killed the process, if any.
 	FatalFault *mem.Fault
+
+	// lastTID/lastGranted/lastClipped/lastRan record the most recent
+	// scheduler dispatch: the quantum the scheduler granted, what the
+	// budget clip reduced it to, and how far the thread actually got.
+	// Mid-run checkpoints derive the in-flight quantum remainder from them
+	// (see PendingQuantum).
+	lastTID     int
+	lastGranted int
+	lastClipped int
+	lastRan     int
 
 	fetchBuf [isa.LimmLen]byte
 }
@@ -269,9 +392,10 @@ func (m *Machine) Reset(k *kernel.Kernel, proc *kernel.Process) {
 	m.bcache = nil
 	m.lastPN, m.lastPB = 0, nil
 	m.Halted = false
-	m.stopReq = false
+	m.stopReq.Store(false)
 	m.ExitStatus = 0
 	m.FatalFault = nil
+	m.lastTID, m.lastGranted, m.lastClipped, m.lastRan = 0, 0, 0, 0
 }
 
 // AddThread creates a new runnable thread with the given initial registers.
@@ -296,15 +420,21 @@ func (m *Machine) AliveCount() int {
 }
 
 // RequestStop makes Run return at the next instruction boundary. Timing
-// simulators use it to implement (PC, count) end conditions.
-func (m *Machine) RequestStop() { m.stopReq = true }
+// simulators use it to implement (PC, count) end conditions; farm watchdogs
+// call it from other goroutines to trigger checkpoint-then-kill.
+func (m *Machine) RequestStop() { m.stopReq.Store(true) }
+
+// StopRequested reports whether a stop request is pending (Run clears it
+// when it next starts). Checkpoint-capable run loops consult it after Run
+// returns to distinguish an external interruption from a natural end.
+func (m *Machine) StopRequested() bool { return m.stopReq.Load() }
 
 // Run executes until no thread is runnable, the machine halts, RequestStop
 // is called, or MaxInstructions is reached. It returns an error only for
 // internal inconsistencies; guest faults are reported via thread state.
 func (m *Machine) Run() error {
-	m.stopReq = false
-	for !m.Halted && !m.stopReq && m.AliveCount() > 0 {
+	m.stopReq.Store(false)
+	for !m.Halted && !m.stopReq.Load() && m.AliveCount() > 0 {
 		if m.MaxInstructions > 0 && m.GlobalRetired >= m.MaxInstructions {
 			break
 		}
@@ -312,6 +442,7 @@ func (m *Machine) Run() error {
 		if tid < 0 {
 			break
 		}
+		granted := quantum
 		if m.MaxInstructions > 0 {
 			if left := m.MaxInstructions - m.GlobalRetired; uint64(quantum) > left {
 				quantum = int(left)
@@ -319,8 +450,27 @@ func (m *Machine) Run() error {
 		}
 		ran := m.runThread(m.Threads[tid], quantum)
 		m.Sched.Ran(tid, ran)
+		m.lastTID, m.lastGranted, m.lastClipped, m.lastRan = tid, granted, quantum, ran
 	}
 	return nil
+}
+
+// PendingQuantum returns the unexecuted remainder of the scheduler quantum
+// that was in flight when Run last stopped, with the thread it belongs to.
+// It is non-zero only when the stop cut a quantum short from outside — the
+// budget clip ran to its boundary, or a stop request landed mid-quantum. A
+// thread that yielded or exited on its own owes nothing: an uninterrupted
+// run would rotate past it too.
+func (m *Machine) PendingQuantum() (tid, n int) {
+	switch {
+	case m.lastGranted <= m.lastRan:
+		return m.lastTID, 0
+	case m.stopReq.Load():
+		return m.lastTID, m.lastGranted - m.lastRan
+	case m.lastRan == m.lastClipped && m.lastGranted > m.lastClipped:
+		return m.lastTID, m.lastGranted - m.lastClipped
+	}
+	return m.lastTID, 0
 }
 
 // exitThread marks t dead and fires the exit hook.

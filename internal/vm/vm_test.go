@@ -597,3 +597,62 @@ _start:
 	}
 	_ = starts
 }
+
+func TestRoundRobinStateRoundTrip(t *testing.T) {
+	m := &Machine{Threads: []*Thread{
+		{TID: 0, Alive: true}, {TID: 1, Alive: true}, {TID: 2, Alive: true},
+	}}
+	rr := NewRoundRobin(100, 37, 5)
+	// Burn an arbitrary prefix of the quantum sequence.
+	for i := 0; i < 17; i++ {
+		tid, n := rr.Next(m)
+		rr.Ran(tid, n)
+	}
+
+	// Serialize with no in-flight quantum: the restored scheduler must
+	// produce the identical (tid, quantum) sequence.
+	st := rr.State(0)
+	rr2 := RestoreRoundRobin(st)
+	for i := 0; i < 50; i++ {
+		tid1, n1 := rr.Next(m)
+		tid2, n2 := rr2.Next(m)
+		if tid1 != tid2 || n1 != n2 {
+			t.Fatalf("step %d: (%d,%d) vs (%d,%d)", i, tid1, n1, tid2, n2)
+		}
+		rr.Ran(tid1, n1)
+		rr2.Ran(tid2, n2)
+	}
+
+	// Serialize with an in-flight residual quantum: the restored scheduler
+	// re-grants exactly (last, resid) first, then continues the rotation.
+	tid, n := rr.Next(m)
+	if n <= 3 {
+		t.Fatalf("quantum %d too small for a residual test", n)
+	}
+	rr.Ran(tid, n-3) // pretend 3 instructions of the grant never ran
+	st = rr.State(3)
+	rr3 := RestoreRoundRobin(st)
+	rtid, rn := rr3.Next(m)
+	if rtid != tid || rn != 3 {
+		t.Fatalf("residual grant (%d,%d), want (%d,3)", rtid, rn, tid)
+	}
+	rr3.Ran(rtid, rn)
+	// After the residual drains, the two schedulers converge again.
+	for i := 0; i < 20; i++ {
+		tid1, n1 := rr.Next(m)
+		tid2, n2 := rr3.Next(m)
+		if tid1 != tid2 || n1 != n2 {
+			t.Fatalf("post-residual step %d: (%d,%d) vs (%d,%d)", i, tid1, n1, tid2, n2)
+		}
+		rr.Ran(tid1, n1)
+		rr3.Ran(tid2, n2)
+	}
+
+	// A dead last-thread drops the residual instead of granting it.
+	st.Last, st.Resid = 1, 50
+	m.Threads[1].Alive = false
+	rr4 := RestoreRoundRobin(st)
+	if tid, _ := rr4.Next(m); tid == 1 {
+		t.Fatal("residual granted to a dead thread")
+	}
+}
