@@ -1,0 +1,117 @@
+// elfieregistry serves a content-addressed checkpoint store over HTTP, so
+// one machine's farm output (pinballs, ELFies, mid-run checkpoints) is
+// pushable, pullable, and verifiable from anywhere. Uploads are resumable
+// and dedup against content the registry already holds; reads carry
+// content-hash ETags and honor Range.
+//
+// Usage:
+//
+//	elfieregistry -store /srv/elfie -addr :9535
+//	elfieregistry -store /srv/elfie -quota 10737418240 -max-age 720h
+//	elfieregistry -store /srv/elfie -tenants alpha:1073741824:720h,beta -lint
+//
+// With -tenants, the namespace set is closed: only the listed tenants (each
+// name[:quotaBytes[:maxAge]]) are served. Without it, any well-formed
+// tenant name is accepted under the default -quota/-max-age policy.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"elfie/internal/cli"
+	"elfie/internal/registry"
+	"elfie/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":9535", "listen address")
+	dir := flag.String("store", "", "store directory to serve (required)")
+	quota := flag.Int64("quota", 0, "default per-tenant quota in logical bytes (0 = unlimited)")
+	maxAge := flag.Duration("max-age", 0, "default per-tenant GC age policy (0 = never expire)")
+	tenants := flag.String("tenants", "", "closed tenant set: name[:quotaBytes[:maxAge]],... (empty = open)")
+	lint := flag.Bool("lint", false, "arm elflint on the deep-verify endpoint")
+	flag.Parse()
+
+	if *dir == "" {
+		cli.Die(fmt.Errorf("usage: elfieregistry -store DIR [-addr :9535] [-quota N] [-max-age D] [-tenants ...]"))
+	}
+	opts := registry.ServerOptions{
+		DefaultPolicy: registry.Tenant{Quota: *quota, MaxAge: *maxAge},
+		Lint:          *lint,
+	}
+	if *tenants != "" {
+		parsed, err := parseTenants(*tenants, opts.DefaultPolicy)
+		if err != nil {
+			cli.Die(err)
+		}
+		opts.Tenants = parsed
+	}
+	s, err := store.Open(*dir)
+	if err != nil {
+		cli.DieClassified(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: registry.NewServer(s, opts).Handler()}
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	fmt.Printf("elfieregistry: serving %s on %s\n", s.Root(), *addr)
+
+	// Graceful shutdown: in-flight requests finish; durable upload sessions
+	// survive on disk regardless, so even a hard kill loses nothing.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			cli.Die(err)
+		}
+	case got := <-sig:
+		fmt.Printf("elfieregistry: %s, draining\n", got)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			cli.Die(err)
+		}
+	}
+}
+
+// parseTenants parses "name[:quotaBytes[:maxAge]],..." into a closed tenant
+// set; omitted fields inherit the default policy.
+func parseTenants(spec string, def registry.Tenant) (map[string]registry.Tenant, error) {
+	out := make(map[string]registry.Tenant)
+	for _, item := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(item), ":")
+		if parts[0] == "" {
+			return nil, fmt.Errorf("-tenants: empty tenant name in %q", item)
+		}
+		pol := def
+		if len(parts) > 1 && parts[1] != "" {
+			q, err := strconv.ParseInt(parts[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("-tenants: bad quota in %q: %v", item, err)
+			}
+			pol.Quota = q
+		}
+		if len(parts) > 2 && parts[2] != "" {
+			d, err := time.ParseDuration(parts[2])
+			if err != nil {
+				return nil, fmt.Errorf("-tenants: bad max-age in %q: %v", item, err)
+			}
+			pol.MaxAge = d
+		}
+		if len(parts) > 3 {
+			return nil, fmt.Errorf("-tenants: too many fields in %q", item)
+		}
+		out[parts[0]] = pol
+	}
+	return out, nil
+}

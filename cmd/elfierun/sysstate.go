@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
+
+	"elfie/internal/cli"
 	"elfie/internal/harness"
 	"elfie/internal/kernel"
 	"elfie/internal/sysstate"
@@ -12,6 +16,17 @@ func installSysstate(fs *kernel.FS, dir string) error {
 	st, err := sysstate.LoadDir(dir)
 	if err != nil {
 		return err
+	}
+	st.Install(fs, harness.SysStateDir)
+	return nil
+}
+
+// installSysstateJSON installs the sysstate a store artifact carries as its
+// sysstate.json member.
+func installSysstateJSON(fs *kernel.FS, data []byte) error {
+	var st sysstate.State
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("%w: sysstate.json: %v", cli.ErrCorruptInput, err)
 	}
 	st.Install(fs, harness.SysStateDir)
 	return nil

@@ -41,7 +41,7 @@ func main() {
 		"resume a crashed or killed run from the store's journal (requires -store)")
 	ckptEvery := flag.Uint64("ckpt-every", 0,
 		"checkpointed replay stage: checkpoint every N instructions (0 = off)")
-	c := cli.Register(cli.FlagSeed | cli.FlagJobs | cli.FlagStore)
+	c := cli.Register(cli.FlagSeed | cli.FlagJobs | cli.FlagStore | cli.FlagRemote)
 	flag.Parse()
 
 	if *list {
@@ -75,12 +75,12 @@ func main() {
 		Seed: c.Seed, UseSysState: true, Jobs: c.Jobs,
 		Resume: *resume, CkptEvery: *ckptEvery,
 	}
-	s, err := c.OpenStore()
+	cache, err := c.OpenCache()
 	if err != nil {
 		cli.DieClassified(err)
 	}
-	cfg.Store = s
-	if *resume && s == nil {
+	cfg.Store = cache
+	if *resume && cache == nil {
 		cli.Die(fmt.Errorf("-resume needs -store: the run journal lives in the store directory"))
 	}
 	b, err := pinpoints.Prepare(recipe, cfg)

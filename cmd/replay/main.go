@@ -9,6 +9,12 @@
 //	replay -pinball pinballs/gcc.r1 -replay:injection=0 -in /input.dat=./input.dat
 //	replay -pinball pinballs/gcc.r1 -fault plan.json
 //	replay -pinball pinballs/gcc.r1 -ckpt-every 200000 -ckpt-out ck
+//	replay -store cache -key region-abc
+//	replay -store cache -remote http://host:9535 -key region-abc
+//
+// With -key, the pinball comes from a region artifact in the
+// content-addressed store (pulled through from -remote on a local miss)
+// instead of files on disk.
 //
 // With -ckpt-every, the replay drops a resumable mid-run checkpoint pinball
 // (<name>.ckpt, newest wins) into -ckpt-out every N instructions; validate
@@ -19,10 +25,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"elfie/internal/cli"
 	"elfie/internal/harness"
@@ -39,23 +47,37 @@ func main() {
 		"save a resumable mid-run checkpoint every N instructions (0 = off)")
 	ckptOut := flag.String("ckpt-out", "",
 		"directory for -ckpt-every checkpoints (default: the pinball's directory)")
-	c := cli.Register(cli.FlagSeed | cli.FlagFault | cli.FlagIn)
+	key := flag.String("key", "", "replay the pinball inside the region artifact stored under this key (-store required)")
+	c := cli.Register(cli.FlagSeed | cli.FlagFault | cli.FlagIn | cli.FlagStore | cli.FlagRemote)
 	flag.Parse()
-	if *pbPath == "" {
-		cli.Die(fmt.Errorf("-pinball required"))
+	if *pbPath == "" && *key == "" {
+		cli.Die(fmt.Errorf("-pinball or -key required"))
+	}
+	if *pbPath != "" && *key != "" {
+		cli.Die(fmt.Errorf("-pinball and -key are mutually exclusive"))
 	}
 
 	plan, err := c.Plan()
 	if err != nil {
 		cli.DieClassified(err)
 	}
-	dir, name := filepath.Split(*pbPath)
-	if dir == "" {
-		dir = "."
-	}
-	pb, err := pinball.Load(dir, name)
-	if err != nil {
-		cli.DieClassified(err)
+	var pb *pinball.Pinball
+	var name, dir string
+	if *key != "" {
+		pb, err = loadStoredPinball(c, *key)
+		if err != nil {
+			cli.DieClassified(err)
+		}
+		name, dir = pb.Name, "."
+	} else {
+		dir, name = filepath.Split(*pbPath)
+		if dir == "" {
+			dir = "."
+		}
+		pb, err = pinball.Load(dir, name)
+		if err != nil {
+			cli.DieClassified(err)
+		}
 	}
 	if pb.Unverified {
 		fmt.Fprintf(os.Stderr, "warning: %s has a legacy manifest; integrity unverified\n", name)
@@ -97,6 +119,38 @@ func main() {
 		printDivergence(res.Divergence)
 		os.Exit(cli.ExitDivergence)
 	}
+}
+
+// loadStoredPinball fetches a region artifact from the -store/-remote cache
+// and parses its pinball members, with the same integrity verification a
+// disk load gets. The pinball's name comes from the artifact's region.json
+// (falling back to the *.global.log member for artifacts without one).
+func loadStoredPinball(c *cli.Common, key string) (*pinball.Pinball, error) {
+	files, err := c.FetchArtifact(key)
+	if err != nil {
+		return nil, err
+	}
+	name := ""
+	if meta, ok := files["region.json"]; ok {
+		var rm struct {
+			PinballName string `json:"pinball_name"`
+		}
+		if json.Unmarshal(meta, &rm) == nil {
+			name = rm.PinballName
+		}
+	}
+	if name == "" {
+		for member := range files {
+			if strings.HasSuffix(member, ".global.log") {
+				name = strings.TrimSuffix(member, ".global.log")
+				break
+			}
+		}
+	}
+	if name == "" {
+		return nil, fmt.Errorf("artifact %q does not look like a region (no region.json or *.global.log)", key)
+	}
+	return pinball.ReadFileSet(name, files, pinball.ReadOptions{})
 }
 
 // printDivergence renders the structured report field by field, so scripts

@@ -15,6 +15,16 @@ import (
 	"elfie/internal/vm"
 )
 
+// ParseELF parses an in-memory ELF image (e.g. a store artifact member).
+// Malformed images classify as corrupt input.
+func ParseELF(name string, buf []byte) (*elfobj.File, error) {
+	f, err := elfobj.Read(buf)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorruptInput, name, err)
+	}
+	return f, nil
+}
+
 // LoadELF reads a PVM ELF file from disk. Malformed files classify as
 // corrupt input.
 func LoadELF(path string) (*elfobj.File, error) {

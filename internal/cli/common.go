@@ -2,22 +2,26 @@ package cli
 
 import (
 	"flag"
+	"fmt"
 
 	"elfie/internal/fault"
 	"elfie/internal/kernel"
+	"elfie/internal/registry"
 	"elfie/internal/store"
 )
 
 // Common holds the flag values every tool spells the same way. Tools opt
-// into the subset they need via Register, so -seed, -j, -store, -fault and
-// -in mean the same thing (same name, same default, same help text) across
-// the whole tool-chain.
+// into the subset they need via Register, so -seed, -j, -store, -fault,
+// -in, -remote and -tenant mean the same thing (same name, same default,
+// same help text) across the whole tool-chain.
 type Common struct {
 	Seed      int64
 	Jobs      int
 	StoreDir  string
 	FaultPath string
 	In        FSFlag
+	Remote    string
+	Tenant    string
 }
 
 // FlagSet selects which shared flags Register installs.
@@ -30,6 +34,7 @@ const (
 	FlagStore
 	FlagFault
 	FlagIn
+	FlagRemote
 )
 
 // Register installs the selected shared flags on the default flag set and
@@ -50,6 +55,10 @@ func Register(which FlagSet) *Common {
 	}
 	if which&FlagIn != 0 {
 		flag.Var(&c.In, "in", "guestpath=hostpath file mapping (repeatable)")
+	}
+	if which&FlagRemote != 0 {
+		flag.StringVar(&c.Remote, "remote", "", "artifact registry base URL (e.g. http://host:9535)")
+		flag.StringVar(&c.Tenant, "tenant", "", "registry tenant namespace (default: \"default\")")
 	}
 	return c
 }
@@ -74,4 +83,63 @@ func (c *Common) OpenStore() (*store.Store, error) {
 		return nil, nil
 	}
 	return store.Open(c.StoreDir)
+}
+
+// Client builds a registry client for the -remote/-tenant flags; nil when
+// -remote is unset.
+func (c *Common) Client() *registry.Client {
+	if c.Remote == "" {
+		return nil
+	}
+	return &registry.Client{Base: c.Remote, Tenant: c.Tenant}
+}
+
+// OpenCache resolves -store/-remote into an artifact cache: nil when no
+// store is configured, the plain local store when only -store is given, and
+// a registry pull-through (local misses fetch from -remote) when both are.
+// The explicit nil return matters: a typed-nil *store.Store stuffed into
+// the interface would defeat callers' `cache == nil` checks.
+func (c *Common) OpenCache() (store.Cache, error) {
+	s, err := c.OpenStore()
+	if err != nil {
+		return nil, err
+	}
+	if s == nil {
+		if c.Remote != "" {
+			return nil, fmt.Errorf("-remote needs -store: the pull-through cache fills a local store")
+		}
+		return nil, nil
+	}
+	if c.Remote == "" {
+		return s, nil
+	}
+	return registry.NewPullThrough(s, c.Client()), nil
+}
+
+// FetchArtifact resolves key through the -store/-remote cache: served
+// locally when present, pulled through from the registry otherwise. It is
+// how runner tools accept `-key` instead of artifact paths.
+func (c *Common) FetchArtifact(key string) (store.FileSet, error) {
+	cache, err := c.OpenCache()
+	if err != nil {
+		return nil, err
+	}
+	if cache == nil {
+		return nil, fmt.Errorf("-key needs -store (and optionally -remote) to fetch from")
+	}
+	files, _, ok, err := cache.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("no artifact %q in the store%s", key, remoteSuffix(c.Remote))
+	}
+	return files, nil
+}
+
+func remoteSuffix(remote string) string {
+	if remote == "" {
+		return ""
+	}
+	return " or at " + remote
 }

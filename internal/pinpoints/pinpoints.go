@@ -70,7 +70,11 @@ type Config struct {
 	// (<store>/journal.jsonl): every job lifecycle event is fsynced before
 	// it is acted on, so a killed run leaves a replayable record of what
 	// finished and where mid-run checkpoints live.
-	Store *store.Store
+	//
+	// Store is an interface so a registry-backed pull-through cache can
+	// stand in for a plain local store: artifact misses then fall through
+	// to a remote registry before the pipeline rebuilds anything.
+	Store store.Cache
 	// Resume replays the store's run journal instead of starting it fresh:
 	// completed jobs are skipped (the store supplies their artifacts) and
 	// interrupted checkpointed replays continue from their newest journaled

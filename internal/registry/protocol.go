@@ -1,0 +1,207 @@
+// Package registry serves a content-addressed checkpoint store over HTTP,
+// turning the pipeline's pinballs, ELFies, and mid-run checkpoints into
+// distributable artifacts: one machine's farm produces them, any other
+// machine's validation or simulation runs pull them — no manual artifact
+// shuffling, and a warm client transfers zero bytes.
+//
+// The wire protocol leans entirely on the store's content addressing:
+//
+//   - Artifacts travel in their *stored representation* — the top object
+//     plus the page-chunk objects its manifest references — so content
+//     addresses survive the network unchanged and a pulled artifact is
+//     byte-identical (same object ID) to the pushed one.
+//   - Upload is negotiated: the client declares every blob it intends to
+//     send, the server answers with the subset it is missing, and only
+//     those move. Re-pushing a near-identical checkpoint ships only the
+//     pages it dirtied; resuming a killed push re-sends zero completed
+//     chunks. Upload state is durable on the server (journal-style temp
+//     files keyed by a deterministic upload ID), so resume survives SIGKILL
+//     of either side.
+//   - Reads carry content-hash ETags (If-None-Match answers 304 with zero
+//     bytes) and honor HTTP Range, so an interrupted download continues
+//     from its last byte.
+//   - Namespaces are per-tenant path prefixes with byte quotas and a GC
+//     age policy, layered over the store's index and GC.
+//
+// Endpoints (all JSON unless noted):
+//
+//	GET  /v1/ping                                    liveness + protocol version
+//	GET  /v1/t/{tenant}                              tenant status (usage, quota)
+//	GET  /v1/t/{tenant}/entries                      index listing
+//	GET  /v1/t/{tenant}/artifacts/{key}              artifact manifest (ETag: object)
+//	GET  /v1/t/{tenant}/artifacts/{key}/files/{name} raw top member (Range, ETag)
+//	GET  /v1/t/{tenant}/objects/{id}                 raw chunk object (Range, ETag)
+//	POST /v1/t/{tenant}/uploads                      open/resume an upload (manifest in, needs out)
+//	GET  /v1/t/{tenant}/uploads/{id}                 upload status (remaining needs)
+//	PUT  /v1/t/{tenant}/uploads/{id}/blobs/{blob}    one blob or chunk (bytes, hash-verified)
+//	POST /v1/t/{tenant}/uploads/{id}/commit          assemble, verify, store; entry out
+//	POST /v1/t/{tenant}/verify?lint=1                server-side deep verify (store.VerifyWith)
+//	POST /v1/t/{tenant}/gc                           tenant-policy GC + orphan sweep
+package registry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"elfie/internal/store"
+)
+
+// ProtocolVersion is bumped on incompatible wire changes; ping reports it
+// so mismatched clients fail fast instead of misparsing.
+const ProtocolVersion = 1
+
+// DefaultTenant is the namespace used when a client does not name one.
+const DefaultTenant = "default"
+
+// DefaultWireChunk is how finely top-object members are split into wire
+// blobs for resumable upload: big enough to amortize per-request overhead,
+// small enough that a killed transfer loses little.
+const DefaultWireChunk = 64 << 10
+
+// BlobRef names one transferable unit: ID is the hex SHA-256 of the raw
+// bytes for wire blobs, or the store content address for chunk objects.
+type BlobRef struct {
+	ID   string `json:"id"`
+	Size int64  `json:"size"`
+}
+
+// MemberPlan is how one top-object member travels: split into wire blobs,
+// concatenated in order on the far side.
+type MemberPlan struct {
+	Size  int64     `json:"size"`
+	Blobs []BlobRef `json:"blobs"`
+}
+
+// UploadManifest is the client's opening declaration: the artifact's
+// identity and every blob that reassembles it. POSTing the same manifest
+// again reattaches to the same upload (the upload ID is a deterministic
+// function of tenant, key, and object), which is what makes resume free.
+type UploadManifest struct {
+	Key  string `json:"key"`
+	Kind string `json:"kind"`
+	// Object is the top object's content address; commit fails unless the
+	// assembled bytes hash to exactly this.
+	Object string                `json:"object"`
+	Top    map[string]MemberPlan `json:"top"`
+	// Chunks are the store chunk objects the top's manifest references,
+	// transferred whole under their content addresses.
+	Chunks []BlobRef `json:"chunks"`
+}
+
+// UploadStatus is the server's answer: what it still needs. An empty need
+// set means the client can commit immediately.
+type UploadStatus struct {
+	ID string `json:"id"`
+	// NeedBlobs / NeedChunks list the IDs not yet present server-side —
+	// everything else is already staged or already in the store and must
+	// not be re-sent.
+	NeedBlobs  []string `json:"need_blobs,omitempty"`
+	NeedChunks []string `json:"need_chunks,omitempty"`
+	// Committed reports the artifact is already stored with this exact
+	// object ID; the transfer is a no-op.
+	Committed bool `json:"committed,omitempty"`
+}
+
+// ArtifactInfo describes a stored artifact for download: the index entry
+// (key relative to the tenant), the raw top members with their sizes, and
+// the chunk objects a puller must also fetch (minus those it already has).
+type ArtifactInfo struct {
+	Entry store.Entry      `json:"entry"`
+	Top   map[string]int64 `json:"top"`
+	// Chunks lists referenced chunk objects with sizes, so a puller can
+	// budget and skip ones it already holds.
+	Chunks []BlobRef `json:"chunks,omitempty"`
+}
+
+// Problem is one verification failure, wire-safe (errors as strings) and
+// attributed to where it was observed.
+type Problem struct {
+	// Source is "local" or "remote" in merged reports; servers leave it
+	// empty (the client fills it in).
+	Source string `json:"source,omitempty"`
+	Key    string `json:"key"`
+	Object string `json:"object"`
+	Err    string `json:"err"`
+}
+
+// VerifyReport mirrors store.VerifyReport across the wire.
+type VerifyReport struct {
+	Checked     int       `json:"checked"`
+	Pinballs    int       `json:"pinballs"`
+	Unverified  int       `json:"unverified"`
+	Linted      int       `json:"linted"`
+	Chunked     int       `json:"chunked"`
+	Checkpoints int       `json:"checkpoints"`
+	Problems    []Problem `json:"problems,omitempty"`
+}
+
+// OK reports whether the scan found no problems.
+func (r *VerifyReport) OK() bool { return len(r.Problems) == 0 }
+
+// GCResult reports one tenant-policy collection.
+type GCResult struct {
+	ExpiredEntries int   `json:"expired_entries"`
+	OrphanObjects  int   `json:"orphan_objects"`
+	TmpDebris      int   `json:"tmp_debris"`
+	BytesReclaimed int64 `json:"bytes_reclaimed"`
+}
+
+// TenantStatus is one namespace's usage against its policy.
+type TenantStatus struct {
+	Name         string `json:"name"`
+	Entries      int    `json:"entries"`
+	LogicalBytes int64  `json:"logical_bytes"`
+	QuotaBytes   int64  `json:"quota_bytes"`
+	MaxAgeSecs   int64  `json:"max_age_secs"`
+}
+
+// PingResponse answers GET /v1/ping.
+type PingResponse struct {
+	OK      bool `json:"ok"`
+	Version int  `json:"version"`
+}
+
+// errorBody is the JSON error envelope non-2xx responses carry.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// blobID is the wire hash: hex SHA-256 over raw bytes. Distinct from
+// store.ObjectID (which frames names and lengths); wire blobs are anonymous
+// byte ranges, so the raw hash is the honest identity.
+func blobID(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// uploadID derives the deterministic resume handle for one (tenant, key,
+// object) transfer: a client killed mid-push re-derives the same ID and
+// reattaches to the server's staged state.
+func uploadID(tenant, key, object string) string {
+	h := sha256.New()
+	h.Write([]byte(tenant))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(object))
+	return hex.EncodeToString(h.Sum(nil))[:24]
+}
+
+// planMember splits one member into wire blobs of at most wire bytes.
+func planMember(data []byte, wire int) MemberPlan {
+	if wire <= 0 {
+		wire = DefaultWireChunk
+	}
+	p := MemberPlan{Size: int64(len(data))}
+	for off := 0; off < len(data); off += wire {
+		end := off + wire
+		if end > len(data) {
+			end = len(data)
+		}
+		p.Blobs = append(p.Blobs, BlobRef{ID: blobID(data[off:end]), Size: int64(end - off)})
+	}
+	if len(data) == 0 {
+		p.Blobs = append(p.Blobs, BlobRef{ID: blobID(nil), Size: 0})
+	}
+	return p
+}

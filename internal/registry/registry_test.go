@@ -1,0 +1,624 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"elfie/internal/store"
+)
+
+// transferLog wraps the registry handler and records every payload
+// transfer, so tests can prove "zero re-sent chunks" structurally: a blob
+// PUT or chunk GET that repeats is a protocol failure, not just waste.
+type transferLog struct {
+	next http.Handler
+
+	mu       sync.Mutex
+	blobPuts map[string]int // blob id -> times received
+	objGets  map[string]int // chunk object id -> times served
+}
+
+func newTransferLog(next http.Handler) *transferLog {
+	return &transferLog{next: next, blobPuts: make(map[string]int), objGets: make(map[string]int)}
+}
+
+func (l *transferLog) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	parts := strings.Split(r.URL.Path, "/")
+	last := parts[len(parts)-1]
+	l.mu.Lock()
+	if r.Method == http.MethodPut && len(parts) >= 2 && parts[len(parts)-2] == "blobs" {
+		l.blobPuts[last]++
+	}
+	if r.Method == http.MethodGet && len(parts) >= 2 && parts[len(parts)-2] == "objects" {
+		l.objGets[last]++
+	}
+	l.mu.Unlock()
+	l.next.ServeHTTP(w, r)
+}
+
+func (l *transferLog) duplicates() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var dups []string
+	for id, n := range l.blobPuts {
+		if n > 1 {
+			dups = append(dups, fmt.Sprintf("blob %s put %d times", id[:12], n))
+		}
+	}
+	for id, n := range l.objGets {
+		if n > 1 {
+			dups = append(dups, fmt.Sprintf("chunk %s fetched %d times", id[:12], n))
+		}
+	}
+	return dups
+}
+
+// testRegistry spins up a registry server over a fresh store.
+func testRegistry(t *testing.T, opts ServerOptions) (*store.Store, *transferLog, *httptest.Server) {
+	t.Helper()
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := newTransferLog(NewServer(s, opts).Handler())
+	srv := httptest.NewServer(tl)
+	t.Cleanup(srv.Close)
+	return s, tl, srv
+}
+
+func testClient(srv *httptest.Server, tenant string) *Client {
+	return &Client{Base: srv.URL, Tenant: tenant, WireChunk: 256, Retries: 2}
+}
+
+func localStore(t *testing.T) *store.Store {
+	t.Helper()
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// corruptObjectFile flips bytes inside one stored object's largest member
+// file, simulating on-disk rot under the server.
+func corruptObjectFile(t *testing.T, root, object string) {
+	t.Helper()
+	dir := filepath.Join(root, "objects", object[:2], object)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim string
+	var best int64 = -1
+	for _, de := range ents {
+		info, err := de.Info()
+		if err != nil || de.IsDir() {
+			continue
+		}
+		if info.Size() > best {
+			best, victim = info.Size(), filepath.Join(dir, de.Name())
+		}
+	}
+	if victim == "" {
+		t.Fatalf("object %s has no files to corrupt", object)
+	}
+	if err := os.WriteFile(victim, []byte("rotten bits"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkpointLike builds a file set shaped like a mid-run checkpoint: a big
+// chunkable memory image plus small inline members.
+func checkpointLike(pages int, stamp byte) store.FileSet {
+	mem := make([]byte, pages*128)
+	for i := range mem {
+		mem[i] = byte(i/128) ^ stamp
+	}
+	return store.FileSet{
+		"mem":  mem,
+		"meta": []byte(fmt.Sprintf("checkpoint stamp=%d", stamp)),
+	}
+}
+
+func TestPushPullRoundTrip(t *testing.T) {
+	_, _, srv := testRegistry(t, ServerOptions{})
+	a, b := localStore(t), localStore(t)
+	c := testClient(srv, "")
+
+	// One plain object, one chunked checkpoint.
+	plain := store.FileSet{"elfie.bin": bytes.Repeat([]byte("ELFIE"), 400), "region.json": []byte(`{"r":1}`)}
+	ePlain, err := a.Put("region-1", "region", plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := checkpointLike(40, 0)
+	eCkpt, err := a.PutChunked("ckpt-1", "checkpoint", ckpt, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, key := range []string{"region-1", "ckpt-1"} {
+		if _, err := c.Push(a, key); err != nil {
+			t.Fatalf("push %s: %v", key, err)
+		}
+	}
+	for _, key := range []string{"region-1", "ckpt-1"} {
+		if _, _, err := c.Pull(b, key); err != nil {
+			t.Fatalf("pull %s: %v", key, err)
+		}
+	}
+
+	// Byte-identical across stores, same content addresses.
+	gotPlain, e2, ok, err := b.Get("region-1")
+	if err != nil || !ok {
+		t.Fatalf("b.Get(region-1): ok=%v err=%v", ok, err)
+	}
+	if e2.Object != ePlain.Object {
+		t.Fatalf("plain object id changed across the wire: %s vs %s", e2.Object, ePlain.Object)
+	}
+	for name, data := range plain {
+		if !bytes.Equal(gotPlain[name], data) {
+			t.Fatalf("member %s differs after round trip", name)
+		}
+	}
+	gotCkpt, e3, ok, err := b.Get("ckpt-1")
+	if err != nil || !ok {
+		t.Fatalf("b.Get(ckpt-1): ok=%v err=%v", ok, err)
+	}
+	if e3.Object != eCkpt.Object {
+		t.Fatalf("chunked object id changed across the wire: %s vs %s", e3.Object, eCkpt.Object)
+	}
+	if !bytes.Equal(gotCkpt["mem"], ckpt["mem"]) {
+		t.Fatal("chunked member differs after round trip")
+	}
+	// The receiving store passes its own deep verification.
+	rep, err := b.Verify()
+	if err != nil || !rep.OK() {
+		t.Fatalf("verify pulled store: err=%v problems=%v", err, rep.Problems)
+	}
+}
+
+// TestSecondPushShipsOnlyDirtyPages is the page-dedup promise over the
+// wire: a near-identical checkpoint re-pushes only the chunks it changed.
+func TestSecondPushShipsOnlyDirtyPages(t *testing.T) {
+	_, _, srv := testRegistry(t, ServerOptions{})
+	a := localStore(t)
+	c := testClient(srv, "")
+
+	base := checkpointLike(64, 0)
+	if _, err := a.PutChunked("ckpt-1", "checkpoint", base, 128); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Push(a, "ckpt-1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dirty exactly 3 pages.
+	next := store.FileSet{"mem": append([]byte(nil), base["mem"]...), "meta": base["meta"]}
+	for _, page := range []int{3, 17, 41} {
+		copy(next["mem"][page*128:(page+1)*128], bytes.Repeat([]byte{0xAB}, 128))
+	}
+	if _, err := a.PutChunked("ckpt-2", "checkpoint", next, 128); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Push(a, "ckpt-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// What must move: the 3 dirty chunk objects plus the new top object
+	// (chunks.json changed, so its wire blobs are new). The 61 clean pages
+	// — the bulk of the checkpoint — must not cross the wire again.
+	if stats.Skipped < 61 {
+		t.Fatalf("second push skipped only %d chunk objects; dedup negotiation failed", stats.Skipped)
+	}
+	top2, _, _, err := a.GetRaw("ckpt-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var topBytes int64
+	for _, data := range top2 {
+		topBytes += int64(len(data))
+	}
+	if max := 3*128 + topBytes; stats.Bytes > max {
+		t.Fatalf("second push moved %d bytes, want at most %d (3 dirty pages + top object)",
+			stats.Bytes, max)
+	}
+}
+
+// TestWarmTransfersAreZero: pushing content the registry holds, or pulling
+// content the local store holds, moves no payload at all.
+func TestWarmTransfersAreZero(t *testing.T) {
+	_, tl, srv := testRegistry(t, ServerOptions{})
+	a, b := localStore(t), localStore(t)
+	c := testClient(srv, "")
+
+	if _, err := a.PutChunked("k", "checkpoint", checkpointLike(32, 1), 128); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Push(a, "k"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Push(a, "k") // warm push: ETag short-circuits
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sent != 0 || st.Bytes != 0 {
+		t.Fatalf("warm push moved %d blobs / %d bytes", st.Sent, st.Bytes)
+	}
+
+	if _, _, err := c.Pull(b, "k"); err != nil {
+		t.Fatal(err)
+	}
+	_, st2, err := c.Pull(b, "k") // warm pull: If-None-Match answers 304
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Received != 0 || st2.Bytes != 0 {
+		t.Fatalf("warm pull moved %d blobs / %d bytes", st2.Received, st2.Bytes)
+	}
+	if dups := tl.duplicates(); len(dups) > 0 {
+		t.Fatalf("duplicate transfers: %v", dups)
+	}
+}
+
+// TestPushResumesAfterCrash kills the pushing client between completed
+// blob transfers — the moral equivalent of SIGKILL — and proves the
+// resumed push re-sends zero completed chunks and the committed artifact
+// is intact.
+func TestPushResumesAfterCrash(t *testing.T) {
+	serverStore, tl, srv := testRegistry(t, ServerOptions{})
+	a := localStore(t)
+	e, err := a.PutChunked("ckpt", "checkpoint", checkpointLike(48, 2), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	crashed := 0
+	for crashAt := 1; ; crashAt += 7 {
+		// A fresh client per attempt: a SIGKILLed process restarts with no
+		// in-memory state, only what the server staged durably.
+		c := testClient(srv, "")
+		c.CrashAfter = crashAt
+		_, err := c.Push(a, "ckpt")
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatal(err)
+		}
+		crashed++
+		if crashed > 100 {
+			t.Fatal("push never completed")
+		}
+	}
+	if crashed == 0 {
+		t.Fatal("test never exercised a crash; lower the crash stride")
+	}
+	if dups := tl.duplicates(); len(dups) > 0 {
+		t.Fatalf("resumed pushes re-sent completed blobs: %v", dups)
+	}
+	got, ok := serverStore.Stat(tenantPrefix(DefaultTenant) + "ckpt")
+	if !ok || got.Object != e.Object {
+		t.Fatalf("committed artifact wrong: ok=%v", ok)
+	}
+	rep, err := serverStore.Verify()
+	if err != nil || !rep.OK() {
+		t.Fatalf("server store after crashy upload: err=%v problems=%v", err, rep.Problems)
+	}
+}
+
+// TestPullResumesAfterCrash is the download mirror: a client killed
+// between completed pieces resumes from its durable stage, re-fetching no
+// completed chunk, and the assembled artifact verifies.
+func TestPullResumesAfterCrash(t *testing.T) {
+	_, tl, srv := testRegistry(t, ServerOptions{})
+	a, b := localStore(t), localStore(t)
+	e, err := a.PutChunked("ckpt", "checkpoint", checkpointLike(48, 3), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := testClient(srv, "").Push(a, "ckpt"); err != nil {
+		t.Fatal(err)
+	}
+
+	crashed := 0
+	for crashAt := 1; ; crashAt += 7 {
+		c := testClient(srv, "")
+		c.CrashAfter = crashAt
+		_, _, err := c.Pull(b, "ckpt")
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatal(err)
+		}
+		crashed++
+		if crashed > 100 {
+			t.Fatal("pull never completed")
+		}
+	}
+	if crashed == 0 {
+		t.Fatal("test never exercised a crash; lower the crash stride")
+	}
+	if dups := tl.duplicates(); len(dups) > 0 {
+		t.Fatalf("resumed pulls re-fetched completed chunks: %v", dups)
+	}
+	got, ok := b.Stat("ckpt")
+	if !ok || got.Object != e.Object {
+		t.Fatalf("pulled artifact wrong: ok=%v", ok)
+	}
+	rep, err := b.Verify()
+	if err != nil || !rep.OK() {
+		t.Fatalf("local store after crashy pull: err=%v problems=%v", err, rep.Problems)
+	}
+}
+
+// TestSlashKeysRoundTrip: checkpoint keys like ckpt/<job>/<icount> travel
+// percent-encoded and stay one path segment.
+func TestSlashKeysRoundTrip(t *testing.T) {
+	_, _, srv := testRegistry(t, ServerOptions{})
+	a, b := localStore(t), localStore(t)
+	c := testClient(srv, "")
+	key := "ckpt/region-3-replay/200000"
+	if _, err := a.PutChunked(key, "checkpoint", checkpointLike(16, 9), 128); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Push(a, key); err != nil {
+		t.Fatalf("push slash key: %v", err)
+	}
+	if _, _, err := c.Pull(b, key); err != nil {
+		t.Fatalf("pull slash key: %v", err)
+	}
+	ea, _ := a.Stat(key)
+	eb, ok := b.Stat(key)
+	if !ok || eb.Object != ea.Object {
+		t.Fatalf("slash key artifact mismatched: ok=%v", ok)
+	}
+	// Traversal-shaped keys are refused at the door.
+	if _, err := c.Stat("../../etc/passwd", ""); !errors.Is(err, ErrRemote) {
+		t.Fatalf("traversal key accepted: %v", err)
+	}
+}
+
+// TestRangeRead exercises the raw HTTP Range surface a partial fetch uses.
+func TestRangeRead(t *testing.T) {
+	_, _, srv := testRegistry(t, ServerOptions{})
+	a := localStore(t)
+	payload := bytes.Repeat([]byte("0123456789"), 100)
+	if _, err := a.Put("k", "test", store.FileSet{"data": payload}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := testClient(srv, "").Push(a, "k"); err != nil {
+		t.Fatal(err)
+	}
+
+	req, _ := http.NewRequest("GET", srv.URL+"/v1/t/default/artifacts/k/files/data", nil)
+	req.Header.Set("Range", "bytes=100-199")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("status %s, want 206", resp.Status)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload[100:200]) {
+		t.Fatalf("range read returned wrong bytes (%d)", len(got))
+	}
+}
+
+// TestTenantIsolationAndQuota: namespaces do not leak into each other, a
+// closed tenant set rejects strangers, and the byte quota refuses an
+// upload before a single byte moves.
+func TestTenantIsolationAndQuota(t *testing.T) {
+	_, _, srv := testRegistry(t, ServerOptions{
+		Tenants: map[string]Tenant{
+			"alpha": {},
+			"beta":  {Quota: 1024},
+		},
+	})
+	a := localStore(t)
+	if _, err := a.Put("k", "test", store.FileSet{"f": bytes.Repeat([]byte("x"), 2048)}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := testClient(srv, "alpha").Push(a, "k"); err != nil {
+		t.Fatal(err)
+	}
+	// beta cannot see alpha's artifact.
+	if _, err := testClient(srv, "beta").Stat("k", ""); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("tenant isolation broken: %v", err)
+	}
+	// beta's quota refuses the 2 KiB artifact at upload-open time.
+	if _, err := testClient(srv, "beta").Push(a, "k"); err == nil || !errors.Is(err, ErrRemote) {
+		t.Fatalf("quota not enforced: %v", err)
+	}
+	// Unknown tenants are rejected outright in closed mode.
+	if err := testClient(srv, "stranger").Ping(); err != nil {
+		t.Fatal(err) // ping is tenant-less and must still work
+	}
+	if _, err := testClient(srv, "stranger").Entries(); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown tenant accepted: %v", err)
+	}
+}
+
+// TestTenantGCPolicy: one tenant's age policy expires only its own
+// entries, and the sweep reclaims the bytes.
+func TestTenantGCPolicy(t *testing.T) {
+	serverStore, _, srv := testRegistry(t, ServerOptions{
+		Tenants: map[string]Tenant{
+			"ephemeral": {MaxAge: time.Nanosecond},
+			"archive":   {},
+		},
+	})
+	a := localStore(t)
+	if _, err := a.PutChunked("k", "checkpoint", checkpointLike(32, 4), 128); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := testClient(srv, "ephemeral").Push(a, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := testClient(srv, "archive").Push(a, "k"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // let the nanosecond policy age out
+
+	res, err := testClient(srv, "ephemeral").GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExpiredEntries != 1 {
+		t.Fatalf("expired %d entries, want 1", res.ExpiredEntries)
+	}
+	if _, ok := serverStore.Stat(tenantPrefix("ephemeral") + "k"); ok {
+		t.Fatal("ephemeral entry survived its GC policy")
+	}
+	if _, ok := serverStore.Stat(tenantPrefix("archive") + "k"); !ok {
+		t.Fatal("archive tenant's entry was collateral damage")
+	}
+	// The archive copy still verifies: shared chunks were not swept.
+	rep, err := serverStore.Verify()
+	if err != nil || !rep.OK() {
+		t.Fatalf("post-GC verify: err=%v problems=%v", err, rep.Problems)
+	}
+}
+
+// TestVerifyEndpoint: the server-side deep verify reports damage a client
+// would otherwise discover only after downloading.
+func TestVerifyEndpoint(t *testing.T) {
+	serverStore, _, srv := testRegistry(t, ServerOptions{})
+	a := localStore(t)
+	if _, err := a.Put("good", "test", store.FileSet{"f": []byte("fine")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Put("bad", "test", store.FileSet{"f": bytes.Repeat([]byte("doomed"), 100)}); err != nil {
+		t.Fatal(err)
+	}
+	c := testClient(srv, "")
+	for _, k := range []string{"good", "bad"} {
+		if _, err := c.Push(a, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := c.Verify(false)
+	if err != nil || !rep.OK() {
+		t.Fatalf("clean store reported problems: err=%v %+v", err, rep)
+	}
+
+	// Flip bits inside the bad entry's object on the server's disk.
+	e, _ := serverStore.Stat(tenantPrefix(DefaultTenant) + "bad")
+	corruptObjectFile(t, serverStore.Root(), e.Object)
+
+	rep, err = c.Verify(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Problems) != 1 || rep.Problems[0].Key != "bad" {
+		t.Fatalf("verify problems: %+v", rep.Problems)
+	}
+}
+
+// TestPullThroughCache: local misses fill from the registry once, then hit
+// locally; keys absent on both sides are plain misses.
+func TestPullThroughCache(t *testing.T) {
+	_, tl, srv := testRegistry(t, ServerOptions{})
+	a, b := localStore(t), localStore(t)
+	c := testClient(srv, "")
+	if _, err := a.PutChunked("k", "checkpoint", checkpointLike(32, 5), 128); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Push(a, "k"); err != nil {
+		t.Fatal(err)
+	}
+
+	pt := NewPullThrough(b, testClient(srv, ""))
+	if _, _, ok, err := pt.Get("nope"); ok || err != nil {
+		t.Fatalf("absent key: ok=%v err=%v", ok, err)
+	}
+	files, _, ok, err := pt.Get("k")
+	if err != nil || !ok {
+		t.Fatalf("pull-through Get: ok=%v err=%v", ok, err)
+	}
+	if len(files["mem"]) != 32*128 {
+		t.Fatalf("pull-through content wrong: %d bytes", len(files["mem"]))
+	}
+	if _, _, ok, _ = pt.Get("k"); !ok {
+		t.Fatal("second Get missed")
+	}
+	if pt.Fills() != 1 || pt.Hits() != 1 || pt.Misses() != 1 {
+		t.Fatalf("counters: fills=%d hits=%d misses=%d", pt.Fills(), pt.Hits(), pt.Misses())
+	}
+	if dups := tl.duplicates(); len(dups) > 0 {
+		t.Fatalf("pull-through re-fetched: %v", dups)
+	}
+
+	// Write-through publishes producer-side Puts.
+	wt := NewPullThrough(a, testClient(srv, ""))
+	wt.PushOnPut = true
+	if _, err := wt.Put("produced", "region", store.FileSet{"f": []byte("fresh")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := testClient(srv, "").Stat("produced", ""); err != nil {
+		t.Fatalf("PushOnPut did not publish: %v", err)
+	}
+}
+
+// TestServerRejectsCorruptUpload: a blob that does not hash to its
+// declared ID is refused at the door, and a manifest whose assembly does
+// not hash to its declared object never lands in the store.
+func TestServerRejectsCorruptUpload(t *testing.T) {
+	serverStore, _, srv := testRegistry(t, ServerOptions{})
+	man := UploadManifest{
+		Key: "evil", Kind: "test",
+		Object: strings.Repeat("ab", 32),
+		Top: map[string]MemberPlan{
+			"f": {Size: 4, Blobs: []BlobRef{{ID: blobID([]byte("good")), Size: 4}}},
+		},
+	}
+	c := testClient(srv, "")
+	manBytes, err := json.Marshal(&man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, data, err := c.do("POST", c.turl("uploads"), nil, manBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st UploadStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong bytes for the declared blob: rejected.
+	if _, _, err := c.do("PUT", c.turl("uploads", st.ID, "blobs", man.Top["f"].Blobs[0].ID),
+		nil, []byte("evil")); !errors.Is(err, ErrRemote) {
+		t.Fatalf("corrupt blob accepted: %v", err)
+	}
+	// Right bytes, but the assembled object cannot hash to the fake
+	// object ID: commit refused, store untouched.
+	if _, _, err := c.do("PUT", c.turl("uploads", st.ID, "blobs", man.Top["f"].Blobs[0].ID),
+		nil, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.do("POST", c.turl("uploads", st.ID, "commit"), nil, nil); !errors.Is(err, ErrRemote) {
+		t.Fatalf("corrupt commit accepted: %v", err)
+	}
+	if len(serverStore.Entries()) != 0 {
+		t.Fatal("corrupt upload reached the store")
+	}
+}

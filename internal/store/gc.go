@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -14,39 +15,88 @@ import (
 	"elfie/internal/pinball"
 )
 
-// Stats summarizes a store: logical entries vs physical objects, so the
-// deduplication win is visible.
+// Stats summarizes a store: logical bytes referenced by entries vs physical
+// bytes on disk, so the deduplication win is visible. Chunk objects are
+// attributed to the kinds that reference them — a checkpoint-heavy store's
+// per-kind sizes include the pages its checkpoints actually pin.
 type Stats struct {
 	Entries int
-	Objects int
-	// Bytes is the physical size of all object files.
+	// Objects counts top-level objects; ChunkObjects counts the page-chunk
+	// objects referenced by their manifests (each unique chunk once).
+	Objects      int
+	ChunkObjects int
+	// Bytes is the physical on-disk size of all referenced objects, chunk
+	// objects included, each counted once however many entries share it.
 	Bytes int64
-	// DedupSaved is the byte size referenced by entries minus physical
-	// bytes: what content addressing avoided storing twice.
+	// LogicalBytes is the sum over entries of the fully reassembled artifact
+	// size — what the store would hold with no dedup at all.
+	LogicalBytes int64
+	// DedupSaved is LogicalBytes - Bytes: what content addressing and page
+	// chunking avoided storing twice.
 	DedupSaved int64
-	// Kinds counts entries by kind.
-	Kinds map[string]int
+	// DedupRatio is LogicalBytes / Bytes (1.0 = no sharing).
+	DedupRatio float64
+	// Kinds counts entries by kind; KindBytes is each kind's logical size,
+	// chunked members attributed to the referencing kind.
+	Kinds     map[string]int
+	KindBytes map[string]int64
 }
 
-// Stats computes store statistics.
+// Stats computes store statistics. Per-entry logical sizes come from the
+// chunk manifests, so shared checkpoint pages count toward every checkpoint
+// that references them (logical) but only once on disk (physical).
 func (s *Store) Stats() (Stats, error) {
-	st := Stats{Kinds: make(map[string]int)}
-	s.mu.Lock()
-	objSize := make(map[string]int64)
-	var logical int64
-	for _, e := range s.idx {
+	st := Stats{Kinds: make(map[string]int), KindBytes: make(map[string]int64)}
+	entries := s.Entries()
+	tops := make(map[string]bool)
+	chunks := make(map[string]bool)
+	for i := range entries {
+		e := &entries[i]
 		st.Entries++
 		st.Kinds[e.Kind]++
-		objSize[e.Object] = e.Size
-		logical += e.Size
+		logical := s.LogicalSize(e)
+		st.KindBytes[e.Kind] += logical
+		st.LogicalBytes += logical
+		if !tops[e.Object] {
+			tops[e.Object] = true
+			st.Bytes += dirSize(s.objectDir(e.Object))
+		}
+		for _, cid := range s.chunkRefs(e.Object) {
+			if !chunks[cid] {
+				chunks[cid] = true
+				st.Bytes += dirSize(s.objectDir(cid))
+			}
+		}
 	}
-	s.mu.Unlock()
-	st.Objects = len(objSize)
-	for _, sz := range objSize {
-		st.Bytes += sz
+	st.Objects = len(tops)
+	st.ChunkObjects = len(chunks)
+	st.DedupSaved = st.LogicalBytes - st.Bytes
+	if st.Bytes > 0 {
+		st.DedupRatio = float64(st.LogicalBytes) / float64(st.Bytes)
 	}
-	st.DedupSaved = logical - st.Bytes
 	return st, nil
+}
+
+// LogicalSize returns the entry's fully reassembled artifact size: its
+// inline top members plus the manifest sizes of chunked members. For an
+// unchunked entry this equals Entry.Size.
+func (s *Store) LogicalSize(e *Entry) int64 {
+	size := e.Size
+	mdata, err := os.ReadFile(filepath.Join(s.objectDir(e.Object), chunkManifestName))
+	if err != nil {
+		return size
+	}
+	var man chunkManifest
+	if json.Unmarshal(mdata, &man) != nil {
+		return size
+	}
+	// The manifest member itself is bookkeeping, not artifact content; the
+	// chunked members it describes are.
+	size -= int64(len(mdata))
+	for _, m := range man.Members {
+		size += m.Size
+	}
+	return size
 }
 
 // VerifyProblem is one integrity failure found by Verify.
@@ -87,6 +137,10 @@ type VerifyOptions struct {
 	// here means the artifact rotted — or was written by an older,
 	// less-strict pipeline.
 	Lint bool
+	// KeyPrefix, when non-empty, restricts the scan to entries whose key
+	// starts with it — how the registry verifies one tenant's namespace
+	// without touching the others.
+	KeyPrefix string
 }
 
 // Verify re-hashes every referenced object against its content address and,
@@ -102,6 +156,9 @@ func (s *Store) Verify() (*VerifyReport, error) {
 func (s *Store) VerifyWith(opts VerifyOptions) (*VerifyReport, error) {
 	rep := &VerifyReport{}
 	for _, e := range s.Entries() {
+		if opts.KeyPrefix != "" && !strings.HasPrefix(e.Key, opts.KeyPrefix) {
+			continue
+		}
 		rep.Checked++
 		files, err := s.readObject(e.Object)
 		if err != nil {
@@ -233,6 +290,7 @@ func (s *Store) GC(opts GCOptions) (*GCReport, error) {
 			rep.ExpiredEntries++
 			if !opts.DryRun {
 				delete(s.idx, key)
+				s.deleted[key] = true
 			}
 			continue
 		}

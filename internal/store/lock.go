@@ -1,0 +1,70 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// Multi-process index safety. A store root is shared state: the farm, the
+// registry server, and ad-hoc elfiestore invocations may all hold Store
+// handles on the same directory at once. Object writes are already safe
+// (content addressing + atomic rename), but index.json is not append-only —
+// a handle that persisted its in-memory view verbatim would overwrite
+// entries another process added since this handle loaded the file.
+//
+// Every index save therefore runs as a locked read-merge-write: take an
+// exclusive flock on <root>/index.lock, re-read index.json, fold in entries
+// other processes added (our own entries win for keys we hold, and keys we
+// deliberately deleted stay deleted via in-memory tombstones), then write
+// and release. flock is advisory, per-open-file, and released by the kernel
+// if the process dies — a crashed writer never wedges the store.
+
+const lockFileName = "index.lock"
+
+// lockIndex takes the exclusive cross-process index lock and returns the
+// release function. Callers hold s.mu; the lock ordering s.mu -> flock is
+// uniform across the package.
+func (s *Store) lockIndex() (release func(), err error) {
+	f, err := os.OpenFile(filepath.Join(s.root, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}
+
+// mergeDiskLocked folds index entries persisted by other processes into the
+// in-memory view (caller holds s.mu and the cross-process lock). A disk key
+// this handle has never seen is adopted; a key this handle holds keeps the
+// in-memory entry (it is at least as fresh — we are about to persist it);
+// a key this handle deleted stays deleted.
+func (s *Store) mergeDiskLocked() error {
+	data, err := os.ReadFile(s.indexPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var entries []*Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		// A torn or damaged on-disk index must not poison a save: the
+		// atomic rename below replaces it with a valid one.
+		return nil
+	}
+	for _, e := range entries {
+		if _, ours := s.idx[e.Key]; ours || s.deleted[e.Key] {
+			continue
+		}
+		s.idx[e.Key] = e
+	}
+	return nil
+}

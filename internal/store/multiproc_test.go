@@ -1,0 +1,221 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTwoHandlesConcurrentPuts is the multi-process safety contract the
+// registry server exposes: two independent Store handles on the same root
+// (stand-ins for two processes — they share no in-memory state) racing Puts
+// must not lose index entries. Before the flock-protected merge-on-save,
+// whichever handle saved last overwrote the other's keys wholesale.
+func TestTwoHandlesConcurrentPuts(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const perHandle = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*perHandle)
+	for i := 0; i < perHandle; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			_, err := a.Put(fmt.Sprintf("a-%02d", i), "test",
+				FileSet{"f": []byte(fmt.Sprintf("a payload %d", i))})
+			errs <- err
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			_, err := b.Put(fmt.Sprintf("b-%02d", i), "test",
+				FileSet{"f": []byte(fmt.Sprintf("b payload %d", i))})
+			errs <- err
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A fresh handle reads the merged truth: every entry from both writers.
+	fresh, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fresh.Entries()); got != 2*perHandle {
+		t.Fatalf("index lost entries: %d of %d survived", got, 2*perHandle)
+	}
+	for i := 0; i < perHandle; i++ {
+		for _, key := range []string{fmt.Sprintf("a-%02d", i), fmt.Sprintf("b-%02d", i)} {
+			files, _, ok, err := fresh.Get(key)
+			if err != nil || !ok {
+				t.Fatalf("Get(%s): ok=%v err=%v", key, ok, err)
+			}
+			if !bytes.Contains(files["f"], []byte("payload")) {
+				t.Fatalf("Get(%s): wrong content %q", key, files["f"])
+			}
+		}
+	}
+}
+
+// TestDeleteSurvivesMerge pins the tombstone behaviour: a handle that
+// deletes a key must not resurrect it from the on-disk index during the
+// merge-on-save, even when another handle persisted that key in between.
+func TestDeleteSurvivesMerge(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Put("k1", "test", FileSet{"f": []byte("one")}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Put("k2", "test", FileSet{"f": []byte("two")}); err != nil {
+		t.Fatal(err)
+	}
+	// a's delete merges against a disk index that holds both keys: k2 must
+	// be adopted, k1 must stay deleted.
+	if err := a.Delete("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Put("k3", "test", FileSet{"f": []byte("three")}); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.Stat("k1"); ok {
+		t.Fatal("deleted key k1 resurrected by index merge")
+	}
+	for _, key := range []string{"k2", "k3"} {
+		if _, ok := fresh.Stat(key); !ok {
+			t.Fatalf("key %s lost", key)
+		}
+	}
+}
+
+// TestGetConcurrentWithGC proves the read path the registry serves
+// constantly: readers holding live keys — including a chunked checkpoint
+// whose reassembly touches many chunk objects — never observe a
+// half-deleted object while GC sweeps orphans and staging debris around
+// them, and concurrent Puts keep feeding GC fresh orphan candidates.
+func TestGetConcurrentWithGC(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Live entries: one plain, one chunked (many small chunk objects, so a
+	// wrongly-swept chunk is likely to be caught mid-read).
+	plain := FileSet{"f": bytes.Repeat([]byte("plain artifact "), 64)}
+	if _, err := s.Put("live-plain", "test", plain); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 64*128)
+	for i := range big {
+		big[i] = byte(i / 128) // every 128-byte chunk distinct
+	}
+	chunked := FileSet{"mem": big, "meta": []byte("checkpoint meta")}
+	if _, err := s.PutChunked("live-ckpt", "checkpoint", chunked, 128); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	fail := make(chan error, 64)
+
+	// Churn: create orphan candidates (Put then Delete) so every GC pass
+	// has real work racing the readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			key := fmt.Sprintf("victim-%d", i)
+			if _, err := s.PutChunked(key, "test",
+				FileSet{"m": bytes.Repeat([]byte{byte(i)}, 512)}, 128); err != nil {
+				fail <- err
+				return
+			}
+			if err := s.Delete(key); err != nil {
+				fail <- err
+				return
+			}
+		}
+	}()
+
+	// Readers: every Get of a live key must succeed with intact content.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				files, _, ok, err := s.Get("live-ckpt")
+				if err != nil || !ok {
+					fail <- fmt.Errorf("live-ckpt: ok=%v err=%v", ok, err)
+					return
+				}
+				if !bytes.Equal(files["mem"], big) {
+					fail <- fmt.Errorf("live-ckpt reassembled wrong (%d bytes)", len(files["mem"]))
+					return
+				}
+				if _, _, ok, err := s.Get("live-plain"); err != nil || !ok {
+					fail <- fmt.Errorf("live-plain: ok=%v err=%v", ok, err)
+					return
+				}
+			}
+		}()
+	}
+
+	// The collector, sweeping as fast as it can.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && len(fail) == 0 {
+		if _, err := s.GC(GCOptions{TmpGrace: -1}); err != nil {
+			fail <- err
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(fail)
+	for err := range fail {
+		t.Fatal(err)
+	}
+
+	// And the live artifacts are still fully intact afterwards.
+	rep, err := s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("post-GC verify: %d problems, first: %+v", len(rep.Problems), rep.Problems[0])
+	}
+}

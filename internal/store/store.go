@@ -83,7 +83,24 @@ type Store struct {
 	// object can be on disk before the index entry referencing it lands, and
 	// a concurrent GC must not treat it as an orphan in that window.
 	pending map[string]int
+	// deleted tombstones keys this handle removed (Delete, GC expiry), so a
+	// cross-process index merge (see lock.go) does not resurrect them from a
+	// stale on-disk copy.
+	deleted map[string]bool
 }
+
+// Cache is the artifact-cache surface the pipeline consumes: a plain local
+// Store satisfies it, and so does a registry pull-through cache that fills
+// local misses from a remote store over HTTP. Code that takes a Cache works
+// unchanged against either.
+type Cache interface {
+	Get(key string) (FileSet, *Entry, bool, error)
+	Put(key, kind string, files FileSet) (*Entry, error)
+	PutChunked(key, kind string, files FileSet, chunkSize int) (*Entry, error)
+	Root() string
+}
+
+var _ Cache = (*Store)(nil)
 
 // pin marks object IDs as in-flight; unpin releases them.
 func (s *Store) pin(ids ...string) {
@@ -117,6 +134,7 @@ func Open(dir string) (*Store, error) {
 		idx:     make(map[string]*Entry),
 		staging: make(map[string]bool),
 		pending: make(map[string]int),
+		deleted: make(map[string]bool),
 	}
 	data, err := os.ReadFile(s.indexPath())
 	if os.IsNotExist(err) {
@@ -322,7 +340,81 @@ func (s *Store) Delete(key string) error {
 		return nil
 	}
 	delete(s.idx, key)
+	s.deleted[key] = true
 	return s.saveIndexLocked()
+}
+
+// Stat returns the index entry for key without reading the object — the
+// cheap existence/ETag probe the registry answers HEAD requests from.
+func (s *Store) Stat(key string) (*Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.idx[key]
+	if !ok {
+		return nil, false
+	}
+	cp := *e
+	return &cp, true
+}
+
+// HasObject reports whether the content-addressed object id is present on
+// disk. The registry's upload negotiation uses it to tell clients which
+// chunks they can skip sending.
+func (s *Store) HasObject(id string) bool {
+	return validObjectID(id) && dirExists(s.objectDir(id))
+}
+
+// validObjectID accepts exactly the hex SHA-256 strings ObjectID produces.
+// Everything that touches objectDir with externally-supplied IDs (the
+// registry server, chunk manifests that crossed the network) must pass this
+// gate, or a hostile id like "../../etc" becomes a path traversal.
+func validObjectID(id string) bool {
+	if len(id) != 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadObject loads and integrity-verifies the object with the given content
+// address. Chunked members are NOT resolved: the caller gets the raw stored
+// representation (a chunk object reads back as its single "chunk" member).
+func (s *Store) ReadObject(id string) (FileSet, error) {
+	if !validObjectID(id) {
+		return nil, fmt.Errorf("%w: invalid object id %q", ErrCorrupt, shortID(id))
+	}
+	return s.readObject(id)
+}
+
+// GetRaw is Get without chunk resolution: the entry's top object exactly as
+// stored, chunk manifest included. Push clients use it so an artifact's
+// stored representation — and therefore its content address — survives the
+// network unchanged.
+func (s *Store) GetRaw(key string) (FileSet, *Entry, bool, error) {
+	s.mu.Lock()
+	e, ok := s.idx[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, false, nil
+	}
+	files, err := s.readObject(e.Object)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	s.mu.Lock()
+	e.LastUsed = time.Now().UTC()
+	err = s.saveIndexLocked()
+	cp := *e
+	s.mu.Unlock()
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return files, &cp, true, nil
 }
 
 // Entries returns a snapshot of the index, sorted by key.
@@ -337,8 +429,19 @@ func (s *Store) Entries() []Entry {
 	return out
 }
 
-// saveIndexLocked atomically persists the index (caller holds s.mu).
+// saveIndexLocked atomically persists the index (caller holds s.mu). The
+// save is a cross-process read-merge-write under <root>/index.lock, so two
+// processes writing the same store never lose each other's entries (see
+// lock.go).
 func (s *Store) saveIndexLocked() error {
+	release, err := s.lockIndex()
+	if err != nil {
+		return err
+	}
+	defer release()
+	if err := s.mergeDiskLocked(); err != nil {
+		return err
+	}
 	entries := make([]*Entry, 0, len(s.idx))
 	for _, e := range s.idx {
 		entries = append(entries, e)

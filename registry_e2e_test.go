@@ -1,0 +1,174 @@
+// Cross-store registry end-to-end: an ELFie produced into one store is
+// pushed to a registry (surviving a mid-upload kill), pulled through into a
+// second store on another "machine", and must arrive byte-identical — same
+// content address, lint-clean, and replaying to the same architectural
+// outcome as the original.
+package elfie_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"elfie/internal/core"
+	"elfie/internal/elflint"
+	"elfie/internal/elfobj"
+	"elfie/internal/kernel"
+	"elfie/internal/pinball"
+	"elfie/internal/pinplay"
+	"elfie/internal/registry"
+	"elfie/internal/store"
+	"elfie/internal/sysstate"
+	"elfie/internal/vm"
+	"elfie/internal/workloads"
+)
+
+func TestRegistryCrossStoreELFie(t *testing.T) {
+	// --- Machine 1: produce a region artifact into store A, the same
+	// file-set shape the pinpoints farm caches.
+	r, _ := workloads.ByName("600.perlbench_t")
+	r.Sequence = r.Sequence[:10]
+	exe, err := workloads.Build(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := kernel.NewFS()
+	fs.WriteFile("/input.dat", workloads.InputFile())
+	m, err := vm.NewLoaded(kernel.New(fs, 1), exe, []string{r.Name}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxInstructions = 1_000_000_000
+	pb, err := pinplay.Log(m, pinplay.LogOptions{
+		Name: "xstore", RegionStart: 120_000, RegionLength: 300_000,
+	}.Fat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sysstate.Analyze(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, err := core.Convert(pb, core.Options{
+		GracefulExit: true, Marker: core.MarkerSSC, MarkerTag: 0xe7f,
+		SysState: st.Ref("/sysstate"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	files, err := pb.FileSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	elfieBin, err := conv.Exe.Write()
+	if err != nil {
+		t.Fatal(err)
+	}
+	files["elfie.bin"] = elfieBin
+	ss, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files["sysstate.json"] = ss
+
+	storeA, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunk finely so the artifact exercises the page-dedup path on the wire.
+	eA, err := storeA.PutChunked("region-xstore", "region", store.FileSet(files), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- The registry, on its own store.
+	regStore, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(registry.NewServer(regStore, registry.ServerOptions{Lint: true}).Handler())
+	defer srv.Close()
+
+	// --- Push from A, killing the client mid-upload and resuming with a
+	// fresh one — no in-memory state carries over, as with a real SIGKILL.
+	crash := &registry.Client{Base: srv.URL, WireChunk: 8 << 10, CrashAfter: 3}
+	if _, err := crash.Push(storeA, "region-xstore"); !errors.Is(err, registry.ErrCrashed) {
+		t.Fatalf("crash hook did not fire: %v", err)
+	}
+	fresh := &registry.Client{Base: srv.URL, WireChunk: 8 << 10}
+	if _, err := fresh.Push(storeA, "region-xstore"); err != nil {
+		t.Fatal(err)
+	}
+	// The registry's server-side deep verify (lint armed) must pass.
+	rep, err := fresh.Verify(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("registry verify: %+v", rep.Problems)
+	}
+
+	// --- Machine 2: pull-through into store B and use the artifact.
+	storeB, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := registry.NewPullThrough(storeB, &registry.Client{Base: srv.URL})
+	got, eB, ok, err := cache.Get("region-xstore")
+	if err != nil || !ok {
+		t.Fatalf("pull-through Get: ok=%v err=%v", ok, err)
+	}
+	if eB.Object != eA.Object {
+		t.Fatalf("artifact changed crossing stores: %s vs %s", eB.Object, eA.Object)
+	}
+	if !bytes.Equal(got["elfie.bin"], elfieBin) {
+		t.Fatal("ELFie bytes differ after pull-through")
+	}
+	if vrep, err := storeB.Verify(); err != nil || !vrep.OK() {
+		t.Fatalf("store B verify: err=%v problems=%v", err, vrep.Problems)
+	}
+
+	// The pulled ELFie is lint-clean.
+	pulledELFie, err := elfobj.Read(got["elfie.bin"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pulledPB, err := pinball.ReadFileSet("xstore", got, pinball.ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lrep, err := elflint.Lint(pulledELFie, elflint.Options{Pinball: pulledPB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrep.Errors() > 0 {
+		t.Fatalf("pulled ELFie has %d lint errors: %+v", lrep.Errors(), lrep.Findings)
+	}
+
+	// Replay the pulled pinball: bit-identical to the original replay.
+	runReplay := func(p *pinball.Pinball) *pinplay.ReplayResult {
+		res, err := pinplay.Replay(p, kernel.New(kernel.NewFS(), 1), pinplay.ReplayOptions{Injection: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed || res.Diverged {
+			t.Fatalf("replay broken: completed=%v diverged=%v", res.Completed, res.Diverged)
+		}
+		return res
+	}
+	orig := runReplay(pb)
+	pulled := runReplay(pulledPB)
+	if orig.InjectedSyscalls != pulled.InjectedSyscalls {
+		t.Fatalf("replays diverge: %d vs %d injected syscalls",
+			orig.InjectedSyscalls, pulled.InjectedSyscalls)
+	}
+	for tid, n := range orig.PerThread {
+		if pulled.PerThread[tid] != n {
+			t.Fatalf("thread %d retired %d instructions, original retired %d",
+				tid, pulled.PerThread[tid], n)
+		}
+	}
+}
