@@ -392,6 +392,22 @@ func (c *Client) Pull(s *store.Store, key string) (*store.Entry, *TransferStats,
 		local, _ := s.Stat(key)
 		return local, stats, nil
 	}
+	// The manifest is server-supplied and its names become client-side
+	// filesystem paths below — a malicious or compromised registry must
+	// not be able to smuggle a traversal like "../../x" into the stage
+	// (the server applies the same gates on its side of every transfer).
+	for name := range info.Top {
+		if name == "" || name != filepath.Base(name) {
+			return nil, stats, fmt.Errorf("%w: registry sent unsafe member name %q",
+				store.ErrCorrupt, name)
+		}
+	}
+	for _, ref := range info.Chunks {
+		if !store.ValidObjectID(ref.ID) {
+			return nil, stats, fmt.Errorf("%w: registry sent invalid chunk id %q",
+				store.ErrCorrupt, ref.ID)
+		}
+	}
 
 	// Durable stage: a pull killed at any instant resumes from what this
 	// directory already holds.

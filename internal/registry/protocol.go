@@ -140,9 +140,12 @@ func (r *VerifyReport) OK() bool { return len(r.Problems) == 0 }
 
 // GCResult reports one tenant-policy collection.
 type GCResult struct {
-	ExpiredEntries int   `json:"expired_entries"`
-	OrphanObjects  int   `json:"orphan_objects"`
-	TmpDebris      int   `json:"tmp_debris"`
+	ExpiredEntries int `json:"expired_entries"`
+	OrphanObjects  int `json:"orphan_objects"`
+	TmpDebris      int `json:"tmp_debris"`
+	// StaleUploads counts abandoned upload-session directories (opened,
+	// never committed, idle past the grace window) the sweep removed.
+	StaleUploads   int   `json:"stale_uploads,omitempty"`
 	BytesReclaimed int64 `json:"bytes_reclaimed"`
 }
 

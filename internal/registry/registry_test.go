@@ -578,6 +578,204 @@ func TestPullThroughCache(t *testing.T) {
 	}
 }
 
+// TestChunkReadsAreTenantScoped: in closed-tenant mode a namespace is a
+// confidentiality boundary, not just accounting — one tenant's chunk hashes
+// must not read out (or even confirm the existence of) another tenant's
+// checkpoint pages, via raw object GETs or upload-needs negotiation.
+func TestChunkReadsAreTenantScoped(t *testing.T) {
+	serverStore, _, srv := testRegistry(t, ServerOptions{
+		Tenants: map[string]Tenant{"alpha": {}, "beta": {}},
+	})
+	a := localStore(t)
+	if _, err := a.PutChunked("k", "checkpoint", checkpointLike(16, 6), 128); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := testClient(srv, "alpha").Push(a, "k"); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := serverStore.Stat(tenantPrefix("alpha") + "k")
+	if !ok {
+		t.Fatal("alpha's artifact missing server-side")
+	}
+	refs := serverStore.ChunkRefs(e.Object)
+	if len(refs) == 0 {
+		t.Fatal("artifact has no chunks; test needs a chunked one")
+	}
+	get := func(tenant, id string) int {
+		resp, err := http.Get(srv.URL + "/v1/t/" + tenant + "/objects/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("alpha", refs[0]); code != http.StatusOK {
+		t.Fatalf("owner denied its own chunk: %d", code)
+	}
+	// beta holds a perfectly valid hash of alpha's page — and gets the
+	// same answer as for a chunk that does not exist at all.
+	if code := get("beta", refs[0]); code != http.StatusNotFound {
+		t.Fatalf("cross-tenant chunk read allowed: %d", code)
+	}
+
+	// Needs negotiation must not confirm cross-tenant presence either: a
+	// beta push of the identical artifact is asked for every chunk, even
+	// though the store already holds them all (they dedup on disk anyway).
+	stats, err := testClient(srv, "beta").Push(a, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped != 0 {
+		t.Fatalf("closed-mode negotiation leaked %d cross-tenant chunk presences", stats.Skipped)
+	}
+	// Once beta's own entry references the chunks, beta may read them.
+	if code := get("beta", refs[0]); code != http.StatusOK {
+		t.Fatalf("referencing tenant denied its chunk: %d", code)
+	}
+}
+
+// TestGCSweepsAbandonedUploads: an upload session opened and never
+// committed is reclaimed by tenant GC once idle past the grace window —
+// staged blobs must not accumulate forever.
+func TestGCSweepsAbandonedUploads(t *testing.T) {
+	serverStore, _, srv := testRegistry(t, ServerOptions{})
+	c := testClient(srv, "")
+	top := store.FileSet{"f": []byte("abandoned")}
+	man := UploadManifest{
+		Key: "aband", Kind: "test", Object: store.ObjectID(top),
+		Top: map[string]MemberPlan{
+			"f": {Size: int64(len(top["f"])), Blobs: []BlobRef{{ID: blobID(top["f"]), Size: int64(len(top["f"]))}}},
+		},
+	}
+	manBytes, err := json.Marshal(&man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, data, err := c.do("POST", c.turl("uploads"), nil, manBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st UploadStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.do("PUT", c.turl("uploads", st.ID, "blobs", man.Top["f"].Blobs[0].ID),
+		nil, top["f"]); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(serverStore.Root(), "uploads", DefaultTenant, st.ID)
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("session dir not staged: %v", err)
+	}
+
+	// Fresh sessions survive GC (someone may still resume them)…
+	res, err := c.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StaleUploads != 0 {
+		t.Fatalf("GC swept a fresh upload session: %+v", res)
+	}
+	// …but a session idle past the grace is debris.
+	old := time.Now().Add(-2 * uploadGrace)
+	if err := os.Chtimes(dir, old, old); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StaleUploads != 1 {
+		t.Fatalf("stale upload not swept: %+v", res)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatal("stale session dir survived GC")
+	}
+}
+
+// TestStagedBytesCountAgainstQuota: parking blobs across never-committed
+// sessions is charged like committed bytes — the quota cannot be bypassed
+// by simply not committing.
+func TestStagedBytesCountAgainstQuota(t *testing.T) {
+	_, _, srv := testRegistry(t, ServerOptions{
+		Tenants: map[string]Tenant{"q": {Quota: 1024}},
+	})
+	c := testClient(srv, "q")
+	open := func(key string, payload []byte) UploadStatus {
+		t.Helper()
+		top := store.FileSet{"f": payload}
+		man := UploadManifest{
+			Key: key, Kind: "test", Object: store.ObjectID(top),
+			Top: map[string]MemberPlan{
+				"f": {Size: int64(len(payload)), Blobs: []BlobRef{{ID: blobID(payload), Size: int64(len(payload))}}},
+			},
+		}
+		manBytes, err := json.Marshal(&man)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, data, err := c.do("POST", c.turl("uploads"), nil, manBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st UploadStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	one := bytes.Repeat([]byte("a"), 600)
+	two := bytes.Repeat([]byte("b"), 600)
+	st1 := open("k1", one)
+	if _, _, err := c.do("PUT", c.turl("uploads", st1.ID, "blobs", blobID(one)), nil, one); err != nil {
+		t.Fatalf("first staged blob within quota rejected: %v", err)
+	}
+	// Each session alone fits the 1 KiB quota, so admission lets both
+	// open; the second blob PUT would park 1200 staged bytes and must be
+	// refused.
+	st2 := open("k2", two)
+	if _, _, err := c.do("PUT", c.turl("uploads", st2.ID, "blobs", blobID(two)), nil, two); !errors.Is(err, ErrRemote) {
+		t.Fatalf("staged bytes bypassed the quota: %v", err)
+	}
+}
+
+// TestPullRejectsHostileManifest: the download manifest is server-supplied,
+// and its member names and chunk IDs become client-side file paths — a
+// malicious registry must not write outside the pull stage.
+func TestPullRejectsHostileManifest(t *testing.T) {
+	serveInfo := func(info ArtifactInfo) *httptest.Server {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /v1/t/{tenant}/artifacts/{key}", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, info)
+		})
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		return srv
+	}
+	entry := store.Entry{Key: "evil", Kind: "test", Object: strings.Repeat("ab", 32)}
+
+	srv := serveInfo(ArtifactInfo{Entry: entry, Top: map[string]int64{"../escape": 4}})
+	b := localStore(t)
+	c := &Client{Base: srv.URL, Retries: 1}
+	if _, _, err := c.Pull(b, "evil"); err == nil || !errors.Is(err, store.ErrCorrupt) ||
+		!strings.Contains(err.Error(), "unsafe member name") {
+		t.Fatalf("traversal member name accepted: %v", err)
+	}
+
+	srv2 := serveInfo(ArtifactInfo{Entry: entry, Top: map[string]int64{},
+		Chunks: []BlobRef{{ID: "../../../../etc/passwd", Size: 4}}})
+	c2 := &Client{Base: srv2.URL, Retries: 1}
+	if _, _, err := c2.Pull(b, "evil"); err == nil || !errors.Is(err, store.ErrCorrupt) ||
+		!strings.Contains(err.Error(), "invalid chunk id") {
+		t.Fatalf("traversal chunk id accepted: %v", err)
+	}
+	// Nothing was staged for either attempt: validation runs before any
+	// filesystem path is built.
+	if _, err := os.Stat(filepath.Join(b.Root(), "xfer")); !os.IsNotExist(err) {
+		t.Fatal("hostile manifest reached the pull stage")
+	}
+}
+
 // TestServerRejectsCorruptUpload: a blob that does not hash to its
 // declared ID is refused at the door, and a manifest whose assembly does
 // not hash to its declared object never lands in the store.

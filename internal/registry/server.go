@@ -2,6 +2,7 @@ package registry
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -54,6 +55,19 @@ type Server struct {
 	// upMu serializes upload-session create/commit transitions (blob PUTs
 	// within a session are naturally parallel: distinct files).
 	upMu sync.Mutex
+
+	// chunkMu guards chunkSets, the per-tenant cache of which chunk object
+	// IDs the tenant's entries reference (see tenantChunks).
+	chunkMu   sync.Mutex
+	chunkSets map[string]*chunkSet
+}
+
+// chunkSet caches one tenant's referenced chunk IDs, keyed by a signature
+// of the tenant's (key, object) entry pairs so any index change — commit,
+// delete, GC — invalidates it.
+type chunkSet struct {
+	sig string
+	ids map[string]bool
 }
 
 // NewServer wraps a store in a registry server.
@@ -61,7 +75,7 @@ func NewServer(s *store.Store, opts ServerOptions) *Server {
 	if opts.MaxBlob <= 0 {
 		opts.MaxBlob = 16 << 20
 	}
-	return &Server{store: s, opts: opts}
+	return &Server{store: s, opts: opts, chunkSets: make(map[string]*chunkSet)}
 }
 
 var (
@@ -246,8 +260,53 @@ func (sv *Server) handleArtifactFile(w http.ResponseWriter, r *http.Request, ten
 	http.ServeContent(w, r, name, e.CreatedAt, bytes.NewReader(data))
 }
 
+// tenantChunks returns the set of chunk object IDs the tenant's entries
+// currently reference. Chunk objects dedup across tenants on disk, but the
+// namespace model promises names *and their content* stay per-tenant — so
+// raw chunk reads are scoped to this set, and in closed-tenant mode so is
+// the upload negotiation's "already have it" shortcut. The set is cached
+// per tenant against a signature of its (key, object) pairs; any index
+// change recomputes it.
+func (sv *Server) tenantChunks(tenant string) map[string]bool {
+	prefix := tenantPrefix(tenant)
+	var objects []string
+	h := sha256.New()
+	for _, e := range sv.store.Entries() {
+		if !strings.HasPrefix(e.Key, prefix) {
+			continue
+		}
+		objects = append(objects, e.Object)
+		io.WriteString(h, e.Key)
+		h.Write([]byte{0})
+		io.WriteString(h, e.Object)
+		h.Write([]byte{0})
+	}
+	sig := string(h.Sum(nil))
+	sv.chunkMu.Lock()
+	defer sv.chunkMu.Unlock()
+	if cs := sv.chunkSets[tenant]; cs != nil && cs.sig == sig {
+		return cs.ids
+	}
+	ids := make(map[string]bool)
+	for _, obj := range objects {
+		for _, id := range sv.store.ChunkRefs(obj) {
+			ids[id] = true
+		}
+	}
+	sv.chunkSets[tenant] = &chunkSet{sig: sig, ids: ids}
+	return ids
+}
+
 func (sv *Server) handleObject(w http.ResponseWriter, r *http.Request, tenant string, _ Tenant) {
 	id := r.PathValue("id")
+	// Serve only chunks this tenant's own artifacts reference: a hash
+	// leaked (or guessed) from another namespace must not read out its
+	// checkpoint pages. Unauthorized and absent are indistinguishable —
+	// both 404 — so the endpoint leaks no cross-tenant presence either.
+	if !sv.tenantChunks(tenant)[id] {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no chunk %.12s", id))
+		return
+	}
 	files, err := sv.store.ReadObject(id)
 	if err != nil {
 		writeStoreErr(w, err)
@@ -266,6 +325,26 @@ func (sv *Server) handleObject(w http.ResponseWriter, r *http.Request, tenant st
 // uploadDir is one upload session's durable staging directory.
 func (sv *Server) uploadDir(tenant, id string) string {
 	return filepath.Join(sv.store.Root(), "uploads", tenant, id)
+}
+
+// uploadGrace is how long an upload session may sit idle before a tenant GC
+// treats it as abandoned. Every staged blob renames a file into the session
+// directory and refreshes its mtime, so an actively resumed upload is never
+// at risk — only sessions nobody has touched for this long.
+const uploadGrace = time.Hour
+
+// stagedBytes sums the tenant's staged upload blobs across all sessions —
+// bytes parked on the server that no committed entry accounts for yet.
+func (sv *Server) stagedBytes(tenant string) int64 {
+	var n int64
+	filepath.Walk(filepath.Join(sv.store.Root(), "uploads", tenant),
+		func(_ string, info os.FileInfo, err error) error {
+			if err == nil && !info.IsDir() {
+				n += info.Size()
+			}
+			return nil
+		})
+	return n
 }
 
 // loadManifest reads an upload session's manifest; ok=false if the session
@@ -305,8 +384,21 @@ func (sv *Server) uploadNeeds(tenant, id string, man *UploadManifest) UploadStat
 			seen[b.ID] = true
 		}
 	}
+	// In closed-tenant mode the "already in the store" shortcut is scoped
+	// to chunks this tenant already references: acknowledging another
+	// tenant's chunk would let an uploader probe cross-tenant content
+	// presence by hash. The unauthorized chunk is simply requested — and
+	// dedups on disk anyway when it arrives. Open mode keeps the global
+	// shortcut (tenants are accounting namespaces there, not a
+	// confidentiality boundary).
+	var authorized map[string]bool
+	if len(sv.opts.Tenants) > 0 {
+		authorized = sv.tenantChunks(tenant)
+	}
 	for _, c := range man.Chunks {
-		if !seen[c.ID] && !sv.store.HasObject(c.ID) && !staged(c.ID) {
+		have := staged(c.ID) ||
+			(sv.store.HasObject(c.ID) && (authorized == nil || authorized[c.ID]))
+		if !seen[c.ID] && !have {
 			st.NeedChunks = append(st.NeedChunks, c.ID)
 		}
 		seen[c.ID] = true
@@ -442,7 +534,7 @@ func (sv *Server) handleUploadStatus(w http.ResponseWriter, r *http.Request, ten
 	writeJSON(w, http.StatusOK, sv.uploadNeeds(tenant, id, man))
 }
 
-func (sv *Server) handleUploadBlob(w http.ResponseWriter, r *http.Request, tenant string, _ Tenant) {
+func (sv *Server) handleUploadBlob(w http.ResponseWriter, r *http.Request, tenant string, pol Tenant) {
 	id, blob := r.PathValue("id"), r.PathValue("blob")
 	man, ok, err := sv.loadManifest(tenant, id)
 	if err != nil {
@@ -477,6 +569,21 @@ func (sv *Server) handleUploadBlob(w http.ResponseWriter, r *http.Request, tenan
 	} else if blobID(data) != blob {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("blob %s does not hash to its id", blob))
 		return
+	}
+	// Staged bytes are charged against the quota as they land, not only at
+	// upload-open: otherwise a tenant could park unbounded never-committed
+	// blobs across many sessions. Replacing an existing key frees that
+	// key's logical bytes, mirroring quotaCheck's admission.
+	if pol.Quota > 0 {
+		_, used := sv.tenantUsage(tenant)
+		if e, ok := sv.store.Stat(tenantPrefix(tenant) + man.Key); ok {
+			used -= sv.store.LogicalSize(e)
+		}
+		if used+sv.stagedBytes(tenant)+int64(len(data)) > pol.Quota {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("tenant %s over quota: staged upload bytes would exceed %d", tenant, pol.Quota))
+			return
+		}
 	}
 	// Stage atomically and durably: rename guarantees a half-written blob
 	// is never counted as present, fsync guarantees a counted blob
@@ -627,6 +734,27 @@ func (sv *Server) handleGC(w http.ResponseWriter, r *http.Request, tenant string
 	res.OrphanObjects = rep.OrphanObjects
 	res.TmpDebris = rep.TmpDebris
 	res.BytesReclaimed = rep.BytesReclaimed
+	// Abandoned upload sessions: opened, never committed, idle past the
+	// grace. An active session's directory mtime refreshes on every staged
+	// blob, so the age gate only catches uploads nobody will resume — the
+	// same rule the store applies to tmp/ staging debris.
+	updir := filepath.Join(sv.store.Root(), "uploads", tenant)
+	if sessions, err := os.ReadDir(updir); err == nil {
+		for _, sess := range sessions {
+			info, err := sess.Info()
+			if err != nil || time.Since(info.ModTime()) < uploadGrace {
+				continue
+			}
+			sv.upMu.Lock()
+			err = os.RemoveAll(filepath.Join(updir, sess.Name()))
+			sv.upMu.Unlock()
+			if err != nil {
+				writeErr(w, http.StatusInternalServerError, err)
+				return
+			}
+			res.StaleUploads++
+		}
+	}
 	writeJSON(w, http.StatusOK, res)
 }
 

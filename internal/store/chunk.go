@@ -157,7 +157,7 @@ func ChunkRefsOf(top FileSet) ([]string, error) {
 	var ids []string
 	for _, name := range names {
 		for _, id := range man.Members[name].Chunks {
-			if !validObjectID(id) {
+			if !ValidObjectID(id) {
 				return nil, fmt.Errorf("%w: %s: invalid chunk id %q", ErrCorrupt, chunkManifestName, shortID(id))
 			}
 			ids = append(ids, id)
@@ -187,7 +187,7 @@ func (s *Store) resolveChunks(files FileSet) (FileSet, error) {
 	for name, m := range man.Members {
 		buf := make([]byte, 0, m.Size)
 		for _, id := range m.Chunks {
-			if !validObjectID(id) {
+			if !ValidObjectID(id) {
 				return nil, fmt.Errorf("%w: member %s: invalid chunk id %q",
 					ErrCorrupt, name, shortID(id))
 			}
@@ -235,6 +235,17 @@ func LogicalSizeOf(top FileSet) int64 {
 		size += m.Size
 	}
 	return size
+}
+
+// ChunkRefs returns the chunk object IDs the stored top object references,
+// by reading just its manifest member off disk — the cheap form of
+// ChunkRefsOf for an object already in the store. The registry uses it to
+// scope raw-chunk reads to the chunks a tenant's entries actually reference.
+func (s *Store) ChunkRefs(id string) []string {
+	if !ValidObjectID(id) {
+		return nil
+	}
+	return s.chunkRefs(id)
 }
 
 // chunkRefs returns the chunk object IDs a live top object references, by

@@ -255,11 +255,13 @@ type GCOptions struct {
 	// MaxAge, when positive, expires index entries whose LastUsed is older
 	// than this.
 	MaxAge time.Duration
-	// TmpGrace is how old a staging directory must be before the tmp sweep
-	// treats it as debris: staging dirs of Put calls in flight in *other*
-	// processes have no in-process registration, so age is the only safe
-	// signal. 0 means a one-hour default; negative sweeps regardless of
-	// age (in-process registered writers are still always skipped).
+	// TmpGrace is how old a staging directory — or an unreferenced object
+	// directory — must be before a sweep treats it as debris: writes in
+	// flight in *other* processes (a staged Put, or an object renamed into
+	// place whose index entry has not landed yet) have no in-process
+	// registration, so age is the only safe signal. 0 means a one-hour
+	// default; negative sweeps regardless of age (in-process registered
+	// writers are still always skipped).
 	TmpGrace time.Duration
 	// DryRun reports what would be removed without removing it.
 	DryRun bool
@@ -284,13 +286,29 @@ func (s *Store) GC(opts GCOptions) (*GCReport, error) {
 	}
 
 	s.mu.Lock()
+	// Liveness must be computed over the union of this handle's view and
+	// whatever other processes persisted since it last merged: a registry
+	// server, a farm, and an ad-hoc elfiestore can share one root, and a
+	// stale in-memory index would make their recent artifacts look like
+	// orphans — deleted objects still referenced by index.json.
+	release, err := s.lockIndex()
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	err = s.mergeDiskLocked()
+	release()
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
 	live := make(map[string]bool)
 	for key, e := range s.idx {
 		if !cutoff.IsZero() && e.LastUsed.Before(cutoff) {
 			rep.ExpiredEntries++
 			if !opts.DryRun {
 				delete(s.idx, key)
-				s.deleted[key] = true
+				s.deleted[key] = time.Now().UTC()
 			}
 			continue
 		}
@@ -303,7 +321,6 @@ func (s *Store) GC(opts GCOptions) (*GCReport, error) {
 	for id := range s.pending {
 		live[id] = true
 	}
-	var err error
 	if !opts.DryRun && rep.ExpiredEntries > 0 {
 		err = s.saveIndexLocked()
 	}
@@ -323,6 +340,15 @@ func (s *Store) GC(opts GCOptions) (*GCReport, error) {
 		}
 	}
 
+	// Both sweeps below share one age rule: anything a writer in another
+	// process may still be mid-flight on is invisible here, so age is the
+	// only safe cross-process signal. 0 means a one-hour default; negative
+	// sweeps regardless of age.
+	grace := opts.TmpGrace
+	if grace == 0 {
+		grace = time.Hour
+	}
+
 	// Orphan objects: present on disk, referenced by nothing.
 	prefixes, err := os.ReadDir(filepath.Join(s.root, "objects"))
 	if err != nil {
@@ -340,6 +366,15 @@ func (s *Store) GC(opts GCOptions) (*GCReport, error) {
 			if live[o.Name()] {
 				continue
 			}
+			// A young object dir may be another process's Put that has
+			// renamed the object into place but not yet saved the index
+			// entry referencing it — in that window no index anywhere
+			// names the object, so only its age proves it abandoned.
+			if grace > 0 {
+				if info, err := o.Info(); err != nil || time.Since(info.ModTime()) < grace {
+					continue
+				}
+			}
 			dir := filepath.Join(s.root, "objects", p.Name(), o.Name())
 			if opts.DryRun {
 				rep.OrphanObjects++
@@ -347,17 +382,29 @@ func (s *Store) GC(opts GCOptions) (*GCReport, error) {
 				continue
 			}
 			// The liveness snapshot above may predate a concurrent Put whose
-			// index entry landed since; re-check and remove atomically under
-			// the lock (Put pins its object ID before probing for it, so any
-			// deletion decided here is invisible to in-flight writers).
+			// index entry landed since — in this process (re-check s.idx and
+			// the pins under s.mu) or in another one (re-merge the on-disk
+			// index under the flock, held across the removal so no save can
+			// interleave). Put pins its object ID before probing for it, so
+			// any deletion decided here is invisible to in-flight writers.
 			size := dirSize(dir)
 			s.mu.Lock()
-			dead := s.orphanDeadLocked(o.Name())
+			release, err := s.lockIndex()
+			if err != nil {
+				s.mu.Unlock()
+				return nil, err
+			}
+			mergeErr := s.mergeDiskLocked()
+			dead := mergeErr == nil && s.orphanDeadLocked(o.Name())
 			var rmErr error
 			if dead {
 				rmErr = os.RemoveAll(dir)
 			}
+			release()
 			s.mu.Unlock()
+			if mergeErr != nil {
+				return nil, mergeErr
+			}
 			if rmErr != nil {
 				return nil, rmErr
 			}
@@ -369,12 +416,8 @@ func (s *Store) GC(opts GCOptions) (*GCReport, error) {
 	}
 
 	// Staging debris from crashed writers. In-flight writers registered in
-	// this process are always skipped; everything else must be older than
-	// the grace window, since a writer in another process is invisible here.
-	grace := opts.TmpGrace
-	if grace == 0 {
-		grace = time.Hour
-	}
+	// this process are always skipped; everything else falls under the
+	// shared grace rule above.
 	tmps, err := os.ReadDir(filepath.Join(s.root, "tmp"))
 	if err != nil {
 		return nil, err

@@ -45,7 +45,9 @@ func (s *Store) lockIndex() (release func(), err error) {
 // in-memory view (caller holds s.mu and the cross-process lock). A disk key
 // this handle has never seen is adopted; a key this handle holds keeps the
 // in-memory entry (it is at least as fresh — we are about to persist it);
-// a key this handle deleted stays deleted.
+// a key this handle deleted stays deleted, unless the disk entry was
+// created after the delete — then another process legitimately re-created
+// the key, and suppressing it would silently drop their entry forever.
 func (s *Store) mergeDiskLocked() error {
 	data, err := os.ReadFile(s.indexPath())
 	if os.IsNotExist(err) {
@@ -61,8 +63,14 @@ func (s *Store) mergeDiskLocked() error {
 		return nil
 	}
 	for _, e := range entries {
-		if _, ours := s.idx[e.Key]; ours || s.deleted[e.Key] {
+		if _, ours := s.idx[e.Key]; ours {
 			continue
+		}
+		if tomb, dead := s.deleted[e.Key]; dead {
+			if !e.CreatedAt.After(tomb) {
+				continue // the stale copy this handle deleted
+			}
+			delete(s.deleted, e.Key) // a genuine re-creation; tombstone spent
 		}
 		s.idx[e.Key] = e
 	}

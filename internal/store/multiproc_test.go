@@ -113,6 +113,140 @@ func TestDeleteSurvivesMerge(t *testing.T) {
 	}
 }
 
+// TestTombstoneAllowsRecreation pins the other half of the tombstone
+// contract: anti-resurrection must not become permanent key loss. A key
+// genuinely re-created — by this handle, or by another process after the
+// delete — survives the deleting handle's subsequent saves.
+func TestTombstoneAllowsRecreation(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Put("k", "test", FileSet{"f": []byte("v1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond) // re-creation strictly after the tombstone
+
+	// Another process (a fresh handle, so CreatedAt is new) re-creates k.
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Put("k", "test", FileSet{"f": []byte("v2")}); err != nil {
+		t.Fatal(err)
+	}
+	// a's next save merges against a disk index holding the re-created k;
+	// before tombstones learned time, this silently dropped b's entry.
+	if _, err := a.Put("other", "test", FileSet{"f": []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, _, ok, err := fresh.Get("k")
+	if err != nil || !ok {
+		t.Fatalf("re-created key lost by deleting handle's save: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(files["f"], []byte("v2")) {
+		t.Fatalf("re-created key holds %q, want v2", files["f"])
+	}
+
+	// And the deleting handle's own re-Put revokes its tombstone too.
+	if err := a.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Put("k", "test", FileSet{"f": []byte("v3")}); err != nil {
+		t.Fatal(err)
+	}
+	fresh2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files, _, ok, _ := fresh2.Get("k"); !ok || !bytes.Equal(files["f"], []byte("v3")) {
+		t.Fatalf("own re-Put after Delete did not persist: ok=%v", ok)
+	}
+}
+
+// TestGCSeesOtherProcessEntries is the cross-process liveness contract: a
+// handle whose in-memory index predates another process's artifacts must
+// not GC those artifacts' objects as orphans. Any registry tenant can
+// trigger a GC, so a stale server handle sweeping a farm's fresh output
+// would be index entries pointing at deleted objects.
+func TestGCSeesOtherProcessEntries(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir) // opens (and goes stale) first
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 32*128)
+	for i := range big {
+		big[i] = byte(i / 128)
+	}
+	if _, err := b.PutChunked("b-ckpt", "checkpoint", FileSet{"mem": big}, 128); err != nil {
+		t.Fatal(err)
+	}
+	// TmpGrace: -1 disables the age shield, so surviving this sweep proves
+	// GC merged the on-disk index before computing liveness.
+	if _, err := a.GC(GCOptions{TmpGrace: -1}); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, _, ok, err := fresh.Get("b-ckpt")
+	if err != nil || !ok {
+		t.Fatalf("stale handle's GC destroyed another process's artifact: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(files["mem"], big) {
+		t.Fatal("artifact damaged by cross-process GC")
+	}
+	rep, err := fresh.Verify()
+	if err != nil || !rep.OK() {
+		t.Fatalf("post-GC verify: err=%v problems=%v", err, rep.Problems)
+	}
+}
+
+// TestGCGraceShieldsUnindexedObjects covers the window merge cannot: an
+// object another process renamed into place whose index entry has not been
+// saved yet is referenced by no index anywhere, so only its age proves it
+// abandoned. A graceful GC must keep it; a graceless one may sweep it.
+func TestGCGraceShieldsUnindexedObjects(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := FileSet{"f": []byte("mid-flight put, index entry pending")}
+	id := ObjectID(files)
+	// The on-disk state between another process's object rename and its
+	// index save: writeObject alone, no entry, no in-process pin survives.
+	if err := s.writeObject(s.objectDir(id), files); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GC(GCOptions{}); err != nil { // default one-hour grace
+		t.Fatal(err)
+	}
+	if !s.HasObject(id) {
+		t.Fatal("GC swept a fresh unindexed object despite the grace window")
+	}
+	rep, err := s.GC(GCOptions{TmpGrace: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.HasObject(id) || rep.OrphanObjects != 1 {
+		t.Fatalf("graceless GC left a true orphan: has=%v report=%+v", s.HasObject(id), rep)
+	}
+}
+
 // TestGetConcurrentWithGC proves the read path the registry serves
 // constantly: readers holding live keys — including a chunked checkpoint
 // whose reassembly touches many chunk objects — never observe a

@@ -83,10 +83,12 @@ type Store struct {
 	// object can be on disk before the index entry referencing it lands, and
 	// a concurrent GC must not treat it as an orphan in that window.
 	pending map[string]int
-	// deleted tombstones keys this handle removed (Delete, GC expiry), so a
-	// cross-process index merge (see lock.go) does not resurrect them from a
-	// stale on-disk copy.
-	deleted map[string]bool
+	// deleted tombstones keys this handle removed (Delete, GC expiry) with
+	// the removal time, so a cross-process index merge (see lock.go) does
+	// not resurrect them from a stale on-disk copy — while a key another
+	// process legitimately re-created after the delete (CreatedAt newer
+	// than the tombstone) is adopted, not dropped forever.
+	deleted map[string]time.Time
 }
 
 // Cache is the artifact-cache surface the pipeline consumes: a plain local
@@ -134,7 +136,7 @@ func Open(dir string) (*Store, error) {
 		idx:     make(map[string]*Entry),
 		staging: make(map[string]bool),
 		pending: make(map[string]int),
-		deleted: make(map[string]bool),
+		deleted: make(map[string]time.Time),
 	}
 	data, err := os.ReadFile(s.indexPath())
 	if os.IsNotExist(err) {
@@ -222,6 +224,9 @@ func (s *Store) Put(key, kind string, files FileSet) (*Entry, error) {
 		e.CreatedAt = old.CreatedAt
 	}
 	s.idx[key] = e
+	// Re-creating a key this handle once deleted revokes the tombstone:
+	// the new entry is the truth, not a resurrection to suppress.
+	delete(s.deleted, key)
 	if err := s.saveIndexLocked(); err != nil {
 		return nil, err
 	}
@@ -340,7 +345,7 @@ func (s *Store) Delete(key string) error {
 		return nil
 	}
 	delete(s.idx, key)
-	s.deleted[key] = true
+	s.deleted[key] = time.Now().UTC()
 	return s.saveIndexLocked()
 }
 
@@ -361,14 +366,15 @@ func (s *Store) Stat(key string) (*Entry, bool) {
 // disk. The registry's upload negotiation uses it to tell clients which
 // chunks they can skip sending.
 func (s *Store) HasObject(id string) bool {
-	return validObjectID(id) && dirExists(s.objectDir(id))
+	return ValidObjectID(id) && dirExists(s.objectDir(id))
 }
 
-// validObjectID accepts exactly the hex SHA-256 strings ObjectID produces.
-// Everything that touches objectDir with externally-supplied IDs (the
-// registry server, chunk manifests that crossed the network) must pass this
-// gate, or a hostile id like "../../etc" becomes a path traversal.
-func validObjectID(id string) bool {
+// ValidObjectID accepts exactly the hex SHA-256 strings ObjectID produces.
+// Everything that turns an externally-supplied ID into a filesystem path —
+// the registry server, the registry client's pull stage, chunk manifests
+// that crossed the network — must pass this gate, or a hostile id like
+// "../../etc" becomes a path traversal.
+func ValidObjectID(id string) bool {
 	if len(id) != 64 {
 		return false
 	}
@@ -385,7 +391,7 @@ func validObjectID(id string) bool {
 // address. Chunked members are NOT resolved: the caller gets the raw stored
 // representation (a chunk object reads back as its single "chunk" member).
 func (s *Store) ReadObject(id string) (FileSet, error) {
-	if !validObjectID(id) {
+	if !ValidObjectID(id) {
 		return nil, fmt.Errorf("%w: invalid object id %q", ErrCorrupt, shortID(id))
 	}
 	return s.readObject(id)

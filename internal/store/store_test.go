@@ -264,7 +264,9 @@ func TestGCMaxAge(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	rep, err := s.GC(GCOptions{MaxAge: 24 * time.Hour})
+	// TmpGrace: -1 because the expired entry's object was written seconds
+	// ago — a production sweep would shield it until it outlives the grace.
+	rep, err := s.GC(GCOptions{MaxAge: 24 * time.Hour, TmpGrace: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
