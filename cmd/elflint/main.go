@@ -8,8 +8,17 @@
 //	elflint file.elfie                    # ELFie-only checks
 //	elflint -pinball dir/name file.elfie  # + pinball cross-checks
 //	elflint -restore map.json file.elfie  # + converter restore-map cross-checks
+//	elflint -semantic file.elfie          # + abstract interpretation (EL011-EL015)
 //	elflint -json file.elfie              # findings as JSON
+//	elflint -min-sev error file.elfie     # drop findings below a severity
 //	elflint -ckpt dir/name.ckpt           # validate a mid-run checkpoint pinball
+//
+// -semantic runs a forward abstract interpreter over the startup CFG: it
+// audits nondeterministic reads (rdtsc/cpuid/unpinned segment bases),
+// resolves indirect jumps, bounds every memory access against the mapped
+// universe, checks stack discipline through the restore stubs, and proves
+// the code free of self-modifying stores (the SMC verdict in the summary
+// line).
 //
 // Exit status: 0 clean (warnings allowed with -werror off), 1 internal
 // error, 2 lint errors (corrupt-input per the exit-code taxonomy).
@@ -33,6 +42,10 @@ func main() {
 	pbPath := flag.String("pinball", "", "matching pinball (dir/name) for cross-checks")
 	rmPath := flag.String("restore", "", "converter restore-map JSON for cross-checks")
 	werror := flag.Bool("werror", false, "treat warnings as errors")
+	semantic := flag.Bool("semantic", false,
+		"run the abstract-interpretation pass (rules EL011-EL015, SMC verdict)")
+	minSev := flag.String("min-sev", "warning",
+		"minimum severity to report: warning or error")
 	ckpt := flag.String("ckpt", "",
 		"validate a mid-run checkpoint pinball (dir/name) instead of linting an ELFie")
 	flag.Parse()
@@ -51,7 +64,7 @@ func main() {
 	if err != nil {
 		cli.DieClassified(err)
 	}
-	opts := elflint.Options{}
+	opts := elflint.Options{Semantic: *semantic}
 	if *pbPath != "" {
 		dir, name := filepath.Split(*pbPath)
 		if dir == "" {
@@ -79,6 +92,19 @@ func main() {
 	if err != nil {
 		cli.DieClassified(fmt.Errorf("%w: %v", cli.ErrCorruptInput, err))
 	}
+	switch *minSev {
+	case "warning":
+	case "error":
+		kept := rep.Findings[:0]
+		for _, f := range rep.Findings {
+			if f.Severity >= elflint.SevError {
+				kept = append(kept, f)
+			}
+		}
+		rep.Findings = kept
+	default:
+		cli.Die(fmt.Errorf("-min-sev: unknown severity %q (want warning or error)", *minSev))
+	}
 
 	if *jsonOut {
 		out, err := json.MarshalIndent(rep, "", "  ")
@@ -90,8 +116,12 @@ func main() {
 		for _, f := range rep.Findings {
 			fmt.Println(f)
 		}
-		fmt.Printf("%s: %d instructions, %d blocks, %d errors, %d warnings\n",
+		line := fmt.Sprintf("%s: %d instructions, %d blocks, %d errors, %d warnings",
 			flag.Arg(0), rep.Insts, rep.Blocks, rep.Errors(), len(rep.Findings)-rep.Errors())
+		if rep.SMC != "" {
+			line += fmt.Sprintf(", smc %s (%d steps)", rep.SMC, rep.SemanticSteps)
+		}
+		fmt.Println(line)
 	}
 	if !rep.OK() || (*werror && len(rep.Findings) > 0) {
 		cli.DieClassified(fmt.Errorf("%w: %s: %d lint findings",

@@ -1,0 +1,938 @@
+// Package absint is a forward abstract interpreter over ELFie startup code.
+// It runs a worklist dataflow from every CFG root with a known-bits/interval
+// register domain (value.go), a lightweight relational layer (pairwise
+// register sums, which bound the co-moving pointer/counter pairs of the
+// generated copy loops), a segment-aware memory domain (loads from
+// initialized image data fold to constants unless analyzed code may have
+// overwritten them), and bounded widening so every input terminates inside
+// an explicit step budget.
+//
+// The engine itself is rule-agnostic: it reports nondeterministic reads
+// with their reaching path, indirect-jump targets it can prove bad, memory
+// accesses provably outside the mapped image, stack-pointer accesses that
+// escape the stack placement area inside a restore stub, and stores that
+// can reach executable pages. internal/elflint maps these onto rules
+// EL011–EL015.
+package absint
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"elfie/internal/isa"
+)
+
+// Region is a half-open address range [Lo, Hi).
+type Region struct{ Lo, Hi uint64 }
+
+// Root is one analysis entry point.
+type Root struct {
+	Addr uint64
+	Name string
+	// Stub is the restore-stub thread id the root belongs to, or -1. Paths
+	// inside a stub get the stack-discipline check.
+	Stub int
+}
+
+// Input is one analysis problem: the code, where control enters it, and the
+// memory geometry the cross-artifact rules check against.
+type Input struct {
+	Code  []byte
+	Base  uint64 // address of Code[0]
+	Roots []Root
+	// ReadMem returns size bytes of initialized image data at addr, or
+	// ok=false when the range is not backed by initialized data.
+	ReadMem func(addr uint64, size int) ([]byte, bool)
+	// Exec is the executable mapped ranges; Mapped is everything legal to
+	// touch (image, stack area, heap, injected mappings); Stack is where
+	// the stack pointer may point during a restore stub.
+	Exec, Mapped, Stack []Region
+	// SkipJumps are indirect-jump PCs owned by another (syntactic) rule;
+	// the engine still follows their semantics but reports no verdict.
+	SkipJumps map[uint64]bool
+	// MaxSteps bounds worklist pops (default 250k); WidenAfter is how many
+	// joins a program point absorbs before widening kicks in (default 8).
+	MaxSteps   int
+	WidenAfter int
+}
+
+// Nondet is one reachable read of state the injection table cannot pin.
+type Nondet struct {
+	PC   uint64
+	Op   isa.Op
+	Root string   // name of the root the witness path starts from
+	Path []uint64 // witness path of instruction addresses, root first
+}
+
+// Jump is one indirect control transfer and what is known of its target.
+type Jump struct {
+	PC       uint64
+	Op       isa.Op
+	Target   Val
+	Resolved bool // Target is a single constant
+}
+
+// Access is one memory access and what is known of its address.
+type Access struct {
+	PC    uint64
+	Op    isa.Op
+	Addr  Val
+	Size  int
+	Store bool
+}
+
+// Result is the fixpoint summary.
+type Result struct {
+	Nondet     []Nondet
+	BadJumps   []Jump   // indirect jumps provably outside executable memory
+	Wild       []Access // accesses provably outside the mapped universe
+	SPViol     []Access // stub SP accesses provably outside the stack area
+	ExecStores []Access // stores provably inside executable memory
+	MaySMC     bool     // some store may (not provably does) reach executable memory
+	Insts      int      // reachable instructions analyzed
+	Steps      int      // worklist pops spent
+	Exhausted  bool     // budget ran out before the fixpoint
+}
+
+const (
+	defaultMaxSteps   = 250_000
+	defaultWidenAfter = 8
+	maxDirty          = 8  // dirty-region list cap per state
+	maxPath           = 64 // witness-path reconstruction bound
+	nSums             = isa.NumGPR * (isa.NumGPR - 1) / 2
+)
+
+// sumIdx maps an unordered register pair to its slot in the sums triangle.
+func sumIdx(i, j uint8) int {
+	if i > j {
+		i, j = j, i
+	}
+	return int(i)*(2*isa.NumGPR-int(i)-1)/2 + int(j-i) - 1
+}
+
+// state is the abstract machine state at one program point.
+type state struct {
+	regs [isa.NumGPR]Val
+	// sums[sumIdx(i,j)] abstracts regs[i]+regs[j]. A pointer/counter pair
+	// bumped by opposite constants keeps a constant sum, which is the loop
+	// invariant that bounds the generated copy loops.
+	sums         [nSums]Val
+	fs, gs       Val
+	fsSet, gsSet bool
+	// flagReg/flagImm track the one flag fact the startup code uses: flags
+	// currently hold cmpi(regs[flagReg], flagImm). -1 when unknown.
+	flagReg int8
+	flagImm uint64
+	stub    int // restore-stub tid the path is inside, -1 outside
+	// dirty is the memory analyzed code may have written: constant loads
+	// from image data are only trusted outside it.
+	dirty []Region
+}
+
+func topState(stub int) state {
+	var s state
+	for i := range s.regs {
+		s.regs[i] = Top()
+	}
+	for i := range s.sums {
+		s.sums[i] = Top()
+	}
+	s.fs, s.gs = Top(), Top()
+	s.flagReg = -1
+	s.stub = stub
+	return s
+}
+
+// setReg writes v to register k and recomputes k's relational sums from
+// the (already updated) register values.
+func (s *state) setReg(k uint8, v Val) {
+	s.regs[k] = v
+	for j := uint8(0); int(j) < isa.NumGPR; j++ {
+		if j != k {
+			s.sums[sumIdx(k, j)] = v.Add(s.regs[j])
+		}
+	}
+	if s.flagReg == int8(k) {
+		s.flagReg = -1
+	}
+}
+
+// bumpReg adds a constant to register k in place, translating k's sums
+// rather than recomputing them — this is what preserves the co-moving
+// pointer/counter invariant across loop iterations.
+func (s *state) bumpReg(k uint8, c uint64) {
+	s.regs[k] = s.regs[k].AddConst(c)
+	for j := uint8(0); int(j) < isa.NumGPR; j++ {
+		if j != k {
+			s.sums[sumIdx(k, j)] = s.sums[sumIdx(k, j)].AddConst(c)
+		}
+	}
+	if s.flagReg == int8(k) {
+		s.flagReg = -1
+	}
+}
+
+// refineReg narrows register k to v, a refinement of the SAME concrete
+// value (a branch fact). Unlike setReg it must not recompute k's sums from
+// the other registers — the concrete values are unchanged, so the existing
+// sums (often exact loop invariants the widened registers can no longer
+// reproduce) stay valid; at best they tighten by meet.
+func (s *state) refineReg(k uint8, v Val) {
+	s.regs[k] = s.regs[k].Meet(v)
+	for j := uint8(0); int(j) < isa.NumGPR; j++ {
+		if j != k {
+			s.sums[sumIdx(k, j)] = s.sums[sumIdx(k, j)].Meet(s.regs[k].Add(s.regs[j]))
+		}
+	}
+}
+
+// reg reads register k, improved by every relational sum it participates
+// in: k = (k+j) - j for each partner j.
+func (s *state) reg(k uint8) Val {
+	v := s.regs[k]
+	for j := uint8(0); int(j) < isa.NumGPR; j++ {
+		if j != k {
+			v = v.Meet(s.sums[sumIdx(k, j)].Sub(s.regs[j]))
+		}
+	}
+	return v
+}
+
+func (s *state) addDirty(lo, hi uint64) {
+	tmp := make([]Region, 0, len(s.dirty)+1)
+	tmp = append(tmp, s.dirty...)
+	tmp = append(tmp, Region{lo, hi})
+	s.dirty = normRegions(tmp)
+}
+
+func (s *state) mayDirty(lo, hi uint64) bool {
+	for _, r := range s.dirty {
+		if lo < r.Hi && r.Lo < hi {
+			return true
+		}
+	}
+	return false
+}
+
+// normRegions sorts, merges, and caps a region list; over the cap it
+// collapses to the hull (sound: dirtiness only grows).
+func normRegions(rs []Region) []Region {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
+	out := rs[:0]
+	for _, r := range rs {
+		if r.Hi <= r.Lo {
+			continue
+		}
+		if n := len(out); n > 0 && r.Lo <= out[n-1].Hi {
+			if r.Hi > out[n-1].Hi {
+				out[n-1].Hi = r.Hi
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	if len(out) > maxDirty {
+		out = []Region{{out[0].Lo, out[len(out)-1].Hi}}
+	}
+	return out
+}
+
+func (s *state) merge(o *state, widen bool, th []uint64) state {
+	var out state
+	mergeVal := func(a, b Val) Val {
+		if widen {
+			return a.Widen(b, th)
+		}
+		return a.Join(b)
+	}
+	for i := range s.regs {
+		out.regs[i] = mergeVal(s.regs[i], o.regs[i])
+	}
+	for i := range s.sums {
+		out.sums[i] = mergeVal(s.sums[i], o.sums[i])
+	}
+	mergeSeg := func(a Val, aSet bool, b Val, bSet bool) (Val, bool) {
+		if !aSet || !bSet {
+			return Top(), false
+		}
+		return mergeVal(a, b), true
+	}
+	out.fs, out.fsSet = mergeSeg(s.fs, s.fsSet, o.fs, o.fsSet)
+	out.gs, out.gsSet = mergeSeg(s.gs, s.gsSet, o.gs, o.gsSet)
+	out.flagReg = -1
+	if s.flagReg == o.flagReg && s.flagImm == o.flagImm {
+		out.flagReg, out.flagImm = s.flagReg, s.flagImm
+	}
+	out.stub = s.stub
+	if o.stub != s.stub {
+		out.stub = -1
+	}
+	out.dirty = normRegions(append(append(make([]Region, 0, len(s.dirty)+len(o.dirty)), s.dirty...), o.dirty...))
+	return out
+}
+
+func (s *state) eq(o *state) bool {
+	if s.fsSet != o.fsSet || s.gsSet != o.gsSet || s.stub != o.stub ||
+		s.flagReg != o.flagReg ||
+		(s.flagReg >= 0 && s.flagImm != o.flagImm) ||
+		!s.fs.Eq(o.fs) || !s.gs.Eq(o.gs) || len(s.dirty) != len(o.dirty) {
+		return false
+	}
+	if s.regs != o.regs || s.sums != o.sums {
+		return false
+	}
+	for i := range s.dirty {
+		if s.dirty[i] != o.dirty[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// havoc clears everything a called-out path could have changed: all
+// registers, the relational sums, the segment-base pins, and the whole
+// memory image.
+func (s *state) havoc() {
+	for i := range s.regs {
+		s.regs[i] = Top()
+	}
+	for i := range s.sums {
+		s.sums[i] = Top()
+	}
+	s.fs, s.gs = Top(), Top()
+	s.fsSet, s.gsSet = false, false
+	s.flagReg = -1
+	s.dirty = []Region{{0, ^uint64(0)}}
+}
+
+type edge struct {
+	pc uint64
+	st state
+}
+
+type analysis struct {
+	in     Input
+	end    uint64
+	insts  map[uint64]isa.Inst
+	bad    map[uint64]bool
+	states map[uint64]*state
+	pred   map[uint64]uint64
+	hasPre map[uint64]bool
+	joins  map[uint64]int
+	stubAt map[uint64]int
+	names  map[uint64]string
+	// thSet/thSorted is the widening threshold ladder: immediates mined
+	// from the code (limm/movi pointer bases, cmpi loop bounds) plus the
+	// memory-map boundaries. Widened interval bounds land on these rungs.
+	thSet    map[uint64]bool
+	thSorted []uint64
+	thDirty  bool
+}
+
+func (a *analysis) addThreshold(vs ...uint64) {
+	for _, v := range vs {
+		if !a.thSet[v] {
+			a.thSet[v] = true
+			a.thDirty = true
+		}
+	}
+}
+
+func (a *analysis) thresholds() []uint64 {
+	if a.thDirty {
+		a.thSorted = a.thSorted[:0]
+		for t := range a.thSet {
+			a.thSorted = append(a.thSorted, t)
+		}
+		sort.Slice(a.thSorted, func(i, j int) bool { return a.thSorted[i] < a.thSorted[j] })
+		a.thDirty = false
+	}
+	return a.thSorted
+}
+
+// Analyze runs the interpreter to fixpoint (or budget) and reports.
+func Analyze(in Input) *Result {
+	if in.MaxSteps <= 0 {
+		in.MaxSteps = defaultMaxSteps
+	}
+	if in.WidenAfter <= 0 {
+		in.WidenAfter = defaultWidenAfter
+	}
+	a := &analysis{
+		in:     in,
+		end:    in.Base + uint64(len(in.Code)),
+		insts:  make(map[uint64]isa.Inst),
+		bad:    make(map[uint64]bool),
+		states: make(map[uint64]*state),
+		pred:   make(map[uint64]uint64),
+		hasPre: make(map[uint64]bool),
+		joins:  make(map[uint64]int),
+		stubAt: make(map[uint64]int),
+		names:  make(map[uint64]string),
+		thSet:  make(map[uint64]bool),
+	}
+	for _, rs := range [][]Region{in.Exec, in.Mapped, in.Stack} {
+		for _, r := range rs {
+			a.addThreshold(r.Lo, r.Hi)
+		}
+	}
+	for _, r := range in.Roots {
+		if r.Stub >= 0 {
+			a.stubAt[r.Addr] = r.Stub
+		}
+		a.names[r.Addr] = r.Name
+	}
+
+	out := &Result{}
+	var work []uint64
+	queued := make(map[uint64]bool)
+	push := func(pc uint64) {
+		if !queued[pc] {
+			queued[pc] = true
+			work = append(work, pc)
+		}
+	}
+	propagate := func(pc uint64, st state, from uint64, hasFrom bool) {
+		if pc < a.in.Base || pc >= a.end {
+			return
+		}
+		if id, ok := a.stubAt[pc]; ok {
+			st.stub = id
+		}
+		cur, seen := a.states[pc]
+		if !seen {
+			cp := st
+			a.states[pc] = &cp
+			if hasFrom {
+				a.pred[pc] = from
+				a.hasPre[pc] = true
+			}
+			push(pc)
+			return
+		}
+		a.joins[pc]++
+		merged := cur.merge(&st, a.joins[pc] > a.in.WidenAfter, a.thresholds())
+		if !merged.eq(cur) {
+			a.states[pc] = &merged
+			push(pc)
+		}
+	}
+
+	for _, r := range in.Roots {
+		propagate(r.Addr, topState(r.Stub), 0, false)
+	}
+	for len(work) > 0 {
+		if out.Steps >= in.MaxSteps {
+			out.Exhausted = true
+			break
+		}
+		out.Steps++
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[pc] = false
+		ins, ok := a.decode(pc)
+		if !ok {
+			continue
+		}
+		st := *a.states[pc]
+		for _, e := range a.step(st, pc, ins, nil) {
+			propagate(e.pc, e.st, pc, true)
+		}
+	}
+
+	// Reporting sweep: evaluate every reachable instruction once against
+	// its fixpoint in-state, in address order so findings are stable.
+	pcs := make([]uint64, 0, len(a.states))
+	for pc := range a.states {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	for _, pc := range pcs {
+		ins, ok := a.decode(pc)
+		if !ok {
+			continue
+		}
+		out.Insts++
+		a.step(*a.states[pc], pc, ins, out)
+	}
+	return out
+}
+
+func (a *analysis) decode(pc uint64) (isa.Inst, bool) {
+	if ins, ok := a.insts[pc]; ok {
+		return ins, true
+	}
+	if a.bad[pc] {
+		return isa.Inst{}, false
+	}
+	ins, _, err := isa.Decode(a.in.Code[pc-a.in.Base:])
+	if err != nil {
+		a.bad[pc] = true
+		return isa.Inst{}, false
+	}
+	a.insts[pc] = ins
+	switch ins.Op {
+	case isa.LIMM:
+		a.addThreshold(ins.Imm64, ins.Imm64+1)
+	case isa.MOVI:
+		v := uint64(int64(ins.Imm))
+		a.addThreshold(v, v+1)
+	case isa.CMPI:
+		// A loop guard's bound and its one-off neighbours are where the
+		// narrowed counter settles.
+		v := uint64(int64(ins.Imm))
+		a.addThreshold(v, v+1, v-1)
+	}
+	return ins, true
+}
+
+// path reconstructs the witness chain of instruction addresses from a root
+// to pc (bounded), plus the root's name.
+func (a *analysis) path(pc uint64) (string, []uint64) {
+	var rev []uint64
+	cur := pc
+	for i := 0; i < maxPath; i++ {
+		rev = append(rev, cur)
+		if !a.hasPre[cur] {
+			break
+		}
+		cur = a.pred[cur]
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return a.names[rev[0]], rev
+}
+
+// accessRange converts an abstract address plus size into a half-open
+// byte range, saturating at the top of the address space.
+func accessRange(addr Val, size int) (uint64, uint64) {
+	hi := addr.Hi + uint64(size)
+	if hi < addr.Hi {
+		hi = ^uint64(0)
+	}
+	return addr.Lo, hi
+}
+
+func intersectsAny(lo, hi uint64, rs []Region) bool {
+	for _, r := range rs {
+		if lo < r.Hi && r.Lo < hi {
+			return true
+		}
+	}
+	return false
+}
+
+func containedInOne(lo, hi uint64, rs []Region) bool {
+	for _, r := range rs {
+		if r.Lo <= lo && hi <= r.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// usesSP reports whether the access address of ins derives from the stack
+// pointer: implicit stack opcodes, or explicit addressing off RSP.
+func usesSP(ins isa.Inst) bool {
+	switch ins.Op {
+	case isa.PUSH, isa.POP, isa.PUSHF, isa.POPF, isa.CALL, isa.CALLR, isa.RET:
+		return true
+	}
+	if (isa.ReadsMem(ins.Op) || isa.WritesMem(ins.Op)) && ins.Op != isa.JMPM &&
+		ins.Op != isa.XSAVE && ins.Op != isa.XRSTOR {
+		return isa.Reg(ins.B&15) == isa.RSP
+	}
+	return false
+}
+
+// access records one memory access: it grows the dirty image for stores
+// and, during the reporting sweep, evaluates the bounds/SMC/stack checks.
+func (a *analysis) access(st *state, pc uint64, ins isa.Inst, addr Val, size int, store bool, out *Result) {
+	lo, hi := accessRange(addr, size)
+	if store {
+		st.addDirty(lo, hi)
+	}
+	if out == nil {
+		return
+	}
+	acc := Access{PC: pc, Op: ins.Op, Addr: addr, Size: size, Store: store}
+	if !intersectsAny(lo, hi, a.in.Mapped) {
+		out.Wild = append(out.Wild, acc)
+	}
+	if store && intersectsAny(lo, hi, a.in.Exec) {
+		if containedInOne(lo, hi, a.in.Exec) {
+			out.ExecStores = append(out.ExecStores, acc)
+		} else {
+			out.MaySMC = true
+		}
+	}
+	if st.stub >= 0 && usesSP(ins) && !intersectsAny(lo, hi, a.in.Stack) {
+		out.SPViol = append(out.SPViol, acc)
+	}
+}
+
+// load abstracts a memory read: a constant address in clean initialized
+// image data folds to the concrete value; anything else is Top.
+func (a *analysis) load(st *state, addr Val, size int, op isa.Op) Val {
+	c, ok := addr.IsConst()
+	if !ok || a.in.ReadMem == nil {
+		return Top()
+	}
+	hi := c + uint64(size)
+	if hi < c {
+		hi = ^uint64(0)
+	}
+	if st.mayDirty(c, hi) {
+		return Top()
+	}
+	data, ok := a.in.ReadMem(c, size)
+	if !ok || len(data) < size {
+		return Top()
+	}
+	var buf [8]byte
+	copy(buf[:], data[:size])
+	v := binary.LittleEndian.Uint64(buf[:])
+	switch op {
+	case isa.LDSB:
+		v = uint64(int64(int8(v)))
+	case isa.LDSH:
+		v = uint64(int64(int16(v)))
+	case isa.LDSW:
+		v = uint64(int64(int32(v)))
+	}
+	return Const(v)
+}
+
+// nondet records one machine-environment read during the reporting sweep.
+func (a *analysis) nondet(pc uint64, op isa.Op, pinned bool, out *Result) {
+	if out == nil || pinned {
+		return
+	}
+	root, p := a.path(pc)
+	out.Nondet = append(out.Nondet, Nondet{PC: pc, Op: op, Root: root, Path: p})
+}
+
+// jump records one indirect control transfer and returns the in-section
+// constant target (if any) for edge propagation.
+func (a *analysis) jump(pc uint64, op isa.Op, target Val, out *Result) (uint64, bool) {
+	if out != nil && !a.in.SkipJumps[pc] {
+		_, resolved := target.IsConst()
+		lo, hi := target.Lo, target.Hi
+		if hi != ^uint64(0) {
+			hi++
+		}
+		if !intersectsAny(lo, hi, a.in.Exec) {
+			out.BadJumps = append(out.BadJumps, Jump{PC: pc, Op: op, Target: target, Resolved: resolved})
+		}
+	}
+	c, ok := target.IsConst()
+	return c, ok && c >= a.in.Base && c < a.end
+}
+
+// narrowBranch refines v (compared against c by a preceding cmpi) along
+// the taken or fall-through edge of op; ok=false means the edge is
+// infeasible. Signed and sign-flag branches narrow nothing.
+func narrowBranch(op isa.Op, taken bool, v Val, c uint64) (Val, bool) {
+	switch op {
+	case isa.JZ:
+		if taken {
+			return v.NarrowEQ(c)
+		}
+		return v.NarrowNE(c)
+	case isa.JNZ:
+		if taken {
+			return v.NarrowNE(c)
+		}
+		return v.NarrowEQ(c)
+	case isa.JB:
+		if taken {
+			return v.NarrowLT(c)
+		}
+		return v.NarrowGE(c)
+	case isa.JAE:
+		if taken {
+			return v.NarrowGE(c)
+		}
+		return v.NarrowLT(c)
+	case isa.JBE:
+		if taken {
+			return v.NarrowLE(c)
+		}
+		return v.NarrowGT(c)
+	case isa.JA:
+		if taken {
+			return v.NarrowGT(c)
+		}
+		return v.NarrowLE(c)
+	}
+	return v, true
+}
+
+// step applies one instruction's transfer function and returns the
+// successor edges. With out != nil it additionally evaluates the reporting
+// checks; the two modes share one transfer so the verdicts always describe
+// the propagated semantics.
+func (a *analysis) step(st state, pc uint64, ins isa.Inst, out *Result) []edge {
+	next := pc + ins.Len()
+	A := ins.A & 15
+	B := ins.B & 15
+	C := ins.C & 15
+	imm := uint64(int64(ins.Imm))
+	rsp := uint8(isa.RSP)
+
+	var edges []edge
+	fall := func() {
+		edges = append(edges, edge{next, st})
+	}
+	goTo := func(t uint64) {
+		edges = append(edges, edge{t, st})
+	}
+	binConst := func(f func(Val, uint64) Val) Val {
+		// Register-register bitwise forms fold when either side is
+		// constant; otherwise only Top is sound here.
+		if c, ok := st.regs[C].IsConst(); ok {
+			return f(st.regs[B], c)
+		}
+		if c, ok := st.regs[B].IsConst(); ok {
+			return f(st.regs[C], c)
+		}
+		return Top()
+	}
+
+	switch ins.Op {
+	case isa.NOP, isa.FENCE, isa.SSCMARK, isa.MAGIC, isa.PAUSE:
+		fall()
+	case isa.HLT:
+		// No successor.
+	case isa.CMPI:
+		st.flagReg, st.flagImm = int8(B), imm
+		fall()
+	case isa.CMP, isa.TEST, isa.TESTI:
+		st.flagReg = -1
+		fall()
+	case isa.MOV:
+		st.setReg(A, st.regs[B])
+		fall()
+	case isa.MOVI:
+		st.setReg(A, Const(imm))
+		fall()
+	case isa.LIMM:
+		st.setReg(A, Const(ins.Imm64))
+		fall()
+	case isa.ADD:
+		st.setReg(A, st.regs[B].Add(st.regs[C]))
+		fall()
+	case isa.SUB:
+		st.setReg(A, st.regs[B].Sub(st.regs[C]))
+		fall()
+	case isa.ADDI:
+		if A == B {
+			st.bumpReg(A, imm)
+		} else {
+			st.setReg(A, st.regs[B].AddConst(imm))
+		}
+		fall()
+	case isa.AND:
+		st.setReg(A, binConst(Val.AndConst))
+		fall()
+	case isa.OR:
+		st.setReg(A, binConst(Val.OrConst))
+		fall()
+	case isa.XOR:
+		st.setReg(A, binConst(Val.XorConst))
+		fall()
+	case isa.ANDI:
+		st.setReg(A, st.regs[B].AndConst(imm))
+		fall()
+	case isa.ORI:
+		st.setReg(A, st.regs[B].OrConst(imm))
+		fall()
+	case isa.XORI:
+		st.setReg(A, st.regs[B].XorConst(imm))
+		fall()
+	case isa.SHLI:
+		st.setReg(A, st.regs[B].ShlConst(uint(imm&63)))
+		fall()
+	case isa.SHRI:
+		st.setReg(A, st.regs[B].ShrConst(uint(imm&63)))
+		fall()
+	case isa.NOT:
+		st.setReg(A, st.regs[B].XorConst(^uint64(0)))
+		fall()
+	case isa.NEG:
+		st.setReg(A, Const(0).Sub(st.regs[B]))
+		fall()
+	case isa.MUL, isa.MULI, isa.UDIV, isa.SDIV, isa.UREM, isa.SHL, isa.SHR,
+		isa.SAR, isa.SARI:
+		bc, okB := st.regs[B].IsConst()
+		if ins.Op == isa.MULI && okB {
+			st.setReg(A, Const(bc*imm))
+		} else if cc, okC := st.regs[C].IsConst(); okB && okC && ins.Op == isa.MUL {
+			st.setReg(A, Const(bc*cc))
+		} else {
+			st.setReg(A, Top())
+		}
+		fall()
+	case isa.LEA1:
+		st.setReg(A, st.regs[B].Add(st.regs[C]).AddConst(imm))
+		fall()
+	case isa.LEA8:
+		st.setReg(A, st.regs[B].Add(st.regs[C].ShlConst(3)).AddConst(imm))
+		fall()
+
+	case isa.LDB, isa.LDH, isa.LDW, isa.LDQ, isa.LDSB, isa.LDSH, isa.LDSW:
+		addr := st.reg(B).AddConst(imm)
+		size := isa.MemSize(ins.Op)
+		a.access(&st, pc, ins, addr, size, false, out)
+		st.setReg(A, a.load(&st, addr, size, ins.Op))
+		fall()
+	case isa.STB, isa.STH, isa.STW, isa.STQ:
+		a.access(&st, pc, ins, st.reg(B).AddConst(imm), isa.MemSize(ins.Op), true, out)
+		fall()
+	case isa.VLD:
+		a.access(&st, pc, ins, st.reg(B).AddConst(imm), 16, false, out)
+		fall()
+	case isa.VST:
+		a.access(&st, pc, ins, st.reg(B).AddConst(imm), 16, true, out)
+		fall()
+	case isa.XCHG, isa.XADD, isa.CMPXCHG:
+		addr := st.reg(B).AddConst(imm)
+		a.access(&st, pc, ins, addr, 8, true, out)
+		st.setReg(A, Top())
+		if ins.Op == isa.CMPXCHG {
+			st.setReg(0, Top())
+			st.flagReg = -1
+		}
+		fall()
+	case isa.XSAVE:
+		a.access(&st, pc, ins, st.reg(A), isa.XSaveSize, true, out)
+		fall()
+	case isa.XRSTOR:
+		a.access(&st, pc, ins, st.reg(A), isa.XSaveSize, false, out)
+		fall()
+
+	case isa.PUSH, isa.PUSHF:
+		st.bumpReg(rsp, ^uint64(7)) // -8
+		a.access(&st, pc, ins, st.regs[rsp], 8, true, out)
+		fall()
+	case isa.POP, isa.POPF:
+		sp := st.regs[rsp]
+		a.access(&st, pc, ins, sp, 8, false, out)
+		v := a.load(&st, sp, 8, ins.Op)
+		st.bumpReg(rsp, 8)
+		if ins.Op == isa.POPF {
+			st.flagReg = -1
+		} else {
+			// A pop into rsp makes the loaded value the final stack
+			// pointer, mirroring the executor's ordering.
+			st.setReg(A, v)
+		}
+		fall()
+
+	case isa.JMP:
+		goTo(ins.BranchTarget(pc))
+	case isa.JZ, isa.JNZ, isa.JL, isa.JLE, isa.JG, isa.JGE, isa.JB, isa.JBE,
+		isa.JA, isa.JAE, isa.JS, isa.JNS:
+		t := ins.BranchTarget(pc)
+		if st.flagReg >= 0 {
+			// A dominating cmpi constrains the compared register along
+			// each edge; infeasible edges are dropped.
+			r := uint8(st.flagReg)
+			c := st.flagImm
+			if nv, ok := narrowBranch(ins.Op, true, st.regs[r], c); ok {
+				ts := st
+				ts.refineReg(r, nv)
+				edges = append(edges, edge{t, ts})
+			}
+			if nv, ok := narrowBranch(ins.Op, false, st.regs[r], c); ok {
+				fs := st
+				fs.refineReg(r, nv)
+				edges = append(edges, edge{next, fs})
+			}
+		} else {
+			goTo(t)
+			fall()
+		}
+	case isa.CALL, isa.CALLR:
+		st.bumpReg(rsp, ^uint64(7))
+		a.access(&st, pc, ins, st.regs[rsp], 8, true, out)
+		if ins.Op == isa.CALL {
+			goTo(ins.BranchTarget(pc))
+		} else if t, in := a.jump(pc, ins.Op, st.reg(B), out); in {
+			goTo(t)
+		}
+		// The callee eventually returns to next with arbitrary state.
+		ret := st
+		ret.havoc()
+		edges = append(edges, edge{next, ret})
+	case isa.JMPR:
+		if t, in := a.jump(pc, ins.Op, st.reg(B), out); in {
+			st.stub = -1 // an indirect transfer ends the restore stub
+			goTo(t)
+		}
+	case isa.JMPM:
+		slot := Const(ins.BranchTarget(pc))
+		a.access(&st, pc, ins, slot, 8, false, out)
+		target := a.load(&st, slot, 8, ins.Op)
+		if t, in := a.jump(pc, ins.Op, target, out); in {
+			st.stub = -1
+			goTo(t)
+		}
+	case isa.RET:
+		sp := st.regs[rsp]
+		a.access(&st, pc, ins, sp, 8, false, out)
+		target := a.load(&st, sp, 8, ins.Op)
+		st.bumpReg(rsp, 8)
+		if t, in := a.jump(pc, ins.Op, target, out); in {
+			st.stub = -1
+			goTo(t)
+		}
+
+	case isa.SYSCALL:
+		st.setReg(0, Top())
+		fall()
+	case isa.RDTSC, isa.CPUID:
+		a.nondet(pc, ins.Op, false, out)
+		st.setReg(A, Top())
+		fall()
+	case isa.RDFSBASE:
+		a.nondet(pc, ins.Op, st.fsSet, out)
+		if st.fsSet {
+			st.setReg(A, st.fs)
+		} else {
+			st.setReg(A, Top())
+		}
+		fall()
+	case isa.RDGSBASE:
+		a.nondet(pc, ins.Op, st.gsSet, out)
+		if st.gsSet {
+			st.setReg(A, st.gs)
+		} else {
+			st.setReg(A, Top())
+		}
+		fall()
+	case isa.WRFSBASE:
+		st.fs, st.fsSet = st.regs[A], true
+		fall()
+	case isa.WRGSBASE:
+		st.gs, st.gsSet = st.regs[A], true
+		fall()
+
+	default:
+		// Unmodeled opcode: havoc exactly what its effect metadata says it
+		// writes, so new opcodes degrade to imprecision, never unsoundness.
+		w := ins.RegWrites()
+		for _, r := range w.GPRs() {
+			st.setReg(uint8(r), Top())
+		}
+		if w.Has(isa.SetFlags) {
+			st.flagReg = -1
+		}
+		if isa.WritesMem(ins.Op) {
+			st.addDirty(0, ^uint64(0))
+		}
+		fall()
+	}
+	return edges
+}

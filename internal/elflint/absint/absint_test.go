@@ -1,0 +1,330 @@
+package absint
+
+import (
+	"testing"
+
+	"elfie/internal/isa"
+)
+
+func enc(insts ...isa.Inst) []byte {
+	var b []byte
+	for _, ins := range insts {
+		b = ins.Encode(b)
+	}
+	return b
+}
+
+const rsp = uint8(isa.RSP)
+
+func TestValDomain(t *testing.T) {
+	if v, ok := Const(0x1000).AddConst(0x10).IsConst(); !ok || v != 0x1010 {
+		t.Fatalf("const add: got %#x ok=%v", v, ok)
+	}
+	if v, ok := Const(8).Sub(Const(3)).IsConst(); !ok || v != 5 {
+		t.Fatalf("const sub: got %#x ok=%v", v, ok)
+	}
+	// Negative immediates arrive sign-extended; wrapping add must stay exact.
+	if v, ok := Const(0x40).AddConst(^uint64(0x3f)).IsConst(); !ok || v != 0 {
+		t.Fatalf("wrapping add: got %#x ok=%v", v, ok)
+	}
+	// Alignment masking keeps the high known bits: the table-walk idiom.
+	j := Const(0x2000).Join(Const(0x2fff))
+	m := j.AndConst(^uint64(7))
+	if m.Lo != 0x2000 || m.Hi > 0x2ff8 || m.Known&7 != 7 || m.Bits&7 != 0 {
+		t.Fatalf("and-const: %+v", m)
+	}
+	// Widening a monotone store pointer keeps the stable lower bound.
+	base := uint64(0x7ffc00000000)
+	cur := Const(base).Join(Const(base + 64))
+	w := cur.Widen(Const(base).Join(Const(base+128)), nil)
+	if w.Lo != base {
+		t.Fatalf("widen lost the stable floor: %+v", w)
+	}
+	if w.Hi < base+128 || w.Hi>>44 != base>>44 {
+		t.Fatalf("widen upper bound implausible: %+v", w)
+	}
+	// Widening must be a fixpoint accelerator: re-widening with a further
+	// step inside the widened range changes nothing.
+	again := w.Widen(w.AddConst(64).Join(w), nil)
+	if !again.Eq(w.Widen(again, nil)) {
+		t.Fatalf("widen did not stabilize: %+v vs %+v", w, again)
+	}
+}
+
+// TestCopyLoopProvesClean runs the generated-startup copy-loop shape and
+// checks the analysis proves its stores never reach executable memory,
+// within a small budget.
+func TestCopyLoopProvesClean(t *testing.T) {
+	base := uint64(0x20000000)
+	src := uint64(0x30000000)
+	dst := uint64(0x7ffc00000000)
+	code := enc(
+		isa.Inst{Op: isa.LIMM, A: 1, Imm64: src},
+		isa.Inst{Op: isa.LIMM, A: 2, Imm64: dst},
+		isa.Inst{Op: isa.LIMM, A: 3, Imm64: 0x4000},
+		// loop:
+		isa.Inst{Op: isa.LDQ, A: 4, B: 1},
+		isa.Inst{Op: isa.STQ, A: 4, B: 2},
+		isa.Inst{Op: isa.ADDI, A: 1, B: 1, Imm: 64},
+		isa.Inst{Op: isa.ADDI, A: 2, B: 2, Imm: 64},
+		isa.Inst{Op: isa.ADDI, A: 3, B: 3, Imm: -64},
+		isa.Inst{Op: isa.CMPI, B: 3, Imm: 0},
+		isa.Inst{Op: isa.JNZ, Imm: -56},
+		isa.Inst{Op: isa.HLT},
+	)
+	res := Analyze(Input{
+		Code: code, Base: base,
+		Roots:  []Root{{Addr: base, Name: "_start", Stub: -1}},
+		Exec:   []Region{{base, base + uint64(len(code))}},
+		Mapped: []Region{{base, base + uint64(len(code))}, {src, src + 1<<28}, {dst, dst + 1<<20}},
+		Stack:  []Region{{dst, dst + 1<<20}},
+	})
+	if res.Exhausted {
+		t.Fatalf("copy loop exhausted the budget after %d steps", res.Steps)
+	}
+	if res.MaySMC || len(res.ExecStores) != 0 {
+		t.Fatalf("copy loop not proven SMC-free: maySMC=%v execStores=%v", res.MaySMC, res.ExecStores)
+	}
+	if len(res.Wild) != 0 || len(res.BadJumps) != 0 {
+		t.Fatalf("unexpected findings: wild=%v jumps=%v", res.Wild, res.BadJumps)
+	}
+}
+
+func TestNondetAndSegPinning(t *testing.T) {
+	base := uint64(0x1000)
+	code := enc(
+		isa.Inst{Op: isa.RDTSC, A: 1},
+		isa.Inst{Op: isa.LIMM, A: 2, Imm64: 0x5000},
+		isa.Inst{Op: isa.WRFSBASE, A: 2},
+		isa.Inst{Op: isa.RDFSBASE, A: 3}, // pinned: not reported
+		isa.Inst{Op: isa.RDGSBASE, A: 4}, // unpinned: reported
+		isa.Inst{Op: isa.HLT},
+	)
+	all := []Region{{base, base + uint64(len(code))}}
+	res := Analyze(Input{Code: code, Base: base,
+		Roots: []Root{{Addr: base, Name: "_start", Stub: -1}},
+		Exec:  all, Mapped: all})
+	if len(res.Nondet) != 2 {
+		t.Fatalf("nondet = %+v, want RDTSC and RDGSBASE only", res.Nondet)
+	}
+	if res.Nondet[0].Op != isa.RDTSC || res.Nondet[0].Root != "_start" ||
+		len(res.Nondet[0].Path) == 0 || res.Nondet[0].Path[0] != base {
+		t.Fatalf("rdtsc witness wrong: %+v", res.Nondet[0])
+	}
+	if res.Nondet[1].Op != isa.RDGSBASE {
+		t.Fatalf("second nondet = %+v, want RDGSBASE", res.Nondet[1])
+	}
+}
+
+func TestIndirectJumpVerdicts(t *testing.T) {
+	base := uint64(0x1000)
+	code := enc(
+		isa.Inst{Op: isa.LIMM, A: 1, Imm64: 0xdead0000},
+		isa.Inst{Op: isa.JMPR, B: 1},
+	)
+	all := []Region{{base, base + uint64(len(code))}}
+	in := Input{Code: code, Base: base,
+		Roots: []Root{{Addr: base, Name: "_start", Stub: -1}},
+		Exec:  all, Mapped: all}
+	res := Analyze(in)
+	if len(res.BadJumps) != 1 || !res.BadJumps[0].Resolved || res.BadJumps[0].PC != base+16 {
+		t.Fatalf("bad jump not caught: %+v", res.BadJumps)
+	}
+	// The same site owned by a syntactic rule is not re-reported.
+	in.SkipJumps = map[uint64]bool{base + 16: true}
+	if res := Analyze(in); len(res.BadJumps) != 0 {
+		t.Fatalf("skip set ignored: %+v", res.BadJumps)
+	}
+}
+
+func TestJmpmFollowsLiteral(t *testing.T) {
+	base := uint64(0x1000)
+	// jmpm over a literal slot that targets the rdtsc past it: the engine
+	// must fold the load and keep analyzing at the target.
+	code := enc(
+		isa.Inst{Op: isa.JMPM, Imm: 0}, // slot immediately after
+	)
+	slot := base + uint64(len(code))
+	target := slot + 8
+	var word [8]byte
+	for i, b := range []byte{byte(target), byte(target >> 8), byte(target >> 16), byte(target >> 24)} {
+		word[i] = b
+	}
+	code = append(code, word[:]...)
+	code = append(code, enc(isa.Inst{Op: isa.RDTSC, A: 1}, isa.Inst{Op: isa.HLT})...)
+	all := []Region{{base, base + uint64(len(code))}}
+	res := Analyze(Input{Code: code, Base: base,
+		Roots: []Root{{Addr: base, Name: "_start", Stub: -1}},
+		ReadMem: func(addr uint64, size int) ([]byte, bool) {
+			if addr >= base && addr+uint64(size) <= base+uint64(len(code)) {
+				return code[addr-base:], true
+			}
+			return nil, false
+		},
+		Exec: all, Mapped: all})
+	if len(res.BadJumps) != 0 {
+		t.Fatalf("resolved in-bounds jmpm misreported: %+v", res.BadJumps)
+	}
+	if len(res.Nondet) != 1 || res.Nondet[0].PC != target {
+		t.Fatalf("jmpm target not analyzed: %+v", res.Nondet)
+	}
+}
+
+func TestWildAndSMCStores(t *testing.T) {
+	base := uint64(0x1000)
+	code := enc(
+		isa.Inst{Op: isa.LIMM, A: 1, Imm64: 0x666000},
+		isa.Inst{Op: isa.STQ, A: 0, B: 1}, // provably unmapped
+		isa.Inst{Op: isa.LIMM, A: 2, Imm64: base},
+		isa.Inst{Op: isa.STQ, A: 0, B: 2}, // provably self-modifying
+		isa.Inst{Op: isa.HLT},
+	)
+	all := []Region{{base, base + uint64(len(code))}}
+	res := Analyze(Input{Code: code, Base: base,
+		Roots: []Root{{Addr: base, Name: "_start", Stub: -1}},
+		Exec:  all, Mapped: all})
+	if len(res.Wild) != 1 || res.Wild[0].PC != base+16 || !res.Wild[0].Store {
+		t.Fatalf("wild store not caught: %+v", res.Wild)
+	}
+	if len(res.ExecStores) != 1 || res.ExecStores[0].PC != base+40 {
+		t.Fatalf("exec store not caught: %+v", res.ExecStores)
+	}
+	if res.MaySMC {
+		t.Fatalf("provable store misclassified as may-SMC")
+	}
+}
+
+func TestStubStackDiscipline(t *testing.T) {
+	base := uint64(0x1000)
+	stackLo, stackHi := uint64(0x100000), uint64(0x104000)
+	mk := func(top uint64) Input {
+		code := enc(
+			isa.Inst{Op: isa.LIMM, A: rsp, Imm64: top},
+			isa.Inst{Op: isa.PUSH, A: 1},
+			isa.Inst{Op: isa.STQ, A: 2, B: rsp}, // explicit rsp-relative
+			isa.Inst{Op: isa.HLT},
+		)
+		return Input{Code: code, Base: base,
+			Roots:  []Root{{Addr: base, Name: "__elfie_t0_init", Stub: 0}},
+			Exec:   []Region{{base, base + uint64(len(code))}},
+			Mapped: []Region{{base, base + uint64(len(code))}, {0x4000, 0x8000}, {stackLo, stackHi}},
+			Stack:  []Region{{stackLo, stackHi}},
+		}
+	}
+	if res := Analyze(mk(stackHi)); len(res.SPViol) != 0 {
+		t.Fatalf("in-zone stub stack flagged: %+v", res.SPViol)
+	}
+	res := Analyze(mk(0x5000)) // mapped, but not stack placement area
+	if len(res.SPViol) != 2 {
+		t.Fatalf("out-of-zone stub stack not caught twice: %+v", res.SPViol)
+	}
+	if len(res.Wild) != 0 {
+		t.Fatalf("SP violation double-reported as wild: %+v", res.Wild)
+	}
+	// Outside a stub the same code is not stack-discipline checked.
+	in := mk(0x5000)
+	in.Roots = []Root{{Addr: base, Name: "_start", Stub: -1}}
+	if res := Analyze(in); len(res.SPViol) != 0 {
+		t.Fatalf("non-stub path stack-checked: %+v", res.SPViol)
+	}
+}
+
+// TestPopIntoSP pins the executor's pop ordering: a pop into rsp leaves the
+// loaded value, not rsp+8, and downstream accesses use it.
+func TestPopIntoSP(t *testing.T) {
+	base := uint64(0x1000)
+	code := enc(
+		isa.Inst{Op: isa.LIMM, A: rsp, Imm64: 0x4000},
+		isa.Inst{Op: isa.POP, A: rsp},
+		isa.Inst{Op: isa.STQ, A: 1, B: rsp},
+		isa.Inst{Op: isa.HLT},
+	)
+	mem := map[uint64][]byte{0x4000: {0x00, 0x70, 0, 0, 0, 0, 0, 0}} // loads 0x7000
+	all := []Region{{base, base + uint64(len(code))}}
+	res := Analyze(Input{Code: code, Base: base,
+		Roots: []Root{{Addr: base, Name: "_start", Stub: -1}},
+		ReadMem: func(addr uint64, size int) ([]byte, bool) {
+			b, ok := mem[addr]
+			return b, ok && len(b) >= size
+		},
+		Exec: all, Mapped: append(all, Region{0x4000, 0x4008}, Region{0x8000, 0x9000})})
+	// The store goes to 0x7000 (the popped value) which is provably
+	// unmapped; had pop left rsp+8=0x4008 it would be mapped.
+	if len(res.Wild) != 1 || res.Wild[0].PC != base+24 {
+		t.Fatalf("pop-into-rsp ordering wrong: wild=%+v", res.Wild)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	base := uint64(0x1000)
+	code := enc(
+		isa.Inst{Op: isa.ADDI, A: 1, B: 1, Imm: 1},
+		isa.Inst{Op: isa.JMP, Imm: -16},
+	)
+	all := []Region{{base, base + uint64(len(code))}}
+	res := Analyze(Input{Code: code, Base: base,
+		Roots: []Root{{Addr: base, Name: "_start", Stub: -1}},
+		Exec:  all, Mapped: all,
+		MaxSteps: 1})
+	if !res.Exhausted || res.Steps != 1 {
+		t.Fatalf("budget not honored: steps=%d exhausted=%v", res.Steps, res.Exhausted)
+	}
+	// With the default budget the widened loop reaches a fixpoint.
+	res = Analyze(Input{Code: code, Base: base,
+		Roots: []Root{{Addr: base, Name: "_start", Stub: -1}},
+		Exec:  all, Mapped: all})
+	if res.Exhausted {
+		t.Fatalf("counting loop did not converge: steps=%d", res.Steps)
+	}
+}
+
+// FuzzAnalyze feeds arbitrary bytes as code and demands the interpreter
+// neither panics nor exceeds its step budget.
+func FuzzAnalyze(f *testing.F) {
+	f.Add(enc(
+		isa.Inst{Op: isa.LIMM, A: 1, Imm64: 0x2000},
+		isa.Inst{Op: isa.STQ, A: 0, B: 1},
+		isa.Inst{Op: isa.JMP, Imm: -24},
+	))
+	f.Add(enc(
+		isa.Inst{Op: isa.PUSH, A: 1},
+		isa.Inst{Op: isa.POP, A: rsp},
+		isa.Inst{Op: isa.RET},
+	))
+	f.Add(enc(
+		isa.Inst{Op: isa.RDTSC, A: 3},
+		isa.Inst{Op: isa.JMPM, Imm: 0},
+		isa.Inst{Op: isa.HLT},
+	))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		base := uint64(0x1000)
+		end := base + uint64(len(data))
+		const budget = 2000
+		res := Analyze(Input{
+			Code: data, Base: base,
+			Roots: []Root{
+				{Addr: base, Name: "fuzz", Stub: -1},
+				{Addr: base + 8, Name: "fuzz+8", Stub: 0},
+			},
+			ReadMem: func(addr uint64, size int) ([]byte, bool) {
+				if addr >= base && addr+uint64(size) <= end && addr+uint64(size) >= addr {
+					return data[addr-base:], true
+				}
+				return nil, false
+			},
+			Exec:     []Region{{base, end}},
+			Mapped:   []Region{{base, end}, {0x100000, 0x110000}},
+			Stack:    []Region{{0x100000, 0x110000}},
+			MaxSteps: budget,
+		})
+		if res == nil {
+			t.Fatal("nil result")
+		}
+		if res.Steps > budget {
+			t.Fatalf("budget exceeded: %d > %d", res.Steps, budget)
+		}
+	})
+}

@@ -23,6 +23,7 @@ package elflint
 
 import (
 	"fmt"
+	"sort"
 
 	"elfie/internal/core"
 	"elfie/internal/elfobj"
@@ -81,6 +82,28 @@ const (
 	// mapped executable segment, or the restore stub's jump literal
 	// disagrees with the captured PC.
 	RuleStartUnmapped = "EL010"
+	// RuleNondet: reachable startup code reads machine state (rdtsc, cpuid,
+	// an unpinned segment base) the injection table cannot replay, so two
+	// runs of the ELFie can diverge (warning; semantic pass).
+	RuleNondet = "EL011"
+	// RuleBadIndirect: an indirect jump's target is provably outside every
+	// executable mapping (semantic pass).
+	RuleBadIndirect = "EL012"
+	// RuleWildAccess: a memory access is provably outside everything the
+	// image, the stack area, the heap, and the injection table map
+	// (semantic pass).
+	RuleWildAccess = "EL013"
+	// RuleStackEscape: a restore stub's stack-pointer access is provably
+	// outside the stack placement area (semantic pass).
+	RuleStackEscape = "EL014"
+	// RuleSelfModify: a store provably lands inside executable memory —
+	// the startup code would rewrite itself or the region code
+	// (semantic pass).
+	RuleSelfModify = "EL015"
+	// RuleSymbols: the symbol table is inconsistent — an undefined symbol
+	// in a linked ELFie, a symbol pointing outside loadable memory, or
+	// overlapping function extents.
+	RuleSymbols = "EL016"
 )
 
 // Finding is one invariant violation.
@@ -108,6 +131,9 @@ type Options struct {
 	// Restore, when set, cross-checks the decoded startup code against
 	// the converter's emitted restore map.
 	Restore *core.RestoreMap
+	// Semantic enables the abstract-interpretation pass (rules
+	// EL011–EL015 and the Report.SMC verdict).
+	Semantic bool
 }
 
 // Report is the outcome of one lint pass.
@@ -117,6 +143,11 @@ type Report struct {
 	// and basic blocks formed.
 	Insts  int `json:"insts"`
 	Blocks int `json:"blocks"`
+	// SMC is the semantic pass's self-modifying-code verdict (one of the
+	// SMC* constants), empty when the pass did not run.
+	SMC string `json:"smc,omitempty"`
+	// SemanticSteps is the abstract-interpreter budget spent.
+	SemanticSteps int `json:"semantic_steps,omitempty"`
 }
 
 // Errors counts error-severity findings.
@@ -188,5 +219,25 @@ func Lint(exe *elfobj.File, opts Options) (*Report, error) {
 		checkSyscallTable(rep, exe, opts.Pinball)
 		checkStartPCs(rep, exe, opts.Pinball)
 	}
+	checkSymbols(rep, exe)
+	// The semantic pass interprets the CFG; once decoding broke it would
+	// only echo EL001 with less precision.
+	if opts.Semantic && len(g.undec) == 0 {
+		runSemantic(rep, exe, sec, stubs, opts)
+	}
+
+	// Findings are reported in a stable order regardless of which checker
+	// produced them, so text output, -json output, and CI diffs do not
+	// churn when checker internals reorder.
+	sort.SliceStable(rep.Findings, func(i, j int) bool {
+		a, b := rep.Findings[i], rep.Findings[j]
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		return a.Detail < b.Detail
+	})
 	return rep, nil
 }

@@ -130,6 +130,33 @@ func TestKnownGoodSerializedClean(t *testing.T) {
 	lintClean(t, clone, elflint.Options{Pinball: pb, Restore: rm}, "serialized")
 }
 
+// TestSemanticClean runs the abstract-interpretation pass over known-good
+// artifacts: no findings, and the store sweep must prove the startup code
+// free of self-modifying stores within the default budget.
+func TestSemanticClean(t *testing.T) {
+	exe, pb, rm := demoArtifacts(t)
+	opts := elflint.Options{Pinball: pb, Restore: rm, Semantic: true}
+	rep, err := elflint.Lint(exe, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+	if rep.SMC != elflint.SMCProvenFree {
+		t.Errorf("SMC verdict = %q, want %q (steps %d)", rep.SMC, elflint.SMCProvenFree, rep.SemanticSteps)
+	}
+	if rep.SemanticSteps == 0 {
+		t.Error("semantic pass reported zero steps")
+	}
+
+	clone, err := elflint.CloneExe(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lintClean(t, clone, opts, "serialized+semantic")
+}
+
 func TestLintRejectsNonELFie(t *testing.T) {
 	if _, err := elflint.Lint(nil, elflint.Options{}); err == nil {
 		t.Error("nil file: want error")
@@ -160,7 +187,7 @@ func TestMutationMatrix(t *testing.T) {
 			if err := mut.Apply(broken, bpb); err != nil {
 				t.Fatalf("apply: %v", err)
 			}
-			rep, err := elflint.Lint(broken, elflint.Options{Pinball: bpb, Restore: rm})
+			rep, err := elflint.Lint(broken, elflint.Options{Pinball: bpb, Restore: rm, Semantic: true})
 			if err != nil {
 				t.Fatalf("lint: %v", err)
 			}
@@ -173,11 +200,65 @@ func TestMutationMatrix(t *testing.T) {
 					t.Errorf("unrelated rule %s fired; findings: %v", r, rep.Findings)
 				}
 			}
-			wantOK := mut.Rule == elflint.RuleUnreachable // the only warning-severity rule
+			// EL002 and EL011 are the warning-severity rules.
+			wantOK := mut.Rule == elflint.RuleUnreachable || mut.Rule == elflint.RuleNondet
 			if rep.OK() != wantOK {
 				t.Errorf("OK() = %v, want %v (findings: %v)", rep.OK(), wantOK, rep.Findings)
 			}
 		})
+	}
+}
+
+// TestFindingOrderDeterministic stacks several independent defects and
+// checks the report comes back sorted by (rule, address, detail) and
+// identically across repeated runs — CI diffs must not churn with checker
+// internals.
+func TestFindingOrderDeterministic(t *testing.T) {
+	exe, pb, rm := demoArtifacts(t)
+	damage := map[string]bool{
+		"copy-loop-wild-store": true, "dangling-symbol": true,
+		"planted-rdtsc": true, "manifest-thread-count": true,
+	}
+	lint := func() []elflint.Finding {
+		broken, err := elflint.CloneExe(exe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bpb := elflint.ClonePinball(pb)
+		for _, mut := range elflint.Mutations() {
+			if damage[mut.Name] {
+				if err := mut.Apply(broken, bpb); err != nil {
+					t.Fatalf("%s: %v", mut.Name, err)
+				}
+			}
+		}
+		rep, err := elflint.Lint(broken, elflint.Options{Pinball: bpb, Restore: rm, Semantic: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Findings
+	}
+	got := lint()
+	if len(got) < 4 {
+		t.Fatalf("stacked defects produced only %d findings: %v", len(got), got)
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		inOrder := a.Rule < b.Rule ||
+			(a.Rule == b.Rule && (a.Addr < b.Addr ||
+				(a.Addr == b.Addr && a.Detail <= b.Detail)))
+		if !inOrder {
+			t.Errorf("findings out of order at %d: %s then %s", i, a, b)
+		}
+	}
+	again := lint()
+	if len(again) != len(got) {
+		t.Fatalf("second run returned %d findings, first %d", len(again), len(got))
+	}
+	for i := range got {
+		if got[i] != again[i] {
+			t.Errorf("finding %d differs across runs: %s vs %s", i, got[i], again[i])
+		}
 	}
 }
 
@@ -189,6 +270,8 @@ func TestMutationCatalogCoversEveryRule(t *testing.T) {
 		elflint.RuleSegOverlap, elflint.RuleStackCollision, elflint.RuleWXSegment,
 		elflint.RuleSyscallUnknown, elflint.RuleSyscallUnmapped,
 		elflint.RuleThreadMismatch, elflint.RuleStartUnmapped,
+		elflint.RuleNondet, elflint.RuleBadIndirect, elflint.RuleWildAccess,
+		elflint.RuleStackEscape, elflint.RuleSelfModify, elflint.RuleSymbols,
 	}
 	have := make(map[string]bool)
 	for _, m := range elflint.Mutations() {

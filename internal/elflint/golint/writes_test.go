@@ -1,0 +1,156 @@
+package golint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoWritesAreSynced is the real gate: every staged write the repo
+// publishes with os.Rename must go through a synced helper, not a bare
+// os.WriteFile.
+func TestRepoWritesAreSynced(t *testing.T) {
+	diags, err := LintAtomicWrites(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestRepoLockedCallsHeld is the real gate: no production code calls a
+// *Locked function without holding (lexically) the mutex.
+func TestRepoLockedCallsHeld(t *testing.T) {
+	diags, err := LintLockedCalls(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func writeFixture(t *testing.T, root, rel, src string) {
+	t.Helper()
+	path := filepath.Join(root, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlagsUnsyncedStagedWrite checks the analyzer pairs a WriteFile with
+// the Rename that publishes it, and leaves unrelated writes and synced
+// helpers alone.
+func TestFlagsUnsyncedStagedWrite(t *testing.T) {
+	root := t.TempDir()
+	writeFixture(t, root, "pkg/a.go", `package pkg
+
+func bad(dir string) error {
+	tmp := dir + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dir)
+}
+
+func okUnrelated(dir string) error {
+	// A WriteFile nothing renames is a terminal artifact, not a staged one.
+	return os.WriteFile(dir, data, 0o644)
+}
+
+func okSynced(dir string) error {
+	tmp := dir + ".tmp"
+	if err := writeFileSync(tmp, data); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dir)
+}
+
+func okOtherPackage(dir string) error {
+	tmp := dir + ".tmp"
+	fake.WriteFile(tmp, data, 0o644)
+	return os.Rename(tmp, dir)
+}
+`)
+	writeFixture(t, root, "pkg/a_test.go", `package pkg
+
+func testOnly(dir string) {
+	tmp := dir + ".tmp"
+	os.WriteFile(tmp, data, 0o644)
+	os.Rename(tmp, dir)
+}
+`)
+
+	diags, err := LintAtomicWrites(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+	d := diags[0].String()
+	if !strings.Contains(d, "a.go:5") || !strings.Contains(d, "fsync") {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestFlagsUnlockedLockedCall checks the analyzer demands either a *Locked
+// caller or a lexically preceding Lock, and accepts both discharge forms.
+func TestFlagsUnlockedLockedCall(t *testing.T) {
+	root := t.TempDir()
+	writeFixture(t, root, "pkg/b.go", `package pkg
+
+func bad(s *Store) error {
+	return s.saveIndexLocked()
+}
+
+func badBeforeLock(s *Store) error {
+	err := s.saveIndexLocked()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return err
+}
+
+func okHeld(s *Store) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.saveIndexLocked()
+}
+
+func okRead(s *Store) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.countLocked()
+}
+
+func (s *Store) rebuildLocked() error {
+	// *Locked callers vouch for the lock themselves.
+	return s.saveIndexLocked()
+}
+
+func okClosure(s *Store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	walk(func() { s.touchLocked() })
+}
+`)
+
+	diags, err := LintLockedCalls(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics, got %d: %v", len(diags), diags)
+	}
+	for i, wantLine := range []string{"b.go:4", "b.go:8"} {
+		d := diags[i].String()
+		if !strings.Contains(d, wantLine) || !strings.Contains(d, "saveIndexLocked") {
+			t.Errorf("diagnostic %d: %s, want it at %s", i, d, wantLine)
+		}
+	}
+}

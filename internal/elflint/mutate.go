@@ -75,6 +75,43 @@ func stubInstAddr(exe *elfobj.File, op isa.Op) (sec *elfobj.Section, off uint64,
 	return nil, 0, fmt.Errorf("no %s in thread 0 stub", op.Name())
 }
 
+// scanInst walks the startup section linearly from its start and returns
+// the section offset of the first instruction match accepts. The scan stops
+// at the first undecodable word (the inline literal region at the end).
+func scanInst(exe *elfobj.File, match func(ins isa.Inst, pc uint64) bool) (*elfobj.Section, uint64, error) {
+	sec := exe.Section(".elfie.text")
+	if sec == nil {
+		return nil, 0, fmt.Errorf("no .elfie.text")
+	}
+	pc, end := sec.Addr, sec.Addr+sec.DataSize()
+	for pc < end {
+		ins, n, err := isa.Decode(sec.Data[pc-sec.Addr:])
+		if err != nil {
+			break
+		}
+		if match(ins, pc) {
+			return sec, pc - sec.Addr, nil
+		}
+		pc += n
+	}
+	return nil, 0, fmt.Errorf("pattern not found in startup code")
+}
+
+// patchInst overwrites the instruction at off with ins; the encodings must
+// be the same length so reachability and later offsets do not shift.
+func patchInst(sec *elfobj.Section, off uint64, ins isa.Inst) error {
+	enc := ins.Encode(nil)
+	old, n, err := isa.Decode(sec.Data[off:])
+	if err != nil {
+		return err
+	}
+	if uint64(len(enc)) != n {
+		return fmt.Errorf("patch %s over %s: length %d != %d", ins.Op.Name(), old.Op.Name(), len(enc), n)
+	}
+	copy(sec.Data[off:off+n], enc)
+	return nil
+}
+
 // Mutations returns the broken-ELFie corpus: one seeded defect per lint
 // rule.
 func Mutations() []Mutation {
@@ -208,5 +245,142 @@ func Mutations() []Mutation {
 				return nil
 			},
 		},
+		{
+			Name: "planted-rdtsc", Rule: RuleNondet,
+			// Replace the stack copy loop's load with rdtsc: the loop now
+			// copies timestamps, so two restores of the same ELFie diverge —
+			// exactly the nondeterminism the injection table exists to
+			// prevent.
+			Apply: func(exe *elfobj.File, pb *pinball.Pinball) error {
+				sec, off, err := scanInst(exe, func(ins isa.Inst, _ uint64) bool {
+					return ins.Op == isa.LDQ
+				})
+				if err != nil {
+					return err
+				}
+				return patchInst(sec, off, isa.Inst{Op: isa.RDTSC, A: 4})
+			},
+		},
+		{
+			Name: "indirect-jump-astray", Rule: RuleBadIndirect,
+			// Replace the jump into thread 0's init with an indirect jump
+			// through r1, which at that point holds the staging address — a
+			// mapped but non-executable page.
+			Apply: func(exe *elfobj.File, pb *pinball.Pinball) error {
+				sec, off, err := scanInst(exe, func(ins isa.Inst, _ uint64) bool {
+					return ins.Op == isa.JMP
+				})
+				if err != nil {
+					return err
+				}
+				return patchInst(sec, off, isa.Inst{Op: isa.JMPR, B: 1})
+			},
+		},
+		{
+			Name: "copy-loop-wild-store", Rule: RuleWildAccess,
+			// Repoint the copy loop's destination base at an address no
+			// segment, no captured page, and no injection effect maps.
+			Apply: func(exe *elfobj.File, pb *pinball.Pinball) error {
+				sec, off, err := scanInst(exe, func(ins isa.Inst, _ uint64) bool {
+					return ins.Op == isa.LIMM && ins.A == 2 && ins.Imm64 >= kernel.StackAreaBase
+				})
+				if err != nil {
+					return err
+				}
+				return patchInst(sec, off, isa.Inst{Op: isa.LIMM, A: 2, Imm64: 0x666000000000})
+			},
+		},
+		{
+			Name: "stub-stack-escape", Rule: RuleStackEscape,
+			// Repoint the stub's context "stack" at writable user data: the
+			// pops still read mapped memory (no EL013), but the stack pointer
+			// provably leaves the placement area while the stub runs.
+			Apply: func(exe *elfobj.File, pb *pinball.Pinball) error {
+				sec, off, err := stubInstAddr(exe, isa.ADDI)
+				if err != nil {
+					return err
+				}
+				ins, _, err := isa.Decode(sec.Data[off:])
+				if err != nil {
+					return err
+				}
+				if isa.Reg(ins.A) != isa.RSP {
+					return fmt.Errorf("stub's first addi does not set rsp")
+				}
+				ctx, ok := exe.Symbol(".t0.ctx")
+				if !ok {
+					return fmt.Errorf("no .t0.ctx symbol")
+				}
+				target, err := writableScratch(exe)
+				if err != nil {
+					return err
+				}
+				delta := int64(target) - int64(ctx.Value)
+				if delta != int64(int32(delta)) {
+					return fmt.Errorf("scratch target %#x too far from ctx %#x", target, ctx.Value)
+				}
+				return patchInst(sec, off, isa.Inst{Op: isa.ADDI, A: ins.A, B: ins.B, Imm: int32(delta)})
+			},
+		},
+		{
+			Name: "store-into-code", Rule: RuleSelfModify,
+			// Turn the staging munmap into a store over the entry point:
+			// repoint its address argument at the code and swap the syscall
+			// for the store.
+			Apply: func(exe *elfobj.File, pb *pinball.Pinball) error {
+				sec, off, err := scanInst(exe, func(ins isa.Inst, _ uint64) bool {
+					return ins.Op == isa.MOVI && ins.A == 0 && ins.Imm == kernel.SysMunmap
+				})
+				if err != nil {
+					return err
+				}
+				base := sec.Addr + off
+				_, limmOff, err := scanInst(exe, func(ins isa.Inst, pc uint64) bool {
+					return pc > base && ins.Op == isa.LIMM && ins.A == 1
+				})
+				if err != nil {
+					return err
+				}
+				if err := patchInst(sec, limmOff, isa.Inst{Op: isa.LIMM, A: 1, Imm64: exe.Entry}); err != nil {
+					return err
+				}
+				_, sysOff, err := scanInst(exe, func(ins isa.Inst, pc uint64) bool {
+					return pc > base && ins.Op == isa.SYSCALL
+				})
+				if err != nil {
+					return err
+				}
+				return patchInst(sec, sysOff, isa.Inst{Op: isa.STQ, A: 4, B: 1})
+			},
+		},
+		{
+			Name: "dangling-symbol", Rule: RuleSymbols,
+			// A fully linked ELFie with an unresolved symbol: the linker
+			// contract is broken even though every byte still executes.
+			Apply: func(exe *elfobj.File, pb *pinball.Pinball) error {
+				exe.Symbols = append(exe.Symbols, elfobj.Symbol{
+					Name: "__elfie_dangling", Type: elfobj.STTObject,
+				})
+				return nil
+			},
+		},
 	}
+}
+
+// writableScratch picks a writable mapped address outside the stack
+// placement area and outside the sections the stub legitimately uses as a
+// stack, with enough room for a flags word and all 16 GPR slots.
+func writableScratch(exe *elfobj.File) (uint64, error) {
+	const need = 0x100 + 8*(isa.NumGPR+1)
+	for _, s := range exe.LoadSegments() {
+		if s.Flags&elfobj.PFW == 0 || s.Memsz < need || s.Vaddr >= kernel.StackAreaBase {
+			continue
+		}
+		if sec := exe.SectionAt(s.Vaddr); sec != nil &&
+			(sec.Name == ".elfie.stack" || sec.Name == ".elfie.ctx" || sec.Name == ".elfie.data") {
+			continue
+		}
+		return s.Vaddr + 0x100, nil
+	}
+	return 0, fmt.Errorf("no writable scratch segment")
 }

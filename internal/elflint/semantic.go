@@ -1,0 +1,218 @@
+package elflint
+
+import (
+	"fmt"
+	"strings"
+
+	"elfie/internal/elflint/absint"
+	"elfie/internal/elfobj"
+	"elfie/internal/isa"
+	"elfie/internal/kernel"
+)
+
+// SMC verdicts surfaced in Report.SMC by the semantic pass.
+const (
+	// SMCDetected: some store provably lands inside executable memory.
+	SMCDetected = "detected"
+	// SMCPossible: a store's address range intersects executable memory but
+	// the analysis cannot prove it lands there.
+	SMCPossible = "possible"
+	// SMCUnknown: the interpreter's step budget ran out before the
+	// fixpoint, so no store-coverage claim is sound.
+	SMCUnknown = "unknown"
+	// SMCProvenFree: the fixpoint covers every reachable store and none can
+	// reach executable memory.
+	SMCProvenFree = "proven-free"
+)
+
+// runSemantic runs the abstract interpreter over the startup section and
+// maps its verdicts onto rules EL011–EL015. It is only called when the CFG
+// decoded cleanly: abstract interpretation of broken code would just echo
+// EL001 with less precision.
+func runSemantic(rep *Report, exe *elfobj.File, sec *elfobj.Section, stubs []stubSym, opts Options) {
+	res := absint.Analyze(semanticInput(exe, sec, stubs, opts))
+	rep.SemanticSteps = res.Steps
+
+	for _, n := range res.Nondet {
+		rep.addf(RuleNondet, SevWarning, n.PC,
+			"reachable %s reads machine state the injection table cannot pin (%s)",
+			strings.ToLower(n.Op.Name()), formatPath(n.Root, n.Path))
+	}
+	for _, j := range res.BadJumps {
+		rep.addf(RuleBadIndirect, SevError, j.PC,
+			"indirect %s target %s is provably outside executable memory",
+			strings.ToLower(j.Op.Name()), j.Target)
+	}
+	for _, w := range res.Wild {
+		kind := "load"
+		if w.Store {
+			kind = "store"
+		}
+		rep.addf(RuleWildAccess, SevError, w.PC,
+			"%d-byte %s at %s is provably outside every mapped range",
+			w.Size, kind, w.Addr)
+	}
+	for _, v := range res.SPViol {
+		rep.addf(RuleStackEscape, SevError, v.PC,
+			"restore-stub stack access at %s is provably outside the stack placement area",
+			v.Addr)
+	}
+	for _, s := range res.ExecStores {
+		rep.addf(RuleSelfModify, SevError, s.PC,
+			"%d-byte store at %s provably lands in executable memory (self-modifying code)",
+			s.Size, s.Addr)
+	}
+
+	switch {
+	case len(res.ExecStores) > 0:
+		rep.SMC = SMCDetected
+	case res.MaySMC:
+		rep.SMC = SMCPossible
+	case res.Exhausted:
+		rep.SMC = SMCUnknown
+	default:
+		rep.SMC = SMCProvenFree
+	}
+}
+
+// formatPath renders a witness path compactly: the root name and up to a
+// handful of instruction addresses, eliding the middle of long chains.
+func formatPath(root string, path []uint64) string {
+	if root == "" {
+		root = "entry"
+	}
+	hops := make([]string, 0, len(path))
+	for _, pc := range path {
+		hops = append(hops, fmt.Sprintf("%#x", pc))
+	}
+	if len(hops) > 6 {
+		hops = append(hops[:4], "…", hops[len(hops)-1])
+	}
+	return "path " + root + ": " + strings.Join(hops, "→")
+}
+
+// semanticInput assembles the cross-artifact analysis problem: the decoded
+// startup code, its entry points, and the memory universe joined from the
+// ELF program headers, the loader's stack placement area, and the pinball's
+// captured pages and syscall-injection effects.
+func semanticInput(exe *elfobj.File, sec *elfobj.Section, stubs []stubSym, opts Options) absint.Input {
+	in := absint.Input{
+		Code: sec.Data,
+		Base: sec.Addr,
+		ReadMem: func(addr uint64, size int) ([]byte, bool) {
+			return exe.ReadAddr(addr, uint64(size))
+		},
+		SkipJumps: stubFinalJumps(sec, stubs),
+	}
+
+	in.Roots = append(in.Roots, absint.Root{Addr: exe.Entry, Name: entryName(exe), Stub: -1})
+	for _, st := range stubs {
+		in.Roots = append(in.Roots, absint.Root{
+			Addr: st.init, Name: fmt.Sprintf("__elfie_t%d_init", st.tid), Stub: st.tid,
+		})
+	}
+	for _, s := range exe.Symbols {
+		if strings.HasPrefix(s.Name, "__elfie_") && strings.HasSuffix(s.Name, "_handler") {
+			in.Roots = append(in.Roots, absint.Root{Addr: s.Value, Name: s.Name, Stub: -1})
+		}
+	}
+
+	stackLo := uint64(kernel.StackAreaBase)
+	stackHi := stackLo + uint64(kernel.StackAreaSize)
+
+	var exec, mapped []interval
+	for _, s := range exe.LoadSegments() {
+		mapped = append(mapped, interval{s.Vaddr, s.Vaddr + s.Memsz})
+		if s.Flags&elfobj.PFX != 0 {
+			exec = append(exec, interval{s.Vaddr, s.Vaddr + s.Memsz})
+		}
+	}
+	mapped = append(mapped, interval{stackLo, stackHi})
+	if pb := opts.Pinball; pb != nil {
+		for i := range pb.Pages {
+			pg := &pb.Pages[i]
+			mapped = append(mapped, interval{pg.Addr, pg.Addr + uint64(len(pg.Data))})
+		}
+		if pb.Meta.Brk > pb.Meta.BrkStart {
+			mapped = append(mapped, interval{pb.Meta.BrkStart, pb.Meta.Brk})
+		}
+		// Injected mmap/brk effects extend the universe mid-region; EL008
+		// polices their ordering, so the final hull is the right bound here.
+		for i := range pb.Syscalls {
+			e := &pb.Syscalls[i]
+			if e.Ret >= errnoBoundary {
+				continue
+			}
+			switch e.Num {
+			case kernel.SysMmap:
+				mapped = append(mapped, interval{e.Ret, e.Ret + e.Args[1]})
+			case kernel.SysBrk:
+				if e.Ret > pb.Meta.BrkStart {
+					mapped = append(mapped, interval{pb.Meta.BrkStart, e.Ret})
+				}
+			}
+		}
+	}
+	in.Exec = toRegions(mergeIntervals(exec))
+	in.Mapped = toRegions(mergeIntervals(mapped))
+
+	// The stack pointer's legal zone: the loader's placement area (live and
+	// dead captured extents, startup stacks when placed there) plus the
+	// image-resident startup stacks and the per-thread context blocks the
+	// stubs pop registers from.
+	stack := []interval{{stackLo, stackHi}}
+	for _, name := range []string{".elfie.stack", ".elfie.ctx"} {
+		if s := exe.Section(name); s != nil {
+			stack = append(stack, interval{s.Addr, s.Addr + s.DataSize()})
+		}
+	}
+	in.Stack = toRegions(mergeIntervals(stack))
+	return in
+}
+
+func toRegions(ivs []interval) []absint.Region {
+	out := make([]absint.Region, len(ivs))
+	for i, v := range ivs {
+		out[i] = absint.Region{Lo: v.lo, Hi: v.hi}
+	}
+	return out
+}
+
+// entryName resolves the symbol name of the ELF entry point for witness
+// paths, defaulting to "entry".
+func entryName(exe *elfobj.File) string {
+	for _, s := range exe.Symbols {
+		if s.Value == exe.Entry && s.Type == elfobj.STTFunc ||
+			s.Value == exe.Entry && s.Name == "_start" {
+			return s.Name
+		}
+	}
+	return "entry"
+}
+
+// stubFinalJumps finds the jmpm that ends each restore stub. Those sites
+// are owned by the syntactic stub rules (EL003/EL010); the semantic pass
+// follows their semantics but must not re-report them as EL012.
+func stubFinalJumps(sec *elfobj.Section, stubs []stubSym) map[uint64]bool {
+	skip := make(map[uint64]bool)
+	lo, hi := sec.Addr, sec.Addr+sec.DataSize()
+	for _, stub := range stubs {
+		pc := stub.init
+		for steps := 0; steps < maxStubSteps && pc >= lo && pc < hi; steps++ {
+			ins, n, err := isa.Decode(sec.Data[pc-lo:])
+			if err != nil {
+				break
+			}
+			if ins.Op == isa.JMPM {
+				skip[pc] = true
+				break
+			}
+			if ins.Op == isa.JMP || ins.Op == isa.JMPR || ins.Op == isa.RET ||
+				ins.Op == isa.HLT || isa.IsCondBranch(ins.Op) {
+				break
+			}
+			pc += n
+		}
+	}
+	return skip
+}

@@ -1,0 +1,72 @@
+package elflint
+
+import (
+	"sort"
+
+	"elfie/internal/elfobj"
+	"elfie/internal/kernel"
+)
+
+// checkSymbols audits the ELFie's symbol table (EL016): every symbol the
+// linker emitted must be resolved, every section-relative symbol must point
+// into loadable memory or the stack placement area (the debugging contract
+// pinball2elf documents — a dangling .tN.* or __elfie_* symbol sends a
+// human to the wrong address), and function symbols with extents must not
+// overlap each other.
+func checkSymbols(rep *Report, exe *elfobj.File) {
+	var mapped []interval
+	for _, s := range exe.LoadSegments() {
+		mapped = append(mapped, interval{s.Vaddr, s.Vaddr + s.Memsz})
+	}
+	stackLo := uint64(kernel.StackAreaBase)
+	mapped = append(mapped, interval{stackLo, stackLo + uint64(kernel.StackAreaSize)})
+	mapped = mergeIntervals(mapped)
+	// One-past-end values (stack tops, section-end markers) are legitimate.
+	inMapped := func(v uint64) bool {
+		for _, iv := range mapped {
+			if iv.lo <= v && v <= iv.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	type funcSym struct {
+		name   string
+		lo, hi uint64
+	}
+	var funcs []funcSym
+	for _, s := range exe.Symbols {
+		if s.Name == "" {
+			continue
+		}
+		if s.Section == "" {
+			rep.addf(RuleSymbols, SevError, s.Value,
+				"symbol %q is undefined in a fully linked ELFie", s.Name)
+			continue
+		}
+		if s.Section != "*ABS*" && !inMapped(s.Value) {
+			rep.addf(RuleSymbols, SevError, s.Value,
+				"symbol %q (%s) points at %#x, outside every loadable segment and the stack area",
+				s.Name, s.Section, s.Value)
+		}
+		if s.Type == elfobj.STTFunc && s.Size > 0 {
+			funcs = append(funcs, funcSym{s.Name, s.Value, s.Value + s.Size})
+		}
+	}
+
+	sort.Slice(funcs, func(i, j int) bool {
+		if funcs[i].lo != funcs[j].lo {
+			return funcs[i].lo < funcs[j].lo
+		}
+		return funcs[i].name < funcs[j].name
+	})
+	for i := 1; i < len(funcs); i++ {
+		p, c := funcs[i-1], funcs[i]
+		if c.lo < p.hi {
+			rep.addf(RuleSymbols, SevError, c.lo,
+				"function symbols %q [%#x, %#x) and %q [%#x, %#x) overlap",
+				p.name, p.lo, p.hi, c.name, c.lo, c.hi)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package isa
+
+// This file is the per-opcode effect metadata shared by the VM's block
+// executor and the static verifier's abstract interpreter
+// (internal/elflint/absint). The block executor keys batching off the
+// determinism class (kernel entries and machine-control opcodes deopt to
+// the step path); the abstract interpreter uses the register read/write
+// sets to havoc exactly the state an unmodeled instruction can touch, and
+// the determinism class to flag replay-divergence risks (rule EL011).
+
+// DeterminismClass says what, beyond its explicit register and memory
+// operands, an opcode's result depends on.
+type DeterminismClass uint8
+
+const (
+	// DetPure: the result is a function of register and memory operands
+	// only — replay of the same inputs yields the same outputs.
+	DetPure DeterminismClass = iota
+	// DetMachine: the result reads the machine environment (time-stamp
+	// counter, CPU identity) that no injection table pins.
+	DetMachine
+	// DetSegRead: the result reads a per-thread segment base; deterministic
+	// only once the restore code has written the base.
+	DetSegRead
+	// DetKernel: the opcode enters the kernel model (SYSCALL).
+	DetKernel
+	// DetControl: the opcode halts or yields the machine (HLT, PAUSE).
+	DetControl
+)
+
+// Determinism returns the determinism class of the opcode.
+func Determinism(o Op) DeterminismClass {
+	switch o {
+	case RDTSC, CPUID:
+		return DetMachine
+	case RDFSBASE, RDGSBASE:
+		return DetSegRead
+	case SYSCALL:
+		return DetKernel
+	case HLT, PAUSE:
+		return DetControl
+	}
+	return DetPure
+}
+
+// BulkState reports whether the opcode saves or restores the whole
+// extended-state area rather than named registers.
+func BulkState(o Op) bool { return o == XSAVE || o == XRSTOR }
+
+// RegSet is a bitmap of architectural state: bits 0..15 are the GPRs, the
+// named bits above them cover the flags word, the segment bases, and the
+// extended (vector/FP) state.
+type RegSet uint32
+
+// Non-GPR RegSet bits.
+const (
+	SetFlags RegSet = 1 << (NumGPR + iota)
+	SetFS
+	SetGS
+	SetXState
+)
+
+// GPRSet returns the RegSet bit for GPR r (register fields alias into the
+// architectural 0..15 range, mirroring the executor's masking).
+func GPRSet(r uint8) RegSet { return 1 << (r & 15) }
+
+// Has reports whether the set contains bit b.
+func (s RegSet) Has(b RegSet) bool { return s&b != 0 }
+
+// GPRs returns the GPR indices in the set.
+func (s RegSet) GPRs() []Reg {
+	var out []Reg
+	for r := Reg(0); int(r) < NumGPR; r++ {
+		if s&(1<<r) != 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+const rspSet = RegSet(1) << RSP
+
+// RegReads returns the architectural state the instruction reads: explicit
+// source operands plus implicit state (RSP for stack opcodes, flags for
+// conditional branches, the segment bases for their readers).
+func (i Inst) RegReads() RegSet {
+	a, b, c := GPRSet(i.A), GPRSet(i.B), GPRSet(i.C)
+	switch i.Op {
+	case MOV, NOT, NEG, JMPR, CALLR:
+		if i.Op == CALLR {
+			return b | rspSet
+		}
+		return b
+	case ADD, SUB, MUL, UDIV, SDIV, UREM, AND, OR, XOR, SHL, SHR, SAR,
+		LEA1, LEA8, CMP, TEST:
+		return b | c
+	case ADDI, MULI, ANDI, ORI, XORI, SHLI, SHRI, SARI, CMPI, TESTI,
+		LDB, LDH, LDW, LDQ, LDSB, LDSH, LDSW:
+		return b
+	case STB, STH, STW, STQ:
+		return a | b
+	case JZ, JNZ, JL, JLE, JG, JGE, JB, JBE, JA, JAE, JS, JNS:
+		return SetFlags
+	case CALL, RET, POP, POPF:
+		return rspSet
+	case PUSH:
+		return a | rspSet
+	case PUSHF:
+		return SetFlags | rspSet
+	case SYSCALL:
+		return GPRSet(0) | GPRSet(1) | GPRSet(2) | GPRSet(3) | GPRSet(4) | GPRSet(5)
+	case XCHG, XADD:
+		return a | b
+	case CMPXCHG:
+		return a | b | GPRSet(0)
+	case WRFSBASE, WRGSBASE, XSAVE, XRSTOR:
+		if i.Op == WRFSBASE || i.Op == WRGSBASE {
+			return a
+		}
+		if i.Op == XSAVE {
+			return a | SetXState
+		}
+		return a // XRSTOR: address register; the state itself comes from memory
+	case RDFSBASE:
+		return SetFS
+	case RDGSBASE:
+		return SetGS
+	case VLD, VST:
+		if i.Op == VST {
+			return b | SetXState
+		}
+		return b
+	case VADDQ, VMULQ, VXOR:
+		return SetXState
+	case VMOVQ:
+		return b
+	case MOVQV:
+		return SetXState
+	}
+	return 0
+}
+
+// RegWrites returns the architectural state the instruction writes:
+// explicit destinations plus implicit state (RSP for stack opcodes, flags
+// for compares, the segment bases for their writers).
+func (i Inst) RegWrites() RegSet {
+	a := GPRSet(i.A)
+	switch i.Op {
+	case MOV, MOVI, LIMM, ADD, SUB, MUL, UDIV, SDIV, UREM, AND, OR, XOR,
+		SHL, SHR, SAR, NOT, NEG, ADDI, MULI, ANDI, ORI, XORI, SHLI, SHRI,
+		SARI, LEA1, LEA8, LDB, LDH, LDW, LDQ, LDSB, LDSH, LDSW,
+		CPUID, RDTSC, RDFSBASE, RDGSBASE, MOVQV:
+		return a
+	case CMP, CMPI, TEST, TESTI:
+		return SetFlags
+	case CALL, CALLR, RET, PUSH, PUSHF:
+		return rspSet
+	case POP:
+		return a | rspSet
+	case POPF:
+		return SetFlags | rspSet
+	case SYSCALL:
+		return GPRSet(0)
+	case XCHG, XADD:
+		return a
+	case CMPXCHG:
+		return GPRSet(0) | SetFlags
+	case WRFSBASE:
+		return SetFS
+	case WRGSBASE:
+		return SetGS
+	case XRSTOR:
+		return SetXState
+	case VLD, VADDQ, VMULQ, VXOR, VMOVQ:
+		return SetXState
+	}
+	return 0
+}

@@ -1,0 +1,88 @@
+package isa
+
+import "testing"
+
+// TestDeterminismPartition pins the non-pure opcode classes: the block
+// executor's deopt policy and elflint's nondeterminism audit both key off
+// these, so a new opcode landing in the wrong class silently weakens one of
+// them.
+func TestDeterminismPartition(t *testing.T) {
+	want := map[Op]DeterminismClass{
+		RDTSC: DetMachine, CPUID: DetMachine,
+		RDFSBASE: DetSegRead, RDGSBASE: DetSegRead,
+		SYSCALL: DetKernel,
+		HLT:     DetControl, PAUSE: DetControl,
+	}
+	for o := Op(0); o < numOps; o++ {
+		got := Determinism(o)
+		if w, special := want[o]; special {
+			if got != w {
+				t.Errorf("%s: determinism class %d, want %d", o.Name(), got, w)
+			}
+		} else if got != DetPure {
+			t.Errorf("%s: determinism class %d, want DetPure", o.Name(), got)
+		}
+	}
+	for o := Op(0); o < numOps; o++ {
+		if BulkState(o) != (o == XSAVE || o == XRSTOR) {
+			t.Errorf("%s: BulkState = %v", o.Name(), BulkState(o))
+		}
+	}
+}
+
+// TestRegSetsAgreeWithMemClassification cross-checks the read/write sets
+// against the existing memory classification: every memory opcode must name
+// an address register in its read set (or be JMPM, whose slot address is
+// PC-relative), and stack opcodes must read and write RSP.
+func TestRegSetsAgreeWithMemClassification(t *testing.T) {
+	for o := Op(0); o < numOps; o++ {
+		ins := Inst{Op: o, A: 1, B: 2, C: 3}
+		r, w := ins.RegReads(), ins.RegWrites()
+		if (ReadsMem(o) || WritesMem(o)) && o != JMPM && r == 0 {
+			t.Errorf("%s: memory opcode with empty read set", o.Name())
+		}
+		switch o {
+		case PUSH, POP, PUSHF, POPF, CALL, CALLR, RET:
+			if !r.Has(rspSet) || !w.Has(rspSet) {
+				t.Errorf("%s: stack opcode must read and write rsp (reads %#x, writes %#x)",
+					o.Name(), r, w)
+			}
+		}
+		if IsCondBranch(o) && !r.Has(SetFlags) {
+			t.Errorf("%s: conditional branch must read flags", o.Name())
+		}
+	}
+}
+
+// TestRegSetOperands spot-checks operand routing for representative
+// instructions.
+func TestRegSetOperands(t *testing.T) {
+	cases := []struct {
+		ins    Inst
+		reads  RegSet
+		writes RegSet
+	}{
+		{Inst{Op: ADD, A: 1, B: 2, C: 3}, GPRSet(2) | GPRSet(3), GPRSet(1)},
+		{Inst{Op: LDQ, A: 4, B: 5}, GPRSet(5), GPRSet(4)},
+		{Inst{Op: STQ, A: 4, B: 5}, GPRSet(4) | GPRSet(5), 0},
+		{Inst{Op: POP, A: 7}, rspSet, GPRSet(7) | rspSet},
+		{Inst{Op: CMPI, B: 9}, GPRSet(9), SetFlags},
+		{Inst{Op: WRFSBASE, A: 2}, GPRSet(2), SetFS},
+		{Inst{Op: RDGSBASE, A: 2}, SetGS, GPRSet(2)},
+		{Inst{Op: SYSCALL}, GPRSet(0) | GPRSet(1) | GPRSet(2) | GPRSet(3) | GPRSet(4) | GPRSet(5), GPRSet(0)},
+		{Inst{Op: CMPXCHG, A: 3, B: 4}, GPRSet(3) | GPRSet(4) | GPRSet(0), GPRSet(0) | SetFlags},
+		// Out-of-range register fields alias into 0..15, like the executor.
+		{Inst{Op: MOV, A: 17, B: 18}, GPRSet(2), GPRSet(1)},
+	}
+	for _, c := range cases {
+		if got := c.ins.RegReads(); got != c.reads {
+			t.Errorf("%s: reads %#x, want %#x", c.ins, got, c.reads)
+		}
+		if got := c.ins.RegWrites(); got != c.writes {
+			t.Errorf("%s: writes %#x, want %#x", c.ins, got, c.writes)
+		}
+	}
+	if got := (RegSet(0b1010)).GPRs(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("GPRs(0b1010) = %v", got)
+	}
+}

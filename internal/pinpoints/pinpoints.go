@@ -456,7 +456,9 @@ func (b *Benchmark) lintRegion(reg *Region) error {
 	if b.inj != nil {
 		b.corruptRestoreStub(reg)
 	}
-	rep, err := elflint.Lint(reg.ELFie, elflint.Options{Pinball: reg.Pinball, Restore: reg.Restore})
+	rep, err := elflint.Lint(reg.ELFie, elflint.Options{
+		Pinball: reg.Pinball, Restore: reg.Restore, Semantic: true,
+	})
 	if err != nil {
 		return failf(FailLint, "lint %s: %v", reg.Pinball.Name, err)
 	}

@@ -228,7 +228,7 @@ func lintObject(files map[string][]byte, pb *pinball.Pinball) error {
 	if err != nil {
 		return fmt.Errorf("elfie.bin: %v", err)
 	}
-	lintOpts := elflint.Options{Pinball: pb}
+	lintOpts := elflint.Options{Pinball: pb, Semantic: true}
 	if rm, ok := files["restoremap.json"]; ok {
 		m, err := core.ParseRestoreMap(rm)
 		if err != nil {

@@ -261,7 +261,7 @@ func (s *Store) writeObject(objDir string, files FileSet) error {
 		if name != filepath.Base(name) {
 			return fmt.Errorf("store: invalid object file name %q", name)
 		}
-		if err := os.WriteFile(filepath.Join(stage, name), data, 0o644); err != nil {
+		if err := writeFileSync(filepath.Join(stage, name), data); err != nil {
 			return err
 		}
 	}
@@ -458,10 +458,33 @@ func (s *Store) saveIndexLocked() error {
 		return err
 	}
 	tmp := s.indexPath() + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := writeFileSync(tmp, data); err != nil {
 		return err
 	}
 	return os.Rename(tmp, s.indexPath())
+}
+
+// writeFileSync is os.WriteFile plus an fsync before close. Every file that
+// an os.Rename later publishes must go through this: rename is atomic in the
+// namespace but says nothing about data blocks, so a crash between a plain
+// write and the journal flush can leave a fully-named object with zeroed
+// content.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
 }
 
 func shortID(id string) string {

@@ -58,13 +58,15 @@ func (m *Machine) fastPathOK() bool {
 
 // deoptOp reports opcodes the block executor refuses to batch: they yield,
 // halt, enter the kernel, or touch bulk state, and the step path already
-// implements their exact semantics.
+// implements their exact semantics. The decision keys off the shared
+// per-opcode effect metadata in internal/isa so the batching policy and the
+// static verifier's instruction model cannot drift apart.
 func deoptOp(o isa.Op) bool {
-	switch o {
-	case isa.SYSCALL, isa.HLT, isa.PAUSE, isa.XSAVE, isa.XRSTOR:
+	switch isa.Determinism(o) {
+	case isa.DetKernel, isa.DetControl:
 		return true
 	}
-	return false
+	return isa.BulkState(o)
 }
 
 // runThreadFast is the hook-free twin of runThread: execute cached blocks
