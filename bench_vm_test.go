@@ -5,11 +5,16 @@
 //
 //	go test -bench=BenchmarkVMCore -benchtime=2x
 //
-// Modes per workload: "fast" is the unhooked decoded-block path (what
-// elfierun and farm validation get), "slow" the per-instruction interpreter
-// with the cache disabled (the pre-optimisation configuration), "hooked"
-// the per-instruction path with an OnIns pintool attached (what bbv/pin
-// profiling pays).
+// Modes per workload: "fast" is the unhooked chained-block path (what
+// elfierun and farm validation get), "block" the decoded-block cache with
+// chaining and superblocks disabled (the pre-chaining configuration),
+// "slow" the per-instruction interpreter with the cache disabled too, and
+// "hooked" the per-instruction path with an OnIns pintool attached (what
+// bbv/pin profiling pays).
+//
+// BENCH_vm.json always holds the latest run; every run also appends a
+// timestamped entry to BENCH_vm_history.json so the perf trajectory
+// across PRs stays inspectable.
 package elfie_test
 
 import (
@@ -27,7 +32,10 @@ import (
 	"elfie/internal/vm"
 )
 
-const vmBenchFile = "BENCH_vm.json"
+const (
+	vmBenchFile        = "BENCH_vm.json"
+	vmBenchHistoryFile = "BENCH_vm_history.json"
+)
 
 type vmBenchResult struct {
 	Workload     string  `json:"workload"`
@@ -42,13 +50,17 @@ var vmBench struct {
 	results []vmBenchResult
 }
 
-// vmBenchReport is the BENCH_vm.json layout.
+// vmBenchReport is the BENCH_vm.json layout; with Timestamp set it is
+// also one entry of the BENCH_vm_history.json array.
 type vmBenchReport struct {
-	GoVersion string             `json:"go_version"`
-	NumCPU    int                `json:"num_cpu"`
-	Results   []vmBenchResult    `json:"results"`
-	SpeedupVs map[string]float64 `json:"speedup_fast_vs_slow"`
-	HookedTax map[string]float64 `json:"slowdown_hooked_vs_fast"`
+	Timestamp  string             `json:"timestamp,omitempty"`
+	GoVersion  string             `json:"go_version"`
+	NumCPU     int                `json:"num_cpu"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Results    []vmBenchResult    `json:"results"`
+	SpeedupVs  map[string]float64 `json:"speedup_fast_vs_slow"`
+	ChainGain  map[string]float64 `json:"speedup_fast_vs_block,omitempty"`
+	HookedTax  map[string]float64 `json:"slowdown_hooked_vs_fast"`
 }
 
 func TestMain(m *testing.M) {
@@ -74,11 +86,13 @@ func TestMain(m *testing.M) {
 			results = append(results, bestOf[key])
 		}
 		rep := vmBenchReport{
-			GoVersion: runtime.Version(),
-			NumCPU:    runtime.NumCPU(),
-			Results:   results,
-			SpeedupVs: map[string]float64{},
-			HookedTax: map[string]float64{},
+			GoVersion:  runtime.Version(),
+			NumCPU:     runtime.NumCPU(),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Results:    results,
+			SpeedupVs:  map[string]float64{},
+			ChainGain:  map[string]float64{},
+			HookedTax:  map[string]float64{},
 		}
 		mips := map[string]float64{}
 		for _, r := range results {
@@ -91,6 +105,9 @@ func TestMain(m *testing.M) {
 			if slow := mips[r.Workload+"/slow"]; slow > 0 {
 				rep.SpeedupVs[r.Workload] = r.MIPS / slow
 			}
+			if block := mips[r.Workload+"/block"]; block > 0 {
+				rep.ChainGain[r.Workload] = r.MIPS / block
+			}
 			if hooked := mips[r.Workload+"/hooked"]; hooked > 0 {
 				rep.HookedTax[r.Workload] = r.MIPS / hooked
 			}
@@ -102,8 +119,33 @@ func TestMain(m *testing.M) {
 				fmt.Printf("wrote %s (%d results)\n", vmBenchFile, len(results))
 			}
 		}
+		appendVMBenchHistory(rep)
 	}
 	os.Exit(code)
+}
+
+// appendVMBenchHistory appends this run to the BENCH_vm_history.json
+// array, stamped with the wall-clock time. BENCH_vm.json stays "the
+// latest run"; the history file is append-only across PRs.
+func appendVMBenchHistory(rep vmBenchReport) {
+	rep.Timestamp = time.Now().UTC().Format(time.RFC3339)
+	var hist []vmBenchReport
+	if buf, err := os.ReadFile(vmBenchHistoryFile); err == nil {
+		if err := json.Unmarshal(buf, &hist); err != nil {
+			fmt.Fprintf(os.Stderr, "parse %s: %v (starting fresh)\n", vmBenchHistoryFile, err)
+			hist = nil
+		}
+	}
+	hist = append(hist, rep)
+	buf, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return
+	}
+	if err := os.WriteFile(vmBenchHistoryFile, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", vmBenchHistoryFile, err)
+	} else {
+		fmt.Printf("appended to %s (%d entries)\n", vmBenchHistoryFile, len(hist))
+	}
 }
 
 // vmCoreSrc are the three microbenchmark kernels. Each runs a fixed
@@ -176,18 +218,20 @@ loop:
 	`,
 }
 
-func vmCoreMachine(b *testing.B, workload string, mode string) *vm.Machine {
-	b.Helper()
+func vmCoreMachine(tb testing.TB, workload string, mode string) *vm.Machine {
+	tb.Helper()
 	exe, err := asm.Program(vmCoreSrc[workload])
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	m, err := vm.NewLoaded(kernel.New(kernel.NewFS(), 1), exe, []string{workload}, nil)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	m.MaxInstructions = 100_000_000
 	switch mode {
+	case "block":
+		m.DisableChaining = true
 	case "slow":
 		m.DisableBlockCache = true
 	case "hooked":
@@ -229,11 +273,14 @@ func benchVMCore(b *testing.B, workload, mode string) {
 }
 
 func BenchmarkVMCoreDecodeHeavyFast(b *testing.B)    { benchVMCore(b, "decode_heavy", "fast") }
+func BenchmarkVMCoreDecodeHeavyBlock(b *testing.B)   { benchVMCore(b, "decode_heavy", "block") }
 func BenchmarkVMCoreDecodeHeavySlow(b *testing.B)    { benchVMCore(b, "decode_heavy", "slow") }
 func BenchmarkVMCoreDecodeHeavyHooked(b *testing.B)  { benchVMCore(b, "decode_heavy", "hooked") }
 func BenchmarkVMCoreMemStreamFast(b *testing.B)      { benchVMCore(b, "mem_stream", "fast") }
+func BenchmarkVMCoreMemStreamBlock(b *testing.B)     { benchVMCore(b, "mem_stream", "block") }
 func BenchmarkVMCoreMemStreamSlow(b *testing.B)      { benchVMCore(b, "mem_stream", "slow") }
 func BenchmarkVMCoreMemStreamHooked(b *testing.B)    { benchVMCore(b, "mem_stream", "hooked") }
 func BenchmarkVMCoreSyscallDenseFast(b *testing.B)   { benchVMCore(b, "syscall_dense", "fast") }
+func BenchmarkVMCoreSyscallDenseBlock(b *testing.B)  { benchVMCore(b, "syscall_dense", "block") }
 func BenchmarkVMCoreSyscallDenseSlow(b *testing.B)   { benchVMCore(b, "syscall_dense", "slow") }
 func BenchmarkVMCoreSyscallDenseHooked(b *testing.B) { benchVMCore(b, "syscall_dense", "hooked") }

@@ -388,3 +388,114 @@ func TestCheckpointValidationRejectsRot(t *testing.T) {
 		})
 	}
 }
+
+// TestCheckpointAcrossChain checkpoints a run while the fast path is deep
+// inside a chained tight loop — no hooks, so the block-chaining executor
+// (loop mode included) is what's actually running — and proves that (a)
+// taking periodic mid-chain checkpoints does not perturb the run, and (b)
+// resuming from a mid-chain checkpoint retires the exact remainder of the
+// stream: identical totals, exit status, output, and final registers.
+func TestCheckpointAcrossChain(t *testing.T) {
+	const chainLoopProgram = `
+	.text
+	.global _start
+_start:
+	limm r1, 100000
+loop:
+	addi r2, r2, 1
+	add  r3, r3, r2
+	xor  r4, r4, r3
+	cmp  r2, r1
+	jnz  loop
+	movi r0, 1          # write(1, msg, 5)
+	movi r1, 1
+	limm r2, msg
+	movi r3, 5
+	syscall
+	mov  r1, r4
+	andi r1, r1, 127
+	movi r0, 231        # exit_group(r4 & 127)
+	syscall
+	.data
+msg:	.ascii "done\n"
+`
+	exe, err := asm.Program(chainLoopProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Mode: ModeNative, Exe: exe, Argv: []string{"x"}, Seed: 3}
+
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Machine.Halted {
+		t.Fatal("reference run did not finish")
+	}
+
+	// Periodic checkpoints at an offset that always lands mid-loop, with
+	// the chained executor active. The run itself must be unperturbed.
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first *pinball.Pinball
+	var saves int
+	err = s.RunCheckpointed(CkptOptions{
+		Every: 12347,
+		Name:  "chain.ckpt",
+		Save: func(p *pinball.Pinball) error {
+			if first == nil {
+				first = p
+			}
+			saves++
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saves < 2 || first == nil {
+		t.Fatalf("expected several periodic checkpoints, got %d", saves)
+	}
+	if s.Machine.GlobalRetired != ref.Machine.GlobalRetired ||
+		s.Machine.ExitStatus != ref.Machine.ExitStatus {
+		t.Errorf("checkpointed run perturbed: retired %d exit %d, want %d/%d",
+			s.Machine.GlobalRetired, s.Machine.ExitStatus,
+			ref.Machine.GlobalRetired, ref.Machine.ExitStatus)
+	}
+
+	base := first.Meta.Checkpoint.GlobalRetired
+	if base == 0 || base >= ref.Machine.GlobalRetired {
+		t.Fatalf("first checkpoint at %d, outside the run", base)
+	}
+	resumed, err := New(Config{Mode: ModeNative, Pinball: roundTripCkpt(t, first), Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Machine.Halted {
+		t.Fatal("resumed run did not finish")
+	}
+	if got := base + resumed.Machine.GlobalRetired; got != ref.Machine.GlobalRetired {
+		t.Errorf("retired %d+%d = %d, uninterrupted %d",
+			base, resumed.Machine.GlobalRetired, got, ref.Machine.GlobalRetired)
+	}
+	if resumed.Machine.ExitStatus != ref.Machine.ExitStatus {
+		t.Errorf("resumed exit %d, uninterrupted %d",
+			resumed.Machine.ExitStatus, ref.Machine.ExitStatus)
+	}
+	if !bytes.Equal(resumed.Machine.Proc.Stdout, ref.Machine.Proc.Stdout) {
+		t.Errorf("resumed stdout %q, uninterrupted %q",
+			resumed.Machine.Proc.Stdout, ref.Machine.Proc.Stdout)
+	}
+	if resumed.Machine.Threads[0].Regs.GPR != ref.Machine.Threads[0].Regs.GPR {
+		t.Errorf("final registers diverge:\nresumed %v\nref     %v",
+			resumed.Machine.Threads[0].Regs.GPR, ref.Machine.Threads[0].Regs.GPR)
+	}
+}

@@ -14,6 +14,16 @@ type DecInst struct {
 	Target  uint64 // direct branch target, or JMPM slot address
 }
 
+// PC returns the address of the instruction itself, recovered from Next.
+// The VM's superblock builder uses it to record per-instruction PCs so
+// trace side exits can be taken with precise architectural state.
+func (d *DecInst) PC() uint64 {
+	if d.Op == LIMM {
+		return d.Next - LimmLen
+	}
+	return d.Next - InstLen
+}
+
 // PredecodeBlock decodes a straight-line run of instructions from code,
 // which holds the executable bytes at address base. Decoding stops after
 // the first control-transfer instruction (IsBranch — the block terminator,

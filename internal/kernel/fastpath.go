@@ -1,0 +1,23 @@
+package kernel
+
+// SyscallFast retires a side-effect-free system call without building a
+// Ctx or entering the dispatch table. It may only answer numbers whose
+// side-effect class is EffectNone — pure returns that touch no registers
+// beyond R0, no memory, and no kernel state — and declines everything
+// else. It also declines every call while fault injection is armed, since
+// the injector's errno plan must see each syscall in order. The VM's
+// chained block executor uses it to retire getpid-class calls inline
+// without spilling hot state; TestSyscallFastMatchesDispatch pins each
+// answer to the full Syscall path so the two can never drift.
+func (k *Kernel) SyscallFast(num uint64) (uint64, bool) {
+	if k.Fault != nil {
+		return 0, false
+	}
+	switch num {
+	case SysGetpid:
+		return 1000, true
+	case SysNanosleep:
+		return 0, true // virtual time has no sleeping
+	}
+	return 0, false
+}

@@ -1,0 +1,44 @@
+package kernel
+
+import (
+	"testing"
+
+	"elfie/internal/fault"
+)
+
+// TestSyscallFastMatchesDispatch pins every syscall number the inline fast
+// path answers to the full dispatch path: identical return value, no
+// action, no effects, and an EffectNone side-effect classification. A new
+// fast-path entry that drifts from Syscall — or answers an impure call —
+// fails here, not in a replay divergence.
+func TestSyscallFastMatchesDispatch(t *testing.T) {
+	for num := uint64(0); num < 512; num++ {
+		k := New(NewFS(), 1)
+		ret, ok := k.SyscallFast(num)
+		if !ok {
+			continue
+		}
+		if eff, known := SyscallSideEffect(num); !known || eff != EffectNone {
+			t.Errorf("%s: fast path answers a non-EffectNone syscall", SyscallName(num))
+		}
+		_, c := newTestProc(k)
+		res := call(k, c, num)
+		if res.Ret != ret {
+			t.Errorf("%s: fast ret %#x, dispatch ret %#x", SyscallName(num), ret, res.Ret)
+		}
+		if res.Action != ActNone || len(res.MemWrites) != 0 {
+			t.Errorf("%s: dispatch has effects (action %v, %d mem writes): fast path must decline it",
+				SyscallName(num), res.Action, len(res.MemWrites))
+		}
+	}
+}
+
+// TestSyscallFastDeclinesUnderFaultInjection: with an injector armed the
+// fast path must answer nothing, so the errno plan sees every call.
+func TestSyscallFastDeclinesUnderFaultInjection(t *testing.T) {
+	k := New(NewFS(), 1)
+	k.Fault = &fault.Injector{}
+	if _, ok := k.SyscallFast(SysGetpid); ok {
+		t.Fatal("fast path answered getpid while fault injection is armed")
+	}
+}

@@ -364,6 +364,33 @@ func (as *AddrSpace) StoreFast(addr, v uint64, size int) bool {
 	return true
 }
 
+// ReadPage returns a direct handle on the data of the readable page
+// containing addr, or nil if the page is unmapped or unreadable. The block
+// executor caches the returned pointer as a thread-local TLB head; the
+// pointer stays coherent with every other access path (pages are never
+// reallocated in place), but the *mapping* may change, so cached handles
+// must be dropped whenever the address-space clock advances or a syscall
+// runs.
+func (as *AddrSpace) ReadPage(addr uint64) *[PageSize]byte {
+	p := as.pageFor(PageNum(addr), AccessRead)
+	if p == nil {
+		return nil
+	}
+	return &p.data
+}
+
+// WritePage is ReadPage for stores. Executable pages always return nil —
+// even when writable — so every store that could be self-modifying code is
+// forced through StoreFast/Write, which stamp the page generation and
+// advance the clock. Cached handles therefore never bypass SMC detection.
+func (as *AddrSpace) WritePage(addr uint64) *[PageSize]byte {
+	p := as.pageFor(PageNum(addr), AccessWrite)
+	if p == nil || p.prot&ProtExec != 0 {
+		return nil
+	}
+	return &p.data
+}
+
 // ReadU64 reads a little-endian uint64 at addr.
 func (as *AddrSpace) ReadU64(addr uint64) (uint64, error) {
 	if v, ok := as.LoadFast(addr, 8); ok {

@@ -264,3 +264,185 @@ attr:
 		}
 	}
 }
+
+// encAt encodes instructions into code at byte offset off. Used by the
+// chain-invalidation tests to lay blocks out at explicit addresses so
+// PC-relative branch offsets can be written directly.
+func encAt(code []byte, off int, insts ...isa.Inst) {
+	var b []byte
+	for _, i := range insts {
+		b = i.Encode(b)
+	}
+	copy(code[off:], b)
+}
+
+// A store that rewrites an instruction inside an already-linked successor
+// block must take effect at the very next execution of that instruction:
+// the store advances the page-generation clock, which severs every chain
+// link before the stale cached successor could run.
+//
+// Layout (base 0x1000): pass 1 runs start -> bridge -> victim and loops,
+// forming the chain links and caching the victim block. Pass 2 takes the
+// patch path, whose store rewrites the victim's first instruction, then
+// jumps to the (now stale) victim block.
+func TestSMCChainedSuccessor(t *testing.T) {
+	newIns := isa.Inst{Op: isa.MOVI, A: 3, Imm: 42}
+	code := make([]byte, 0x80)
+	encAt(code, 0x00, // 0x1000
+		isa.Inst{Op: isa.LIMM, A: 1, Imm64: 0x1060},         // r1 = &victim
+		isa.Inst{Op: isa.LIMM, A: 2, Imm64: leWord(newIns)}) // r2 = patched word
+	encAt(code, 0x20, // start: 0x1020
+		isa.Inst{Op: isa.ADDI, A: 9, B: 9, Imm: 1},
+		isa.Inst{Op: isa.CMPI, B: 9, Imm: 2},
+		isa.Inst{Op: isa.JZ, Imm: 0x10}) // -> patch (0x1048)
+	encAt(code, 0x38, // bridge: 0x1038
+		isa.Inst{Op: isa.NOP},
+		isa.Inst{Op: isa.JMP, Imm: 0x10}) // -> victim block (0x1058)
+	encAt(code, 0x48, // patch: 0x1048
+		isa.Inst{Op: isa.STQ, A: 2, B: 1}, // rewrite victim instruction
+		isa.Inst{Op: isa.JMP, Imm: 0x00})  // -> victim block (0x1058)
+	encAt(code, 0x58, // victim block: 0x1058
+		isa.Inst{Op: isa.NOP},
+		isa.Inst{Op: isa.MOVI, A: 3, Imm: 1}, // 0x1060: victim (stale value 1)
+		isa.Inst{Op: isa.CMPI, B: 9, Imm: 2},
+		isa.Inst{Op: isa.JNZ, Imm: -0x58}, // -> start
+		isa.Inst{Op: isa.HLT})
+
+	var retired [3]uint64
+	for mode := 0; mode < 3; mode++ {
+		m, th := rawMachine(code, 0x1000, 0x1000, mem.ProtRWX)
+		switch mode {
+		case 1:
+			m.DisableChaining = true
+		case 2:
+			m.DisableBlockCache = true
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if th.Regs.GPR[3] != 42 {
+			t.Errorf("mode %d: stale linked successor executed: r3 = %d, want 42",
+				mode, th.Regs.GPR[3])
+		}
+		retired[mode] = th.Retired
+	}
+	if retired[0] != retired[2] || retired[1] != retired[2] {
+		t.Errorf("retired diverges across modes: chained %d, unchained %d, step %d",
+			retired[0], retired[1], retired[2])
+	}
+}
+
+// smcSuperblockCode builds the mid-superblock SMC workload: a three-block
+// loop hot enough to be spliced into a superblock, which then (patch mode)
+// rewrites an instruction in a later constituent of the trace from inside
+// it. patchAt is the iteration that takes the store path; pass a value
+// beyond exitAt to build the never-patching variant.
+func smcSuperblockCode(patchAt, exitAt int32) []byte {
+	newIns := isa.Inst{Op: isa.MOVI, A: 3, Imm: 42}
+	code := make([]byte, 0x78)
+	encAt(code, 0x00, // 0x1000
+		isa.Inst{Op: isa.LIMM, A: 1, Imm64: 0x1058},         // r1 = &victim
+		isa.Inst{Op: isa.LIMM, A: 2, Imm64: leWord(newIns)}) // r2 = patched word
+	encAt(code, 0x20, // loop: 0x1020
+		isa.Inst{Op: isa.ADDI, A: 9, B: 9, Imm: 1},
+		isa.Inst{Op: isa.CMPI, B: 9, Imm: patchAt},
+		isa.Inst{Op: isa.JNZ, Imm: 0x08}) // -> skip (0x1040)
+	encAt(code, 0x38, // patch path: 0x1038
+		isa.Inst{Op: isa.STQ, A: 2, B: 1}) // rewrite victim, fall through
+	encAt(code, 0x40, // skip: 0x1040
+		isa.Inst{Op: isa.NOP},
+		isa.Inst{Op: isa.JMP, Imm: 0x00}) // -> vb (0x1050): a hot chain edge
+	encAt(code, 0x50, // vb: 0x1050
+		isa.Inst{Op: isa.NOP},
+		isa.Inst{Op: isa.MOVI, A: 3, Imm: 1}, // 0x1058: victim (stale value 1)
+		isa.Inst{Op: isa.CMPI, B: 9, Imm: exitAt},
+		isa.Inst{Op: isa.JNZ, Imm: -0x50}, // -> loop
+		isa.Inst{Op: isa.HLT})
+	return code
+}
+
+// A store that lands mid-superblock — rewriting an instruction in a later
+// constituent of the very trace being executed — must take effect before
+// that instruction runs again. First pins that the workload really does
+// form a cross-branch superblock containing the victim, then checks the
+// patched run against the per-instruction path.
+func TestSMCMidSuperblock(t *testing.T) {
+	// Formation guard: no patch, enough iterations to cross superThreshold.
+	m, _ := rawMachine(smcSuperblockCode(1000, 100), 0x1000, 0x1000, mem.ProtRWX)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	spliced := false
+	for _, pb := range m.bcache {
+		for _, b := range pb.blocks {
+			for j, pc := range b.spc {
+				if j > 0 && pc == 0x1058 {
+					spliced = true
+				}
+			}
+		}
+	}
+	if !spliced {
+		t.Fatal("workload did not splice the victim into a superblock; " +
+			"the patched run below would not exercise mid-trace SMC")
+	}
+
+	code := smcSuperblockCode(50, 60)
+	fast, ft := rawMachine(code, 0x1000, 0x1000, mem.ProtRWX)
+	if err := fast.Run(); err != nil {
+		t.Fatal(err)
+	}
+	slow, st := rawMachine(code, 0x1000, 0x1000, mem.ProtRWX)
+	slow.DisableBlockCache = true
+	if err := slow.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ft.Regs.GPR[3] != 42 {
+		t.Errorf("stale mid-superblock instruction executed: r3 = %d, want 42", ft.Regs.GPR[3])
+	}
+	if ft.Retired != st.Retired || ft.Regs.GPR != st.Regs.GPR {
+		t.Errorf("patched run diverges from step path: retired %d vs %d\nfast %v\nslow %v",
+			ft.Retired, st.Retired, ft.Regs.GPR, st.Regs.GPR)
+	}
+}
+
+// Eviction under a tiny cache capacity: code hopping across four pages
+// with room for only two keeps executing correctly — links to evicted
+// blocks self-heal through lookupBlock — and the cache stays bounded.
+func TestChainEvictionBounded(t *testing.T) {
+	const pages = 4
+	code := make([]byte, pages*mem.PageSize)
+	for p := 0; p < pages-1; p++ {
+		encAt(code, p*mem.PageSize,
+			isa.Inst{Op: isa.ADDI, A: 9, B: 9, Imm: 1},
+			isa.Inst{Op: isa.JMP, Imm: int32(mem.PageSize - 16)}) // -> next page
+	}
+	last := (pages - 1) * mem.PageSize
+	encAt(code, last,
+		isa.Inst{Op: isa.ADDI, A: 9, B: 9, Imm: 1},
+		isa.Inst{Op: isa.CMPI, B: 9, Imm: 100 * pages},
+		isa.Inst{Op: isa.JZ, Imm: 0x08},                   // -> done
+		isa.Inst{Op: isa.JMP, Imm: int32(-(last + 0x20))}, // -> page 0
+		isa.Inst{Op: isa.HLT})                             // done
+
+	fast, ft := rawMachine(code, 0x10000, 0x10000, mem.ProtRX)
+	fast.cacheCap = 2
+	if err := fast.Run(); err != nil {
+		t.Fatal(err)
+	}
+	slow, st := rawMachine(code, 0x10000, 0x10000, mem.ProtRX)
+	slow.DisableBlockCache = true
+	if err := slow.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ft.Regs.GPR[9] != 100*pages {
+		t.Errorf("r9 = %d, want %d", ft.Regs.GPR[9], 100*pages)
+	}
+	if ft.Retired != st.Retired || ft.Regs.GPR != st.Regs.GPR {
+		t.Errorf("eviction run diverges from step path: retired %d vs %d",
+			ft.Retired, st.Retired)
+	}
+	if len(fast.bcache) > 2 {
+		t.Errorf("cache holds %d pages, capacity 2", len(fast.bcache))
+	}
+}

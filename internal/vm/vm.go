@@ -110,6 +110,16 @@ type Hooks struct {
 	// SyscallFilter, when non-nil, may handle a system call entirely
 	// (returning handled=true) — the replayer's side-effect injection.
 	SyscallFilter func(t *Thread, num uint64) (res kernel.Result, handled bool)
+	// SyscallFast, when set alongside SyscallFilter, may retire a
+	// side-effect-free system call inline on the block fast path: a
+	// pure-return injection (ok=true) commits ret to R0 without the full
+	// state spill or kernel round-trip. It is called with hot state
+	// unspilled — t.Regs.PC and the retired counters are stale — so an
+	// implementation must only consult the thread identity and its own
+	// log cursor, never t.Regs, and must decline (ok=false) anything with
+	// memory/segment effects; declined calls re-execute via SyscallFilter
+	// with fully spilled state.
+	SyscallFast func(t *Thread, num uint64) (ret uint64, ok bool)
 	// OnSyscall fires after a system call (native or injected) completes.
 	OnSyscall func(t *Thread, num uint64, res kernel.Result)
 	// OnFault may handle a memory fault (e.g. by injecting a logged page);
@@ -320,6 +330,11 @@ type Machine struct {
 	// instrumentation hooks are installed. Benchmarks use it as the baseline;
 	// it is also an escape hatch when debugging the fast path.
 	DisableBlockCache bool
+	// DisableChaining keeps the block cache but turns off block-to-block
+	// chaining and superblock formation: every block boundary returns to
+	// the dispatch loop, as in the pre-chaining executor. Benchmarks use it
+	// to isolate the chaining win; it is also a debugging escape hatch.
+	DisableChaining bool
 
 	// bcache is the decoded basic-block cache: page number -> predecoded
 	// blocks, validated against the page generation (see block.go).
@@ -327,6 +342,13 @@ type Machine struct {
 	// lastPN/lastPB memoize the most recent bcache lookup.
 	lastPN uint64
 	lastPB *pageBlocks
+	// cacheCap overrides maxCachedPages when nonzero (tests shrink it to
+	// exercise eviction without building thousands of pages).
+	cacheCap int
+	// building guards superblock formation against re-entry: buildSuper
+	// walks successor blocks through lookupBlock, which must not start a
+	// nested formation.
+	building bool
 
 	// Halted is set by HLT, exit_group, or a fatal fault.
 	Halted bool
@@ -389,8 +411,11 @@ func (m *Machine) Reset(k *kernel.Kernel, proc *kernel.Process) {
 	m.PauseDoesNotYield = false
 	m.FaultInj = nil
 	m.DisableBlockCache = false
+	m.DisableChaining = false
 	m.bcache = nil
 	m.lastPN, m.lastPB = 0, nil
+	m.cacheCap = 0
+	m.building = false
 	m.Halted = false
 	m.stopReq.Store(false)
 	m.ExitStatus = 0

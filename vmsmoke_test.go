@@ -1,0 +1,53 @@
+// TestChainedFastPathSmoke is the CI perf regression tripwire for the
+// chained execution core: on every workload the chained fast path must
+// not run slower than the plain (chaining-disabled) block cache. The
+// 0.65 slack factor absorbs shared-runner noise — run-to-run variance of
+// ±15% is normal on one vCPU — while still catching the failure mode
+// that matters: a change that quietly makes chaining a pessimisation.
+// Absolute MIPS targets live in BENCH_vm.json, not here.
+package elfie_test
+
+import (
+	"testing"
+	"time"
+)
+
+// vmSmokeMIPS runs a workload/mode to completion reps times and returns
+// the best observed MIPS (best-of filters scheduler hiccups).
+func vmSmokeMIPS(t *testing.T, workload, mode string, reps int) float64 {
+	t.Helper()
+	best := time.Duration(1<<63 - 1)
+	var retired uint64
+	for i := 0; i < reps; i++ {
+		m := vmCoreMachine(t, workload, mode)
+		start := time.Now()
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if el := time.Since(start); el < best {
+			best = el
+		}
+		if !m.Halted || m.ExitStatus != 0 {
+			t.Fatalf("%s/%s did not exit cleanly", workload, mode)
+		}
+		retired = m.GlobalRetired
+	}
+	return float64(retired) / best.Seconds() / 1e6
+}
+
+func TestChainedFastPathSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf smoke is not meaningful under -short")
+	}
+	const slack = 0.65
+	for _, workload := range []string{"decode_heavy", "mem_stream", "syscall_dense"} {
+		chained := vmSmokeMIPS(t, workload, "fast", 3)
+		block := vmSmokeMIPS(t, workload, "block", 3)
+		t.Logf("%s: chained %.0f MIPS, block %.0f MIPS (%.2fx)",
+			workload, chained, block, chained/block)
+		if chained < slack*block {
+			t.Errorf("%s: chained fast path (%.0f MIPS) fell below %.0f%% of the plain block cache (%.0f MIPS) — chaining has become a pessimisation",
+				workload, chained, slack*100, block)
+		}
+	}
+}
