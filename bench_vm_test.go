@@ -1,286 +1,64 @@
 // BenchmarkVMCore* — execution-core microbenchmarks tracking the decoded
-// basic-block cache and fast memory translation paths. Besides the usual
-// go-bench output, finished runs are recorded and written to BENCH_vm.json
-// by TestMain so future PRs can track the perf trajectory:
+// basic-block cache and fast memory translation paths:
 //
 //	go test -bench=BenchmarkVMCore -benchtime=2x
 //
-// Modes per workload: "fast" is the unhooked chained-block path (what
+// Modes per workload: "chained" is the unhooked chained-block path (what
 // elfierun and farm validation get), "block" the decoded-block cache with
 // chaining and superblocks disabled (the pre-chaining configuration),
-// "slow" the per-instruction interpreter with the cache disabled too, and
-// "hooked" the per-instruction path with an OnIns pintool attached (what
-// bbv/pin profiling pays).
+// "interp" the per-instruction interpreter with the cache disabled too,
+// and "hooked" the per-instruction path with an OnIns pintool attached
+// (what bbv/pin profiling pays).
 //
-// BENCH_vm.json always holds the latest run; every run also appends a
-// timestamped entry to BENCH_vm_history.json so the perf trajectory
-// across PRs stays inspectable.
+// Each benchmark is a thin wrapper over one internal/grid vmcore cell on a
+// corpus micro kernel — the same measurement path as
+//
+//	elfiebench -grid grids/vm.json
+//
+// which is also the only producer of BENCH_vm.json / BENCH_vm_history.json
+// (this file used to emit them from a TestMain side effect; the shared
+// results package owns that format now).
 package elfie_test
 
 import (
-	"encoding/json"
-	"fmt"
-	"os"
-	"runtime"
-	"sync"
 	"testing"
-	"time"
 
-	"elfie/internal/asm"
-	"elfie/internal/kernel"
-	"elfie/internal/pin"
-	"elfie/internal/vm"
+	"elfie/internal/grid"
+	"elfie/internal/workloads"
 )
 
-const (
-	vmBenchFile        = "BENCH_vm.json"
-	vmBenchHistoryFile = "BENCH_vm_history.json"
-)
-
-type vmBenchResult struct {
-	Workload     string  `json:"workload"`
-	Mode         string  `json:"mode"`
-	Instructions uint64  `json:"instructions"`
-	Seconds      float64 `json:"seconds"`
-	MIPS         float64 `json:"mips"`
-}
-
-var vmBench struct {
-	sync.Mutex
-	results []vmBenchResult
-}
-
-// vmBenchReport is the BENCH_vm.json layout; with Timestamp set it is
-// also one entry of the BENCH_vm_history.json array.
-type vmBenchReport struct {
-	Timestamp  string             `json:"timestamp,omitempty"`
-	GoVersion  string             `json:"go_version"`
-	NumCPU     int                `json:"num_cpu"`
-	GoMaxProcs int                `json:"gomaxprocs"`
-	Results    []vmBenchResult    `json:"results"`
-	SpeedupVs  map[string]float64 `json:"speedup_fast_vs_slow"`
-	ChainGain  map[string]float64 `json:"speedup_fast_vs_block,omitempty"`
-	HookedTax  map[string]float64 `json:"slowdown_hooked_vs_fast"`
-}
-
-func TestMain(m *testing.M) {
-	code := m.Run()
-	vmBench.Lock()
-	defer vmBench.Unlock()
-	if len(vmBench.results) > 0 {
-		// The harness invokes each benchmark more than once (sizing runs);
-		// keep the best observation per workload/mode.
-		bestOf := map[string]vmBenchResult{}
-		order := []string{}
-		for _, r := range vmBench.results {
-			key := r.Workload + "/" + r.Mode
-			if prev, ok := bestOf[key]; !ok {
-				bestOf[key] = r
-				order = append(order, key)
-			} else if r.MIPS > prev.MIPS {
-				bestOf[key] = r
-			}
-		}
-		results := make([]vmBenchResult, 0, len(order))
-		for _, key := range order {
-			results = append(results, bestOf[key])
-		}
-		rep := vmBenchReport{
-			GoVersion:  runtime.Version(),
-			NumCPU:     runtime.NumCPU(),
-			GoMaxProcs: runtime.GOMAXPROCS(0),
-			Results:    results,
-			SpeedupVs:  map[string]float64{},
-			ChainGain:  map[string]float64{},
-			HookedTax:  map[string]float64{},
-		}
-		mips := map[string]float64{}
-		for _, r := range results {
-			mips[r.Workload+"/"+r.Mode] = r.MIPS
-		}
-		for _, r := range results {
-			if r.Mode != "fast" {
-				continue
-			}
-			if slow := mips[r.Workload+"/slow"]; slow > 0 {
-				rep.SpeedupVs[r.Workload] = r.MIPS / slow
-			}
-			if block := mips[r.Workload+"/block"]; block > 0 {
-				rep.ChainGain[r.Workload] = r.MIPS / block
-			}
-			if hooked := mips[r.Workload+"/hooked"]; hooked > 0 {
-				rep.HookedTax[r.Workload] = r.MIPS / hooked
-			}
-		}
-		if buf, err := json.MarshalIndent(rep, "", "  "); err == nil {
-			if err := os.WriteFile(vmBenchFile, append(buf, '\n'), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "write %s: %v\n", vmBenchFile, err)
-			} else {
-				fmt.Printf("wrote %s (%d results)\n", vmBenchFile, len(results))
-			}
-		}
-		appendVMBenchHistory(rep)
-	}
-	os.Exit(code)
-}
-
-// appendVMBenchHistory appends this run to the BENCH_vm_history.json
-// array, stamped with the wall-clock time. BENCH_vm.json stays "the
-// latest run"; the history file is append-only across PRs.
-func appendVMBenchHistory(rep vmBenchReport) {
-	rep.Timestamp = time.Now().UTC().Format(time.RFC3339)
-	var hist []vmBenchReport
-	if buf, err := os.ReadFile(vmBenchHistoryFile); err == nil {
-		if err := json.Unmarshal(buf, &hist); err != nil {
-			fmt.Fprintf(os.Stderr, "parse %s: %v (starting fresh)\n", vmBenchHistoryFile, err)
-			hist = nil
-		}
-	}
-	hist = append(hist, rep)
-	buf, err := json.MarshalIndent(hist, "", "  ")
-	if err != nil {
-		return
-	}
-	if err := os.WriteFile(vmBenchHistoryFile, append(buf, '\n'), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "write %s: %v\n", vmBenchHistoryFile, err)
-	} else {
-		fmt.Printf("appended to %s (%d entries)\n", vmBenchHistoryFile, len(hist))
-	}
-}
-
-// vmCoreSrc are the three microbenchmark kernels. Each runs a fixed
-// instruction count and exits via exit_group, so every mode retires the
-// identical stream.
-var vmCoreSrc = map[string]string{
-	// Decode-heavy: long blocks of register ALU work with a loop branch —
-	// the workload where fetch/decode elimination matters most.
-	"decode_heavy": `
-		.text
-		.global _start
-_start:
-		limm r1, 400000
-loop:
-		addi r2, r2, 1
-		add  r3, r3, r2
-		xor  r4, r4, r3
-		shli r5, r3, 3
-		sub  r6, r5, r2
-		muli r7, r2, 17
-		or   r8, r6, r7
-		andi r9, r8, 4095
-		cmp  r2, r1
-		jnz  loop
-		movi r0, 231
-		movi r1, 0
-		syscall
-	`,
-	// Memory-streaming: load/store pairs walking a buffer — the workload
-	// where the software TLB and in-page fast paths matter most.
-	"mem_stream": `
-		.text
-		.global _start
-_start:
-		limm r1, 400000
-		limm r8, buf
-loop:
-		addi r2, r2, 1
-		andi r3, r2, 4088
-		lea1 r4, r8, r3, 0
-		st.q r2, [r4]
-		ld.q r5, [r4]
-		add  r6, r6, r5
-		ld.b r7, [r4+3]
-		cmp  r2, r1
-		jnz  loop
-		movi r0, 231
-		movi r1, 0
-		syscall
-		.data
-buf:	.space 8192
-	`,
-	// Syscall-dense: a cheap kernel call every few instructions — bounds
-	// what block caching can win when execution keeps leaving user code.
-	"syscall_dense": `
-		.text
-		.global _start
-_start:
-		limm r5, 100000
-loop:
-		movi r0, 39      # getpid
-		syscall
-		addi r2, r2, 1
-		add  r3, r3, r0
-		cmp  r2, r5
-		jnz  loop
-		movi r0, 231
-		movi r1, 0
-		syscall
-	`,
-}
-
-func vmCoreMachine(tb testing.TB, workload string, mode string) *vm.Machine {
-	tb.Helper()
-	exe, err := asm.Program(vmCoreSrc[workload])
-	if err != nil {
-		tb.Fatal(err)
-	}
-	m, err := vm.NewLoaded(kernel.New(kernel.NewFS(), 1), exe, []string{workload}, nil)
-	if err != nil {
-		tb.Fatal(err)
-	}
-	m.MaxInstructions = 100_000_000
-	switch mode {
-	case "block":
-		m.DisableChaining = true
-	case "slow":
-		m.DisableBlockCache = true
-	case "hooked":
-		e := pin.NewEngine(m)
-		e.Attach(&pin.NewICounter().Tool)
-	}
-	return m
-}
-
+// benchVMCore executes one grid vmcore cell with b.N repeats and reports
+// the best observed rate, exactly as the grid's aggregation would.
 func benchVMCore(b *testing.B, workload, mode string) {
-	var retired uint64
-	best := time.Duration(1<<63 - 1)
-	for i := 0; i < b.N; i++ {
-		m := vmCoreMachine(b, workload, mode)
-		start := time.Now()
-		if err := m.Run(); err != nil {
-			b.Fatal(err)
-		}
-		if el := time.Since(start); el < best {
-			best = el
-		}
-		if m.ExitStatus != 0 || !m.Halted {
-			b.Fatalf("workload did not exit cleanly: halted=%v exit=%d", m.Halted, m.ExitStatus)
-		}
-		retired = m.GlobalRetired
+	entry, ok := workloads.CorpusByName(workload)
+	if !ok {
+		b.Fatalf("corpus kernel %s missing", workload)
 	}
-	mips := float64(retired) / best.Seconds() / 1e6
-	b.ReportMetric(mips, "MIPS")
-	b.ReportMetric(float64(retired), "instructions")
-	vmBench.Lock()
-	vmBench.results = append(vmBench.results, vmBenchResult{
-		Workload:     workload,
-		Mode:         mode,
-		Instructions: retired,
-		Seconds:      best.Seconds(),
-		MIPS:         mips,
+	exp := &grid.Experiment{Name: "vmcore", Kind: grid.KindVMCore}
+	row := grid.Execute(&grid.Cell{
+		ID:      "vmcore/" + workload + "/" + mode + "/s1",
+		Exp:     exp,
+		Recipe:  entry.Recipe,
+		Mode:    mode,
+		Seed:    1,
+		Repeats: b.N,
 	})
-	vmBench.Unlock()
+	if row.Status != "ok" {
+		b.Fatalf("%s: exit %d: %s", row.ID, row.ExitCode, row.Error)
+	}
+	b.ReportMetric(row.MIPS.Max, "MIPS")
+	b.ReportMetric(float64(row.Instructions), "instructions")
 }
 
-func BenchmarkVMCoreDecodeHeavyFast(b *testing.B)    { benchVMCore(b, "decode_heavy", "fast") }
-func BenchmarkVMCoreDecodeHeavyBlock(b *testing.B)   { benchVMCore(b, "decode_heavy", "block") }
-func BenchmarkVMCoreDecodeHeavySlow(b *testing.B)    { benchVMCore(b, "decode_heavy", "slow") }
-func BenchmarkVMCoreDecodeHeavyHooked(b *testing.B)  { benchVMCore(b, "decode_heavy", "hooked") }
-func BenchmarkVMCoreMemStreamFast(b *testing.B)      { benchVMCore(b, "mem_stream", "fast") }
-func BenchmarkVMCoreMemStreamBlock(b *testing.B)     { benchVMCore(b, "mem_stream", "block") }
-func BenchmarkVMCoreMemStreamSlow(b *testing.B)      { benchVMCore(b, "mem_stream", "slow") }
-func BenchmarkVMCoreMemStreamHooked(b *testing.B)    { benchVMCore(b, "mem_stream", "hooked") }
-func BenchmarkVMCoreSyscallDenseFast(b *testing.B)   { benchVMCore(b, "syscall_dense", "fast") }
-func BenchmarkVMCoreSyscallDenseBlock(b *testing.B)  { benchVMCore(b, "syscall_dense", "block") }
-func BenchmarkVMCoreSyscallDenseSlow(b *testing.B)   { benchVMCore(b, "syscall_dense", "slow") }
-func BenchmarkVMCoreSyscallDenseHooked(b *testing.B) { benchVMCore(b, "syscall_dense", "hooked") }
+func BenchmarkVMCoreDecodeHeavyChained(b *testing.B)  { benchVMCore(b, "decode_heavy", "chained") }
+func BenchmarkVMCoreDecodeHeavyBlock(b *testing.B)    { benchVMCore(b, "decode_heavy", "block") }
+func BenchmarkVMCoreDecodeHeavyInterp(b *testing.B)   { benchVMCore(b, "decode_heavy", "interp") }
+func BenchmarkVMCoreDecodeHeavyHooked(b *testing.B)   { benchVMCore(b, "decode_heavy", "hooked") }
+func BenchmarkVMCoreMemStreamChained(b *testing.B)    { benchVMCore(b, "mem_stream", "chained") }
+func BenchmarkVMCoreMemStreamBlock(b *testing.B)      { benchVMCore(b, "mem_stream", "block") }
+func BenchmarkVMCoreMemStreamInterp(b *testing.B)     { benchVMCore(b, "mem_stream", "interp") }
+func BenchmarkVMCoreMemStreamHooked(b *testing.B)     { benchVMCore(b, "mem_stream", "hooked") }
+func BenchmarkVMCoreSyscallDenseChained(b *testing.B) { benchVMCore(b, "syscall_dense", "chained") }
+func BenchmarkVMCoreSyscallDenseBlock(b *testing.B)   { benchVMCore(b, "syscall_dense", "block") }
+func BenchmarkVMCoreSyscallDenseInterp(b *testing.B)  { benchVMCore(b, "syscall_dense", "interp") }
+func BenchmarkVMCoreSyscallDenseHooked(b *testing.B)  { benchVMCore(b, "syscall_dense", "hooked") }

@@ -108,6 +108,35 @@ const (
 	SchedTrace
 )
 
+// Engine selects the execution-core variant a session runs on. The default
+// (EngineChained) is the full fast path; the degraded variants exist so the
+// experiment grid can measure each core tier through the same session
+// plumbing instead of poking vm.Machine flags by hand.
+type Engine int
+
+// Execution-core variants.
+const (
+	// EngineChained: block cache with superblock chaining — the fast path.
+	EngineChained Engine = iota
+	// EngineBlock: decoded block cache, chaining disabled.
+	EngineBlock
+	// EngineInterp: per-instruction interpreter, no block cache.
+	EngineInterp
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineChained:
+		return "chained"
+	case EngineBlock:
+		return "block"
+	case EngineInterp:
+		return "interp"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
 // SysState is the installable system-state part: the sysstate.State of a
 // converted region. It is declared structurally so the dependency points
 // harness <- sysstate (package sysstate analyzes pinballs by replaying
@@ -150,6 +179,10 @@ type Config struct {
 	// SchedJittered (and resolves SchedAuto).
 	Sched  SchedPolicy
 	Jitter int
+
+	// Engine selects the execution-core variant (default EngineChained).
+	// Applied on every build, so Reset preserves the selection.
+	Engine Engine
 
 	// Budget is the end condition: stop after this many retired
 	// instructions (0 = unbounded).
@@ -301,6 +334,12 @@ func (s *Session) build(k *kernel.Kernel, seed int64, reuse *vm.Machine) (*vm.Ma
 		for _, regs := range s.cfg.Pinball.Regs {
 			m.AddThread(regs)
 		}
+	}
+	switch s.cfg.Engine {
+	case EngineBlock:
+		m.DisableChaining = true
+	case EngineInterp:
+		m.DisableBlockCache = true
 	}
 	m.FaultInj = s.Injector
 	pol := s.resolveSched()

@@ -1,0 +1,135 @@
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Legacy BENCH_vm.json / BENCH_vm_history.json emitters. These formats
+// predate the grid (they were written by a TestMain side effect) and are
+// tracked across PRs, so their JSON layout — field names, mode names, row
+// order — is preserved exactly. The grid speaks mode names chained/
+// block/interp/hooked; the legacy files speak fast/block/slow/hooked.
+
+// VMResult is one row of the legacy report.
+type VMResult struct {
+	Workload     string  `json:"workload"`
+	Mode         string  `json:"mode"`
+	Instructions uint64  `json:"instructions"`
+	Seconds      float64 `json:"seconds"`
+	MIPS         float64 `json:"mips"`
+}
+
+// VMReport is the BENCH_vm.json layout; with Timestamp set it is also one
+// entry of the BENCH_vm_history.json array.
+type VMReport struct {
+	Timestamp  string             `json:"timestamp,omitempty"`
+	GoVersion  string             `json:"go_version"`
+	NumCPU     int                `json:"num_cpu"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Results    []VMResult         `json:"results"`
+	SpeedupVs  map[string]float64 `json:"speedup_fast_vs_slow"`
+	ChainGain  map[string]float64 `json:"speedup_fast_vs_block,omitempty"`
+	HookedTax  map[string]float64 `json:"slowdown_hooked_vs_fast"`
+}
+
+// legacyMode maps grid execution-mode names onto the legacy ones.
+func legacyMode(mode string) string {
+	switch mode {
+	case "chained":
+		return "fast"
+	case "interp":
+		return "slow"
+	}
+	return mode
+}
+
+// VMBench derives the legacy report from a grid report's vmcore cells:
+// best (max-MIPS) observation per workload/mode, with the fast-vs-slow /
+// fast-vs-block / hooked-vs-fast ratio maps the historical emitter
+// computed. Cell order is preserved, so the row order matches the grid
+// file's workload × mode order exactly as TestMain preserved benchmark
+// declaration order.
+func (r *Report) VMBench() VMReport {
+	rep := VMReport{
+		GoVersion:  r.Host.GoVersion,
+		NumCPU:     r.Host.NumCPU,
+		GoMaxProcs: r.Host.GoMaxProcs,
+		SpeedupVs:  map[string]float64{},
+		ChainGain:  map[string]float64{},
+		HookedTax:  map[string]float64{},
+	}
+	bestOf := map[string]VMResult{}
+	var order []string
+	for _, c := range r.Cells {
+		if c.Kind != "vmcore" || c.Status != "ok" {
+			continue
+		}
+		row := VMResult{
+			Workload:     c.Workload,
+			Mode:         legacyMode(c.Mode),
+			Instructions: c.Instructions,
+			Seconds:      c.Seconds.Min,
+			MIPS:         c.MIPS.Max,
+		}
+		key := row.Workload + "/" + row.Mode
+		if prev, ok := bestOf[key]; !ok {
+			bestOf[key] = row
+			order = append(order, key)
+		} else if row.MIPS > prev.MIPS {
+			bestOf[key] = row
+		}
+	}
+	mips := map[string]float64{}
+	for _, key := range order {
+		row := bestOf[key]
+		rep.Results = append(rep.Results, row)
+		mips[key] = row.MIPS
+	}
+	for _, row := range rep.Results {
+		if row.Mode != "fast" {
+			continue
+		}
+		if slow := mips[row.Workload+"/slow"]; slow > 0 {
+			rep.SpeedupVs[row.Workload] = row.MIPS / slow
+		}
+		if block := mips[row.Workload+"/block"]; block > 0 {
+			rep.ChainGain[row.Workload] = row.MIPS / block
+		}
+		if hooked := mips[row.Workload+"/hooked"]; hooked > 0 {
+			rep.HookedTax[row.Workload] = row.MIPS / hooked
+		}
+	}
+	return rep
+}
+
+// WriteVMBench writes the legacy BENCH_vm.json to path.
+func (rep VMReport) WriteVMBench(path string) error {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// AppendVMHistory appends this run, timestamped, to the BENCH_vm_history
+// array at path. A corrupt existing history is restarted, matching the
+// historical emitter's behaviour.
+func (rep VMReport) AppendVMHistory(path string) error {
+	rep.Timestamp = time.Now().UTC().Format(time.RFC3339)
+	var hist []VMReport
+	if buf, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(buf, &hist); err != nil {
+			fmt.Fprintf(os.Stderr, "parse %s: %v (starting fresh)\n", path, err)
+			hist = nil
+		}
+	}
+	hist = append(hist, rep)
+	buf, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

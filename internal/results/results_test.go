@@ -1,0 +1,175 @@
+package results
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAggregateGolden checks the repeat-aggregation math against
+// hand-computed values.
+func TestAggregateGolden(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		want    Stats
+	}{
+		{"empty", nil, Stats{}},
+		{"single", []float64{42}, Stats{Mean: 42, Std: 0, Min: 42, Max: 42, N: 1}},
+		// mean 30, sample variance ((20²)+(0)+(20²))/2 = 400 → std 20
+		{"three", []float64{10, 30, 50}, Stats{Mean: 30, Std: 20, Min: 10, Max: 50, N: 3}},
+		// mean 2.5, deviations ±1.5,±0.5 → var (2*2.25+2*0.25)/3 = 5/3
+		{"four", []float64{1, 2, 3, 4}, Stats{Mean: 2.5, Std: math.Sqrt(5.0 / 3.0), Min: 1, Max: 4, N: 4}},
+	}
+	for _, tc := range cases {
+		got := Aggregate(tc.samples)
+		if math.Abs(got.Mean-tc.want.Mean) > 1e-12 ||
+			math.Abs(got.Std-tc.want.Std) > 1e-12 ||
+			got.Min != tc.want.Min || got.Max != tc.want.Max || got.N != tc.want.N {
+			t.Errorf("%s: Aggregate = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestCellFinalize checks that Finalize picks the best repeat's retired
+// count and aggregates every metric column.
+func TestCellFinalize(t *testing.T) {
+	c := Cell{Samples: []Sample{
+		{Instructions: 100, Seconds: 2.0, MIPS: 50, PredErrPct: -1.5},
+		{Instructions: 101, Seconds: 1.0, MIPS: 101, PredErrPct: 2.5},
+	}}
+	c.Finalize()
+	if c.Instructions != 101 {
+		t.Errorf("Instructions = %d, want best repeat's 101", c.Instructions)
+	}
+	if c.MIPS.Max != 101 || c.MIPS.Min != 50 || c.MIPS.N != 2 {
+		t.Errorf("MIPS stats = %+v", c.MIPS)
+	}
+	if math.Abs(c.PredErr.Mean-0.5) > 1e-12 {
+		t.Errorf("PredErr.Mean = %v, want 0.5", c.PredErr.Mean)
+	}
+}
+
+func sampleReport() *Report {
+	r := New("grids/test.json")
+	r.Host = Host{GoVersion: "go1.x", NumCPU: 8, GoMaxProcs: 8}
+	mk := func(workload, mode string, mips ...float64) Cell {
+		c := Cell{
+			ID: workload + "/" + mode, Experiment: "vm", Kind: "vmcore",
+			Workload: workload, Mode: mode, Seed: 1, Status: "ok",
+		}
+		for i, m := range mips {
+			c.Samples = append(c.Samples, Sample{
+				Instructions: 1000, Seconds: 1000 / m / 1e6, MIPS: m,
+			})
+			_ = i
+		}
+		c.Finalize()
+		return c
+	}
+	r.Cells = []Cell{
+		mk("decode_heavy", "chained", 300, 310),
+		mk("decode_heavy", "block", 150, 140),
+		mk("decode_heavy", "interp", 31),
+		mk("decode_heavy", "hooked", 62),
+	}
+	return r
+}
+
+// TestVMBenchLegacy pins the legacy BENCH_vm.json derivation: mode-name
+// mapping, best-of selection, and the ratio maps.
+func TestVMBenchLegacy(t *testing.T) {
+	rep := sampleReport().VMBench()
+	if len(rep.Results) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rep.Results))
+	}
+	modes := []string{}
+	for _, row := range rep.Results {
+		modes = append(modes, row.Mode)
+	}
+	if strings.Join(modes, ",") != "fast,block,slow,hooked" {
+		t.Errorf("legacy mode order = %v", modes)
+	}
+	if rep.Results[0].MIPS != 310 {
+		t.Errorf("best-of fast MIPS = %v, want 310", rep.Results[0].MIPS)
+	}
+	if got := rep.SpeedupVs["decode_heavy"]; math.Abs(got-10) > 1e-9 {
+		t.Errorf("speedup_fast_vs_slow = %v, want 10", got)
+	}
+	if got := rep.ChainGain["decode_heavy"]; math.Abs(got-310.0/150.0) > 1e-9 {
+		t.Errorf("speedup_fast_vs_block = %v", got)
+	}
+	if got := rep.HookedTax["decode_heavy"]; math.Abs(got-5) > 1e-9 {
+		t.Errorf("slowdown_hooked_vs_fast = %v, want 5", got)
+	}
+
+	// The JSON keys must match the historical emitter byte-for-byte.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_vm.json")
+	if err := rep.WriteVMBench(path); err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := os.ReadFile(path)
+	for _, key := range []string{
+		`"go_version"`, `"num_cpu"`, `"gomaxprocs"`, `"results"`,
+		`"workload"`, `"mode"`, `"instructions"`, `"seconds"`, `"mips"`,
+		`"speedup_fast_vs_slow"`, `"speedup_fast_vs_block"`, `"slowdown_hooked_vs_fast"`,
+	} {
+		if !bytes.Contains(buf, []byte(key)) {
+			t.Errorf("BENCH_vm.json missing key %s", key)
+		}
+	}
+	if bytes.Contains(buf, []byte(`"timestamp"`)) {
+		t.Error("BENCH_vm.json must not carry a timestamp (history entries do)")
+	}
+
+	// History appends accumulate and are timestamped.
+	hpath := filepath.Join(dir, "BENCH_vm_history.json")
+	if err := rep.AppendVMHistory(hpath); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.AppendVMHistory(hpath); err != nil {
+		t.Fatal(err)
+	}
+	var hist []VMReport
+	hbuf, _ := os.ReadFile(hpath)
+	if err := json.Unmarshal(hbuf, &hist); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 || hist[0].Timestamp == "" {
+		t.Errorf("history has %d entries (timestamps %q)", len(hist), hist[0].Timestamp)
+	}
+}
+
+// TestCSVAndSummary smoke-checks the two renderings.
+func TestCSVAndSummary(t *testing.T) {
+	r := sampleReport()
+	r.Cells = append(r.Cells, Cell{
+		ID: "x", Experiment: "vm", Kind: "vmcore", Workload: "boom",
+		Mode: "chained", Seed: 1, Status: "failed", ExitCode: 2, Error: "corrupt",
+	})
+	r.Sort()
+	var csvBuf bytes.Buffer
+	if err := r.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 1+5 {
+		t.Errorf("CSV has %d lines, want header + 5 cells", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "experiment,kind,workload,mode,") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	var sumBuf bytes.Buffer
+	if err := r.WriteSummary(&sumBuf); err != nil {
+		t.Fatal(err)
+	}
+	out := sumBuf.String()
+	if !strings.Contains(out, "decode_heavy") || !strings.Contains(out, "failed(exit 2)") {
+		t.Errorf("summary rendering:\n%s", out)
+	}
+}

@@ -1,0 +1,626 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The corpus is the registry the experiment grid (internal/grid) draws
+// workloads from. Where the suite recipes stand in for SPEC's phased
+// compute programs, the corpus kernels cover the behaviours those never
+// reach: kernel-visible memory churn (mmap/munmap/brk), fd-heavy server
+// loops, syscall-dense paths, self-modifying code, multi-threaded lock
+// contention and false sharing, plus seeded fuzz-generated recipes. Every
+// entry carries the metadata the grid filters on — thread count, syscall
+// density, memory footprint — and a Validates flag naming the workloads
+// that must pass the paper's §IV check (region CPI predicts whole-run CPI
+// within the error envelope).
+
+// Meta describes one corpus workload for grid filtering.
+type Meta struct {
+	// Name is the registry key (also the Recipe name).
+	Name string `json:"name"`
+	// Threads is the workload's thread count.
+	Threads int `json:"threads"`
+	// SyscallDensity is the approximate number of system calls per 1000
+	// retired instructions (0 = syscalls only at exit).
+	SyscallDensity float64 `json:"syscall_density"`
+	// FootprintKB is the approximate touched data footprint.
+	FootprintKB int `json:"footprint_kb"`
+	// Tags classify the workload ("micro", "corpus", "fuzz", "mt", "st",
+	// "syscall", "mem", "smc", ...). Grid selectors match on them.
+	Tags []string `json:"tags"`
+	// Validates marks workloads that participate in the §IV region-vs-
+	// whole-run CPI validation check. Multi-threaded spin kernels are
+	// excluded: their whole-run CPI is dominated by barrier/lock spinning
+	// on a time-shared measurement core, which the paper validates through
+	// Sniper simulation (Fig. 11) instead.
+	Validates bool `json:"validates"`
+}
+
+// Entry is one registered corpus workload.
+type Entry struct {
+	Meta
+	Recipe Recipe
+}
+
+// HasTag reports whether the entry carries tag t.
+func (e *Entry) HasTag(t string) bool {
+	for _, tag := range e.Tags {
+		if tag == t {
+			return true
+		}
+	}
+	return false
+}
+
+// asmRecipe wraps a raw source kernel as a Recipe.
+func asmRecipe(name, src string, approx uint64) Recipe {
+	return Recipe{Name: name, Threads: 1, Asm: src, ApproxInstr: approx}
+}
+
+// Corpus returns every registered corpus workload, in deterministic order:
+// the three micro kernels, the behavioural kernels, then the fuzz recipes.
+func Corpus() []Entry {
+	entries := []Entry{
+		{
+			Meta: Meta{Name: "decode_heavy", Threads: 1, SyscallDensity: 0,
+				FootprintKB: 4, Tags: []string{"micro", "st"}},
+			Recipe: asmRecipe("decode_heavy", microDecodeHeavy, 4_400_000),
+		},
+		{
+			Meta: Meta{Name: "mem_stream", Threads: 1, SyscallDensity: 0,
+				FootprintKB: 8, Tags: []string{"micro", "st", "mem"}},
+			Recipe: asmRecipe("mem_stream", microMemStream, 3_600_000),
+		},
+		{
+			Meta: Meta{Name: "syscall_dense", Threads: 1, SyscallDensity: 200,
+				FootprintKB: 4, Tags: []string{"micro", "st", "syscall"}},
+			Recipe: asmRecipe("syscall_dense", microSyscallDense, 500_000),
+		},
+		{
+			Meta: Meta{Name: "mm.churn", Threads: 1, SyscallDensity: 2.4,
+				FootprintKB: 48, Tags: []string{"corpus", "st", "mem", "syscall"},
+				Validates: true},
+			Recipe: asmRecipe("mm.churn", mmChurnSrc, 2_600_000),
+		},
+		{
+			Meta: Meta{Name: "srv.fd", Threads: 1, SyscallDensity: 5.5,
+				FootprintKB: 20, Tags: []string{"corpus", "st", "syscall"},
+				Validates: true},
+			Recipe: func() Recipe {
+				r := asmRecipe("srv.fd", srvFdSrc, 2_200_000)
+				r.FileInput = true
+				return r
+			}(),
+		},
+		{
+			Meta: Meta{Name: "sys.dense", Threads: 1, SyscallDensity: 18,
+				FootprintKB: 4, Tags: []string{"corpus", "st", "syscall"},
+				Validates: true},
+			Recipe: asmRecipe("sys.dense", sysDenseSrc, 2_000_000),
+		},
+		{
+			Meta: Meta{Name: "ptr.chase", Threads: 1, SyscallDensity: 0,
+				FootprintKB: 512, Tags: []string{"corpus", "st", "mem"},
+				Validates: true},
+			Recipe: asmRecipe("ptr.chase", ptrChaseSrc, 2_400_000),
+		},
+		{
+			// Validates=false: the self-modifying kernel lives in a
+			// writable+executable page, which elflint's semantic pass
+			// rejects by design (EL006 W^X), so no §IV region survives
+			// linting. Structural smoke coverage only.
+			Meta: Meta{Name: "smc.flip", Threads: 1, SyscallDensity: 0,
+				FootprintKB: 8, Tags: []string{"corpus", "st", "smc"}},
+			Recipe: asmRecipe("smc.flip", smcFlipSrc, 2_200_000),
+		},
+		{
+			Meta: Meta{Name: "ctn.lock", Threads: 4, SyscallDensity: 0.01,
+				FootprintKB: 4, Tags: []string{"corpus", "mt", "contention"}},
+			Recipe: ctnRecipe("ctn.lock", 4, false),
+		},
+		{
+			Meta: Meta{Name: "ctn.false", Threads: 4, SyscallDensity: 0.01,
+				FootprintKB: 4, Tags: []string{"corpus", "mt", "contention"}},
+			Recipe: ctnRecipe("ctn.false", 4, true),
+		},
+	}
+	for _, seed := range FuzzSeeds() {
+		r := Fuzz(seed)
+		entries = append(entries, Entry{
+			Meta: Meta{Name: r.Name, Threads: 1, SyscallDensity: 0,
+				FootprintKB: fuzzFootprintKB(r),
+				Tags:        []string{"corpus", "fuzz", "st"}, Validates: true},
+			Recipe: r,
+		})
+	}
+	return entries
+}
+
+// fuzzFootprintKB reports the largest phase working set of a fuzz recipe.
+func fuzzFootprintKB(r Recipe) int {
+	kb := 4
+	for _, p := range r.Phases {
+		if p.WorkingSetKB > kb {
+			kb = p.WorkingSetKB
+		}
+	}
+	return kb
+}
+
+// CorpusByName finds one corpus entry.
+func CorpusByName(name string) (Entry, bool) {
+	for _, e := range Corpus() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Select resolves a grid workload selector into recipes:
+//
+//	"name"        exact corpus or suite workload name
+//	"tag:<t>"     every corpus entry carrying tag t
+//	"corpus"      every corpus entry (micro + behavioural + fuzz)
+//	"validates"   every corpus entry participating in §IV validation
+//	"suite:<s>"   a whole recipe suite (train, ref, omp, cpu2006)
+//
+// Results are deterministic: registry order for corpus selectors, suite
+// order for suites.
+func Select(sel string) ([]Recipe, error) {
+	switch {
+	case sel == "corpus":
+		return corpusRecipes(func(e *Entry) bool { return true }), nil
+	case sel == "validates":
+		return corpusRecipes(func(e *Entry) bool { return e.Validates }), nil
+	case strings.HasPrefix(sel, "tag:"):
+		tag := strings.TrimPrefix(sel, "tag:")
+		rs := corpusRecipes(func(e *Entry) bool { return e.HasTag(tag) })
+		if len(rs) == 0 {
+			return nil, fmt.Errorf("workloads: selector %q matches nothing", sel)
+		}
+		return rs, nil
+	case strings.HasPrefix(sel, "suite:"):
+		switch strings.TrimPrefix(sel, "suite:") {
+		case "train":
+			return TrainIntRate(), nil
+		case "ref":
+			return RefRate(), nil
+		case "omp":
+			return SpeedOMP(), nil
+		case "cpu2006":
+			return CPU2006(), nil
+		}
+		return nil, fmt.Errorf("workloads: unknown suite in selector %q", sel)
+	}
+	if e, ok := CorpusByName(sel); ok {
+		return []Recipe{e.Recipe}, nil
+	}
+	if r, ok := ByName(sel); ok {
+		return []Recipe{r}, nil
+	}
+	return nil, fmt.Errorf("workloads: unknown workload or selector %q", sel)
+}
+
+// corpusRecipes filters the registry.
+func corpusRecipes(keep func(*Entry) bool) []Recipe {
+	var out []Recipe
+	for _, e := range Corpus() {
+		e := e
+		if keep(&e) {
+			out = append(out, e.Recipe)
+		}
+	}
+	return out
+}
+
+// Names returns every registered corpus workload name, sorted.
+func Names() []string {
+	var out []string
+	for _, e := range Corpus() {
+		out = append(out, e.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// -----------------------------------------------------------------------
+// Micro kernels — the execution-core benchmarks (BENCH_vm.json rows).
+// Each runs a fixed instruction count and exits via exit_group, so every
+// engine mode retires the identical stream.
+// -----------------------------------------------------------------------
+
+// microDecodeHeavy: long blocks of register ALU work with a loop branch —
+// the workload where fetch/decode elimination matters most.
+const microDecodeHeavy = `
+	.text
+	.global _start
+_start:
+	limm r1, 400000
+loop:
+	addi r2, r2, 1
+	add  r3, r3, r2
+	xor  r4, r4, r3
+	shli r5, r3, 3
+	sub  r6, r5, r2
+	muli r7, r2, 17
+	or   r8, r6, r7
+	andi r9, r8, 4095
+	cmp  r2, r1
+	jnz  loop
+	movi r0, 231
+	movi r1, 0
+	syscall
+`
+
+// microMemStream: load/store pairs walking a buffer — the workload where
+// the software TLB and in-page fast paths matter most.
+const microMemStream = `
+	.text
+	.global _start
+_start:
+	limm r1, 400000
+	limm r8, buf
+loop:
+	addi r2, r2, 1
+	andi r3, r2, 4088
+	lea1 r4, r8, r3, 0
+	st.q r2, [r4]
+	ld.q r5, [r4]
+	add  r6, r6, r5
+	ld.b r7, [r4+3]
+	cmp  r2, r1
+	jnz  loop
+	movi r0, 231
+	movi r1, 0
+	syscall
+	.data
+buf:	.space 8192
+`
+
+// microSyscallDense: a cheap kernel call every few instructions — bounds
+// what block caching can win when execution keeps leaving user code.
+const microSyscallDense = `
+	.text
+	.global _start
+_start:
+	limm r5, 100000
+loop:
+	movi r0, 39      # getpid
+	syscall
+	addi r2, r2, 1
+	add  r3, r3, r0
+	cmp  r2, r5
+	jnz  loop
+	movi r0, 231
+	movi r1, 0
+	syscall
+`
+
+// -----------------------------------------------------------------------
+// Behavioural corpus kernels.
+// -----------------------------------------------------------------------
+
+// mmChurnSrc maps, touches, and unmaps anonymous memory in a loop, with
+// periodic brk growth — address-space churn that exercises the mmap/brk
+// injection replay of converted ELFies (elflint EL009/EL013 territory).
+const mmChurnSrc = `
+	.text
+	.global _start
+_start:
+	movi r13, 0          # iteration counter
+	movi r9, 40503       # LCG state
+mainloop:
+	movi r0, 9           # mmap(0, 16K, RW, PRIVATE|ANON)
+	movi r1, 0
+	limm r2, 16384
+	movi r3, 3
+	movi r4, 0x22
+	syscall
+	mov  r11, r0
+	movi r8, 0
+touch:                       # dirty every page of the fresh mapping
+	lea1 r4, r11, r8, 0
+	st.q r9, [r4]
+	ld.q r5, [r4]
+	add  r10, r10, r5
+	addi r8, r8, 4096
+	cmpi r8, 16384
+	jnz  touch
+	movi r8, 0
+alu:                         # compute filler between map operations
+	muli r9, r9, 1103515245
+	addi r9, r9, 12345
+	xor  r10, r10, r9
+	shri r5, r9, 9
+	add  r10, r10, r5
+	addi r8, r8, 1
+	cmpi r8, 220
+	jnz  alu
+	movi r0, 11          # munmap(base, 16K)
+	mov  r1, r11
+	limm r2, 16384
+	syscall
+	andi r12, r13, 7
+	cmpi r12, 3
+	jnz  nobrk
+	movi r0, 12          # brk(0): query
+	movi r1, 0
+	syscall
+	addi r1, r0, 8192    # grow the break two pages
+	movi r0, 12
+	syscall
+nobrk:
+	addi r13, r13, 1
+	cmpi r13, 1600
+	jnz  mainloop
+	movi r0, 231
+	movi r1, 0
+	syscall
+`
+
+// srvFdSrc is an fd-heavy server loop: per "request", open the input
+// file, read a header, seek to a payload, read it, dup the descriptor,
+// and close both — the descriptor-table churn of an accept loop.
+const srvFdSrc = `
+	.text
+	.global _start
+_start:
+	movi r13, 0          # request counter
+	movi r9, 617
+reqloop:
+	movi r0, 2           # open("/input.dat")
+	limm r1, path
+	movi r2, 0
+	syscall
+	mov  r11, r0         # fd
+	movi r0, 0           # read 64-byte header
+	mov  r1, r11
+	limm r2, buf
+	movi r3, 64
+	syscall
+	movi r0, 8           # lseek(fd, (r9 & 0x1fff), SEEK_SET)
+	mov  r1, r11
+	andi r2, r9, 8191
+	movi r3, 0
+	syscall
+	movi r0, 0           # read 128-byte payload
+	mov  r1, r11
+	limm r2, buf
+	movi r3, 128
+	syscall
+	movi r0, 32          # dup(fd)
+	mov  r1, r11
+	syscall
+	mov  r12, r0
+	movi r0, 3           # close(dup)
+	mov  r1, r12
+	syscall
+	movi r0, 3           # close(fd)
+	mov  r1, r11
+	syscall
+	limm r2, buf         # fold the payload into the accumulator
+	ld.q r5, [r2]
+	add  r10, r10, r5
+	movi r8, 0
+work:                        # per-request compute
+	muli r9, r9, 1103515245
+	addi r9, r9, 12345
+	xor  r10, r10, r9
+	addi r8, r8, 1
+	cmpi r8, 180
+	jnz  work
+	addi r13, r13, 1
+	cmpi r13, 1800
+	jnz  reqloop
+	movi r0, 231
+	movi r1, 0
+	syscall
+	.data
+path:	.asciz "/input.dat"
+buf:	.space 256
+`
+
+// sysDenseSrc interleaves cheap kernel calls — getpid, clock_gettime,
+// gettimeofday, sched_yield — with short compute bursts: the syscall-
+// dense profile of a polling event loop.
+const sysDenseSrc = `
+	.text
+	.global _start
+_start:
+	movi r13, 0
+	movi r9, 229
+mainloop:
+	movi r0, 39          # getpid
+	syscall
+	add  r10, r10, r0
+	movi r0, 228         # clock_gettime(0, ts)
+	movi r1, 0
+	limm r2, ts
+	syscall
+	limm r2, ts
+	ld.q r5, [r2]
+	add  r10, r10, r5
+	movi r0, 96          # gettimeofday(tv, 0)
+	limm r1, tv
+	movi r2, 0
+	syscall
+	movi r0, 24          # sched_yield
+	syscall
+	movi r8, 0
+work:
+	muli r9, r9, 1103515245
+	addi r9, r9, 12345
+	xor  r10, r10, r9
+	addi r8, r8, 1
+	cmpi r8, 50
+	jnz  work
+	addi r13, r13, 1
+	cmpi r13, 7000
+	jnz  mainloop
+	movi r0, 231
+	movi r1, 0
+	syscall
+	.data
+ts:	.space 16
+tv:	.space 16
+`
+
+// ptrChaseSrc builds a pseudo-random pointer ring at startup, then chases
+// it — the dependent-load latency profile of linked-data-structure code
+// (mcf without the suite scaffolding).
+const ptrChaseSrc = `
+	.text
+	.global _start
+_start:
+	# Build a ring of 65536 8-byte slots: slot[i] = &slot[perm(i)], with
+	# perm an LCG walk over the index space (period 65536 for a*4+1 mults).
+	limm r13, ring
+	movi r8, 0           # i
+	movi r9, 12345       # LCG cursor (index units)
+build:
+	muli r9, r9, 69069
+	addi r9, r9, 1
+	andi r4, r9, 65535   # next index
+	shli r5, r4, 3
+	add  r5, r5, r13     # &slot[next]
+	shli r6, r8, 3
+	add  r6, r6, r13     # &slot[i]  (dense walk while building)
+	st.q r5, [r6]
+	addi r8, r8, 1
+	cmpi r8, 65536
+	jnz  build
+	# Chase.
+	mov  r4, r13
+	movi r8, 0
+chase:
+	ld.q r4, [r4]
+	ld.q r4, [r4]
+	ld.q r4, [r4]
+	ld.q r4, [r4]
+	addi r8, r8, 1
+	cmpi r8, 220000
+	jnz  chase
+	add  r10, r10, r4
+	movi r0, 231
+	movi r1, 0
+	syscall
+	.bss
+	.align 4096
+ring:	.space 524288
+`
+
+// smcFlipSrc exercises self-modifying code: the loop rewrites one
+// instruction word of a patch site (alternating between two pre-assembled
+// variants kept beside it) and re-executes it — the page-generation SMC
+// invalidation path of the block cache, from guest code rather than test
+// harness pokes. The patchable code lives in an "awx" section.
+const smcFlipSrc = `
+	.section .wtext, "awx"
+	.align 4096
+patchfn:
+	xori r10, r10, 85    # patch site: overwritten each iteration
+	ret
+variant0:
+	xori r10, r10, 85
+variant1:
+	addi r10, r10, 7
+	.text
+	.global _start
+_start:
+	movi r13, 0
+	movi r9, 911
+mainloop:
+	andi r4, r13, 1      # pick variant by parity
+	cmpi r4, 0
+	jnz  pick1
+	limm r4, variant0
+	jmp  picked
+pick1:
+	limm r4, variant1
+picked:
+	ld.q r5, [r4]        # fetch the variant's encoding
+	limm r6, patchfn
+	st.q r5, [r6]        # patch (same page: SMC invalidation)
+	call patchfn
+	movi r8, 0
+work:
+	muli r9, r9, 1103515245
+	addi r9, r9, 12345
+	xor  r10, r10, r9
+	addi r8, r8, 1
+	cmpi r8, 120
+	jnz  work
+	addi r13, r13, 1
+	cmpi r13, 2600
+	jnz  mainloop
+	movi r0, 231
+	movi r1, 0
+	syscall
+`
+
+// ctnRecipe builds a multi-threaded contention kernel: n threads hammer
+// either one shared counter with xadd (lock contention) or per-thread
+// slots packed into one cache line (false sharing). Threads run a fixed
+// iteration count of atomic-plus-compute work with no barriers, so the
+// interleaving pressure stays on the shared line.
+func ctnRecipe(name string, n int, falseSharing bool) Recipe {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %d-thread ", name, n)
+	if falseSharing {
+		b.WriteString("false-sharing kernel\n")
+	} else {
+		b.WriteString("lock-contention kernel\n")
+	}
+	b.WriteString("\t.text\n\t.global _start\n_start:\n")
+	for i := 1; i < n; i++ {
+		fmt.Fprintf(&b, "\tmovi r0, 56\n\tmovi r1, 0\n")
+		fmt.Fprintf(&b, "\tlimm r2, tstack%d+16384\n", i)
+		fmt.Fprintf(&b, "\tlimm r3, worker%d\n", i)
+		b.WriteString("\tsyscall\n")
+	}
+	b.WriteString("\tlimm rsp, tstack0+16384\n\tmovi r7, 0\n\tjmp  workbody\n")
+	for i := 1; i < n; i++ {
+		fmt.Fprintf(&b, "worker%d:\n\tmovi r7, %d\n\tjmp  workbody\n", i, i)
+	}
+	b.WriteString(`
+workbody:
+	limm r12, line
+`)
+	if falseSharing {
+		// Each thread owns an adjacent 8-byte slot of the same line.
+		b.WriteString("\tshli r5, r7, 3\n\tadd  r12, r12, r5\n")
+	}
+	fmt.Fprintf(&b, "\tmovi r9, %d\n", 101)
+	b.WriteString("\tmovi r8, 0\nwloop:\n")
+	if falseSharing {
+		b.WriteString("\tld.q r5, [r12]\n\taddi r5, r5, 1\n\tst.q r5, [r12]\n")
+	} else {
+		b.WriteString("\tmovi r5, 1\n\txadd r5, [r12]\n")
+	}
+	b.WriteString(`	muli r9, r9, 1103515245
+	addi r9, r9, 12345
+	xor  r10, r10, r9
+	addi r8, r8, 1
+	cmpi r8, 60000
+	jnz  wloop
+	movi r0, 60
+	movi r1, 0
+	syscall
+	.data
+	.align 64
+line:	.space 64
+	.bss
+	.align 4096
+`)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "tstack%d:\t.space 16384\n", i)
+	}
+	return Recipe{
+		Name: name, Threads: n, Asm: b.String(),
+		ApproxInstr: uint64(n) * 60000 * 9,
+	}
+}

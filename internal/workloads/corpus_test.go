@@ -1,0 +1,170 @@
+package workloads_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"testing"
+
+	"elfie/internal/harness"
+	"elfie/internal/kernel"
+	"elfie/internal/workloads"
+)
+
+// TestCorpusKernelsRun builds and runs every corpus workload to a clean
+// exit: each kernel must terminate, exit with status 0, and retire within
+// 4x of its registered instruction estimate.
+func TestCorpusKernelsRun(t *testing.T) {
+	for _, e := range workloads.Corpus() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			exe, err := workloads.Build(e.Recipe)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			fs := kernel.NewFS()
+			if e.Recipe.FileInput {
+				fs.WriteFile("/input.dat", workloads.InputFile())
+			}
+			s, err := harness.New(harness.Config{
+				Mode: harness.ModeMeasure,
+				Exe:  exe,
+				FS:   fs,
+				Seed: 1,
+			})
+			if err != nil {
+				t.Fatalf("harness: %v", err)
+			}
+			if err := s.Run(); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			// ST kernels halt via exit_group; MT kernels drain as every
+			// thread exits (syscall 60), which ends the run without Halted.
+			if !s.Machine.Halted && s.Machine.AliveCount() > 0 {
+				t.Fatal("machine neither halted nor drained")
+			}
+			if st := s.Machine.ExitStatus; st != 0 {
+				t.Fatalf("exit status %d, want 0", st)
+			}
+			got := s.Machine.GlobalRetired
+			approx := e.Recipe.ApproxInstructions()
+			if got < approx/4 || got > approx*4 {
+				t.Errorf("retired %d instructions, estimate %d (off by >4x)", got, approx)
+			}
+			if e.Threads != e.Recipe.Threads {
+				t.Errorf("metadata threads %d != recipe threads %d", e.Threads, e.Recipe.Threads)
+			}
+		})
+	}
+}
+
+// TestCorpusRegistry pins registry invariants the grid depends on: unique
+// names, resolvable selectors, and a deterministic registry order.
+func TestCorpusRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	validates := 0
+	for _, e := range workloads.Corpus() {
+		if seen[e.Name] {
+			t.Errorf("duplicate corpus name %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Validates {
+			validates++
+		}
+		if len(e.Tags) == 0 {
+			t.Errorf("%s: no tags", e.Name)
+		}
+	}
+	// The §IV acceptance bar: at least 6 new workloads under validation.
+	if validates < 6 {
+		t.Errorf("only %d corpus workloads flagged Validates, want >= 6", validates)
+	}
+	for _, sel := range []string{"corpus", "validates", "tag:mt", "tag:micro", "suite:train", "mm.churn", "602.gcc_t"} {
+		rs, err := workloads.Select(sel)
+		if err != nil {
+			t.Errorf("Select(%q): %v", sel, err)
+		} else if len(rs) == 0 {
+			t.Errorf("Select(%q): empty", sel)
+		}
+	}
+	if _, err := workloads.Select("no.such.workload"); err == nil {
+		t.Error("Select of unknown workload did not fail")
+	}
+	if _, err := workloads.Select("tag:nope"); err == nil {
+		t.Error("Select of unknown tag did not fail")
+	}
+}
+
+// fuzzHashes are the pinned per-seed SHA-256 hashes of the fuzz workloads'
+// built executables. They change only when the generator itself changes —
+// regenerate with `go test ./internal/workloads -run Determinism -v` and
+// paste the logged hashes. A drift here means seeded workloads are no
+// longer reproducible across runs, which silently invalidates every stored
+// ELFie keyed by workload name + seed.
+var fuzzHashes = map[int64]string{
+	1: "630336ce76bfe959b1f37d126a01d76d4d6b5e5da01e4e9d02939f8f0ca4f511",
+	2: "dde5f0faf5847aa555b97fc0fbd348df31d11c181767ccac1801aacf0875a822",
+	3: "dd44388c47ebc9008da2dba204ad40574fbbf815e9995c06650d4df43253192c",
+	4: "6adbbab0984c046994908becc176680227c85a671dc7ab5daca8e45899df1cf5",
+}
+
+// TestFuzzWorkloadDeterminism regenerates each fuzz workload many times —
+// sequentially and from 8 concurrent goroutines, as a -j8 grid would — and
+// requires every build to be byte-identical.
+func TestFuzzWorkloadDeterminism(t *testing.T) {
+	for _, seed := range workloads.FuzzSeeds() {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			ref := buildBytes(t, seed)
+			// Sequential rebuilds.
+			for i := 0; i < 3; i++ {
+				if got := buildBytes(t, seed); !bytes.Equal(got, ref) {
+					t.Fatalf("sequential rebuild %d differs from first build", i)
+				}
+			}
+			// Concurrent rebuilds (the -j8 grid shape).
+			var wg sync.WaitGroup
+			results := make([][]byte, 8)
+			for i := 0; i < 8; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					results[i] = buildBytes(t, seed)
+				}(i)
+			}
+			wg.Wait()
+			for i, got := range results {
+				if !bytes.Equal(got, ref) {
+					t.Fatalf("concurrent rebuild %d differs from sequential build", i)
+				}
+			}
+			sum := sha256.Sum256(ref)
+			hash := hex.EncodeToString(sum[:])
+			want, ok := fuzzHashes[seed]
+			if !ok {
+				t.Errorf("seed %d has no pinned hash; add %s", seed, hash)
+			} else if want != hash {
+				t.Fatalf("seed %d: built hash %s, pinned %s — generator output drifted", seed, hash, want)
+			}
+			t.Logf("seed %d: %s", seed, hash)
+		})
+	}
+}
+
+// buildBytes builds the fuzz workload for a seed and serializes it.
+func buildBytes(t *testing.T, seed int64) []byte {
+	t.Helper()
+	exe, err := workloads.Build(workloads.Fuzz(seed))
+	if err != nil {
+		t.Fatalf("build fuzz seed %d: %v", seed, err)
+	}
+	raw, err := exe.Write()
+	if err != nil {
+		t.Fatalf("serialize fuzz seed %d: %v", seed, err)
+	}
+	return raw
+}

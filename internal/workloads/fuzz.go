@@ -1,0 +1,56 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Fuzz-generated workloads: the corpus's coverage net. Each seed derives a
+// random but fully deterministic phase recipe — working sets, strides,
+// entropy, instruction mix, and phase script all come from one rand.Rand
+// seeded by the fuzz seed, so the generated assembly (and therefore every
+// ELFie cut from it) is byte-identical across runs and across -j1 vs -j8
+// grid execution. TestFuzzWorkloadDeterminism pins this with per-seed
+// ELFie hashes.
+
+// FuzzSeeds returns the fuzz seeds registered in the corpus.
+func FuzzSeeds() []int64 {
+	return []int64{1, 2, 3, 4}
+}
+
+// Fuzz derives the deterministic fuzz recipe for a seed. The parameter
+// ranges are chosen so every draw is a valid, terminating, single-threaded
+// program of roughly 1.5–4M dynamic instructions.
+func Fuzz(seed int64) Recipe {
+	rng := rand.New(rand.NewSource(0xf022 ^ seed<<8))
+	np := 2 + rng.Intn(3) // 2..4 phases
+	phases := make([]Phase, np)
+	for i := range phases {
+		phases[i] = Phase{
+			WorkingSetKB:     []int{16, 64, 256, 1024, 2048}[rng.Intn(5)],
+			StrideBytes:      []int{8, 16, 24, 40, 64, 72}[rng.Intn(6)],
+			BranchEntropyPct: rng.Intn(60),
+			MulPct:           rng.Intn(40),
+			StorePct:         rng.Intn(40),
+			Iterations:       8000 + rng.Intn(12000),
+			Vector:           rng.Intn(4) == 0,
+		}
+	}
+	passes := 3 + rng.Intn(3)
+	var seq []int
+	for p := 0; p < passes; p++ {
+		for i := 0; i < np; i++ {
+			seq = append(seq, i)
+			if rng.Intn(2) == 0 {
+				seq = append(seq, rng.Intn(np))
+			}
+		}
+	}
+	return Recipe{
+		Name:     fmt.Sprintf("fz.%04d", seed),
+		Threads:  1,
+		Phases:   phases,
+		Sequence: seq,
+		Seed:     0x5eed<<16 | seed,
+	}
+}

@@ -52,10 +52,21 @@ type Recipe struct {
 	FileInput bool
 	// Seed perturbs generated constants.
 	Seed int64
+	// Asm, when non-empty, is the recipe's complete assembly source: the
+	// phase generator is bypassed and the source is assembled as-is. The
+	// corpus kernels (mmap churn, fd servers, self-modifying code, …) are
+	// Asm recipes — behaviours the phase model cannot express.
+	Asm string
+	// ApproxInstr is the dynamic instruction estimate for Asm recipes
+	// (phase recipes derive theirs from the phase script).
+	ApproxInstr uint64
 }
 
 // ApproxInstructions estimates the dynamic instruction count of a recipe.
 func (r *Recipe) ApproxInstructions() uint64 {
+	if r.Asm != "" {
+		return r.ApproxInstr
+	}
 	perIter := uint64(12)
 	var total uint64
 	for _, pi := range r.Sequence {
@@ -69,6 +80,9 @@ func (r *Recipe) ApproxInstructions() uint64 {
 
 // Generate emits the PVM assembly source for a recipe.
 func Generate(r Recipe) string {
+	if r.Asm != "" {
+		return r.Asm
+	}
 	if r.Threads > 1 {
 		return generateMT(r)
 	}

@@ -1,0 +1,61 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"elfie/internal/grid"
+	"elfie/internal/workloads"
+)
+
+// TestCorpusValidates pins the corpus acceptance bar: every entry marked
+// Validates passes the paper's §IV check — the weighted region CPI of its
+// selected (and semantically linted) ELFie regions predicts the whole-run
+// CPI within a generous envelope. The envelope is wide because the corpus
+// includes adversarial kernels (pointer chasing, fuzz workloads with hot
+// phase transitions); the regression this test catches is a workload or
+// pipeline change that silently stops regions from validating at all.
+func TestCorpusValidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full §IV validation sweep is slow")
+	}
+	const maxAbsErrPct = 35.0
+	entries := workloads.Corpus()
+	validating := 0
+	for _, e := range entries {
+		if !e.Meta.Validates {
+			continue
+		}
+		validating++
+		e := e
+		t.Run(e.Meta.Name, func(t *testing.T) {
+			t.Parallel()
+			exp := &grid.Experiment{Name: "corpus-validate", Kind: grid.KindValidate}
+			row := grid.Execute(&grid.Cell{
+				ID:      "corpus-validate/" + e.Meta.Name + "/native/s1",
+				Exp:     exp,
+				Recipe:  e.Recipe,
+				Mode:    "native",
+				Seed:    1,
+				Repeats: 1,
+			})
+			if row.Status != "ok" {
+				t.Fatalf("validation failed: exit %d: %s", row.ExitCode, row.Error)
+			}
+			err := row.Samples[0].PredErrPct
+			cov := row.Samples[0].Coverage
+			t.Logf("prediction error %+.2f%%, coverage %.0f%%, regions %.0f",
+				err, 100*cov, row.Extra["regions"])
+			if err < -maxAbsErrPct || err > maxAbsErrPct {
+				t.Errorf("|prediction error| %.1f%% exceeds %.0f%%", err, maxAbsErrPct)
+			}
+			if cov <= 0 {
+				t.Error("zero region coverage — no region survived selection/linting")
+			}
+		})
+	}
+	// The paper reproduction needs a real corpus: at least 6 workloads
+	// beyond the micro kernels must clear the §IV bar.
+	if validating < 6 {
+		t.Fatalf("only %d corpus workloads are marked Validates, want >= 6", validating)
+	}
+}

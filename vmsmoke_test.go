@@ -1,38 +1,44 @@
-// TestChainedFastPathSmoke is the CI perf regression tripwire for the
+// TestChainedFastPathSmoke is the in-repo perf regression tripwire for the
 // chained execution core: on every workload the chained fast path must
 // not run slower than the plain (chaining-disabled) block cache. The
 // 0.65 slack factor absorbs shared-runner noise — run-to-run variance of
 // ±15% is normal on one vCPU — while still catching the failure mode
 // that matters: a change that quietly makes chaining a pessimisation.
-// Absolute MIPS targets live in BENCH_vm.json, not here.
+//
+// CI enforces the same invariant declaratively: grids/ci.json carries a
+// min_ratio chained-vs-block assertion evaluated by elfiebench. This test
+// goes through the identical grid cells so `go test` alone catches the
+// regression too. Absolute MIPS targets live in BENCH_vm.json, not here.
 package elfie_test
 
 import (
 	"testing"
-	"time"
+
+	"elfie/internal/grid"
+	"elfie/internal/workloads"
 )
 
-// vmSmokeMIPS runs a workload/mode to completion reps times and returns
-// the best observed MIPS (best-of filters scheduler hiccups).
+// vmSmokeMIPS runs one grid vmcore cell with reps repeats and returns the
+// best observed MIPS (best-of filters scheduler hiccups).
 func vmSmokeMIPS(t *testing.T, workload, mode string, reps int) float64 {
 	t.Helper()
-	best := time.Duration(1<<63 - 1)
-	var retired uint64
-	for i := 0; i < reps; i++ {
-		m := vmCoreMachine(t, workload, mode)
-		start := time.Now()
-		if err := m.Run(); err != nil {
-			t.Fatal(err)
-		}
-		if el := time.Since(start); el < best {
-			best = el
-		}
-		if !m.Halted || m.ExitStatus != 0 {
-			t.Fatalf("%s/%s did not exit cleanly", workload, mode)
-		}
-		retired = m.GlobalRetired
+	entry, ok := workloads.CorpusByName(workload)
+	if !ok {
+		t.Fatalf("corpus kernel %s missing", workload)
 	}
-	return float64(retired) / best.Seconds() / 1e6
+	exp := &grid.Experiment{Name: "smoke", Kind: grid.KindVMCore}
+	row := grid.Execute(&grid.Cell{
+		ID:      "smoke/" + workload + "/" + mode + "/s1",
+		Exp:     exp,
+		Recipe:  entry.Recipe,
+		Mode:    mode,
+		Seed:    1,
+		Repeats: reps,
+	})
+	if row.Status != "ok" {
+		t.Fatalf("%s: exit %d: %s", row.ID, row.ExitCode, row.Error)
+	}
+	return row.MIPS.Max
 }
 
 func TestChainedFastPathSmoke(t *testing.T) {
@@ -41,7 +47,7 @@ func TestChainedFastPathSmoke(t *testing.T) {
 	}
 	const slack = 0.65
 	for _, workload := range []string{"decode_heavy", "mem_stream", "syscall_dense"} {
-		chained := vmSmokeMIPS(t, workload, "fast", 3)
+		chained := vmSmokeMIPS(t, workload, "chained", 3)
 		block := vmSmokeMIPS(t, workload, "block", 3)
 		t.Logf("%s: chained %.0f MIPS, block %.0f MIPS (%.2fx)",
 			workload, chained, block, chained/block)
